@@ -1,0 +1,90 @@
+"""Ablation A3: quorum accusations vs the asymmetric-trust attack.
+
+A reproduction finding.  RealAA's detection rule — blacklist a sender your
+own gradecast graded ≤ 1 — leaves a loophole: a sender graded 2 by an
+honest group A and 1 by the rest is blacklisted only by the latter, and by
+behaving consistently forever after it keeps A's multisets one entry apart
+from everyone else's at **zero** further detection cost.  The sustained
+per-iteration factor (≈ 1/2 at n = 3t + 1) breaks the once-per-party burn
+accounting behind the round budget.
+
+The defense implemented here (and on by default): parties piggyback their
+BAD sets on value messages; ``t + 1`` accusers — necessarily including an
+honest one — globalise the blacklisting.  Whenever the attack could bite,
+the accusing group has ≥ t + 1 honest members, so the quorum lands in the
+very next iteration.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversary.realaa_attacks import AsymmetricTrustAdversary
+from repro.analysis import honest_value_ranges
+from repro.net import run_protocol
+from repro.protocols import RealAAParty
+
+N, T = 7, 2
+SPREAD = 1024.0
+ITERATIONS = 8
+
+
+def run_variant(accusations: bool):
+    inputs = [0.0 if i % 2 == 0 else SPREAD for i in range(N)]
+    result = run_protocol(
+        N,
+        T,
+        lambda pid: RealAAParty(
+            pid, N, T, inputs[pid], iterations=ITERATIONS, accusations=accusations
+        ),
+        adversary=AsymmetricTrustAdversary(),
+    )
+    return honest_value_ranges(result)
+
+
+def test_a3_table(report, benchmark):
+    def sweep():
+        rows = []
+        series = {}
+        for label, accusations in (
+            ("RealAA + quorum accusations (default)", True),
+            ("RealAA, grade-only detection (ablated)", False),
+        ):
+            ranges = run_variant(accusations)
+            series[label] = ranges
+            rows.append(
+                [label]
+                + [ranges[i] for i in range(0, ITERATIONS + 1, 2)]
+                + [ranges[-1] <= 1.0]
+            )
+        assert series["RealAA + quorum accusations (default)"][-1] == 0.0
+        assert series["RealAA, grade-only detection (ablated)"][-1] > 1.0
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    columns = (
+        ["variant"]
+        + [f"iter {i}" for i in range(0, ITERATIONS + 1, 2)]
+        + ["eps-agree"]
+    )
+    report.table(
+        "A3",
+        "Ablation: quorum accusations vs the asymmetric-trust attack "
+        f"(n={N}, t={T}, D={SPREAD:g})",
+        columns,
+        rows,
+        notes=(
+            "The asymmetric-trust adversary burns one party in iteration 0\n"
+            "(keeping the range positive) and sets up grade-2/grade-1 trust\n"
+            "asymmetry with the rest.  Ablated: the trusted parties sustain\n"
+            "a 1/2 factor every iteration forever — epsilon-agreement fails\n"
+            "within the round budget.  Default: the t+1 blacklisting honest\n"
+            "parties reach the accusation quorum in iteration 1 and the\n"
+            "range collapses to exactly 0."
+        ),
+    )
+
+
+def test_bench_attack_run(benchmark):
+    ranges = benchmark.pedantic(lambda: run_variant(True), rounds=3, iterations=1)
+    assert ranges[-1] == 0.0

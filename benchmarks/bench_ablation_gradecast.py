@@ -1,0 +1,146 @@
+"""Ablation A2: gradecast distribution vs naive point-to-point sends.
+
+Gradecast costs 3 rounds per iteration but makes equivocation *detectable*
+(and hence, with memory, finitely repeatable).  Naive distribution costs 1
+round but equivocation is invisible: the SplitBroadcast adversary sustains
+the worst-case halving factor forever and no detection ever happens.  The
+table shows the per-iteration convergence factors and the total rounds to
+reach ε under sustained attack.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.adversary.realaa_attacks import (
+    BurnScheduleAdversary,
+    SplitBroadcastAdversary,
+)
+from repro.analysis import convergence_factors, honest_value_ranges
+from repro.baselines import IterativeRealAAParty
+from repro.net import run_protocol
+from repro.protocols import RealAAParty
+
+N, T = 7, 2
+SPREAD = 1024.0
+EPSILON = 1.0
+
+
+def _rounds_to_epsilon(ranges, rounds_per_iteration):
+    for i, value in enumerate(ranges):
+        if value <= EPSILON:
+            return i * rounds_per_iteration
+    return None
+
+
+def test_a2_table(report, benchmark):
+    inputs = [0.0 if i % 2 == 0 else SPREAD for i in range(N)]
+
+    def sweep():
+        rows = []
+
+        # Gradecast + memory (RealAA) under its worst (burn) attack.
+        result = run_protocol(
+            N,
+            T,
+            lambda pid: RealAAParty(pid, N, T, inputs[pid], iterations=12),
+            adversary=BurnScheduleAdversary([1] * 12, reuse_burners=True),
+        )
+        ranges = honest_value_ranges(result)
+        rows.append(
+            [
+                "gradecast + memory (RealAA)",
+                3,
+                _rounds_to_epsilon(ranges, 3),
+                min(1.0, max(convergence_factors(ranges) or [0.0])),
+                ranges[-1],
+                True,
+            ]
+        )
+        assert ranges[-1] <= EPSILON
+
+        # Naive distribution under sustained undetectable equivocation.
+        result = run_protocol(
+            N,
+            T,
+            lambda pid: IterativeRealAAParty(
+                pid, N, T, inputs[pid], iterations=12, distribution="naive"
+            ),
+            adversary=SplitBroadcastAdversary(),
+        )
+        naive_ranges = honest_value_ranges(result)
+        factors = convergence_factors(naive_ranges)
+        rows.append(
+            [
+                "naive sends (undetectable)",
+                1,
+                _rounds_to_epsilon(naive_ranges, 1),
+                max(factors),
+                naive_ranges[-1],
+                False,
+            ]
+        )
+        # every iteration still suffers the worst-case halving factor
+        assert all(f >= 0.4 for f in factors if f > 0)
+
+        # Naive + fault-free for reference.
+        result = run_protocol(
+            N,
+            0,
+            lambda pid: IterativeRealAAParty(
+                pid, N, 0, inputs[pid], iterations=12, distribution="naive"
+            ),
+        )
+        clean = honest_value_ranges(result)
+        rows.append(
+            [
+                "naive sends, fault-free",
+                1,
+                _rounds_to_epsilon(clean, 1),
+                max(convergence_factors(clean) or [0.0]),
+                clean[-1],
+                False,
+            ]
+        )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    report.table(
+        "A2",
+        f"Ablation: distribution mechanism under sustained attack (D={SPREAD:g}, eps={EPSILON:g})",
+        [
+            "variant",
+            "rounds/iter",
+            "rounds to eps",
+            "worst iter factor",
+            "final range",
+            "detects equivocation",
+        ],
+        rows,
+        notes=(
+            "Expected shape: gradecast pays 3 rounds/iteration but caps the\n"
+            "adversary at t total burns (fast collapse); naive sends are\n"
+            "cheaper per iteration but the SplitBroadcast adversary keeps\n"
+            "the worst-case ~1/2 factor every iteration, undetected, so the\n"
+            "rounds-to-eps scale as log2(D/eps) forever."
+        ),
+    )
+
+
+def test_bench_naive_iteration(benchmark):
+    inputs = [0.0 if i % 2 == 0 else SPREAD for i in range(N)]
+    result = benchmark.pedantic(
+        lambda: run_protocol(
+            N,
+            T,
+            lambda pid: IterativeRealAAParty(
+                pid, N, T, inputs[pid], iterations=10, distribution="naive"
+            ),
+            adversary=SplitBroadcastAdversary(),
+        ),
+        rounds=3,
+        iterations=1,
+    )
+    assert result.trace.rounds_executed == 10

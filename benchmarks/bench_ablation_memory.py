@@ -1,0 +1,88 @@
+"""Ablation A1: the BAD-set memory is what beats the 2^-R outline.
+
+Identical distribution substrate (gradecast), identical sustained
+equivocation attack; the only difference is whether detected equivocators
+are remembered.  With memory the adversary's budget is consumed after
+``t`` burns and the range collapses; without it the same two parties
+re-equivocate forever and convergence is pinned at the halving rate.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversary.realaa_attacks import BurnScheduleAdversary
+from repro.analysis import honest_value_ranges
+from repro.baselines import IterativeRealAAParty
+from repro.net import run_protocol
+from repro.protocols import RealAAParty
+
+N, T = 7, 2
+SPREAD = 1024.0
+ITERATIONS = 8
+
+
+def run_variant(memory: bool, update: str):
+    inputs = [0.0 if i % 2 == 0 else SPREAD for i in range(N)]
+    adversary = BurnScheduleAdversary([T] * ITERATIONS, reuse_burners=True)
+    if update == "trimmed-mean":
+        factory = lambda pid: RealAAParty(  # noqa: E731
+            pid, N, T, inputs[pid], iterations=ITERATIONS
+        )
+    else:
+        factory = lambda pid: IterativeRealAAParty(  # noqa: E731
+            pid, N, T, inputs[pid], iterations=ITERATIONS, memory=memory
+        )
+    result = run_protocol(N, T, factory, adversary=adversary)
+    return honest_value_ranges(result)
+
+
+def test_a1_table(report, benchmark):
+    def sweep():
+        variants = [
+            ("RealAA (memory, trimmed mean)", True, "trimmed-mean"),
+            ("outline + memory (midpoint)", True, "midpoint"),
+            ("outline, memoryless (midpoint)", False, "midpoint"),
+        ]
+        rows = []
+        series = {}
+        for label, memory, update in variants:
+            ranges = run_variant(memory, update)
+            series[label] = ranges
+            rows.append(
+                [label]
+                + [ranges[i] for i in range(0, ITERATIONS + 1, 2)]
+                + [ranges[-1]]
+            )
+        # With memory the attack budget runs out: exact collapse.
+        assert series["RealAA (memory, trimmed mean)"][-1] == 0.0
+        assert series["outline + memory (midpoint)"][-1] == 0.0
+        # Without memory the adversary sustains divergence to the end.
+        assert series["outline, memoryless (midpoint)"][-1] > 0.0
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    columns = ["variant"] + [f"iter {i}" for i in range(0, ITERATIONS + 1, 2)] + [
+        "final"
+    ]
+    report.table(
+        "A1",
+        f"Ablation: detection memory under sustained equivocation (D={SPREAD:g})",
+        columns,
+        rows,
+        notes=(
+            "Same gradecast substrate, same adversary re-equivocating every\n"
+            "iteration.  Expected shape: memory variants hit range 0 once\n"
+            "the t-burn budget is spent (iteration <= t+1); the memoryless\n"
+            "outline still has positive range after 8 iterations, halving\n"
+            "at best — the paper's core argument for why RealAA matches\n"
+            "Fekete's bound and the outline cannot."
+        ),
+    )
+
+
+def test_bench_memoryless_run(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_variant(False, "midpoint"), rounds=3, iterations=1
+    )
+    assert result[0] == SPREAD

@@ -1,0 +1,128 @@
+"""Ablation A4: how much does the delivery schedule cost the async baseline?
+
+The asynchronous adversary's other half is the scheduler.  This ablation
+runs the [33]-style async tree protocol under increasingly hostile
+delivery orders and reports the extra steps (and forced fairness
+deliveries) each one causes — the price the witness technique pays to stay
+correct under any schedule.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.analysis import tree_agreement, tree_validity
+from repro.asynchrony import (
+    AsyncNoiseAdversary,
+    AsyncTreeAAParty,
+    DelaySendersScheduler,
+    FIFOScheduler,
+    RandomScheduler,
+    SplitScheduler,
+    run_async_protocol,
+)
+from repro.trees import random_tree
+
+N, T = 7, 2
+
+
+def run_with(scheduler, tree, inputs):
+    from repro.asynchrony import AsynchronousNetwork
+
+    parties = {
+        pid: AsyncTreeAAParty(pid, N, T, tree, inputs[pid]) for pid in range(N)
+    }
+    network = AsynchronousNetwork(
+        parties,
+        T,
+        adversary=AsyncNoiseAdversary(seed=4),
+        scheduler=scheduler,
+        max_steps=1_000_000,
+    )
+    # instrument: track when each honest party first finishes
+    first_done = {}
+    original_pick = network._pick
+
+    def picking():
+        index = original_pick()
+        for pid in range(N):
+            if pid not in first_done and parties[pid].finished:
+                first_done[pid] = network.trace.steps
+        return index
+
+    network._pick = picking
+    result = network.run()
+    result.first_done = first_done
+    return result
+
+
+def test_a4_table(report, benchmark):
+    tree = random_tree(20, seed=6)
+    rng = random.Random(2)
+    inputs = [rng.choice(tree.vertices) for _ in range(N)]
+
+    def sweep():
+        rows = []
+        baseline_steps = None
+        for name, scheduler in (
+            ("FIFO", FIFOScheduler()),
+            ("random", RandomScheduler(3)),
+            ("delay 2 honest senders", DelaySendersScheduler([0, 1])),
+            ("partition 3|4", SplitScheduler([0, 1, 2])),
+        ):
+            result = run_with(scheduler, tree, inputs)
+            assert result.completed
+            outputs = list(result.honest_outputs.values())
+            honest_inputs = [inputs[p] for p in sorted(result.honest)]
+            assert tree_validity(tree, honest_inputs, outputs)
+            assert tree_agreement(tree, outputs)
+            if baseline_steps is None:
+                baseline_steps = result.trace.steps
+            first = min(result.first_done.values()) if result.first_done else 0
+            rows.append(
+                [
+                    name,
+                    result.trace.steps,
+                    first,
+                    result.trace.forced_fair_deliveries,
+                    True,
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    report.table(
+        "A4",
+        f"Async scheduler ablation ([33]-style tree AA, n={N}, t={T})",
+        [
+            "scheduler",
+            "total steps",
+            "first output at step",
+            "forced fair deliveries",
+            "AA ok",
+        ],
+        rows,
+        notes=(
+            "Hostile schedules cannot break the protocol (the witness\n"
+            "technique + RBC totality absorb them), and they barely move the\n"
+            "total step count: the iterated protocol eventually consumes\n"
+            "almost every message whatever the order.  What they DO move is\n"
+            "when progress happens — how many deliveries had to be forced\n"
+            "through the fairness window, and how late the first party\n"
+            "crosses the finish line."
+        ),
+    )
+
+
+def test_bench_hostile_schedule(benchmark):
+    tree = random_tree(20, seed=6)
+    rng = random.Random(2)
+    inputs = [rng.choice(tree.vertices) for _ in range(N)]
+    result = benchmark.pedantic(
+        lambda: run_with(SplitScheduler([0, 1, 2]), tree, inputs),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.completed

@@ -1,0 +1,135 @@
+"""Experiment T10: the authenticated setting (the paper's §7 note).
+
+"Our reduction is independent of the number of corrupted parties": with a
+``t < n/2`` real-valued engine (here Dolev–Strong exact AA via simulated
+signatures), TreeAA tolerates every ``t < n/2`` — corruption levels at
+which the unauthenticated protocol provably cannot exist.  The table
+sweeps ``t`` across both thresholds and reports rounds and outcomes.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.adversary import ChaosAdversary, PassiveAdversary
+from repro.authenticated import (
+    DSEquivocatorAdversary,
+    SignatureAuthority,
+    run_auth_tree_aa,
+)
+from repro.core import TreeAAParty, run_tree_aa
+from repro.trees import random_tree
+
+
+def test_t10_table(report, benchmark):
+    tree = random_tree(25, seed=10)
+
+    def sweep():
+        rows = []
+        for n in (4, 7, 9, 13):
+            for t in range(0, (n - 1) // 2 + 1):
+                rng = random.Random(n * 10 + t)
+                inputs = [rng.choice(tree.vertices) for _ in range(n)]
+                # unauthenticated TreeAA: only for t < n/3
+                if 3 * t < n:
+                    unauth = run_tree_aa(
+                        tree, inputs, t, adversary=PassiveAdversary()
+                    )
+                    unauth_cell = f"{unauth.rounds} rounds"
+                    assert unauth.achieved_aa
+                else:
+                    try:
+                        TreeAAParty(0, n, t, tree, tree.vertices[0])
+                        unauth_cell = "BUG"
+                    except ValueError:
+                        unauth_cell = "refused (t >= n/3)"
+                auth = run_auth_tree_aa(
+                    tree, inputs, t, adversary=PassiveAdversary()
+                )
+                assert auth.achieved_aa
+                rows.append(
+                    [
+                        n,
+                        t,
+                        unauth_cell,
+                        f"{auth.rounds} rounds",
+                        auth.achieved_aa,
+                    ]
+                )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    report.table(
+        "T10",
+        "TreeAA thresholds: unauthenticated (t < n/3) vs authenticated (t < n/2)",
+        ["n", "t", "unauthenticated TreeAA", "authenticated TreeAA", "AA ok"],
+        rows,
+        notes=(
+            "Paper note (Section 7): the reduction is engine-agnostic; any\n"
+            "real-valued AA at threshold X gives tree AA at threshold X.\n"
+            "Here the Dolev-Strong exact engine costs 2(t+1) rounds — not\n"
+            "round-optimal (the paper points to Proxcensus for that) but\n"
+            "correct at every t < n/2, including the t >= n/3 rows the\n"
+            "unauthenticated protocol must refuse."
+        ),
+    )
+
+
+def test_t10b_attacks(report, benchmark):
+    """The authenticated protocol under its natural attacks."""
+    tree = random_tree(20, seed=3)
+    n, t = 5, 2
+
+    def sweep():
+        rows = []
+        rng = random.Random(1)
+        inputs = [rng.choice(tree.vertices) for _ in range(n)]
+        for name, factory in (
+            ("passive", lambda: PassiveAdversary()),
+            ("chaos", lambda: ChaosAdversary(seed=8)),
+            (
+                "DS equivocation",
+                lambda: DSEquivocatorAdversary(
+                    values=lambda pid: (tree.vertices[0], tree.vertices[-1])
+                ),
+            ),
+        ):
+            outcome = run_auth_tree_aa(tree, inputs, t, adversary=factory())
+            rows.append(
+                [
+                    name,
+                    outcome.rounds,
+                    outcome.achieved_aa,
+                    len(set(outcome.honest_outputs.values())),
+                ]
+            )
+            assert outcome.achieved_aa
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    report.table(
+        "T10b",
+        f"Authenticated TreeAA under attack (n={n}, t={t} >= n/3)",
+        ["adversary", "rounds", "AA ok", "distinct outputs"],
+        rows,
+        notes=(
+            "The exact engine yields a single common output vertex in every\n"
+            "run — equivocating signers collapse to a consistent ⊥ and are\n"
+            "excluded from the multiset."
+        ),
+    )
+
+
+def test_bench_auth_tree_aa(benchmark):
+    tree = random_tree(25, seed=10)
+    n, t = 9, 4
+    rng = random.Random(2)
+    inputs = [rng.choice(tree.vertices) for _ in range(n)]
+    outcome = benchmark.pedantic(
+        lambda: run_auth_tree_aa(tree, inputs, t, adversary=PassiveAdversary()),
+        rounds=3,
+        iterations=1,
+    )
+    assert outcome.achieved_aa

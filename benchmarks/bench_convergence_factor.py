@@ -1,0 +1,117 @@
+"""Experiment T3 (Lemma 5 / Theorem 1): per-schedule convergence factors.
+
+For each burn schedule ``t_1, …, t_R`` the honest range after ``R``
+iterations should shrink by roughly ``∏ t_i / (n − 2t)`` (Lemma 5's
+guarantee, matched by the burn adversary), far slower than the fault-free
+collapse, and bounded below (in spirit) by Fekete's ``K(R, D)``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversary.realaa_attacks import BurnScheduleAdversary, even_burn_schedule
+from repro.analysis import honest_value_ranges, overall_factor
+from repro.lowerbound import fekete_K
+from repro.net import run_protocol
+from repro.protocols import (
+    RealAAParty,
+    adjusted_schedule_factor,
+    lemma5_factor,
+    schedule_factor,
+)
+
+SPREAD = 1000.0
+
+
+def run_with_schedule(n, t, schedule, iterations):
+    inputs = [0.0 if i % 2 == 0 else SPREAD for i in range(n)]
+    result = run_protocol(
+        n,
+        t,
+        lambda pid: RealAAParty(pid, n, t, inputs[pid], iterations=iterations),
+        adversary=BurnScheduleAdversary(schedule),
+    )
+    return honest_value_ranges(result)
+
+
+CONFIGS = [
+    (7, 2, [2]),
+    (7, 2, [1, 1]),
+    (7, 2, [0, 2]),
+    (13, 4, [4]),
+    (13, 4, [2, 2]),
+    (13, 4, [1, 1, 1, 1]),
+    (31, 10, [5, 5]),
+    (31, 10, even_burn_schedule(10, 5)),
+]
+
+
+def test_t3_table(report, benchmark):
+    def sweep():
+        rows = []
+        for n, t, schedule in CONFIGS:
+            iterations = max(len(schedule), 2)
+            ranges = run_with_schedule(n, t, schedule, iterations)
+            measured = ranges[len(schedule)] / ranges[0]
+            idealised = schedule_factor(n, t, schedule)
+            adjusted = adjusted_schedule_factor(n, t, schedule)
+            worst = lemma5_factor(n, t, len(schedule))
+            k_bound = fekete_K(len(schedule), 1.0, n, t)
+            rows.append(
+                [
+                    f"n={n},t={t}",
+                    "+".join(str(s) for s in schedule),
+                    measured,
+                    idealised,
+                    adjusted,
+                    worst,
+                    k_bound,
+                ]
+            )
+            # The operational bound (dropped senders shrink the trim core)
+            # is never beaten by the attack.
+            assert measured <= adjusted + 1e-9
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    report.table(
+        "T3",
+        "Range-shrink factor after the burn schedule (RealAA, D=1000)",
+        [
+            "network",
+            "schedule",
+            "measured factor",
+            "ideal prod t_i/(n-2t)",
+            "operational bound",
+            "Lemma-5 worst",
+            "Fekete K(R,1)",
+        ],
+        rows,
+        notes=(
+            "Paper claims: Lemma 5 bounds the shrink by prod t_i/(n-2t); the\n"
+            "even split maximises it; Fekete's K(R, D) (with n+t in the\n"
+            "denominator) lower-bounds what ANY protocol can guarantee.\n"
+            "Expected shape: measured tracks the idealised schedule product\n"
+            "within a small constant (exactly bounded by the operational\n"
+            "form, whose denominator shrinks as detected senders drop out),\n"
+            "and K sits below everything."
+        ),
+    )
+
+
+def test_t3_fault_free_collapse(report, benchmark):
+    """Contrast: with no inconsistencies the range collapses in ONE iteration
+    — the paper's point that only detected-once equivocation slows RealAA."""
+
+    def run():
+        return run_with_schedule(7, 2, [0, 0], 2)
+
+    ranges = benchmark.pedantic(run, rounds=1, iterations=1)
+    report.table(
+        "T3b",
+        "Fault-free/clean iterations collapse immediately",
+        ["iteration", "honest range"],
+        [[i, r] for i, r in enumerate(ranges)],
+    )
+    assert ranges[1] == 0.0

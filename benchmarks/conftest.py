@@ -1,0 +1,49 @@
+"""Shared infrastructure for the experiment benchmarks.
+
+Every benchmark file regenerates one experiment from DESIGN.md's
+per-experiment index.  The experiment's table is written to
+``benchmarks/results/<exp_id>.txt`` (and echoed to stdout — visible with
+``pytest benchmarks/ -s``); the pytest-benchmark machinery additionally
+times the central operation of each experiment.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Iterable, Sequence
+
+import pytest
+
+from repro.analysis import format_table
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+class Reporter:
+    """Writes experiment tables to the results directory."""
+
+    def __init__(self) -> None:
+        os.makedirs(RESULTS_DIR, exist_ok=True)
+
+    def table(
+        self,
+        exp_id: str,
+        title: str,
+        headers: Sequence[str],
+        rows: Iterable[Sequence[Any]],
+        notes: str = "",
+    ) -> str:
+        text = format_table(headers, rows, title=f"[{exp_id}] {title}")
+        if notes:
+            text += "\n" + notes
+        path = os.path.join(RESULTS_DIR, f"{exp_id}.txt")
+        with open(path, "w") as handle:
+            handle.write(text + "\n")
+        print()
+        print(text)
+        return text
+
+
+@pytest.fixture(scope="session")
+def report() -> Reporter:
+    return Reporter()

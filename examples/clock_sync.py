@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Clock synchronisation with RealAA — the classic real-valued application.
+
+Each node holds a clock offset estimate (milliseconds).  Byzantine nodes
+may report anything, inconsistently.  RealAA(ε) brings every honest node's
+offset within ε of each other while staying inside the range of honest
+estimates — and, thanks to its detect-and-ignore mechanism, does so in
+far fewer synchronous rounds than the classic halving iteration when the
+spread is large.
+
+Run:  python examples/clock_sync.py
+"""
+
+import random
+
+from repro.adversary.realaa_attacks import BurnScheduleAdversary, even_burn_schedule
+from repro.baselines import halving_iterations
+from repro.core import run_real_aa
+from repro.protocols import realaa_duration
+
+
+def main() -> None:
+    rng = random.Random(7)
+    n, t = 10, 3
+    epsilon = 0.05  # target: offsets within 50 microseconds
+    spread = 2000.0  # initial estimates may be 2 seconds apart
+
+    offsets = [round(rng.uniform(0.0, spread), 1) for _ in range(n)]
+    print(f"{n} nodes, {t} possibly Byzantine, target eps = {epsilon} ms")
+    print(f"Initial offset estimates (ms): {offsets}")
+
+    adversary = BurnScheduleAdversary(even_burn_schedule(t, 3))
+    outcome = run_real_aa(
+        offsets, t, epsilon=epsilon, known_range=spread, adversary=adversary
+    )
+
+    honest = outcome.honest_outputs
+    print("\nSynchronized offsets of honest nodes (ms):")
+    for node, value in honest.items():
+        print(f"  node {node}: {value:.6f}")
+    print(f"\nFinal spread: {outcome.output_spread:.6f} ms (<= {epsilon})")
+    print(f"Within honest input range: {outcome.valid}")
+    print(f"Synchronous rounds used: {outcome.rounds}")
+    assert outcome.achieved_aa
+
+    outline_rounds = 3 * halving_iterations(spread, epsilon)
+    budget = realaa_duration(spread, epsilon, n, t)
+    print(
+        f"\nRealAA round budget: {budget}   "
+        f"(classic halving outline would need {outline_rounds})"
+    )
+    print(
+        "The gap grows with the spread/precision ratio: each Byzantine node\n"
+        "can disturb convergence only once before every honest node ignores\n"
+        "it, so the number of useful attack iterations — not log(D/eps) —\n"
+        "dictates the round count."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Agreeing on a configuration-tree node under equivocating replicas.
+
+A service's configuration namespace is a tree (think: a directory tree of
+feature-flag bundles, each node refining its parent).  Replicas must roll
+out *compatible* configurations: nodes at distance ≤ 1 in the namespace,
+and never a configuration outside the span of what healthy replicas
+actually proposed.  Exact consensus would cost t + 1 = O(n) rounds of
+Byzantine Agreement; TreeAA's 1-agreement is enough here — adjacent nodes
+are compatible by construction — and runs in O(log V / log log V) rounds.
+
+Run:  python examples/config_rollout.py
+"""
+
+from repro import LabeledTree, run_tree_aa
+from repro.adversary import RandomNoiseAdversary
+from repro.trees import convex_hull
+
+
+def build_namespace() -> LabeledTree:
+    """base → {stable, beta} → channels → region bundles."""
+    edges = [
+        ("base", "base/stable"),
+        ("base", "base/beta"),
+        ("base/stable", "base/stable/v1"),
+        ("base/stable", "base/stable/v2"),
+        ("base/stable/v2", "base/stable/v2/eu"),
+        ("base/stable/v2/eu", "base/stable/v2/eu+gdpr"),
+        ("base/stable/v2", "base/stable/v2/us"),
+        ("base/beta", "base/beta/canary"),
+        ("base/beta/canary", "base/beta/canary/1pct"),
+        ("base/beta", "base/beta/full"),
+    ]
+    return LabeledTree(edges=edges)
+
+
+def main() -> None:
+    namespace = build_namespace()
+    n, t = 7, 2
+
+    # Five healthy replicas propose stable-v2 variants; two compromised
+    # replicas spray garbage at everyone.
+    proposals = [
+        "base/stable/v2/eu",
+        "base/stable/v2/eu+gdpr",
+        "base/stable/v2/us",
+        "base/stable/v2",
+        "base/stable/v2/eu",
+        "base/beta/canary/1pct",  # compromised replica's pet proposal
+        "base/beta/full",  # compromised replica's pet proposal
+    ]
+    print("Proposals:")
+    for replica, proposal in enumerate(proposals):
+        tag = "  <- will be compromised" if replica >= n - t else ""
+        print(f"  replica {replica}: {proposal}{tag}")
+
+    outcome = run_tree_aa(
+        namespace, proposals, t, adversary=RandomNoiseAdversary(seed=99)
+    )
+
+    rollout = outcome.honest_outputs
+    hull = convex_hull(namespace, list(outcome.honest_inputs.values()))
+    print(f"\nHull of healthy proposals: {sorted(hull)}")
+    print("Rolled-out configurations:")
+    for replica, config in rollout.items():
+        print(f"  replica {replica}: {config}")
+    print(f"\nRounds: {outcome.rounds}")
+    print(f"Compatible (distance <= 1): {outcome.agreement}")
+    print(f"Within the healthy proposals' span: {outcome.valid}")
+    assert outcome.achieved_aa
+    # the beta branch never leaks into the rollout: it is outside the hull
+    assert all(not config.startswith("base/beta") for config in rollout.values())
+    print("\nNo replica rolled out anything from the (unproposed) beta branch.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,26 @@
+"""Byzantine adversary strategies for the synchronous network."""
+
+from .base import Adversary, NoAdversary, PassiveAdversary, PuppetDrivingAdversary
+from .chaos import ChaosAdversary
+from .strategies import (
+    AdaptiveCrashAdversary,
+    ConsistentLiarAdversary,
+    CrashAdversary,
+    EchoAdversary,
+    RandomNoiseAdversary,
+    SilentAdversary,
+)
+
+__all__ = [
+    "Adversary",
+    "NoAdversary",
+    "PassiveAdversary",
+    "PuppetDrivingAdversary",
+    "SilentAdversary",
+    "CrashAdversary",
+    "ConsistentLiarAdversary",
+    "RandomNoiseAdversary",
+    "EchoAdversary",
+    "AdaptiveCrashAdversary",
+    "ChaosAdversary",
+]

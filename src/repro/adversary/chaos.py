@@ -1,0 +1,93 @@
+"""The chaos adversary: randomized per-round strategy mixing.
+
+Fixed-strategy adversaries probe specific failure modes; the chaos
+adversary probes *interactions* between them.  Each corrupted party, each
+round, independently does one of: behave faithfully, stay silent, replay
+a stale message, send junk, or copy an honest party's current message to
+everyone.  Seeded, so failures found by randomized tests reproduce.
+
+This is a fuzzer, not a worst case: its value is coverage of the
+protocols' parsing and bookkeeping under erratic-but-legal behaviour, and
+it complements the targeted attacks in
+:mod:`repro.adversary.realaa_attacks`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..net.messages import Outbox, PartyId
+from ..net.network import AdversaryView
+from .base import PuppetDrivingAdversary
+
+
+class ChaosAdversary(PuppetDrivingAdversary):
+    """Per-party, per-round random choice among benign-to-nasty behaviours.
+
+    Parameters
+    ----------
+    seed:
+        Seeds the behaviour stream (reproducible runs).
+    weights:
+        Optional mapping from behaviour name (``faithful``, ``silent``,
+        ``stale``, ``junk``, ``mirror``) to relative weight.
+    """
+
+    BEHAVIOURS = ("faithful", "silent", "stale", "junk", "mirror")
+
+    _JUNK: Sequence[Any] = (
+        None,
+        -1,
+        2.5,
+        float("nan"),
+        "chaos",
+        ("val",),
+        ("val", 0, None),
+        ("echo", 1, {"oops": 3}),
+        ("sup", 2, {0: object}),
+        ("report", 0, 0),
+        ("init", ("val", 0)),
+        [1, [2, [3]]],
+    )
+
+    def __init__(
+        self,
+        seed: int = 0,
+        weights: Optional[Dict[str, float]] = None,
+        corrupt: Optional[Sequence[PartyId]] = None,
+    ) -> None:
+        super().__init__(corrupt)
+        self._rng = random.Random(seed)
+        weights = weights or {}
+        self._names = list(self.BEHAVIOURS)
+        self._weights = [max(0.0, weights.get(name, 1.0)) for name in self._names]
+        if not any(self._weights):
+            raise ValueError("at least one behaviour needs positive weight")
+        self._stale: Dict[PartyId, Outbox] = {}
+        #: (round, pid, behaviour) log, for debugging reproductions.
+        self.log: List = []
+
+    def transform_outbox(
+        self, pid: PartyId, view: AdversaryView, faithful: Outbox
+    ) -> Outbox:
+        behaviour = self._rng.choices(self._names, weights=self._weights)[0]
+        self.log.append((view.round_index, pid, behaviour))
+        if behaviour == "faithful":
+            self._stale[pid] = dict(faithful)
+            return faithful
+        if behaviour == "silent":
+            return {}
+        if behaviour == "stale":
+            return dict(self._stale.get(pid, {}))
+        if behaviour == "junk":
+            return {
+                recipient: self._rng.choice(self._JUNK)
+                for recipient in range(view.n)
+                if self._rng.random() < 0.7
+            }
+        # mirror: replay some honest party's current payload to everyone
+        for sender in sorted(view.honest_messages):
+            for payload in view.honest_messages[sender].values():
+                return {recipient: payload for recipient in range(view.n)}
+        return {}

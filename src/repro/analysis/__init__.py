@@ -1,0 +1,41 @@
+"""Execution analysis: AA property checkers, convergence stats, sweeps."""
+
+from .metrics import (
+    convergence_factors,
+    honest_value_ranges,
+    overall_factor,
+    real_agreement,
+    real_validity,
+    tree_agreement,
+    tree_output_diameter,
+    tree_validity,
+)
+from .stats import Summary, aggregate, success_rate, summarize
+from .sweep import (
+    TreeSweepPoint,
+    measured_realaa_rounds,
+    run_tree_point,
+    spread_inputs,
+)
+from .tables import format_table, print_table
+
+__all__ = [
+    "real_validity",
+    "real_agreement",
+    "tree_validity",
+    "tree_agreement",
+    "tree_output_diameter",
+    "honest_value_ranges",
+    "convergence_factors",
+    "overall_factor",
+    "TreeSweepPoint",
+    "run_tree_point",
+    "spread_inputs",
+    "measured_realaa_rounds",
+    "format_table",
+    "print_table",
+    "Summary",
+    "summarize",
+    "aggregate",
+    "success_rate",
+]

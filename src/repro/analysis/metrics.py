@@ -1,0 +1,98 @@
+"""Property checkers and convergence statistics for executions.
+
+AA's three properties (Definition 1 on ℝ, Definition 2 on trees) become
+executable predicates here, along with the per-iteration convergence series
+that the T3 benchmark compares against Lemma 5.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+from ..net.network import ExecutionResult
+from ..trees.convex import in_convex_hull
+from ..trees.labeled_tree import Label, LabeledTree
+from ..trees.paths import distance
+
+
+def real_validity(
+    honest_inputs: Iterable[float], honest_outputs: Iterable[float]
+) -> bool:
+    """Definition 1's Validity: outputs within the range of honest inputs."""
+    inputs = list(honest_inputs)
+    lo, hi = min(inputs), max(inputs)
+    return all(lo <= v <= hi for v in honest_outputs)
+
+
+def real_agreement(honest_outputs: Iterable[float], epsilon: float) -> bool:
+    """Definition 1's ε-Agreement."""
+    outputs = list(honest_outputs)
+    return max(outputs) - min(outputs) <= epsilon
+
+
+def tree_validity(
+    tree: LabeledTree,
+    honest_inputs: Iterable[Label],
+    honest_outputs: Iterable[Label],
+) -> bool:
+    """Definition 2's Validity: outputs in the honest inputs' convex hull."""
+    anchors = list(honest_inputs)
+    return all(in_convex_hull(tree, v, anchors) for v in honest_outputs)
+
+
+def tree_output_diameter(
+    tree: LabeledTree, honest_outputs: Iterable[Label]
+) -> int:
+    """The largest pairwise distance among honest outputs."""
+    outputs = list(honest_outputs)
+    worst = 0
+    for i in range(len(outputs)):
+        for j in range(i + 1, len(outputs)):
+            if outputs[i] != outputs[j]:
+                worst = max(worst, distance(tree, outputs[i], outputs[j]))
+    return worst
+
+
+def tree_agreement(tree: LabeledTree, honest_outputs: Iterable[Label]) -> bool:
+    """Definition 2's 1-Agreement."""
+    return tree_output_diameter(tree, honest_outputs) <= 1
+
+
+def honest_value_ranges(execution: ExecutionResult) -> List[float]:
+    """Per-iteration honest value spread for RealAA-style executions.
+
+    Entry ``i`` is the spread of honest values *after* iteration ``i``; the
+    list is prefixed with the spread of the honest inputs, so consecutive
+    ratios are the per-iteration convergence factors of Lemma 5.
+    """
+    histories = []
+    inputs = []
+    for pid in sorted(execution.honest):
+        party = execution.parties[pid]
+        history = getattr(party, "history", None)
+        start = getattr(party, "input_value", None)
+        if history is None or start is None:
+            raise ValueError(f"party {pid} records no value history")
+        histories.append(history)
+        inputs.append(float(start))
+    iterations = min(len(h) for h in histories)
+    ranges = [max(inputs) - min(inputs)]
+    for i in range(iterations):
+        values = [h[i].new_value for h in histories]
+        ranges.append(max(values) - min(values))
+    return ranges
+
+
+def convergence_factors(ranges: Sequence[float]) -> List[float]:
+    """Consecutive ratios ``range_{i+1} / range_i`` (0 once converged)."""
+    factors: List[float] = []
+    for before, after in zip(ranges, ranges[1:]):
+        factors.append(after / before if before > 0 else 0.0)
+    return factors
+
+
+def overall_factor(ranges: Sequence[float]) -> float:
+    """Total shrink ``range_final / range_initial`` (Lemma 5's left side)."""
+    if not ranges or ranges[0] <= 0:
+        return 0.0
+    return ranges[-1] / ranges[0]

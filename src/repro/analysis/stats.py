@@ -1,0 +1,84 @@
+"""Multi-seed aggregation for randomized experiments.
+
+Single executions answer "does it work"; sweeps over seeds answer "how
+reliably, and with what spread".  :func:`aggregate` runs a seeded
+experiment many times and summarises each numeric metric; benchmarks use
+it for the columns that vary run-to-run (measured rounds, convergence
+factors, split frequencies).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Mapping, Sequence
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number summary of one metric across seeds."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+
+    def __str__(self) -> str:
+        return f"{self.mean:.4g} ± {self.std:.2g} [{self.minimum:.4g}, {self.maximum:.4g}]"
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Mean / sample std / min / max of a non-empty numeric sequence."""
+    data = [float(v) for v in values]
+    if not data:
+        raise ValueError("cannot summarize an empty sequence")
+    count = len(data)
+    mean = math.fsum(data) / count
+    if count > 1:
+        variance = math.fsum((x - mean) ** 2 for x in data) / (count - 1)
+    else:
+        variance = 0.0
+    return Summary(
+        count=count,
+        mean=mean,
+        std=math.sqrt(variance),
+        minimum=min(data),
+        maximum=max(data),
+    )
+
+
+def aggregate(
+    experiment: Callable[[int], Mapping[str, float]],
+    seeds: Sequence[int],
+) -> Dict[str, Summary]:
+    """Run ``experiment(seed)`` per seed; summarise each returned metric.
+
+    Every run must return the same metric keys; boolean metrics are
+    treated as 0/1 (so the mean is a success rate).
+    """
+    if not seeds:
+        raise ValueError("need at least one seed")
+    collected: Dict[str, List[float]] = {}
+    expected = None
+    for seed in seeds:
+        metrics = experiment(seed)
+        keys = set(metrics)
+        if expected is None:
+            expected = keys
+        elif keys != expected:
+            raise ValueError(
+                f"seed {seed} returned metrics {sorted(keys)} but earlier "
+                f"seeds returned {sorted(expected)}"
+            )
+        for key, value in metrics.items():
+            collected.setdefault(key, []).append(float(value))
+    return {key: summarize(values) for key, values in sorted(collected.items())}
+
+
+def success_rate(results: Sequence[bool]) -> float:
+    """Fraction of ``True`` among boolean outcomes."""
+    outcomes = list(results)
+    if not outcomes:
+        raise ValueError("need at least one outcome")
+    return sum(1 for r in outcomes if r) / len(outcomes)

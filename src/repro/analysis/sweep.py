@@ -1,0 +1,116 @@
+"""Parameter-sweep harness shared by the benchmarks.
+
+Each sweep runs full protocol executions over a grid and returns rows ready
+for :func:`repro.analysis.tables.format_table`.  Imports of the protocol
+layers are local to the functions to keep the package import graph acyclic.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..trees.labeled_tree import Label, LabeledTree
+from ..trees.paths import diameter
+
+
+@dataclass
+class TreeSweepPoint:
+    """One grid point of a TreeAA-vs-baseline sweep."""
+
+    family: str
+    n_vertices: int
+    tree_diameter: int
+    tree_rounds: int
+    baseline_rounds: int
+    tree_ok: bool
+    baseline_ok: bool
+
+
+def spread_inputs(
+    tree: LabeledTree, n: int, rng: random.Random
+) -> List[Label]:
+    """Inputs stretching across the tree: both diameter endpoints plus
+    random vertices — the worst case for convergence distance."""
+    from ..trees.paths import diameter_path
+
+    longest = diameter_path(tree)
+    picks: List[Label] = [longest.start, longest.end]
+    while len(picks) < n:
+        picks.append(rng.choice(tree.vertices))
+    rng.shuffle(picks)
+    return picks
+
+
+def run_tree_point(
+    family: str,
+    tree: LabeledTree,
+    n: int,
+    t: int,
+    seed: int = 0,
+    adversary_factory: Optional[Callable[[], Any]] = None,
+) -> TreeSweepPoint:
+    """Run TreeAA and the iterated-safe-area baseline on the same instance."""
+    from ..core.api import run_tree_aa
+    from ..baselines.iterative_tree import IterativeTreeAAParty
+    from ..net.runner import run_protocol
+    from .metrics import tree_agreement, tree_validity
+
+    rng = random.Random(seed)
+    inputs = spread_inputs(tree, n, rng)
+
+    adversary = adversary_factory() if adversary_factory is not None else None
+    outcome = run_tree_aa(tree, inputs, t, adversary=adversary)
+
+    adversary2 = adversary_factory() if adversary_factory is not None else None
+    baseline_exec = run_protocol(
+        n,
+        t,
+        lambda pid: IterativeTreeAAParty(pid, n, t, tree, inputs[pid]),
+        adversary=adversary2,
+    )
+    honest_inputs = [inputs[pid] for pid in sorted(baseline_exec.honest)]
+    honest_outputs = list(baseline_exec.honest_outputs.values())
+    baseline_ok = tree_validity(
+        tree, honest_inputs, honest_outputs
+    ) and tree_agreement(tree, honest_outputs)
+
+    return TreeSweepPoint(
+        family=family,
+        n_vertices=tree.n_vertices,
+        tree_diameter=diameter(tree),
+        tree_rounds=outcome.rounds,
+        baseline_rounds=baseline_exec.trace.rounds_executed,
+        tree_ok=outcome.achieved_aa,
+        baseline_ok=baseline_ok,
+    )
+
+
+def measured_realaa_rounds(
+    spread: float,
+    epsilon: float,
+    n: int,
+    t: int,
+    adversary_factory: Optional[Callable[[], Any]] = None,
+    seed: int = 0,
+) -> Tuple[int, Optional[int], bool]:
+    """(budgeted rounds, measured rounds, AA achieved) for one RealAA run.
+
+    Inputs are the worst case: half the honest parties at 0, half at
+    ``spread``, with corrupted parties' puppets mixed between.
+    """
+    from ..core.api import run_real_aa
+
+    rng = random.Random(seed)
+    inputs = [0.0 if i % 2 == 0 else float(spread) for i in range(n)]
+    rng.shuffle(inputs)
+    adversary = adversary_factory() if adversary_factory is not None else None
+    outcome = run_real_aa(
+        inputs,
+        t,
+        epsilon=epsilon,
+        known_range=float(spread),
+        adversary=adversary,
+    )
+    return outcome.rounds, outcome.measured_rounds, outcome.achieved_aa

@@ -1,0 +1,64 @@
+"""Asynchronous substrate: the model of the paper's prior art ([1], [33]).
+
+Event-loop network with adversarial delivery scheduling and eventual
+delivery, Bracha reliable broadcast, and the witness-based iterated AA
+protocols on ℝ and on trees — the ``O(log D)`` asynchronous state of the
+art that TreeAA's synchronous ``O(log V / log log V)`` improves on.
+"""
+
+from .adversary import (
+    AsyncAdversary,
+    AsyncLiarAdversary,
+    AsyncNoiseAdversary,
+    AsyncPassiveAdversary,
+    AsyncSilentAdversary,
+    EquivocatingSenderAdversary,
+)
+from .iterated_aa import (
+    AsyncIterationRecord,
+    AsyncRealAAParty,
+    AsyncTreeAAParty,
+    IteratedAsyncAAParty,
+)
+from .network import (
+    AsyncExecutionResult,
+    AsyncMessage,
+    AsyncParty,
+    AsyncTrace,
+    AsynchronousNetwork,
+    DelaySendersScheduler,
+    FIFOScheduler,
+    RandomScheduler,
+    Scheduler,
+    ScriptedScheduler,
+    SplitScheduler,
+    run_async_protocol,
+)
+from .rbc import BrachaBroadcast, RBCParty
+
+__all__ = [
+    "AsyncParty",
+    "AsyncMessage",
+    "AsynchronousNetwork",
+    "AsyncExecutionResult",
+    "AsyncTrace",
+    "run_async_protocol",
+    "Scheduler",
+    "FIFOScheduler",
+    "RandomScheduler",
+    "DelaySendersScheduler",
+    "ScriptedScheduler",
+    "SplitScheduler",
+    "AsyncAdversary",
+    "AsyncSilentAdversary",
+    "AsyncPassiveAdversary",
+    "AsyncLiarAdversary",
+    "AsyncNoiseAdversary",
+    "EquivocatingSenderAdversary",
+    "BrachaBroadcast",
+    "RBCParty",
+    "IteratedAsyncAAParty",
+    "AsyncRealAAParty",
+    "AsyncTreeAAParty",
+    "AsyncIterationRecord",
+]

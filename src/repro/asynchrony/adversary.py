@@ -1,0 +1,179 @@
+"""Byzantine adversaries for the asynchronous model.
+
+The async adversary has two halves: delivery scheduling (a
+:class:`~repro.asynchrony.network.Scheduler`) and corrupted-party
+behaviour (this module).  Injection hooks fire on every delivery step, so
+the adversary is fully reactive; an injection budget keeps executions
+finite (a real adversary gains nothing from unbounded spam — honest
+parties simply ignore it — but a simulator must not loop forever).
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..net.messages import PartyId
+from .network import AsyncMessage, AsyncParty, AsynchronousNetwork
+
+#: (sender, recipient, payload) triples the adversary wants enqueued.
+Injections = List[Tuple[PartyId, PartyId, Any]]
+
+
+class AsyncAdversary(abc.ABC):
+    """Base class: static corruption of an explicit (or default) set."""
+
+    def __init__(self, corrupt: Optional[Iterable[PartyId]] = None) -> None:
+        self._requested = set(corrupt) if corrupt is not None else None
+        self.puppets: Dict[PartyId, AsyncParty] = {}
+
+    def initial_corruptions(self, n: int, t: int) -> Set[PartyId]:
+        if self._requested is not None:
+            return set(self._requested)
+        return set(range(n - t, n))
+
+    def on_corrupted(self, puppets: Dict[PartyId, AsyncParty]) -> None:
+        self.puppets.update(puppets)
+
+    def on_start(self, network: AsynchronousNetwork) -> Injections:
+        """Messages injected before any delivery happens."""
+        return []
+
+    def on_step(
+        self, delivered: AsyncMessage, network: AsynchronousNetwork
+    ) -> Injections:
+        """React to an honest delivery (full information, rushing-like)."""
+        return []
+
+    def on_deliver_to_corrupted(
+        self, message: AsyncMessage, network: AsynchronousNetwork
+    ) -> Injections:
+        """React to a message arriving at a corrupted party."""
+        return []
+
+
+class AsyncSilentAdversary(AsyncAdversary):
+    """Corrupted parties never send anything."""
+
+
+class AsyncPassiveAdversary(AsyncAdversary):
+    """Corrupted parties run their faithful state machines.
+
+    The async analogue of honest-but-controlled: puppets are started on the
+    first delivery step and react to every message addressed to them.
+    """
+
+    def __init__(self, corrupt: Optional[Iterable[PartyId]] = None) -> None:
+        super().__init__(corrupt)
+        self._started = False
+
+    def on_start(self, network: AsynchronousNetwork) -> Injections:
+        self._started = True
+        injections: Injections = []
+        for pid in sorted(self.puppets):
+            for recipient, payload in self.puppets[pid].start():
+                injections.append((pid, recipient, payload))
+        return injections
+
+    def on_deliver_to_corrupted(
+        self, message: AsyncMessage, network: AsynchronousNetwork
+    ) -> Injections:
+        puppet = self.puppets.get(message.recipient)
+        if puppet is None:
+            return []
+        try:
+            replies = puppet.on_message(message.sender, message.payload)
+        except Exception:
+            self.puppets.pop(message.recipient, None)
+            return []
+        return [(message.recipient, recipient, payload) for recipient, payload in replies]
+
+
+class AsyncLiarAdversary(AsyncPassiveAdversary):
+    """Faithful protocol execution from forged inputs."""
+
+    def __init__(
+        self,
+        liar_factory,
+        corrupt: Optional[Iterable[PartyId]] = None,
+    ) -> None:
+        super().__init__(corrupt)
+        self._liar_factory = liar_factory
+
+    def on_corrupted(self, puppets: Dict[PartyId, AsyncParty]) -> None:
+        forged = {pid: self._liar_factory(pid) for pid in puppets}
+        super().on_corrupted(forged)
+
+
+class AsyncNoiseAdversary(AsyncAdversary):
+    """Inject structurally random garbage, up to a total budget."""
+
+    _JUNK: Sequence[Any] = (
+        None,
+        0,
+        -1.5,
+        "junk",
+        ("init",),
+        ("init", ("val", 0), "x", "extra"),
+        ("echo", None, None, None),
+        ("ready", ("val", 1), 7, [1, 2]),
+        ("report", 3, "not-a-tuple"),
+        {"dict": "payload"},
+    )
+
+    def __init__(
+        self,
+        seed: int = 0,
+        budget: int = 500,
+        corrupt: Optional[Iterable[PartyId]] = None,
+    ) -> None:
+        super().__init__(corrupt)
+        self._rng = random.Random(seed)
+        self._budget = budget
+
+    def _spray(self, network: AsynchronousNetwork) -> Injections:
+        injections: Injections = []
+        corrupted = sorted(network.corrupted)
+        while self._budget > 0 and self._rng.random() < 0.5 and corrupted:
+            sender = self._rng.choice(corrupted)
+            recipient = self._rng.randrange(network.n)
+            injections.append((sender, recipient, self._rng.choice(self._JUNK)))
+            self._budget -= 1
+        return injections
+
+    def on_start(self, network: AsynchronousNetwork) -> Injections:
+        return self._spray(network)
+
+    def on_step(
+        self, delivered: AsyncMessage, network: AsynchronousNetwork
+    ) -> Injections:
+        return self._spray(network)
+
+
+class EquivocatingSenderAdversary(AsyncAdversary):
+    """Corrupted parties send *conflicting* protocol values to the two
+    halves of the network — the attack reliable broadcast exists to stop.
+
+    ``make_payload(pid, variant)`` builds the two conflicting payloads;
+    variant 0 goes to the lower party ids, variant 1 to the upper ids.
+    """
+
+    def __init__(
+        self,
+        make_payload,
+        corrupt: Optional[Iterable[PartyId]] = None,
+    ) -> None:
+        super().__init__(corrupt)
+        self._make_payload = make_payload
+
+    def on_start(self, network: AsynchronousNetwork) -> Injections:
+        injections: Injections = []
+        half = network.n // 2
+        for pid in sorted(network.corrupted):
+            low = self._make_payload(pid, 0)
+            high = self._make_payload(pid, 1)
+            for recipient in range(network.n):
+                payload = low if recipient < half else high
+                injections.append((pid, recipient, payload))
+        return injections

@@ -1,0 +1,358 @@
+"""An asynchronous message-passing simulator.
+
+The paper's prior art for trees ([33]) and the classic AA literature
+([12], [1]) live in the *asynchronous* model: messages are delivered
+*eventually*, in an order chosen by the adversary, with no common clock.
+This module simulates that model as an event loop:
+
+* every sent message joins a pending pool;
+* a :class:`Scheduler` — the adversary's delivery half — picks which
+  pending message is delivered next;
+* the network enforces **eventual delivery** regardless of the scheduler:
+  once a message has waited longer than the fairness window, the oldest
+  pending message is delivered next (the standard "the adversary may delay
+  but not drop" guarantee, made finite);
+* a Byzantine adversary may inject messages from corrupted parties at any
+  step (bounded by an injection budget so runs terminate).
+
+Protocol code is written against :class:`AsyncParty`: purely reactive
+state machines (``start`` → initial messages, ``on_message`` → follow-up
+messages), with no notion of rounds.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from ..net.messages import PartyId
+from ..net.network import ByzantineModelError, payload_units
+
+#: Outgoing traffic: a list of (recipient, payload) pairs.
+AsyncOutbox = List[Tuple[PartyId, Any]]
+
+
+@dataclass(frozen=True)
+class AsyncMessage:
+    """An in-flight message: authenticated sender, enqueued at *step*."""
+
+    sender: PartyId
+    recipient: PartyId
+    payload: Any
+    step: int
+    seq: int  # unique, for deterministic tie-breaking
+
+
+class AsyncParty(abc.ABC):
+    """A reactive protocol party for the asynchronous model."""
+
+    def __init__(self, pid: PartyId, n: int, t: int) -> None:
+        if not 0 <= pid < n:
+            raise ValueError(f"party id {pid} out of range for n={n}")
+        self.pid = pid
+        self.n = n
+        self.t = t
+        self.output: Any = None
+
+    @abc.abstractmethod
+    def start(self) -> AsyncOutbox:
+        """Messages sent spontaneously at activation."""
+
+    @abc.abstractmethod
+    def on_message(self, sender: PartyId, payload: Any) -> AsyncOutbox:
+        """React to one delivered message; return follow-up messages."""
+
+    @property
+    def finished(self) -> bool:
+        """Whether the party has produced its output."""
+        return self.output is not None
+
+    def broadcast(self, payload: Any) -> AsyncOutbox:
+        """Convenience: one copy to every party (including oneself)."""
+        return [(recipient, payload) for recipient in range(self.n)]
+
+
+class Scheduler(abc.ABC):
+    """The adversary's control over delivery order."""
+
+    @abc.abstractmethod
+    def choose(self, pending: Sequence[AsyncMessage], step: int) -> int:
+        """Index (into *pending*) of the message to deliver next."""
+
+
+class FIFOScheduler(Scheduler):
+    """Deliver messages in the order they were sent."""
+
+    def choose(self, pending: Sequence[AsyncMessage], step: int) -> int:
+        return 0
+
+
+class RandomScheduler(Scheduler):
+    """Uniformly random delivery order (seeded)."""
+
+    def __init__(self, seed: int = 0) -> None:
+        import random
+
+        self._rng = random.Random(seed)
+
+    def choose(self, pending: Sequence[AsyncMessage], step: int) -> int:
+        return self._rng.randrange(len(pending))
+
+
+class DelaySendersScheduler(Scheduler):
+    """Starve messages *from* the chosen senders for as long as fairness
+    allows — e.g. to keep a subset of honest parties out of every quorum."""
+
+    def __init__(self, slow_senders: Sequence[PartyId]) -> None:
+        self.slow = set(slow_senders)
+
+    def choose(self, pending: Sequence[AsyncMessage], step: int) -> int:
+        for index, message in enumerate(pending):
+            if message.sender not in self.slow:
+                return index
+        return 0
+
+
+class ScriptedScheduler(Scheduler):
+    """Delivery order driven by an arbitrary integer script.
+
+    Step ``i`` delivers ``pending[script[i] % len(pending)]``; past the end
+    of the script it falls back to FIFO.  This is the hypothesis hook: a
+    drawn integer list explores *arbitrary* delivery orders, so property
+    tests can quantify over schedules rather than over a handful of named
+    strategies.
+    """
+
+    def __init__(self, script: Sequence[int]) -> None:
+        self.script = list(script)
+        self._cursor = 0
+
+    def choose(self, pending: Sequence[AsyncMessage], step: int) -> int:
+        if self._cursor >= len(self.script):
+            return 0
+        index = self.script[self._cursor] % len(pending)
+        self._cursor += 1
+        return index
+
+
+class SplitScheduler(Scheduler):
+    """Starve traffic *between* two party groups (intra-group runs fast).
+
+    The classic partition-style schedule used to stress quorum protocols.
+    """
+
+    def __init__(self, group_a: Sequence[PartyId]) -> None:
+        self.group_a = set(group_a)
+
+    def choose(self, pending: Sequence[AsyncMessage], step: int) -> int:
+        for index, message in enumerate(pending):
+            same_side = (message.sender in self.group_a) == (
+                message.recipient in self.group_a
+            )
+            if same_side:
+                return index
+        return 0
+
+
+@dataclass
+class AsyncTrace:
+    """Accounting for one asynchronous execution."""
+
+    steps: int = 0
+    honest_message_count: int = 0
+    byzantine_message_count: int = 0
+    honest_payload_units: int = 0
+    forced_fair_deliveries: int = 0
+
+
+@dataclass
+class AsyncExecutionResult:
+    outputs: Dict[PartyId, Any]
+    honest: Set[PartyId]
+    corrupted: Set[PartyId]
+    trace: AsyncTrace
+    parties: Dict[PartyId, AsyncParty]
+    #: Whether every honest party finished before the step limit.
+    completed: bool
+
+    @property
+    def honest_outputs(self) -> Dict[PartyId, Any]:
+        return {pid: self.outputs[pid] for pid in sorted(self.honest)}
+
+
+class AsynchronousNetwork:
+    """Event-loop executor for asynchronous protocols.
+
+    Parameters
+    ----------
+    parties:
+        One :class:`AsyncParty` per id.  Corrupted ids' instances are
+        handed to the adversary as puppets (it may drive or ignore them).
+    adversary:
+        An object implementing :class:`repro.asynchrony.adversary
+        .AsyncAdversary`, or ``None``.
+    scheduler:
+        Delivery-order strategy; FIFO when omitted.
+    fairness_window:
+        Eventual delivery, made finite: a message older than this many
+        steps is delivered before anything newer may jump the queue.
+        ``None`` (the default) adapts the window to the load —
+        ``max(64, 4 × pending)`` — so the adversary's relative delaying
+        power is the same whether ten or ten thousand messages are in
+        flight.
+    max_steps:
+        Hard safety limit; exceeding it marks the run incomplete rather
+        than looping forever.
+    """
+
+    def __init__(
+        self,
+        parties: Dict[PartyId, AsyncParty],
+        t: int,
+        adversary: Optional["AsyncAdversary"] = None,  # noqa: F821
+        scheduler: Optional[Scheduler] = None,
+        fairness_window: Optional[int] = None,
+        max_steps: int = 200_000,
+    ) -> None:
+        n = len(parties)
+        if sorted(parties) != list(range(n)):
+            raise ValueError("parties must be keyed 0..n-1")
+        if fairness_window is not None and fairness_window < 1:
+            raise ValueError("fairness_window must be positive")
+        self.n = n
+        self.t = t
+        self.parties = parties
+        self.adversary = adversary
+        self.scheduler = scheduler or FIFOScheduler()
+        self.fairness_window = fairness_window
+        self.max_steps = max_steps
+        self.pending: List[AsyncMessage] = []
+        self.trace = AsyncTrace()
+        self.corrupted: Set[PartyId] = set()
+        self._seq = 0
+        if adversary is not None:
+            self.corrupted = set(adversary.initial_corruptions(n, t))
+            if len(self.corrupted) > t:
+                raise ByzantineModelError(
+                    f"adversary corrupted {len(self.corrupted)} parties "
+                    f"but the budget is t={t}"
+                )
+            for pid in self.corrupted:
+                if not 0 <= pid < n:
+                    raise ByzantineModelError(f"unknown party {pid}")
+            adversary.on_corrupted(
+                {pid: parties[pid] for pid in self.corrupted}
+            )
+
+    # ------------------------------------------------------------------
+
+    def _honest(self) -> Set[PartyId]:
+        return set(range(self.n)) - self.corrupted
+
+    def _enqueue(self, sender: PartyId, outbox: AsyncOutbox, honest: bool) -> None:
+        for recipient, payload in outbox:
+            if not 0 <= recipient < self.n:
+                continue
+            self.pending.append(
+                AsyncMessage(sender, recipient, payload, self.trace.steps, self._seq)
+            )
+            self._seq += 1
+            if honest:
+                self.trace.honest_message_count += 1
+                self.trace.honest_payload_units += payload_units(payload)
+            else:
+                self.trace.byzantine_message_count += 1
+
+    def _enqueue_byzantine(self, injections) -> None:
+        for sender, recipient, payload in injections:
+            if sender not in self.corrupted:
+                raise ByzantineModelError(
+                    f"adversary tried to speak for honest party {sender}"
+                )
+            self._enqueue(sender, [(recipient, payload)], honest=False)
+
+    def run(self) -> AsyncExecutionResult:
+        for pid in sorted(self._honest()):
+            self._enqueue(pid, self.parties[pid].start(), honest=True)
+        if self.adversary is not None:
+            self._enqueue_byzantine(self.adversary.on_start(self))
+
+        while self.pending and not self._all_honest_finished():
+            if self.trace.steps >= self.max_steps:
+                break
+            index = self._pick()
+            message = self.pending.pop(index)
+            self.trace.steps += 1
+            if message.recipient in self.corrupted:
+                if self.adversary is not None:
+                    self._enqueue_byzantine(
+                        self.adversary.on_deliver_to_corrupted(message, self)
+                    )
+            else:
+                party = self.parties[message.recipient]
+                replies = party.on_message(message.sender, message.payload)
+                self._enqueue(message.recipient, replies, honest=True)
+                if self.adversary is not None:
+                    self._enqueue_byzantine(
+                        self.adversary.on_step(message, self)
+                    )
+
+        outputs = {pid: self.parties[pid].output for pid in range(self.n)}
+        return AsyncExecutionResult(
+            outputs=outputs,
+            honest=self._honest(),
+            corrupted=set(self.corrupted),
+            trace=self.trace,
+            parties=self.parties,
+            completed=self._all_honest_finished(),
+        )
+
+    def _all_honest_finished(self) -> bool:
+        return all(self.parties[pid].finished for pid in self._honest())
+
+    def _pick(self) -> int:
+        # Eventual delivery: if anything has waited past the fairness
+        # window, the oldest message goes first, whatever the scheduler
+        # prefers.
+        oldest_index = min(
+            range(len(self.pending)),
+            key=lambda i: (self.pending[i].step, self.pending[i].seq),
+        )
+        oldest = self.pending[oldest_index]
+        window = (
+            self.fairness_window
+            if self.fairness_window is not None
+            else max(64, 4 * len(self.pending))
+        )
+        if self.trace.steps - oldest.step >= window:
+            self.trace.forced_fair_deliveries += 1
+            return oldest_index
+        index = self.scheduler.choose(self.pending, self.trace.steps)
+        if not 0 <= index < len(self.pending):
+            raise ValueError(
+                f"scheduler chose index {index} among {len(self.pending)}"
+            )
+        return index
+
+
+def run_async_protocol(
+    n: int,
+    t: int,
+    party_factory: Callable[[PartyId], AsyncParty],
+    adversary: Optional["AsyncAdversary"] = None,  # noqa: F821
+    scheduler: Optional[Scheduler] = None,
+    fairness_window: Optional[int] = None,
+    max_steps: int = 200_000,
+) -> AsyncExecutionResult:
+    """Build parties, wire the adversary and scheduler, run to completion."""
+    parties = {pid: party_factory(pid) for pid in range(n)}
+    network = AsynchronousNetwork(
+        parties,
+        t,
+        adversary=adversary,
+        scheduler=scheduler,
+        fairness_window=fairness_window,
+        max_steps=max_steps,
+    )
+    return network.run()

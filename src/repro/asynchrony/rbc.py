@@ -1,0 +1,209 @@
+"""Bracha reliable broadcast — the asynchronous trust substrate.
+
+Asynchronous AA with optimal resilience ``t < n/3`` ([1], and the tree
+protocol of [33]) is built on *reliable broadcast*: without it, an
+equivocating sender could feed different values to different honest
+parties and no quorum intersection argument would hold.
+
+Bracha's classic protocol (``n > 3t``), per broadcast instance:
+
+* the origin sends ``init(v)`` to everyone;
+* on the first ``init`` from the origin, a party echoes ``echo(v)``;
+* on ``n − t`` echoes for the same ``v`` (or ``t + 1`` readies), a party
+  sends ``ready(v)`` — once per instance;
+* on ``2t + 1`` readies for ``v``, the party *delivers* ``v``.
+
+Guarantees (all proved by quorum intersection, all covered by tests):
+
+* **validity** — an honest origin's value is eventually delivered by all;
+* **consistency** — no two honest parties deliver different values for the
+  same instance;
+* **totality** — if any honest party delivers, every honest party
+  eventually delivers.
+
+:class:`BrachaBroadcast` multiplexes any number of instances, keyed by
+``(origin, tag)``, inside one party — the form the iterated AA protocols
+consume.  :class:`RBCParty` wraps a single instance for direct testing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+
+from ..net.messages import PartyId
+from .network import AsyncOutbox, AsyncParty
+
+#: Called as ``deliver(origin, tag, value)`` when an instance delivers.
+DeliverCallback = Callable[[PartyId, Any, Any], None]
+
+
+@dataclass
+class _InstanceState:
+    """Per-(origin, tag) bookkeeping."""
+
+    echoes: Dict[Any, Set[PartyId]] = field(default_factory=dict)
+    readies: Dict[Any, Set[PartyId]] = field(default_factory=dict)
+    sent_echo: bool = False
+    sent_ready: bool = False
+    delivered: bool = False
+
+
+def _hashable(value: Any) -> bool:
+    try:
+        hash(value)
+    except TypeError:
+        return False
+    return True
+
+
+class BrachaBroadcast:
+    """Multiplexed Bracha instances for one party.
+
+    Parameters
+    ----------
+    deliver:
+        Callback invoked exactly once per delivered instance.
+    validate:
+        Optional value predicate; invalid values are treated as absent
+        (they can then never gather an honest echo quorum).
+    """
+
+    def __init__(
+        self,
+        pid: PartyId,
+        n: int,
+        t: int,
+        deliver: DeliverCallback,
+        validate: Optional[Callable[[Any], bool]] = None,
+    ) -> None:
+        if n <= 3 * t:
+            raise ValueError(
+                f"Bracha reliable broadcast requires n > 3t (got n={n}, t={t})"
+            )
+        self.pid = pid
+        self.n = n
+        self.t = t
+        self._deliver = deliver
+        self._validate = validate
+        self._instances: Dict[Tuple[PartyId, Any], _InstanceState] = {}
+
+    def _state(self, origin: PartyId, tag: Any) -> _InstanceState:
+        return self._instances.setdefault((origin, tag), _InstanceState())
+
+    def _ok(self, value: Any) -> bool:
+        if not _hashable(value):
+            return False
+        if self._validate is not None and not self._validate(value):
+            return False
+        return True
+
+    def _all(self, payload: Any) -> AsyncOutbox:
+        return [(recipient, payload) for recipient in range(self.n)]
+
+    # ------------------------------------------------------------------
+
+    def broadcast(self, tag: Any, value: Any) -> AsyncOutbox:
+        """Start an instance as its origin."""
+        if not _hashable(tag):
+            raise ValueError("tags must be hashable")
+        if not self._ok(value):
+            raise ValueError(f"cannot reliably broadcast value {value!r}")
+        return self._all(("init", tag, value))
+
+    def handle(self, sender: PartyId, payload: Any) -> AsyncOutbox:
+        """Process one protocol message; returns follow-up messages.
+
+        Non-RBC or malformed payloads are ignored (empty outbox), so
+        callers can feed every incoming message through this method first.
+        """
+        if not isinstance(payload, tuple) or not payload:
+            return []
+        kind = payload[0]
+        if kind == "init" and len(payload) == 3:
+            return self._on_init(sender, payload[1], payload[2])
+        if kind == "echo" and len(payload) == 4:
+            return self._on_echo(sender, payload[1], payload[2], payload[3])
+        if kind == "ready" and len(payload) == 4:
+            return self._on_ready(sender, payload[1], payload[2], payload[3])
+        return []
+
+    # ------------------------------------------------------------------
+
+    def _on_init(self, sender: PartyId, tag: Any, value: Any) -> AsyncOutbox:
+        # Authenticated channels: the init's origin IS its sender.
+        if not _hashable(tag) or not self._ok(value):
+            return []
+        state = self._state(sender, tag)
+        if state.sent_echo:
+            return []
+        state.sent_echo = True
+        return self._all(("echo", tag, sender, value))
+
+    def _on_echo(
+        self, sender: PartyId, tag: Any, origin: Any, value: Any
+    ) -> AsyncOutbox:
+        if not isinstance(origin, int) or not 0 <= origin < self.n:
+            return []
+        if not _hashable(tag) or not self._ok(value):
+            return []
+        state = self._state(origin, tag)
+        voters = state.echoes.setdefault(value, set())
+        voters.add(sender)
+        if len(voters) >= self.n - self.t and not state.sent_ready:
+            state.sent_ready = True
+            return self._all(("ready", tag, origin, value))
+        return []
+
+    def _on_ready(
+        self, sender: PartyId, tag: Any, origin: Any, value: Any
+    ) -> AsyncOutbox:
+        if not isinstance(origin, int) or not 0 <= origin < self.n:
+            return []
+        if not _hashable(tag) or not self._ok(value):
+            return []
+        state = self._state(origin, tag)
+        voters = state.readies.setdefault(value, set())
+        voters.add(sender)
+        out: AsyncOutbox = []
+        if len(voters) >= self.t + 1 and not state.sent_ready:
+            # Ready amplification: t + 1 readies contain an honest one.
+            state.sent_ready = True
+            out.extend(self._all(("ready", tag, origin, value)))
+        if len(voters) >= 2 * self.t + 1 and not state.delivered:
+            state.delivered = True
+            self._deliver(origin, tag, value)
+        return out
+
+
+class RBCParty(AsyncParty):
+    """A single reliable-broadcast instance as a standalone protocol.
+
+    Party *origin* broadcasts *value* under tag ``"test"``; every party's
+    output is the delivered value.
+    """
+
+    def __init__(
+        self,
+        pid: PartyId,
+        n: int,
+        t: int,
+        origin: PartyId,
+        value: Any = None,
+    ) -> None:
+        super().__init__(pid, n, t)
+        self.origin = origin
+        self.value = value
+        self.rbc = BrachaBroadcast(pid, n, t, self._deliver)
+
+    def _deliver(self, origin: PartyId, tag: Any, value: Any) -> None:
+        if origin == self.origin and tag == "test":
+            self.output = value
+
+    def start(self) -> AsyncOutbox:
+        if self.pid == self.origin:
+            return self.rbc.broadcast("test", self.value)
+        return []
+
+    def on_message(self, sender: PartyId, payload: Any) -> AsyncOutbox:
+        return self.rbc.handle(sender, payload)

@@ -1,0 +1,114 @@
+"""Attacks on the authenticated protocols.
+
+The canonical attack on authenticated broadcast is origin equivocation:
+sign two values and show each to half the network.  Dolev–Strong defeats
+it — honest relays spread both signed values, every honest party extracts
+both, and the output is a consistent ⊥.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional, Sequence
+
+from ..adversary.base import PuppetDrivingAdversary
+from ..net.messages import Outbox, PartyId
+from ..net.network import AdversaryView
+from .signatures import Signer
+
+
+class DSEquivocatorAdversary(PuppetDrivingAdversary):
+    """Corrupted origins sign *two* values in round 0 and split delivery.
+
+    ``values(pid)`` returns the ``(low_half_value, high_half_value)`` pair
+    a corrupted origin equivocates between.  Other rounds are faithful
+    (puppet-driven), so the honest relay machinery is fully exercised.
+    Requires the puppets to expose ``.signer`` (all authenticated parties
+    here do).
+    """
+
+    def __init__(
+        self,
+        values: Callable[[PartyId], Any],
+        corrupt: Optional[Sequence[PartyId]] = None,
+    ) -> None:
+        super().__init__(corrupt)
+        self._values = values
+
+    def transform_outbox(
+        self, pid: PartyId, view: AdversaryView, faithful: Outbox
+    ) -> Outbox:
+        # Detect a Dolev–Strong round-0 send in the faithful traffic.
+        sample = next(iter(faithful.values()), None)
+        if (
+            not isinstance(sample, tuple)
+            or len(sample) != 4
+            or sample[0] != "dsmsg"
+            or sample[2] != 0
+        ):
+            return faithful
+        session = sample[1]
+        puppet = self.puppets.get(pid)
+        signer: Optional[Signer] = getattr(puppet, "signer", None)
+        if signer is None:
+            return faithful
+        low_value, high_value = self._values(pid)
+        low_chain = (signer.sign(("ds", session, pid, low_value)),)
+        high_chain = (signer.sign(("ds", session, pid, high_value)),)
+        half = view.n // 2
+        out: Outbox = {}
+        for recipient in range(view.n):
+            value, chain = (
+                (low_value, low_chain)
+                if recipient < half
+                else (high_value, high_chain)
+            )
+            out[recipient] = ("dsmsg", session, 0, ((pid, value, chain),))
+        return out
+
+
+class SignatureForgeryAdversary(PuppetDrivingAdversary):
+    """Try to forge an honest party's signature on a planted value.
+
+    Structurally doomed — the adversary holds no honest
+    :class:`~repro.authenticated.signatures.Signer` — but the attempt
+    (hand-crafted ``Signature`` objects with guessed tokens) must bounce
+    off verification, which the tests assert.
+    """
+
+    def __init__(
+        self,
+        forged_origin: PartyId,
+        planted_value: Any,
+        corrupt: Optional[Sequence[PartyId]] = None,
+    ) -> None:
+        super().__init__(corrupt)
+        self.forged_origin = forged_origin
+        self.planted_value = planted_value
+
+    def transform_outbox(
+        self, pid: PartyId, view: AdversaryView, faithful: Outbox
+    ) -> Outbox:
+        from .signatures import Signature
+
+        forged_chain = tuple(
+            Signature(signer=self.forged_origin, token=guess)
+            for guess in range(32)
+        )
+        item = (self.forged_origin, self.planted_value, forged_chain)
+        out = dict(faithful)
+        for recipient in range(view.n):
+            existing = out.get(recipient)
+            if (
+                isinstance(existing, tuple)
+                and len(existing) == 4
+                and existing[0] == "dsmsg"
+            ):
+                out[recipient] = (
+                    "dsmsg",
+                    existing[1],
+                    existing[2],
+                    tuple(existing[3]) + (item,),
+                )
+            else:
+                out[recipient] = ("dsmsg", 0, view.round_index, (item,))
+        return out

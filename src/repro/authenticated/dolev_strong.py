@@ -1,0 +1,223 @@
+"""Dolev–Strong authenticated broadcast ([13]) — exact agreement, any t.
+
+With signatures, *exact* Byzantine broadcast is achievable for any number
+of corruptions in ``t + 1`` rounds: a value travels with a chain of
+signatures from distinct parties (the origin's first); a party accepts a
+value seen with ``r + 1`` signatures by the end of round ``r``, appends
+its own signature, and relays.  After round ``t`` every honest party holds
+the same *extracted set* per origin:
+
+* a chain of ``t + 1`` signatures contains an honest one, whose owner
+  accepted earlier and relayed to everyone — so late acceptances propagate;
+* an honest origin signs exactly one value, and its signature is
+  unforgeable — so only that value is ever extracted.
+
+The broadcast output is the extracted value if the set is a singleton and
+``⊥`` otherwise (an equivocating origin yields ``⊥`` *consistently*).
+
+:class:`ParallelDolevStrong` runs the ``n`` simultaneous instances one
+AA iteration needs; honest relaying is capped at two values per instance
+(enough to prove equivocation, and it keeps traffic polynomial).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from ..net.messages import Inbox, Outbox, PartyId
+from ..net.protocol import ProtocolParty
+from .signatures import Signature, SignatureAuthority, Signer
+
+#: The ⊥ output of an equivocating (or silent) origin.
+BOTTOM = None
+
+
+def _chain_valid(
+    authority: SignatureAuthority,
+    session: Any,
+    origin: PartyId,
+    value: Any,
+    chain: Any,
+    n: int,
+    minimum: int,
+) -> bool:
+    """Whether *chain* is ≥ *minimum* distinct valid signatures on the
+    instance message, the origin's among them.
+
+    The *session* tag is part of the signed message — domain separation,
+    so signatures issued in one exchange (e.g. TreeAA's PathsFinder phase)
+    can never be replayed into another (the projection phase).  The test
+    suite contains the regression that found this.
+    """
+    if not isinstance(chain, tuple) or len(chain) < minimum:
+        return False
+    message = ("ds", session, origin, value)
+    signers: Set[PartyId] = set()
+    for signature in chain:
+        if not isinstance(signature, Signature):
+            return False
+        if not 0 <= signature.signer < n:
+            return False
+        if not authority.verify(signature, message):
+            return False
+        signers.add(signature.signer)
+    return len(signers) >= minimum and origin in signers
+
+
+class ParallelDolevStrong:
+    """All ``n`` Dolev–Strong instances of one exact-AA exchange.
+
+    Drive with one :meth:`messages_for_round` / :meth:`receive_round` pair
+    per round for rounds ``0 .. t``; read :meth:`outputs` afterwards.
+    """
+
+    def __init__(
+        self,
+        pid: PartyId,
+        n: int,
+        t: int,
+        authority: SignatureAuthority,
+        signer: Signer,
+        own_value: Any,
+        validate_value=None,
+        session: Any = 0,
+    ) -> None:
+        if t < 0 or n < 1:
+            raise ValueError("need n >= 1 and t >= 0")
+        hash(session)
+        self.pid = pid
+        self.n = n
+        self.t = t
+        self.session = session
+        self.authority = authority
+        self.signer = signer
+        self.own_value = own_value
+        self._validate = validate_value
+        #: per origin: accepted values -> the chain we hold for them
+        self._accepted: Dict[PartyId, Dict[Any, Tuple[Signature, ...]]] = {
+            origin: {} for origin in range(n)
+        }
+        #: values accepted this round, to relay next round
+        self._to_relay: List[Tuple[PartyId, Any, Tuple[Signature, ...]]] = []
+
+    @property
+    def rounds(self) -> int:
+        return self.t + 1
+
+    # ------------------------------------------------------------------
+
+    def messages_for_round(self, round_index: int) -> Outbox:
+        payload_items: List[Tuple[PartyId, Any, Tuple[Signature, ...]]] = []
+        if round_index == 0:
+            message = ("ds", self.session, self.pid, self.own_value)
+            chain = (self.signer.sign(message),)
+            self._accepted[self.pid][self.own_value] = chain
+            payload_items.append((self.pid, self.own_value, chain))
+        else:
+            for origin, value, chain in self._to_relay:
+                extended = chain + (
+                    self.signer.sign(("ds", self.session, origin, value)),
+                )
+                payload_items.append((origin, value, extended))
+            self._to_relay = []
+        if not payload_items:
+            return {}
+        payload = ("dsmsg", self.session, round_index, tuple(payload_items))
+        return {recipient: payload for recipient in range(self.n)}
+
+    def receive_round(self, round_index: int, inbox: Inbox) -> None:
+        minimum = round_index + 1
+        for sender, payload in inbox.items():
+            if (
+                not isinstance(payload, tuple)
+                or len(payload) != 4
+                or payload[0] != "dsmsg"
+                or payload[1] != self.session
+                or not isinstance(payload[3], tuple)
+            ):
+                continue
+            for item in payload[3]:
+                if not isinstance(item, tuple) or len(item) != 3:
+                    continue
+                origin, value, chain = item
+                self._consider(origin, value, chain, minimum, round_index)
+
+    def _consider(
+        self, origin: Any, value: Any, chain: Any, minimum: int, round_index: int
+    ) -> None:
+        if not isinstance(origin, int) or not 0 <= origin < self.n:
+            return
+        try:
+            hash(value)
+        except TypeError:
+            return
+        if self._validate is not None and not self._validate(value):
+            return
+        known = self._accepted[origin]
+        if value in known:
+            return
+        if len(known) >= 2:
+            return  # two values already prove equivocation; output is ⊥
+        if not _chain_valid(
+            self.authority, self.session, origin, value, chain, self.n, minimum
+        ):
+            return
+        known[value] = tuple(chain)
+        if round_index < self.t:
+            self._to_relay.append((origin, value, tuple(chain)))
+
+    # ------------------------------------------------------------------
+
+    def outputs(self) -> Dict[PartyId, Any]:
+        """Per origin: the agreed value, or ``BOTTOM`` for 0 or ≥ 2 values."""
+        result: Dict[PartyId, Any] = {}
+        for origin in range(self.n):
+            accepted = self._accepted[origin]
+            if len(accepted) == 1:
+                result[origin] = next(iter(accepted))
+            else:
+                result[origin] = BOTTOM
+        return result
+
+
+class DolevStrongParty(ProtocolParty):
+    """A single Dolev–Strong broadcast as a standalone protocol.
+
+    Party *origin* broadcasts *value*; every party outputs the agreed
+    value (or ``BOTTOM``).  For unit-testing the broadcast in isolation.
+    """
+
+    def __init__(
+        self,
+        pid: PartyId,
+        n: int,
+        t: int,
+        authority: SignatureAuthority,
+        origin: PartyId,
+        value: Any = None,
+    ) -> None:
+        super().__init__(pid, n, t)
+        self.origin = origin
+        own = value if pid == origin else ("unused", pid)
+        self._engine = ParallelDolevStrong(
+            pid, n, t, authority, authority.signer(pid), own
+        )
+
+    @property
+    def signer(self) -> Signer:
+        return self._engine.signer
+
+    @property
+    def duration(self) -> int:
+        return self.t + 1
+
+    def messages_for_round(self, round_index: int) -> Outbox:
+        outbox = self._engine.messages_for_round(round_index)
+        if self.pid != self.origin and round_index == 0:
+            return {}  # only the designated origin opens an instance
+        return outbox
+
+    def receive_round(self, round_index: int, inbox: Inbox) -> None:
+        self._engine.receive_round(round_index, inbox)
+        if round_index == self.duration - 1:
+            self.output = self._engine.outputs()[self.origin]

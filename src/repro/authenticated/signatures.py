@@ -1,0 +1,81 @@
+"""Simulated unforgeable digital signatures.
+
+The paper's final note considers the *authenticated setting*: with digital
+signatures, synchronous AA tolerates up to ``t < n/2`` corruptions, and the
+TreeAA reduction carries over unchanged.  Since the simulation needs
+unforgeability, not cryptography, signatures are modelled structurally:
+
+* a per-execution :class:`SignatureAuthority` holds the only registry of
+  issued signatures;
+* signing requires a :class:`Signer` — a capability bound to one party id,
+  handed out once per party.  The adversary holds the signers of corrupted
+  parties only (it extracts them from its puppets), so it can *replay* any
+  signature ever issued but can never mint one for an honest party;
+* verification is a registry lookup: a guessed token either matches an
+  actually-issued ``(signer, message)`` pair — a replay, which real
+  signatures permit too — or fails.
+
+Messages must be hashable; a signature is a small frozen value object so
+it can travel inside payloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Tuple
+
+from ..net.messages import PartyId
+
+
+@dataclass(frozen=True)
+class Signature:
+    """An issued signature: opaque token + the claimed signer."""
+
+    signer: PartyId
+    token: int
+
+    def __repr__(self) -> str:
+        return f"Sig(p{self.signer}#{self.token})"
+
+
+class SignatureAuthority:
+    """The per-execution signing oracle and verification registry."""
+
+    def __init__(self) -> None:
+        self._issued: Dict[int, Tuple[PartyId, Any]] = {}
+        self._counter = 0
+        self._signers: Dict[PartyId, "Signer"] = {}
+
+    def signer(self, pid: PartyId) -> "Signer":
+        """The signing capability for *pid* (one instance per party)."""
+        if pid not in self._signers:
+            self._signers[pid] = Signer(self, pid)
+        return self._signers[pid]
+
+    def _sign(self, pid: PartyId, message: Any) -> Signature:
+        hash(message)  # messages must be hashable (raises otherwise)
+        token = self._counter
+        self._counter += 1
+        self._issued[token] = (pid, message)
+        return Signature(signer=pid, token=token)
+
+    def verify(self, signature: Any, message: Any) -> bool:
+        """Whether *signature* is a genuine signature on *message*."""
+        if not isinstance(signature, Signature):
+            return False
+        issued = self._issued.get(signature.token)
+        if issued is None:
+            return False
+        pid, signed_message = issued
+        return pid == signature.signer and signed_message == message
+
+
+class Signer:
+    """A capability to sign as one party.  Do not share with the enemy."""
+
+    def __init__(self, authority: SignatureAuthority, pid: PartyId) -> None:
+        self._authority = authority
+        self.pid = pid
+
+    def sign(self, message: Any) -> Signature:
+        return self._authority._sign(self.pid, message)

@@ -1,0 +1,27 @@
+"""Baseline protocols the paper compares against (conceptually).
+
+* :class:`IterativeRealAAParty` — the classic memoryless iteration outline
+  on ℝ ([12]), converging by ``2^{-R}``;
+* :class:`IterativeTreeAAParty` — the prior ``O(log D(T))`` state of the art
+  for trees ([33]), iterated safe-area midpoints.
+"""
+
+from .iterative_real import (
+    BaselineIterationRecord,
+    IterativeRealAAParty,
+    halving_iterations,
+)
+from .iterative_tree import (
+    IterativeTreeAAParty,
+    TreeIterationRecord,
+    tree_halving_iterations,
+)
+
+__all__ = [
+    "IterativeRealAAParty",
+    "BaselineIterationRecord",
+    "halving_iterations",
+    "IterativeTreeAAParty",
+    "TreeIterationRecord",
+    "tree_halving_iterations",
+]

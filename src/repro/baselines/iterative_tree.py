@@ -1,0 +1,134 @@
+"""Baseline: iterated safe-area AA directly on trees ([33]-style).
+
+The prior state of the art for AA on trees (Nowak–Rybicki) follows the
+iteration-based outline natively on the tree: distribute current vertices,
+compute the tree safe area (every vertex that survives deleting any ``t``
+received values, see :mod:`repro.trees.safe_area`), and move to the safe
+area's midpoint.  The honest vertices' spread roughly halves per iteration,
+giving ``O(log D(T))`` rounds — the complexity TreeAA improves to
+``O(log |V| / log log |V|)``.
+
+Value distribution reuses the same parallel gradecast as RealAA so that the
+comparison isolates exactly the paper's contribution (the reduction with
+memory) rather than differences in distribution substrates.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Set
+
+from ..net.messages import Inbox, Outbox, PartyId
+from ..net.protocol import ProtocolParty
+from ..protocols.gradecast import GRADE_LOW, ParallelGradecast
+from ..protocols.rounds import ROUNDS_PER_ITERATION, check_resilience
+from ..trees.labeled_tree import Label, LabeledTree
+from ..trees.paths import diameter
+from ..trees.safe_area import safe_area_midpoint
+
+
+def tree_halving_iterations(tree_diameter: int) -> int:
+    """Iterations for the outline to reach 1-agreement on a tree.
+
+    The honest spread starts at ``≤ D(T)`` and roughly halves per iteration;
+    ``⌈log2 D⌉ + 2`` iterations leave comfortable slack for the integer
+    rounding losses of discrete midpoints (verified empirically by the test
+    suite across tree families and adversaries).
+    """
+    if tree_diameter <= 1:
+        return 1
+    return math.ceil(math.log2(tree_diameter)) + 2
+
+
+@dataclass
+class TreeIterationRecord:
+    """Diagnostics for one baseline iteration on the tree."""
+
+    iteration: int
+    accepted_count: int
+    new_vertex: Label
+
+
+class IterativeTreeAAParty(ProtocolParty):
+    """One party of the iterated safe-area baseline on a tree."""
+
+    def __init__(
+        self,
+        pid: PartyId,
+        n: int,
+        t: int,
+        tree: LabeledTree,
+        input_vertex: Label,
+        iterations: Optional[int] = None,
+    ) -> None:
+        super().__init__(pid, n, t)
+        check_resilience(n, t)
+        tree.require_vertex(input_vertex)
+        if iterations is None:
+            iterations = tree_halving_iterations(diameter(tree))
+        self.tree = tree
+        self.iterations = iterations
+        self.vertex: Label = input_vertex
+        self.history: List[TreeIterationRecord] = []
+        self._engine: Optional[ParallelGradecast] = None
+
+    @property
+    def duration(self) -> int:
+        return ROUNDS_PER_ITERATION * self.iterations
+
+    def _validate(self, value: object) -> bool:
+        try:
+            return value in self.tree
+        except TypeError:
+            return False
+
+    def messages_for_round(self, round_index: int) -> Outbox:
+        iteration, phase = divmod(round_index, ROUNDS_PER_ITERATION)
+        if iteration >= self.iterations:
+            return {}
+        if phase == 0:
+            self._engine = ParallelGradecast(
+                self.pid,
+                self.n,
+                self.t,
+                iteration=iteration,
+                own_value=self.vertex,
+                validate_value=self._validate,
+            )
+            return self._engine.value_messages()
+        assert self._engine is not None
+        if phase == 1:
+            return self._engine.echo_messages()
+        return self._engine.support_messages()
+
+    def receive_round(self, round_index: int, inbox: Inbox) -> None:
+        iteration, phase = divmod(round_index, ROUNDS_PER_ITERATION)
+        if iteration >= self.iterations or self._engine is None:
+            return
+        if phase == 0:
+            self._engine.receive_values(inbox)
+        elif phase == 1:
+            self._engine.receive_echoes(inbox)
+        else:
+            self._engine.receive_supports(inbox)
+            self._finish_iteration(iteration)
+
+    def _finish_iteration(self, iteration: int) -> None:
+        assert self._engine is not None
+        accepted: List[Label] = []
+        for origin, (value, confidence) in self._engine.grade_all().items():
+            if confidence >= GRADE_LOW:
+                accepted.append(value)
+        self._engine = None
+        if accepted:
+            self.vertex = safe_area_midpoint(self.tree, accepted, self.t)
+        self.history.append(
+            TreeIterationRecord(
+                iteration=iteration,
+                accepted_count=len(accepted),
+                new_vertex=self.vertex,
+            )
+        )
+        if iteration + 1 == self.iterations:
+            self.output = self.vertex

@@ -1,0 +1,361 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands
+--------
+
+``tree-aa``     run TreeAA on a generated or JSON-loaded tree
+``auth-tree-aa`` run the authenticated (t < n/2) TreeAA variant
+``real-aa``     run RealAA(ε) on real-valued inputs
+``bounds``      print the paper's round bounds for given parameters
+``make-tree``   generate a tree and print it (edges / JSON / DOT)
+``chain-demo``  execute Fekete's one-round chain-of-views construction
+
+Tree specs (``--tree``): ``path:K``, ``star:K``, ``binary:DEPTH``,
+``caterpillar:SPINExLEGS``, ``spider:ARMSxLEN``, ``broom:HANDLExLEAVES``,
+``random:K[:SEED]``, ``figure`` (the paper's Figure-3 tree), or
+``@file.json`` (canonical JSON form).
+
+Adversaries (``--adversary``): ``none``, ``silent``, ``passive``,
+``noise[:SEED]``, ``crash[:ROUND]``, ``burn``, ``burn-down``, ``asym``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+from typing import List, Optional, Sequence
+
+from .adversary import (
+    CrashAdversary,
+    NoAdversary,
+    PassiveAdversary,
+    RandomNoiseAdversary,
+    SilentAdversary,
+)
+from .adversary.realaa_attacks import (
+    AsymmetricTrustAdversary,
+    BurnScheduleAdversary,
+    even_burn_schedule,
+)
+from .analysis import format_table
+from .core import run_real_aa, run_tree_aa
+from .lowerbound import (
+    demonstrate_real,
+    fekete_K,
+    min_rounds_required,
+    theorem2_lower_bound,
+    trimmed_mean_rule,
+)
+from .protocols import (
+    realaa_duration,
+    theorem3_round_bound,
+    tree_aa_round_bound,
+)
+from .trees import (
+    LabeledTree,
+    binary_tree,
+    broom_tree,
+    caterpillar_tree,
+    diameter,
+    figure_tree,
+    path_tree,
+    random_tree,
+    spider_tree,
+    star_tree,
+    tree_from_json,
+    tree_to_dot,
+    tree_to_json,
+)
+
+
+class CLIError(ValueError):
+    """A user-facing argument error."""
+
+
+def parse_tree_spec(spec: str) -> LabeledTree:
+    """Parse a ``--tree`` specification (see module docstring)."""
+    if spec.startswith("@"):
+        with open(spec[1:]) as handle:
+            return tree_from_json(handle.read())
+    if spec == "figure":
+        return figure_tree()
+    parts = spec.split(":")
+    kind = parts[0]
+    try:
+        if kind == "path":
+            return path_tree(int(parts[1]))
+        if kind == "star":
+            return star_tree(int(parts[1]))
+        if kind == "binary":
+            return binary_tree(int(parts[1]))
+        if kind == "caterpillar":
+            spine, legs = parts[1].split("x")
+            return caterpillar_tree(int(spine), int(legs))
+        if kind == "spider":
+            arms, length = parts[1].split("x")
+            return spider_tree(int(arms), int(length))
+        if kind == "broom":
+            handle, leaves = parts[1].split("x")
+            return broom_tree(int(handle), int(leaves))
+        if kind == "random":
+            size = int(parts[1])
+            seed = int(parts[2]) if len(parts) > 2 else 0
+            return random_tree(size, seed)
+    except (IndexError, ValueError) as exc:
+        raise CLIError(f"malformed tree spec {spec!r}: {exc}") from None
+    raise CLIError(f"unknown tree family {kind!r}")
+
+
+def make_adversary(spec: str, t: int):
+    """Parse an ``--adversary`` specification."""
+    parts = spec.split(":")
+    kind = parts[0]
+    arg = int(parts[1]) if len(parts) > 1 else None
+    if kind == "none":
+        return NoAdversary()
+    if kind == "silent":
+        return SilentAdversary()
+    if kind == "passive":
+        return PassiveAdversary()
+    if kind == "noise":
+        return RandomNoiseAdversary(seed=arg or 0)
+    if kind == "crash":
+        return CrashAdversary(crash_round=arg if arg is not None else 3)
+    if kind == "burn":
+        return BurnScheduleAdversary([1] * t if t else [])
+    if kind == "burn-down":
+        return BurnScheduleAdversary([1] * t if t else [], direction="down")
+    if kind == "asym":
+        return AsymmetricTrustAdversary()
+    raise CLIError(f"unknown adversary {spec!r}")
+
+
+def pick_inputs(tree: LabeledTree, spec: str, n: int) -> List:
+    """Parse ``--inputs``: a comma list of labels, or ``random[:SEED]``."""
+    if spec.startswith("random"):
+        parts = spec.split(":")
+        seed = int(parts[1]) if len(parts) > 1 else 0
+        rng = random.Random(seed)
+        return [rng.choice(tree.vertices) for _ in range(n)]
+    labels = [label.strip() for label in spec.split(",") if label.strip()]
+    if len(labels) != n:
+        raise CLIError(f"need exactly n={n} inputs, got {len(labels)}")
+    for label in labels:
+        if label not in tree:
+            raise CLIError(f"input {label!r} is not a vertex of the tree")
+    return labels
+
+
+# ----------------------------------------------------------------------
+# Subcommands
+# ----------------------------------------------------------------------
+
+
+def cmd_tree_aa(args: argparse.Namespace) -> int:
+    tree = parse_tree_spec(args.tree)
+    inputs = pick_inputs(tree, args.inputs, args.n)
+    adversary = make_adversary(args.adversary, args.t)
+    outcome = run_tree_aa(tree, inputs, args.t, adversary=adversary)
+    rows = [
+        ["|V(T)|", tree.n_vertices],
+        ["D(T)", diameter(tree)],
+        ["rounds", outcome.rounds],
+        ["Theorem-4 bound", tree_aa_round_bound(tree.n_vertices, diameter(tree))],
+        ["terminated", outcome.terminated],
+        ["valid", outcome.valid],
+        ["1-agreement", outcome.agreement],
+        ["output diameter", outcome.output_diameter],
+    ]
+    print(format_table(["property", "value"], rows, title="TreeAA"))
+    print()
+    print(
+        format_table(
+            ["party", "input", "output"],
+            [
+                [pid, outcome.honest_inputs[pid], outcome.honest_outputs[pid]]
+                for pid in sorted(outcome.honest_outputs)
+            ],
+            title="honest parties",
+        )
+    )
+    return 0 if outcome.achieved_aa else 1
+
+
+def cmd_auth_tree_aa(args: argparse.Namespace) -> int:
+    from .authenticated import run_auth_tree_aa
+
+    tree = parse_tree_spec(args.tree)
+    inputs = pick_inputs(tree, args.inputs, args.n)
+    adversary = make_adversary(args.adversary, args.t)
+    outcome = run_auth_tree_aa(tree, inputs, args.t, adversary=adversary)
+    rows = [
+        ["|V(T)|", tree.n_vertices],
+        ["threshold", f"t={args.t} < n/2={args.n / 2:g}"],
+        ["rounds", outcome.rounds],
+        ["terminated", outcome.terminated],
+        ["valid", outcome.valid],
+        ["1-agreement", outcome.agreement],
+        ["distinct outputs", len(set(outcome.honest_outputs.values()))],
+    ]
+    print(
+        format_table(
+            ["property", "value"], rows, title="TreeAA (authenticated, t < n/2)"
+        )
+    )
+    return 0 if outcome.achieved_aa else 1
+
+
+def cmd_real_aa(args: argparse.Namespace) -> int:
+    try:
+        inputs = [float(x) for x in args.inputs.split(",")]
+    except ValueError as exc:
+        raise CLIError(f"malformed inputs: {exc}") from None
+    adversary = make_adversary(args.adversary, args.t)
+    outcome = run_real_aa(inputs, args.t, epsilon=args.epsilon, adversary=adversary)
+    rows = [
+        ["rounds", outcome.rounds],
+        ["measured rounds", outcome.measured_rounds],
+        ["terminated", outcome.terminated],
+        ["valid", outcome.valid],
+        ["output spread", outcome.output_spread],
+        ["eps-agreement", outcome.agreement],
+    ]
+    print(format_table(["property", "value"], rows, title=f"RealAA(eps={args.epsilon})"))
+    print()
+    print(
+        format_table(
+            ["party", "input", "output"],
+            [
+                [pid, outcome.honest_inputs[pid], round(outcome.honest_outputs[pid], 9)]
+                for pid in sorted(outcome.honest_outputs)
+            ],
+            title="honest parties",
+        )
+    )
+    return 0 if outcome.achieved_aa else 1
+
+
+def cmd_bounds(args: argparse.Namespace) -> int:
+    d, n, t = args.diameter, args.n, args.t
+    rows = [
+        ["Theorem 3 upper (RealAA rounds)", theorem3_round_bound(d, args.epsilon)],
+        ["operational RealAA budget", realaa_duration(d, args.epsilon, n, t)],
+        ["Theorem 4 upper (TreeAA rounds)", tree_aa_round_bound(int(d) + 1, int(d))],
+        ["Theorem 2 lower", round(theorem2_lower_bound(d, n, t), 3)],
+        ["Corollary 1 integer lower", min_rounds_required(d, n, t)],
+        ["K(1, D)", round(fekete_K(1, d, n, t), 6)],
+        ["K(2, D)", round(fekete_K(2, d, n, t), 6)],
+    ]
+    print(
+        format_table(
+            ["bound", "rounds"],
+            rows,
+            title=f"Round bounds for D={d:g}, n={n}, t={t}, eps={args.epsilon:g}",
+        )
+    )
+    return 0
+
+
+def cmd_make_tree(args: argparse.Namespace) -> int:
+    tree = parse_tree_spec(args.tree)
+    if args.format == "edges":
+        for u, v in tree.edges():
+            print(f"{u} {v}")
+    elif args.format == "json":
+        print(tree_to_json(tree, indent=2))
+    elif args.format == "dot":
+        print(tree_to_dot(tree))
+    else:
+        raise CLIError(f"unknown format {args.format!r}")
+    return 0
+
+
+def cmd_chain_demo(args: argparse.Namespace) -> int:
+    demo = demonstrate_real(trimmed_mean_rule(args.t), args.n, args.t, 0.0, 1.0)
+    rows = [
+        [k, " ".join(format(x, "g") for x in view), round(output, 4)]
+        for k, (view, output) in enumerate(zip(demo.views, demo.outputs))
+    ]
+    print(
+        format_table(
+            ["k", "view V_k", "f(V_k)"],
+            rows,
+            title=f"Fekete chain, one round, n={args.n}, t={args.t}",
+        )
+    )
+    print(
+        f"\nforced gap {demo.max_gap:.4f} >= guaranteed {demo.guaranteed_gap:.4f} "
+        f">= K(1, 1) = {fekete_K(1, 1.0, args.n, args.t):.4f}"
+    )
+    return 0
+
+
+# ----------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Round-optimal Byzantine Approximate Agreement on trees",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("tree-aa", help="run TreeAA")
+    p.add_argument("--tree", required=True, help="tree spec (e.g. path:30)")
+    p.add_argument("--n", type=int, default=7)
+    p.add_argument("--t", type=int, default=2)
+    p.add_argument("--inputs", default="random:0", help="labels or random[:SEED]")
+    p.add_argument("--adversary", default="burn")
+    p.set_defaults(func=cmd_tree_aa)
+
+    p = sub.add_parser(
+        "auth-tree-aa", help="run the authenticated (t < n/2) TreeAA"
+    )
+    p.add_argument("--tree", required=True)
+    p.add_argument("--n", type=int, default=5)
+    p.add_argument("--t", type=int, default=2)
+    p.add_argument("--inputs", default="random:0")
+    p.add_argument("--adversary", default="passive")
+    p.set_defaults(func=cmd_auth_tree_aa)
+
+    p = sub.add_parser("real-aa", help="run RealAA(eps)")
+    p.add_argument("--inputs", required=True, help="comma-separated reals")
+    p.add_argument("--t", type=int, default=1)
+    p.add_argument("--epsilon", type=float, default=0.5)
+    p.add_argument("--adversary", default="silent")
+    p.set_defaults(func=cmd_real_aa)
+
+    p = sub.add_parser("bounds", help="print the paper's round bounds")
+    p.add_argument("--diameter", type=float, required=True)
+    p.add_argument("--n", type=int, default=13)
+    p.add_argument("--t", type=int, default=4)
+    p.add_argument("--epsilon", type=float, default=1.0)
+    p.set_defaults(func=cmd_bounds)
+
+    p = sub.add_parser("make-tree", help="generate and print a tree")
+    p.add_argument("tree", help="tree spec (e.g. caterpillar:6x2)")
+    p.add_argument("--format", default="edges", choices=["edges", "json", "dot"])
+    p.set_defaults(func=cmd_make_tree)
+
+    p = sub.add_parser("chain-demo", help="Fekete's chain of views, executed")
+    p.add_argument("--n", type=int, default=7)
+    p.add_argument("--t", type=int, default=2)
+    p.set_defaults(func=cmd_chain_demo)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except CLIError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,235 @@
+"""High-level API: run the paper's protocols end to end and check AA.
+
+These helpers are what the examples and benchmarks use: build the parties,
+run the synchronous network under a chosen adversary, and evaluate the AA
+properties (Termination / Validity / 1- or ε-Agreement) on the honest
+outputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Set
+
+from ..net.messages import PartyId
+from ..net.network import ExecutionResult
+from ..net.runner import run_protocol
+from ..protocols.realaa import RealAAParty
+from ..trees.convex import in_convex_hull
+from ..trees.labeled_tree import Label, LabeledTree
+from ..trees.paths import TreePath, distance
+from .path_aa import PathAAParty
+from .projection_aa import KnownPathAAParty
+from .tree_aa import TreeAAParty
+
+
+@dataclass
+class TreeAAOutcome:
+    """A TreeAA (or path-AA) execution together with its AA verdicts."""
+
+    execution: ExecutionResult
+    tree: LabeledTree
+    honest_inputs: Dict[PartyId, Label]
+    honest_outputs: Dict[PartyId, Label]
+    #: Termination: every honest party produced a vertex of the tree.
+    terminated: bool
+    #: Validity: every honest output is in the honest inputs' convex hull.
+    valid: bool
+    #: The largest pairwise distance between honest outputs.
+    output_diameter: int
+    #: 1-Agreement: ``output_diameter ≤ 1``.
+    agreement: bool
+    rounds: int
+
+    @property
+    def achieved_aa(self) -> bool:
+        return self.terminated and self.valid and self.agreement
+
+
+@dataclass
+class RealAAOutcome:
+    """A RealAA execution together with its AA verdicts."""
+
+    execution: ExecutionResult
+    epsilon: float
+    honest_inputs: Dict[PartyId, float]
+    honest_outputs: Dict[PartyId, float]
+    terminated: bool
+    valid: bool
+    output_spread: float
+    agreement: bool
+    rounds: int
+    #: Rounds until the last honest party first observed ε-closeness
+    #: (3 × the latest local termination iteration) — the measured round
+    #: complexity the benchmarks compare against Theorem 3.
+    measured_rounds: Optional[int]
+
+    @property
+    def achieved_aa(self) -> bool:
+        return self.terminated and self.valid and self.agreement
+
+
+def _evaluate_tree_outputs(
+    tree: LabeledTree,
+    honest_inputs: Dict[PartyId, Label],
+    honest_outputs: Dict[PartyId, Any],
+) -> Dict[str, Any]:
+    terminated = all(
+        output is not None and output in tree for output in honest_outputs.values()
+    )
+    anchors = list(honest_inputs.values())
+    valid = terminated and all(
+        in_convex_hull(tree, output, anchors) for output in honest_outputs.values()
+    )
+    out_list = list(honest_outputs.values())
+    output_diameter = 0
+    if terminated and out_list:
+        for i in range(len(out_list)):
+            for j in range(i + 1, len(out_list)):
+                if out_list[i] != out_list[j]:
+                    output_diameter = max(
+                        output_diameter, distance(tree, out_list[i], out_list[j])
+                    )
+    return {
+        "terminated": terminated,
+        "valid": valid,
+        "output_diameter": output_diameter,
+        "agreement": terminated and output_diameter <= 1,
+    }
+
+
+def run_tree_aa(
+    tree: LabeledTree,
+    inputs: Sequence[Label],
+    t: int,
+    adversary: Optional["Adversary"] = None,  # noqa: F821 - documented duck type
+    root: Optional[Label] = None,
+) -> TreeAAOutcome:
+    """Run **TreeAA** with ``inputs[pid]`` as party ``pid``'s input vertex.
+
+    ``inputs`` must have length ``n``; corrupted parties' entries are the
+    inputs their puppets start from (the adversary may ignore them).
+    """
+    n = len(inputs)
+    execution = run_protocol(
+        n,
+        t,
+        lambda pid: TreeAAParty(pid, n, t, tree, inputs[pid], root=root),
+        adversary=adversary,
+    )
+    honest_inputs = {pid: inputs[pid] for pid in sorted(execution.honest)}
+    honest_outputs = execution.honest_outputs
+    verdicts = _evaluate_tree_outputs(tree, honest_inputs, honest_outputs)
+    return TreeAAOutcome(
+        execution=execution,
+        tree=tree,
+        honest_inputs=honest_inputs,
+        honest_outputs=honest_outputs,
+        rounds=execution.trace.rounds_executed,
+        **verdicts,
+    )
+
+
+def run_path_aa(
+    tree: LabeledTree,
+    path: TreePath,
+    inputs: Sequence[Label],
+    t: int,
+    adversary: Optional["Adversary"] = None,  # noqa: F821
+    project: bool = False,
+) -> TreeAAOutcome:
+    """Run the Section-4 path protocol (or the Section-5 variant).
+
+    With ``project=False`` every input must lie on *path* (Section 4).
+    With ``project=True`` inputs may be arbitrary tree vertices, projected
+    onto the commonly known *path* first (Section 5).
+    """
+    n = len(inputs)
+    canonical = path.canonical()
+    if project:
+        factory = lambda pid: KnownPathAAParty(  # noqa: E731
+            pid, n, t, tree, canonical, inputs[pid]
+        )
+    else:
+        factory = lambda pid: PathAAParty(  # noqa: E731
+            pid, n, t, canonical, inputs[pid]
+        )
+    execution = run_protocol(n, t, factory, adversary=adversary)
+    honest_inputs = {pid: inputs[pid] for pid in sorted(execution.honest)}
+    honest_outputs = execution.honest_outputs
+    verdicts = _evaluate_tree_outputs(tree, honest_inputs, honest_outputs)
+    return TreeAAOutcome(
+        execution=execution,
+        tree=tree,
+        honest_inputs=honest_inputs,
+        honest_outputs=honest_outputs,
+        rounds=execution.trace.rounds_executed,
+        **verdicts,
+    )
+
+
+def run_real_aa(
+    inputs: Sequence[float],
+    t: int,
+    epsilon: float,
+    known_range: Optional[float] = None,
+    iterations: Optional[int] = None,
+    adversary: Optional["Adversary"] = None,  # noqa: F821
+) -> RealAAOutcome:
+    """Run **RealAA(ε)** on real-valued inputs.
+
+    ``known_range`` (or an explicit ``iterations`` count) fixes the public
+    round budget; it defaults to the actual spread of ``inputs`` — fine for
+    experiments, where the input range is chosen by the experimenter.
+    """
+    n = len(inputs)
+    if known_range is None and iterations is None:
+        known_range = max(inputs) - min(inputs) if n else 0.0
+    execution = run_protocol(
+        n,
+        t,
+        lambda pid: RealAAParty(
+            pid,
+            n,
+            t,
+            inputs[pid],
+            epsilon=epsilon,
+            known_range=known_range,
+            iterations=iterations,
+        ),
+        adversary=adversary,
+    )
+    honest_inputs = {pid: float(inputs[pid]) for pid in sorted(execution.honest)}
+    honest_outputs = execution.honest_outputs
+    terminated = all(
+        isinstance(v, float) for v in honest_outputs.values()
+    ) and bool(honest_outputs)
+    lo, hi = min(honest_inputs.values()), max(honest_inputs.values())
+    valid = terminated and all(
+        lo <= v <= hi for v in honest_outputs.values()
+    )
+    outs = list(honest_outputs.values())
+    spread = (max(outs) - min(outs)) if terminated else float("inf")
+    measured: Optional[int] = None
+    locals_: List[int] = []
+    for pid in execution.honest:
+        party = execution.parties[pid]
+        if isinstance(party, RealAAParty):
+            if party.local_termination_iteration is None:
+                locals_ = []
+                break
+            locals_.append(party.local_termination_iteration)
+    if locals_:
+        measured = 3 * max(locals_)
+    return RealAAOutcome(
+        execution=execution,
+        epsilon=epsilon,
+        honest_inputs=honest_inputs,
+        honest_outputs=honest_outputs,
+        terminated=terminated,
+        valid=valid,
+        output_spread=spread,
+        agreement=terminated and spread <= epsilon,
+        rounds=execution.trace.rounds_executed,
+        measured_rounds=measured,
+    )

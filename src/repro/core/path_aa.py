@@ -1,0 +1,71 @@
+"""AA on paths — the warm-up protocol (Section 4).
+
+When the input space is a labeled path ``P = (v_1, …, v_k)`` (ordered so
+that ``v_1`` is the lexicographically lower endpoint), AA on ``P`` reduces
+directly to ``RealAA(1)``: a party with input ``v_i`` joins with the real
+value ``i`` and outputs ``v_closestInt(j)``.  Remark 1 gives Validity and
+Remark 2 gives 1-Agreement; Theorem 3 gives
+``O(log D(P) / log log D(P))`` rounds.
+
+Positions here are 0-based (the paper's are 1-based; only the origin
+differs).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..net.messages import PartyId
+from ..protocols.realaa import RealAAParty
+from ..trees.labeled_tree import Label
+from ..trees.paths import TreePath
+from .closest_int import closest_int
+
+
+class PathAAParty(RealAAParty):
+    """One party of the Section-4 protocol for a path input space.
+
+    Parameters
+    ----------
+    path:
+        The publicly known input space path, in canonical orientation.
+        Every honest party must be constructed with the identical path.
+    input_vertex:
+        The party's input, a vertex of *path*.
+    """
+
+    def __init__(
+        self,
+        pid: PartyId,
+        n: int,
+        t: int,
+        path: TreePath,
+        input_vertex: Label,
+    ) -> None:
+        canonical = path.canonical()
+        if canonical != path:
+            raise ValueError(
+                "path must be in canonical orientation (lower-labeled "
+                "endpoint first) so that all parties index it identically"
+            )
+        position = path.position_of(input_vertex)
+        super().__init__(
+            pid,
+            n,
+            t,
+            input_value=float(position),
+            epsilon=1.0,
+            known_range=float(path.length),
+        )
+        self.path = path
+        self.input_vertex = input_vertex
+
+    def _final_output(self) -> Label:
+        index = closest_int(self.value)
+        # Remark 1: RealAA validity keeps j within the honest positions, so
+        # the rounded index is a legal position; the assert documents that.
+        assert 0 <= index < len(self.path), (
+            f"closestInt({self.value}) = {index} fell outside the path — "
+            "RealAA validity was violated"
+        )
+        return self.path[index]

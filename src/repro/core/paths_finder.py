@@ -1,0 +1,85 @@
+"""PathsFinder — approximately agreeing on a path (Section 6).
+
+Finding a path through the honest inputs' convex hull exactly would amount
+to Byzantine Agreement and cost ``t + 1 = O(n)`` rounds.  PathsFinder
+instead lets the honest parties *approximately* agree on such a path:
+
+1. every party computes the identical Euler-tour list
+   ``L = ListConstruction(T, v_root)`` (Lemma 2);
+2. every party joins ``RealAA(1)`` with ``min L(v_IN)``, the first index of
+   its input vertex;
+3. the 1-close, valid indices ``closestInt(j)`` select 1-close vertices
+   ``L_closestInt(j)`` lying in a subtree rooted at a *valid* vertex
+   (Lemma 3), and each party returns the root path ``P(v_root, L_...)``.
+
+Lemma 4 summarises the guarantees: every returned path intersects the
+honest inputs' hull, and any two returned paths are equal or differ by one
+trailing edge.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..net.messages import PartyId
+from ..protocols.realaa import RealAAParty
+from ..protocols.rounds import realaa_duration
+from ..trees.euler import EulerList, list_construction
+from ..trees.labeled_tree import Label, LabeledTree
+from ..trees.paths import TreePath
+from .closest_int import closest_int
+
+
+def paths_finder_duration(tree: LabeledTree, n: int, t: int) -> int:
+    """The publicly computable duration of PathsFinder, in rounds.
+
+    The honest RealAA inputs are indices into ``L``, hence at most
+    ``|L| − 1 ≤ 2·|V(T)| − 1`` apart (Lemma 2 property 2); the list itself
+    is public, so the exact ``|L| − 1`` is used.  This is the operational
+    counterpart of the paper's ``R_PathsFinder := R_RealAA(2·|V(T)|, 1)``.
+    """
+    euler = list_construction(tree)
+    return realaa_duration(float(len(euler) - 1), 1.0, n, t)
+
+
+class PathsFinderParty(RealAAParty):
+    """One party of ``PathsFinder(T, v_root, v_IN)``.
+
+    Output: a :class:`~repro.trees.paths.TreePath` from the root to the
+    selected vertex (Lemma 4's ``P``).
+    """
+
+    def __init__(
+        self,
+        pid: PartyId,
+        n: int,
+        t: int,
+        tree: LabeledTree,
+        input_vertex: Label,
+        root: Optional[Label] = None,
+    ) -> None:
+        tree.require_vertex(input_vertex)
+        euler = list_construction(tree, root)
+        index = euler.first_occurrence(input_vertex)  # i := min L(v_IN)
+        super().__init__(
+            pid,
+            n,
+            t,
+            input_value=float(index),
+            epsilon=1.0,
+            known_range=float(len(euler) - 1),
+        )
+        self.tree = tree
+        self.euler: EulerList = euler
+        self.input_vertex = input_vertex
+        #: The vertex ``L_closestInt(j)`` selected by the final real value.
+        self.selected_vertex: Optional[Label] = None
+
+    def _final_output(self) -> TreePath:
+        index = closest_int(self.value)
+        assert 0 <= index < len(self.euler), (
+            f"closestInt({self.value}) = {index} fell outside L — "
+            "RealAA validity was violated"
+        )
+        self.selected_vertex = self.euler[index]
+        return TreePath(self.euler.rooted.root_path(self.selected_vertex))

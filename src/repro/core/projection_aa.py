@@ -1,0 +1,69 @@
+"""AA on trees given a known path — the stepping stone (Section 5).
+
+Assume all parties know one common path ``P`` of the input space tree that
+intersects the honest inputs' convex hull.  Then each party projects its
+input vertex onto ``P`` (Lemma 1: the projection lies in ``V(P) ∩ ⟨S⟩``)
+and the problem becomes AA on the path ``P``, solved as in Section 4.
+
+The full protocol (Section 7) replaces the "known path" assumption with
+PathsFinder; this module exists both as the paper presents it — a correct
+protocol under the stronger assumption — and as the second phase's logic.
+"""
+
+from __future__ import annotations
+
+from ..net.messages import PartyId
+from ..protocols.realaa import RealAAParty
+from ..trees.labeled_tree import Label, LabeledTree
+from ..trees.paths import TreePath
+from ..trees.projection import project_onto_path
+from .closest_int import closest_int
+
+
+class KnownPathAAParty(RealAAParty):
+    """One party of the Section-5 protocol.
+
+    Parameters
+    ----------
+    tree:
+        The publicly known input space tree.
+    path:
+        The commonly known path intersecting the honest inputs' hull.  Every
+        honest party must be constructed with the identical path (Section 5
+        *assumes* this; Section 6 constructs it).
+    input_vertex:
+        The party's input — any vertex of *tree*.
+    """
+
+    def __init__(
+        self,
+        pid: PartyId,
+        n: int,
+        t: int,
+        tree: LabeledTree,
+        path: TreePath,
+        input_vertex: Label,
+    ) -> None:
+        tree.require_vertex(input_vertex)
+        projection = project_onto_path(tree, input_vertex, path)
+        position = path.position_of(projection)
+        super().__init__(
+            pid,
+            n,
+            t,
+            input_value=float(position),
+            epsilon=1.0,
+            known_range=float(path.length),
+        )
+        self.tree = tree
+        self.path = path
+        self.input_vertex = input_vertex
+        self.projection = projection
+
+    def _final_output(self) -> Label:
+        index = closest_int(self.value)
+        assert 0 <= index < len(self.path), (
+            f"closestInt({self.value}) = {index} fell outside the path — "
+            "RealAA validity was violated"
+        )
+        return self.path[index]

@@ -1,0 +1,47 @@
+"""Synchronous message-passing substrate (the model of Section 2).
+
+Lockstep rounds, authenticated channels, and a rushing full-information
+adversary hook.  See :mod:`repro.net.network` for the execution semantics.
+"""
+
+from .messages import Inbox, Message, Outbox, PartyId, broadcast, deliver
+from .network import (
+    AdversaryView,
+    ByzantineModelError,
+    ExecutionResult,
+    ExecutionTrace,
+    SynchronousNetwork,
+)
+from .protocol import PhasedParty, ProtocolParty, SilentParty
+from .trace import (
+    InvariantMonitor,
+    InvariantViolation,
+    Observer,
+    RoundRecord,
+    TranscriptRecorder,
+)
+from .runner import run_fault_free, run_protocol
+
+__all__ = [
+    "PartyId",
+    "Message",
+    "Inbox",
+    "Outbox",
+    "broadcast",
+    "deliver",
+    "ProtocolParty",
+    "SilentParty",
+    "PhasedParty",
+    "SynchronousNetwork",
+    "AdversaryView",
+    "ExecutionResult",
+    "ExecutionTrace",
+    "ByzantineModelError",
+    "run_protocol",
+    "run_fault_free",
+    "Observer",
+    "TranscriptRecorder",
+    "RoundRecord",
+    "InvariantMonitor",
+    "InvariantViolation",
+]

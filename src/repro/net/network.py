@@ -1,0 +1,276 @@
+"""The synchronous network simulator.
+
+Implements the model of Section 2: ``n`` parties in a fully connected
+network of authenticated channels, with synchronized clocks and guaranteed
+delivery within the round.  In simulation this is lockstep execution:
+
+1. every honest party emits its round-``r`` messages;
+2. the adversary — *rushing* and with full information — inspects the honest
+   traffic and all honest state, may adaptively corrupt further parties (up
+   to ``t`` in total), and chooses the Byzantine parties' round-``r``
+   messages;
+3. all messages are delivered; every honest party processes its inbox.
+
+Authenticated channels are enforced structurally: Byzantine messages can
+only ever carry a corrupted party's own id as the sender.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Set
+
+from .messages import Inbox, Message, Outbox, PartyId, deliver
+from .protocol import ProtocolParty
+
+
+class ByzantineModelError(RuntimeError):
+    """Raised when an adversary exceeds the powers the model grants it."""
+
+
+@dataclass
+class AdversaryView:
+    """Everything the (full-information, rushing) adversary sees in a round.
+
+    ``honest_messages`` is the honest round-``r`` traffic — available
+    *before* the adversary commits its own messages (rushing).  The honest
+    party objects themselves are exposed read-only by convention: the
+    computationally unbounded adversary of the paper knows the full state of
+    the system, and worst-case strategies exploit it.
+    """
+
+    round_index: int
+    n: int
+    t: int
+    corrupted: Set[PartyId]
+    honest_messages: Dict[PartyId, Outbox]
+    parties: Mapping[PartyId, ProtocolParty]
+
+    @property
+    def honest(self) -> Set[PartyId]:
+        return set(range(self.n)) - self.corrupted
+
+
+def payload_units(payload: Any) -> int:
+    """The size of a payload in atomic *value units*.
+
+    Counts the scalars a real network would have to encode: each atom
+    (number, string, ``None``, …) is one unit; containers contribute the
+    sum of their parts (dict keys included).  Used by the
+    message-complexity experiment (T8): the paper cites ``O(R·n³)``
+    message complexity for RealAA ([6]), which here shows up as ``O(n²)``
+    messages per round carrying ``O(n)``-entry echo/support vectors.
+    """
+    if isinstance(payload, dict):
+        return sum(payload_units(k) + payload_units(v) for k, v in payload.items())
+    if isinstance(payload, (list, tuple, set, frozenset)):
+        return sum(payload_units(item) for item in payload)
+    return 1
+
+
+@dataclass
+class ExecutionTrace:
+    """Accounting for one protocol execution."""
+
+    rounds_executed: int = 0
+    honest_message_count: int = 0
+    byzantine_message_count: int = 0
+    honest_payload_units: int = 0
+    byzantine_payload_units: int = 0
+    #: Messages sent in each round (honest + Byzantine).
+    per_round_messages: List[int] = field(default_factory=list)
+    corruption_rounds: Dict[PartyId, int] = field(default_factory=dict)
+
+    @property
+    def message_count(self) -> int:
+        return self.honest_message_count + self.byzantine_message_count
+
+    @property
+    def payload_unit_count(self) -> int:
+        return self.honest_payload_units + self.byzantine_payload_units
+
+
+@dataclass
+class ExecutionResult:
+    """The outcome of a synchronous execution."""
+
+    outputs: Dict[PartyId, Any]
+    honest: Set[PartyId]
+    corrupted: Set[PartyId]
+    trace: ExecutionTrace
+    parties: Dict[PartyId, ProtocolParty]
+
+    @property
+    def honest_outputs(self) -> Dict[PartyId, Any]:
+        return {pid: self.outputs[pid] for pid in sorted(self.honest)}
+
+
+class SynchronousNetwork:
+    """Lockstep executor for one protocol instance.
+
+    Parameters
+    ----------
+    parties:
+        One :class:`ProtocolParty` per id ``0..n−1``.  Instances belonging
+        to corrupted ids are handed to the adversary as *puppets* — it may
+        drive them faithfully (a passively corrupted party), drive them with
+        altered inputs, or ignore them entirely.
+    t:
+        The corruption budget.  The adversary may never control more than
+        ``t`` parties; exceeding the budget raises
+        :class:`ByzantineModelError` (a bug in the experiment, not a legal
+        execution).
+    adversary:
+        An object implementing the :class:`repro.adversary.base.Adversary`
+        protocol, or ``None`` for a fault-free execution.
+    """
+
+    def __init__(
+        self,
+        parties: Dict[PartyId, ProtocolParty],
+        t: int,
+        adversary: Optional["Adversary"] = None,  # noqa: F821 - documented duck type
+        observer: Optional["Observer"] = None,  # noqa: F821 - see repro.net.trace
+    ) -> None:
+        n = len(parties)
+        if sorted(parties) != list(range(n)):
+            raise ValueError("parties must be keyed 0..n-1")
+        self.n = n
+        self.t = t
+        self.parties = parties
+        self.adversary = adversary
+        self.observer = observer
+        self.corrupted: Set[PartyId] = set()
+        self.trace = ExecutionTrace()
+        if adversary is not None:
+            initial = set(adversary.initial_corruptions(self._setup_view()))
+            self._register_corruptions(initial, round_index=0)
+
+    def _setup_view(self) -> AdversaryView:
+        return AdversaryView(
+            round_index=-1,
+            n=self.n,
+            t=self.t,
+            corrupted=set(self.corrupted),
+            honest_messages={},
+            parties=self.parties,
+        )
+
+    def _register_corruptions(self, new: Set[PartyId], round_index: int) -> None:
+        new = set(new) - self.corrupted
+        if not new:
+            return
+        if len(self.corrupted) + len(new) > self.t:
+            raise ByzantineModelError(
+                f"adversary requested {len(self.corrupted) + len(new)} "
+                f"corruptions but the budget is t={self.t}"
+            )
+        for pid in new:
+            if not 0 <= pid < self.n:
+                raise ByzantineModelError(f"cannot corrupt unknown party {pid}")
+            self.corrupted.add(pid)
+            self.trace.corruption_rounds[pid] = round_index
+        if self.adversary is not None:
+            self.adversary.on_corrupted(
+                {pid: self.parties[pid] for pid in new}
+            )
+
+    def run(self, max_rounds: Optional[int] = None) -> ExecutionResult:
+        """Execute until every honest party's protocol duration has elapsed."""
+        total = max(
+            (self.parties[pid].duration for pid in self._honest()), default=0
+        )
+        if max_rounds is not None:
+            total = min(total, max_rounds)
+        for round_index in range(total):
+            self._run_round(round_index)
+        outputs = {pid: self.parties[pid].output for pid in range(self.n)}
+        return ExecutionResult(
+            outputs=outputs,
+            honest=self._honest(),
+            corrupted=set(self.corrupted),
+            trace=self.trace,
+            parties=self.parties,
+        )
+
+    def _honest(self) -> Set[PartyId]:
+        return set(range(self.n)) - self.corrupted
+
+    def _run_round(self, round_index: int) -> None:
+        # 1. Honest parties commit their round-r messages first.
+        honest_out: Dict[PartyId, Outbox] = {}
+        for pid in sorted(self._honest()):
+            party = self.parties[pid]
+            if round_index < party.duration:
+                honest_out[pid] = dict(party.messages_for_round(round_index))
+            else:
+                honest_out[pid] = {}
+
+        # 2. The rushing adversary reacts: adaptive corruption + messages.
+        byzantine_messages: List[Message] = []
+        if self.adversary is not None:
+            view = AdversaryView(
+                round_index=round_index,
+                n=self.n,
+                t=self.t,
+                corrupted=set(self.corrupted),
+                honest_messages=honest_out,
+                parties=self.parties,
+            )
+            newly = set(self.adversary.adapt_corruptions(view))
+            self._register_corruptions(newly, round_index)
+            for pid in newly:
+                # A party corrupted in round r no longer speaks honestly in r.
+                honest_out.pop(pid, None)
+            view.corrupted = set(self.corrupted)
+            view.honest_messages = honest_out
+            byz_out = self.adversary.byzantine_messages(view)
+            for sender, outbox in byz_out.items():
+                if sender not in self.corrupted:
+                    raise ByzantineModelError(
+                        f"adversary tried to speak for honest party {sender}"
+                    )
+                for recipient, payload in outbox.items():
+                    byzantine_messages.append(
+                        Message(sender, recipient, round_index, payload)
+                    )
+
+        # 3. Deliver everything at once; honest parties process their inbox.
+        all_messages = byzantine_messages + [
+            Message(sender, recipient, round_index, payload)
+            for sender, outbox in honest_out.items()
+            for recipient, payload in outbox.items()
+        ]
+        honest_sent = sum(len(outbox) for outbox in honest_out.values())
+        self.trace.honest_message_count += honest_sent
+        self.trace.byzantine_message_count += len(byzantine_messages)
+        self.trace.per_round_messages.append(
+            honest_sent + len(byzantine_messages)
+        )
+        self.trace.honest_payload_units += sum(
+            payload_units(payload)
+            for outbox in honest_out.values()
+            for payload in outbox.values()
+        )
+        self.trace.byzantine_payload_units += sum(
+            payload_units(message.payload) for message in byzantine_messages
+        )
+        inboxes = deliver(all_messages, self.n)
+        if self.adversary is not None and self.corrupted:
+            self.adversary.observe_delivery(
+                round_index,
+                {pid: inboxes[pid] for pid in sorted(self.corrupted)},
+            )
+        for pid in sorted(self._honest()):
+            party = self.parties[pid]
+            if round_index < party.duration:
+                party.receive_round(round_index, inboxes[pid])
+        self.trace.rounds_executed = round_index + 1
+        if self.observer is not None:
+            self.observer.on_round(
+                round_index,
+                honest_out,
+                byzantine_messages,
+                self.parties,
+                sorted(self.corrupted),
+            )

@@ -1,0 +1,167 @@
+"""The protocol-party interface and sequential composition.
+
+A protocol is implemented as a state machine driven by the synchronous
+network: in every round the network first collects each party's outgoing
+messages (:meth:`ProtocolParty.messages_for_round`), then delivers all of
+the round's traffic at once (:meth:`ProtocolParty.receive_round`).
+
+Protocols in this library have *deterministic, publicly computable* round
+counts (``duration``).  This mirrors the paper: TreeAA line 4 has all
+parties wait until round ``R_PathsFinder`` ends so that the second
+``RealAA`` starts simultaneously everywhere.  :class:`PhasedParty` captures
+exactly that composition pattern.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from .messages import Inbox, Outbox, PartyId
+
+
+class ProtocolParty(abc.ABC):
+    """One party's state machine for a fixed-duration synchronous protocol.
+
+    Subclasses implement :meth:`messages_for_round` and
+    :meth:`receive_round` and must set :attr:`output` by the time the final
+    round (``duration − 1``) has been received.
+    """
+
+    def __init__(self, pid: PartyId, n: int, t: int) -> None:
+        if not 0 <= pid < n:
+            raise ValueError(f"party id {pid} out of range for n={n}")
+        if t < 0 or n < 1:
+            raise ValueError("need n >= 1 and t >= 0")
+        self.pid = pid
+        self.n = n
+        self.t = t
+        self.output: Any = None
+
+    @property
+    @abc.abstractmethod
+    def duration(self) -> int:
+        """Total number of rounds this protocol runs (publicly known)."""
+
+    @abc.abstractmethod
+    def messages_for_round(self, round_index: int) -> Outbox:
+        """Outgoing messages at the start of round *round_index*."""
+
+    @abc.abstractmethod
+    def receive_round(self, round_index: int, inbox: Inbox) -> None:
+        """Process the authenticated inbox delivered in round *round_index*."""
+
+    def finished(self, round_index: int) -> bool:
+        """Whether the party has completed all of its rounds."""
+        return round_index >= self.duration
+
+
+class SilentParty(ProtocolParty):
+    """A party that never sends anything — a crashed or absent process."""
+
+    @property
+    def duration(self) -> int:
+        return 0
+
+    def messages_for_round(self, round_index: int) -> Outbox:
+        return {}
+
+    def receive_round(self, round_index: int, inbox: Inbox) -> None:
+        pass
+
+
+#: A phase factory receives the previous phase's output (``None`` for the
+#: first phase) and builds the sub-party for the next phase.
+PhaseFactory = Callable[[Any], ProtocolParty]
+
+
+class PhasedParty(ProtocolParty):
+    """Sequential composition of sub-protocols at fixed round boundaries.
+
+    Each phase has a *declared* duration (the publicly known worst-case round
+    count).  The sub-party built for a phase may locally finish earlier; its
+    remaining rounds are spent idle, exactly like TreeAA's "wait until round
+    ``R_PathsFinder`` ends".  The next phase's sub-party is constructed from
+    the previous phase's output once the boundary round has passed.
+    """
+
+    def __init__(
+        self,
+        pid: PartyId,
+        n: int,
+        t: int,
+        phases: Sequence[Tuple[int, PhaseFactory]],
+    ) -> None:
+        super().__init__(pid, n, t)
+        if not phases:
+            raise ValueError("at least one phase is required")
+        self._declared: List[int] = [duration for duration, _ in phases]
+        if any(d <= 0 for d in self._declared):
+            raise ValueError("phase durations must be positive")
+        self._factories: List[PhaseFactory] = [factory for _, factory in phases]
+        self._starts: List[int] = []
+        start = 0
+        for d in self._declared:
+            self._starts.append(start)
+            start += d
+        self._total = start
+        self._phase_index = 0
+        self._current: Optional[ProtocolParty] = self._factories[0](None)
+        self._check_subduration()
+
+    def _check_subduration(self) -> None:
+        assert self._current is not None
+        declared = self._declared[self._phase_index]
+        if self._current.duration > declared:
+            raise ValueError(
+                f"phase {self._phase_index} needs {self._current.duration} "
+                f"rounds but only {declared} were declared"
+            )
+
+    @property
+    def duration(self) -> int:
+        return self._total
+
+    @property
+    def phase_index(self) -> int:
+        """The currently active phase (for introspection in tests)."""
+        return self._phase_index
+
+    def _locate(self, round_index: int) -> Optional[int]:
+        """Local round within the active phase, or None when out of range."""
+        if self._phase_index >= len(self._factories):
+            return None
+        local = round_index - self._starts[self._phase_index]
+        if local < 0:
+            return None
+        return local
+
+    def messages_for_round(self, round_index: int) -> Outbox:
+        local = self._locate(round_index)
+        if local is None or self._current is None:
+            return {}
+        if local >= self._current.duration:
+            return {}  # idle tail of the phase (waiting at the barrier)
+        return self._current.messages_for_round(local)
+
+    def receive_round(self, round_index: int, inbox: Inbox) -> None:
+        local = self._locate(round_index)
+        if local is None:
+            return
+        assert self._current is not None
+        if local < self._current.duration:
+            self._current.receive_round(local, inbox)
+        # Advance across the phase boundary once the declared duration ends.
+        if local == self._declared[self._phase_index] - 1:
+            result = self._current.output
+            self._phase_index += 1
+            if self._phase_index < len(self._factories):
+                self._current = self._factories[self._phase_index](result)
+                self._check_subduration()
+            else:
+                self._current = None
+                self.output = self._finalize(result)
+
+    def _finalize(self, last_phase_output: Any) -> Any:
+        """Hook for subclasses to post-process the final phase's output."""
+        return last_phase_output

@@ -1,0 +1,46 @@
+"""Convenience entry points for running protocol executions.
+
+Experiments and examples construct parties via a factory, pick an adversary,
+and call :func:`run_protocol`.  The factory builds *every* party (corrupted
+ids included) so that puppet-driving adversaries — e.g. a passively
+corrupted party that follows the protocol — have a faithful state machine
+to drive.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional, Sequence
+
+from .messages import PartyId
+from .network import ExecutionResult, SynchronousNetwork
+from .protocol import ProtocolParty
+
+PartyFactory = Callable[[PartyId], ProtocolParty]
+
+
+def run_protocol(
+    n: int,
+    t: int,
+    party_factory: PartyFactory,
+    adversary: Optional["Adversary"] = None,  # noqa: F821 - documented duck type
+    max_rounds: Optional[int] = None,
+    observer: Optional["Observer"] = None,  # noqa: F821 - see repro.net.trace
+) -> ExecutionResult:
+    """Build ``n`` parties, wire them to the adversary, and run to completion.
+
+    Returns the :class:`~repro.net.network.ExecutionResult`, whose
+    ``honest_outputs`` are what AA's Termination / Validity / Agreement
+    properties quantify over.
+    """
+    parties = {pid: party_factory(pid) for pid in range(n)}
+    network = SynchronousNetwork(parties, t, adversary, observer=observer)
+    return network.run(max_rounds=max_rounds)
+
+
+def run_fault_free(
+    n: int,
+    party_factory: PartyFactory,
+    max_rounds: Optional[int] = None,
+) -> ExecutionResult:
+    """Run with no adversary at all (every party honest)."""
+    return run_protocol(n, 0, party_factory, adversary=None, max_rounds=max_rounds)

@@ -1,0 +1,48 @@
+"""Real-valued AA building blocks: gradecast, RealAA, and round formulas."""
+
+from .gradecast import (
+    BOTTOM,
+    GRADE_HIGH,
+    GRADE_LOW,
+    GRADE_NONE,
+    GradecastParty,
+    ParallelGradecast,
+)
+from .realaa import IterationRecord, RealAAParty, is_real, trimmed_mean
+from .rounds import (
+    ROUNDS_PER_ITERATION,
+    check_resilience,
+    lemma5_factor,
+    paths_finder_round_bound,
+    realaa_duration,
+    realaa_iterations,
+    schedule_factor,
+    adjusted_schedule_factor,
+    worst_burn_factor,
+    theorem3_round_bound,
+    tree_aa_round_bound,
+)
+
+__all__ = [
+    "BOTTOM",
+    "GRADE_NONE",
+    "GRADE_LOW",
+    "GRADE_HIGH",
+    "GradecastParty",
+    "ParallelGradecast",
+    "RealAAParty",
+    "IterationRecord",
+    "is_real",
+    "trimmed_mean",
+    "ROUNDS_PER_ITERATION",
+    "check_resilience",
+    "lemma5_factor",
+    "schedule_factor",
+    "adjusted_schedule_factor",
+    "worst_burn_factor",
+    "realaa_iterations",
+    "realaa_duration",
+    "theorem3_round_bound",
+    "paths_finder_round_bound",
+    "tree_aa_round_bound",
+]

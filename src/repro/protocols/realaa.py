@@ -1,0 +1,268 @@
+"""RealAA — synchronous Approximate Agreement on real values ([6], Theorem 3).
+
+The protocol of Ben-Or, Dolev, and Hoch that the paper uses as its building
+block.  It follows the iteration-based outline *with memory*:
+
+* every iteration (3 rounds, Remark 3) all parties gradecast their current
+  values in parallel;
+* a party accepts the value of origin ``q`` iff the gradecast confidence is
+  ≥ 1 **and** ``q`` has not previously been detected — confidence ≤ 1 proves
+  ``q`` Byzantine (honest senders always grade 2), so ``q`` joins the
+  persistent ``BAD`` set and is ignored as a sender in all later iterations;
+* the new value is the *trimmed mean* of the accepted multiset: discard the
+  ``t`` lowest and ``t`` highest values, average the rest.
+
+Because graded consistency forces all honest parties to agree on every
+accepted value, honest multisets differ only by *inclusion* — and each
+Byzantine party can cause an inclusion discrepancy at most once before
+landing in everyone's BAD set.  If ``t_i`` parties burn themselves in
+iteration ``i``, the honest range shrinks by factor ``t_i / (n − 2t)``
+(Lemma 5), which is what lets RealAA match Fekete's lower bound.
+
+Termination is deterministic: the iteration count is derived from the
+publicly known input range via Lemma 5 (see
+:func:`repro.protocols.rounds.realaa_iterations`).  Each party additionally
+records the first iteration at which its *observed* accepted range was
+already ≤ ε — the measured round complexity reported by the benchmarks.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..net.messages import Inbox, Outbox, PartyId
+from ..net.protocol import ProtocolParty
+from .gradecast import BOTTOM, GRADE_LOW, ParallelGradecast
+from .rounds import ROUNDS_PER_ITERATION, check_resilience, realaa_iterations
+
+
+def is_real(value: object) -> bool:
+    """Accept exactly finite ints/floats (bools are not protocol values)."""
+    return (
+        isinstance(value, (int, float))
+        and not isinstance(value, bool)
+        and math.isfinite(value)
+    )
+
+
+def trimmed_mean(values: Sequence[float], t: int) -> float:
+    """Discard the ``t`` lowest and ``t`` highest values; average the rest.
+
+    The safe-area computation of RealAA: with at most ``t`` Byzantine values
+    present, everything that survives the double trim lies within the honest
+    values' range, so the mean does too (Validity, Lemma 6).
+    """
+    if not values:
+        raise ValueError("cannot take the trimmed mean of no values")
+    ordered = sorted(values)
+    if len(ordered) > 2 * t:
+        ordered = ordered[t : len(ordered) - t]
+    return math.fsum(ordered) / len(ordered)
+
+
+@dataclass
+class IterationRecord:
+    """Diagnostics captured at the end of one RealAA iteration."""
+
+    iteration: int
+    accepted: Dict[PartyId, float]
+    newly_detected: Tuple[PartyId, ...]
+    trimmed_range: float
+    new_value: float
+
+
+class RealAAParty(ProtocolParty):
+    """One party of ``RealAA(ε)``.
+
+    Parameters
+    ----------
+    input_value:
+        The party's real-valued input.
+    epsilon:
+        The agreement parameter ``ε > 0``.
+    known_range:
+        Publicly known bound on the honest inputs' spread, used to fix the
+        deterministic iteration count.  Exactly one of ``known_range`` and
+        ``iterations`` must be given.
+    iterations:
+        Explicit iteration count (overrides the Lemma-5 derivation).
+    """
+
+    def __init__(
+        self,
+        pid: PartyId,
+        n: int,
+        t: int,
+        input_value: float,
+        epsilon: float = 1.0,
+        known_range: Optional[float] = None,
+        iterations: Optional[int] = None,
+        accusations: bool = True,
+    ) -> None:
+        super().__init__(pid, n, t)
+        check_resilience(n, t)
+        if not is_real(input_value):
+            raise ValueError(f"input must be a finite real, got {input_value!r}")
+        if epsilon <= 0:
+            raise ValueError("epsilon must be positive")
+        if (known_range is None) == (iterations is None):
+            raise ValueError("give exactly one of known_range / iterations")
+        if iterations is None:
+            assert known_range is not None
+            iterations = realaa_iterations(known_range, epsilon, n, t)
+        if iterations < 1:
+            raise ValueError("iterations must be >= 1")
+        self.epsilon = float(epsilon)
+        self.iterations = iterations
+        self.input_value = float(input_value)
+        self.value = float(input_value)
+        self.bad: Set[PartyId] = set()
+        self.history: List[IterationRecord] = []
+        #: First iteration (1-based) whose accepted range was ≤ ε, i.e. when
+        #: this party *observed* the termination condition.  ``None`` until
+        #: observed.  The measured round complexity is 3× this value.
+        self.local_termination_iteration: Optional[int] = None
+        #: Quorum accusations (see the class docstring's "asymmetric trust"
+        #: discussion): parties piggyback their BAD sets on value messages;
+        #: ``t + 1`` accusers globalise a blacklisting.  Disabled only for
+        #: the A3 ablation, which demonstrates the attack this closes.
+        self.accusations = accusations
+        self._accusers: Dict[PartyId, Set[PartyId]] = {}
+        self._engine: Optional[ParallelGradecast] = None
+
+    @property
+    def duration(self) -> int:
+        return ROUNDS_PER_ITERATION * self.iterations
+
+    # ------------------------------------------------------------------
+
+    def _iteration_phase(self, round_index: int) -> Tuple[int, int]:
+        return divmod(round_index, ROUNDS_PER_ITERATION)
+
+    def messages_for_round(self, round_index: int) -> Outbox:
+        iteration, phase = self._iteration_phase(round_index)
+        if iteration >= self.iterations:
+            return {}
+        if phase == 0:
+            self._engine = ParallelGradecast(
+                self.pid,
+                self.n,
+                self.t,
+                iteration=iteration,
+                own_value=self.value,
+                validate_value=is_real,
+            )
+            if not self.accusations:
+                return self._engine.value_messages()
+            payload = ("val", iteration, self.value, tuple(sorted(self.bad)))
+            return {recipient: payload for recipient in range(self.n)}
+        assert self._engine is not None
+        if phase == 1:
+            return self._engine.echo_messages()
+        return self._engine.support_messages()
+
+    def receive_round(self, round_index: int, inbox: Inbox) -> None:
+        iteration, phase = self._iteration_phase(round_index)
+        if iteration >= self.iterations or self._engine is None:
+            return
+        if phase == 0:
+            self._engine.receive_values(inbox)
+            if self.accusations:
+                self._collect_accusations(iteration, inbox)
+        elif phase == 1:
+            self._engine.receive_echoes(inbox)
+        else:
+            self._engine.receive_supports(inbox)
+            self._finish_iteration(iteration)
+
+    def _collect_accusations(self, iteration: int, inbox: Inbox) -> None:
+        """Record which parties each sender currently blacklists.
+
+        Honest parties never blacklist honest parties (honest senders are
+        always graded 2), so an accused party with ``t + 1`` distinct
+        accusers is provably Byzantine — the quorum applied in
+        :meth:`_finish_iteration`.  This closes the *asymmetric trust*
+        loophole: a sender graded 2 by some honest parties and 1 by others
+        lands only in the graders-of-1's BAD sets, and without accusations
+        it could keep feeding divergent multisets forever at no further
+        cost (see ``AsymmetricTrustAdversary`` and ablation A3).
+        """
+        for sender, payload in inbox.items():
+            if (
+                not isinstance(payload, tuple)
+                or len(payload) != 4
+                or payload[0] != "val"
+                or payload[1] != iteration
+            ):
+                continue
+            accused = payload[3]
+            if not isinstance(accused, tuple) or len(accused) > self.n:
+                continue
+            for origin in accused:
+                if isinstance(origin, int) and 0 <= origin < self.n:
+                    self._accusers.setdefault(origin, set()).add(sender)
+
+    def _finish_iteration(self, iteration: int) -> None:
+        assert self._engine is not None
+        grades = self._engine.grade_all()
+        accepted: Dict[PartyId, float] = {}
+        newly_detected: List[PartyId] = []
+        if self.accusations:
+            for origin, accusers in self._accusers.items():
+                if len(accusers) >= self.t + 1 and origin not in self.bad:
+                    # ≥ 1 honest accuser ⇒ origin is Byzantine.
+                    newly_detected.append(origin)
+            self.bad.update(newly_detected)
+        for origin, (value, confidence) in grades.items():
+            if confidence >= GRADE_LOW and origin not in self.bad:
+                assert is_real(value)
+                accepted[origin] = float(value)
+            if confidence <= GRADE_LOW:
+                # Confidence ≤ 1 proves the sender Byzantine: an honest
+                # sender is always graded 2 by every honest party.
+                if origin not in self.bad:
+                    newly_detected.append(origin)
+        self.bad.update(newly_detected)
+
+        values = list(accepted.values())
+        if values:
+            ordered = sorted(values)
+            if len(ordered) > 2 * self.t:
+                core = ordered[self.t : len(ordered) - self.t]
+            else:
+                core = ordered
+            trimmed_range = core[-1] - core[0]
+            # Clamp into the core's envelope: the float mean can land one
+            # ulp outside it at large magnitudes, and Validity is exact.
+            self.value = min(max(math.fsum(core) / len(core), core[0]), core[-1])
+        else:
+            trimmed_range = 0.0  # keep the old value (cannot happen honestly)
+
+        if (
+            self.local_termination_iteration is None
+            and trimmed_range <= self.epsilon
+        ):
+            self.local_termination_iteration = iteration + 1
+
+        self.history.append(
+            IterationRecord(
+                iteration=iteration,
+                accepted=accepted,
+                newly_detected=tuple(sorted(newly_detected)),
+                trimmed_range=trimmed_range,
+                new_value=self.value,
+            )
+        )
+        self._engine = None
+        if iteration + 1 == self.iterations:
+            self.output = self._final_output()
+
+    def _final_output(self):
+        """Hook: derive the protocol output from the final real value.
+
+        ``RealAA`` itself outputs the value; the path/tree reductions of
+        Sections 4–7 override this to map the real value back to a vertex.
+        """
+        return self.value

@@ -1,0 +1,207 @@
+"""Round-complexity formulas from the paper.
+
+Collects, in one place, every quantitative round bound the paper states:
+
+* Lemma 5 (Claim 12 of [7]): after ``R`` iterations RealAA's honest range has
+  shrunk by at least ``t^R / (R^R · (n − 2t)^R)`` (:func:`lemma5_factor`);
+* Theorem 3: ``RealAA(ε)`` terminates within
+  ``⌈7 · log2(D/ε) / log2 log2(D/ε)⌉`` rounds (:func:`theorem3_round_bound`);
+* Remark 3: each RealAA iteration takes exactly 3 rounds
+  (:data:`ROUNDS_PER_ITERATION`);
+* Lemma 4: ``R_PathsFinder = R_RealAA(2·|V(T)|, 1)``
+  (:func:`paths_finder_round_bound`);
+* Theorem 4: TreeAA terminates within
+  ``R_PathsFinder + R_RealAA(D(T), 1)`` rounds (:func:`tree_aa_round_bound`).
+
+The *operational* iteration counts used by the implementation
+(:func:`realaa_iterations`) are derived directly from Lemma 5 — the smallest
+``R`` whose guaranteed shrink factor brings the publicly known input range
+below ``ε``.  They are always at most the Theorem-3 bound for the parameter
+ranges the benchmarks sweep, which benchmark T2 verifies explicitly.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Remark 3 (Theorem 1 of [7]): each RealAA iteration takes three rounds.
+ROUNDS_PER_ITERATION = 3
+
+
+def check_resilience(n: int, t: int) -> None:
+    """Require the optimal unauthenticated threshold ``t < n/3``."""
+    if n < 1 or t < 0:
+        raise ValueError("need n >= 1 and t >= 0")
+    if 3 * t >= n:
+        raise ValueError(
+            f"RealAA requires t < n/3 (got n={n}, t={t}); this is the "
+            "optimal threshold for deterministic synchronous AA without "
+            "cryptographic assumptions"
+        )
+
+
+def lemma5_factor(n: int, t: int, iterations: int) -> float:
+    """The guaranteed range-shrink factor ``t^R / (R^R · (n − 2t)^R)``.
+
+    This is the worst case over all adversary burn schedules: an adversary
+    splitting its budget as ``t_1 + … + t_R ≤ t`` achieves a factor of
+    ``∏ t_i / (n − 2t)``, maximised (over reals) by the even split
+    ``t_i = t/R``.
+    """
+    check_resilience(n, t)
+    if iterations < 1:
+        raise ValueError("iterations must be >= 1")
+    if t == 0:
+        return 0.0
+    base = t / (iterations * (n - 2 * t))
+    return base ** iterations
+
+
+def schedule_factor(n: int, t: int, schedule) -> float:
+    """The shrink factor ``∏ t_i / (n − 2t)`` of a concrete burn schedule."""
+    check_resilience(n, t)
+    schedule = list(schedule)
+    if sum(schedule) > t:
+        raise ValueError(f"schedule {schedule} exceeds the budget t={t}")
+    if any(s < 0 for s in schedule):
+        raise ValueError("schedule entries must be non-negative")
+    factor = 1.0
+    for t_i in schedule:
+        factor *= t_i / (n - 2 * t)
+    return factor
+
+
+def adjusted_schedule_factor(n: int, t: int, schedule) -> float:
+    """The shrink factor of a burn schedule against *this* implementation.
+
+    RealAA here drops detected (BAD) senders from the accepted multiset, so
+    after ``B`` parties have burned, an iteration's multiset holds only
+    ``≥ n − t - 0`` … in the worst case ``n − B`` values of which ``t`` are
+    trimmed per side — a burn then moves the trimmed mean by up to
+    ``t_i / (n − 2t − B)`` of the current range rather than Lemma 5's
+    idealised ``t_i / (n − 2t)``.  The product of the per-iteration terms is
+    the tight operational bound benchmark T3 verifies (measured factors sit
+    exactly at or below it); the Lemma-5 closed form remains the right
+    *asymptotic* statement, as both denominators are Θ(n) for ``t < n/3``.
+    """
+    check_resilience(n, t)
+    schedule = list(schedule)
+    if sum(schedule) > t:
+        raise ValueError(f"schedule {schedule} exceeds the budget t={t}")
+    if any(s < 0 for s in schedule):
+        raise ValueError("schedule entries must be non-negative")
+    factor = 1.0
+    burned = 0
+    for t_i in schedule:
+        denominator = n - 2 * t - burned
+        if denominator < 1:
+            denominator = 1
+        factor *= t_i / denominator
+        burned += t_i
+    return factor
+
+
+def worst_burn_factor(n: int, t: int, iterations: int) -> float:
+    """The provable worst-case shrink factor after ``R`` iterations.
+
+    Two structural facts pin the adversary down:
+
+    * divergence between honest multisets requires a *fresh* burn — a sender
+      graded 1 by some honest party and 0 by another is detected by both and
+      ignored afterwards, and a grade-2 value is accepted by everyone
+      (graded agreement) — so an iteration with no new burn leaves all
+      honest multisets identical and the range collapses to **zero**;
+    * an iteration in which ``t_i`` senders burn while ``B`` senders burned
+      before moves the trimmed mean by at most
+      ``t_i / max(1, n − 2t − B − t_i)`` of the current range (the accepted
+      multiset has shrunk by the ``B + t_i`` dropped senders), capped at 1.
+
+    The worst case over R iterations is therefore a maximisation over
+    all-positive integer schedules ``t_1 + … + t_R ≤ t`` — computed here by
+    dynamic programming — and exactly 0 for ``R > t``.
+    """
+    check_resilience(n, t)
+    if iterations < 1:
+        raise ValueError("iterations must be >= 1")
+    if iterations > t:
+        return 0.0
+
+    from functools import lru_cache
+
+    @lru_cache(maxsize=None)
+    def best(rounds_left: int, budget: int, burned: int) -> float:
+        if rounds_left == 0:
+            return 1.0
+        reserve = rounds_left - 1  # every later round needs >= 1 burn
+        top = 0.0
+        for t_i in range(1, budget - reserve + 1):
+            denominator = n - 2 * t - burned - t_i
+            step = 1.0 if denominator < 1 else min(1.0, t_i / denominator)
+            top = max(top, step * best(rounds_left - 1, budget - t_i, burned + t_i))
+        return top
+
+    return best(iterations, t, 0)
+
+
+def realaa_iterations(known_range: float, epsilon: float, n: int, t: int) -> int:
+    """The number of iterations RealAA runs: smallest ``R`` with
+    ``known_range · worst_burn_factor(n, t, R) ≤ ε`` (so at most ``t + 1``).
+
+    ``known_range`` is the publicly known bound on the honest inputs' spread
+    (for PathsFinder: ``|L| − 1``; for TreeAA's second stage: the height of
+    the rooted tree).  The count is deterministic and publicly computable,
+    as the synchronous model requires.
+
+    The budget uses :func:`worst_burn_factor` — the bound that is provably
+    sound for this implementation — rather than Lemma 5's idealised closed
+    form, which benchmark T3 shows an adversary can slightly beat here
+    (dropping detected senders shrinks the trimmed multiset).  Both are
+    ``Θ(log(D/ε) / log log(D/ε))`` in the regime Theorem 3 addresses
+    (``t ∈ Θ(n)``, large ``D/ε``).
+    """
+    check_resilience(n, t)
+    if epsilon <= 0:
+        raise ValueError("epsilon must be positive")
+    if known_range < 0:
+        raise ValueError("known_range must be non-negative")
+    iterations = 1
+    while known_range * worst_burn_factor(n, t, iterations) > epsilon:
+        iterations += 1
+    return iterations
+
+
+def realaa_duration(known_range: float, epsilon: float, n: int, t: int) -> int:
+    """Total RealAA rounds: ``3 ×`` :func:`realaa_iterations` (Remark 3)."""
+    return ROUNDS_PER_ITERATION * realaa_iterations(known_range, epsilon, n, t)
+
+
+def theorem3_round_bound(spread: float, epsilon: float) -> int:
+    """Theorem 3's closed-form bound ``⌈7 · log2(D/ε) / log2 log2(D/ε)⌉``.
+
+    Only meaningful when ``D/ε > 4`` (below that, ``log2 log2`` is ≤ 1 and
+    the asymptotic formula degenerates); we clamp the denominator at 1,
+    matching how such bounds are read in the paper (constants absorb the
+    small-``D`` regime, where 3 rounds — one iteration — always suffice).
+    """
+    if epsilon <= 0:
+        raise ValueError("epsilon must be positive")
+    if spread <= epsilon:
+        return ROUNDS_PER_ITERATION
+    ratio = spread / epsilon
+    denominator = max(1.0, math.log2(max(2.0, math.log2(ratio))))
+    return math.ceil(7 * math.log2(ratio) / denominator)
+
+
+def paths_finder_round_bound(n_tree_vertices: int) -> int:
+    """Lemma 4: ``R_PathsFinder = R_RealAA(2 · |V(T)|, 1)`` (Theorem-3 form)."""
+    if n_tree_vertices < 1:
+        raise ValueError("a tree has at least one vertex")
+    return theorem3_round_bound(2 * n_tree_vertices, 1.0)
+
+
+def tree_aa_round_bound(n_tree_vertices: int, tree_diameter: int) -> int:
+    """Theorem 4: TreeAA terminates within
+    ``R_PathsFinder + R_RealAA(D(T), 1)`` rounds."""
+    return paths_finder_round_bound(n_tree_vertices) + theorem3_round_bound(
+        max(1, tree_diameter), 1.0
+    )

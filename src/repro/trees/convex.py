@@ -1,0 +1,92 @@
+"""Convex hulls of vertex sets in trees (Section 2 of the paper).
+
+The convex hull ``⟨S⟩`` of a vertex set ``S`` is the vertex set of the
+smallest connected subtree containing ``S``.  Equivalently, ``w ∈ ⟨S⟩`` iff
+``w`` lies on the path ``P(u, v)`` for some ``u, v ∈ S`` (see Figure 1).
+
+Validity for AA on trees requires every honest output to lie in the convex
+hull of the honest inputs; :func:`convex_hull` and :func:`in_convex_hull` are
+the checkers used by both the protocols and the test suite.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, List, Set
+
+from .labeled_tree import Label, LabeledTree
+from .paths import path_between
+
+
+def convex_hull(tree: LabeledTree, vertices: Iterable[Label]) -> FrozenSet[Label]:
+    """``⟨S⟩``: the vertex set of the minimal subtree containing *vertices*.
+
+    Uses the identity ``⟨S⟩ = ⋃_{v ∈ S} V(P(s, v))`` for any fixed ``s ∈ S``:
+    that union is connected and contains ``S``, so it contains the minimal
+    subtree; and every vertex on ``P(s, v)`` lies on a path between two
+    members of ``S``, so it is contained in the hull.
+    """
+    anchors = sorted(set(vertices))
+    if not anchors:
+        raise ValueError("the convex hull of an empty set is undefined")
+    for v in anchors:
+        tree.require_vertex(v)
+    base = anchors[0]
+    hull: Set[Label] = {base}
+    for v in anchors[1:]:
+        hull.update(path_between(tree, base, v).vertices)
+    return frozenset(hull)
+
+
+def in_convex_hull(tree: LabeledTree, vertex: Label, anchors: Iterable[Label]) -> bool:
+    """Whether *vertex* ∈ ``⟨anchors⟩``.
+
+    Decided without materialising the hull: ``w ∈ ⟨S⟩`` iff ``w ∈ S`` or at
+    least two connected components of ``T − w`` contain members of ``S``.
+    """
+    tree.require_vertex(vertex)
+    anchor_set = set(anchors)
+    if not anchor_set:
+        raise ValueError("the convex hull of an empty set is undefined")
+    if vertex in anchor_set:
+        return True
+    occupied = 0
+    for component in tree.components_without(vertex):
+        if anchor_set & component:
+            occupied += 1
+            if occupied >= 2:
+                return True
+    return False
+
+
+def hull_is_path(tree: LabeledTree, anchors: Iterable[Label]) -> bool:
+    """Whether ``⟨anchors⟩`` induces a path (every hull vertex has ≤ 2 hull
+    neighbors)."""
+    hull = convex_hull(tree, anchors)
+    for v in hull:
+        if sum(1 for n in tree.neighbors(v) if n in hull) > 2:
+            return False
+    return True
+
+
+def induced_subtree(tree: LabeledTree, vertices: Iterable[Label]) -> LabeledTree:
+    """The minimal subtree containing *vertices*, as a new :class:`LabeledTree`.
+
+    Useful for analysis (e.g. the diameter of the honest inputs' hull).
+    """
+    hull = convex_hull(tree, vertices)
+    if len(hull) == 1:
+        return LabeledTree(vertices=list(hull))
+    edges: List = [
+        (u, v) for u, v in tree.edges() if u in hull and v in hull
+    ]
+    return LabeledTree(edges=edges)
+
+
+def steiner_diameter(tree: LabeledTree, vertices: Iterable[Label]) -> int:
+    """The diameter of ``⟨vertices⟩`` — how spread out the inputs are.
+
+    This is the quantity ``D`` such that the honest inputs are ``D``-close.
+    """
+    from .paths import diameter  # local import to avoid a cycle at import time
+
+    return diameter(induced_subtree(tree, vertices))

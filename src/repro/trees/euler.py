@@ -1,0 +1,121 @@
+"""``ListConstruction`` — the Euler-tour list representation (Section 6).
+
+Every party deterministically transforms the rooted input space tree into a
+list ``L`` by a DFS from the root that records each vertex on entry and after
+returning from each child.  Children are visited in label order, so all
+honest parties derive the identical list.
+
+Lemma 2 gives four properties of ``L``; all are exercised by the test suite:
+
+1. consecutive list entries are adjacent vertices (if ``|V(T)| > 1``);
+2. ``|L| ≤ 2 · |V(T)|`` and every vertex occurs at least once;
+3. ``u`` is in the subtree rooted at ``v`` iff all occurrences of ``u`` fall
+   within ``[min L(v), max L(v)]``;
+4. the lowest common ancestor of ``v`` and ``v'`` occurs between any pair of
+   their indices.
+
+Indices are 0-based throughout (the paper uses 1-based indices; only the
+origin differs, never the structure).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from .labeled_tree import Label, LabeledTree
+from .lca import RootedTree
+
+
+class EulerList:
+    """The list ``L`` produced by ``ListConstruction(T, v_root)``.
+
+    Parameters
+    ----------
+    rooted:
+        The rooted view of the input space tree.  All parties must use the
+        same root (TreeAA fixes the lowest-labeled vertex).
+    """
+
+    def __init__(self, rooted: RootedTree) -> None:
+        self._rooted = rooted
+        entries: List[Label] = []
+        # DFS recording each vertex on entry and after each child returns.
+        stack: List[Tuple[Label, int]] = [(rooted.root, 0)]
+        while stack:
+            vertex, child_index = stack.pop()
+            entries.append(vertex)
+            kids = rooted.children(vertex)
+            if child_index < len(kids):
+                stack.append((vertex, child_index + 1))
+                stack.append((kids[child_index], 0))
+        self._entries: Tuple[Label, ...] = tuple(entries)
+        occurrences: Dict[Label, List[int]] = {}
+        for index, vertex in enumerate(self._entries):
+            occurrences.setdefault(vertex, []).append(index)
+        self._occurrences: Dict[Label, Tuple[int, ...]] = {
+            vertex: tuple(indices) for vertex, indices in occurrences.items()
+        }
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def rooted(self) -> RootedTree:
+        return self._rooted
+
+    @property
+    def tree(self) -> LabeledTree:
+        return self._rooted.tree
+
+    @property
+    def entries(self) -> Tuple[Label, ...]:
+        """The full list ``L`` (0-based)."""
+        return self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __getitem__(self, index: int) -> Label:
+        """``L_index`` (0-based)."""
+        return self._entries[index]
+
+    def occurrences(self, vertex: Label) -> Tuple[int, ...]:
+        """``L(vertex)`` — all indices at which *vertex* occurs, ascending."""
+        try:
+            return self._occurrences[vertex]
+        except KeyError:
+            raise KeyError(f"vertex {vertex!r} is not in the tree") from None
+
+    def first_occurrence(self, vertex: Label) -> int:
+        """``min L(vertex)`` — the canonical RealAA input for this vertex."""
+        return self.occurrences(vertex)[0]
+
+    def last_occurrence(self, vertex: Label) -> int:
+        """``max L(vertex)``."""
+        return self.occurrences(vertex)[-1]
+
+    def subtree_interval(self, vertex: Label) -> Tuple[int, int]:
+        """``[min L(v), max L(v)]`` — encloses exactly ``v``'s subtree
+        (Lemma 2, property 3)."""
+        indices = self.occurrences(vertex)
+        return indices[0], indices[-1]
+
+    def vertex_in_subtree(self, candidate: Label, subtree_root: Label) -> bool:
+        """Whether *candidate* is in the subtree rooted at *subtree_root*,
+        decided purely from the list (Lemma 2, property 3)."""
+        lo, hi = self.subtree_interval(subtree_root)
+        return all(lo <= i <= hi for i in self.occurrences(candidate))
+
+
+def list_construction(
+    tree: LabeledTree, root: Optional[Label] = None
+) -> EulerList:
+    """``ListConstruction(T, v_root)`` (Section 6).
+
+    Deterministic; every honest party computes the identical list.  When
+    *root* is omitted, the lowest-labeled vertex is used, exactly as TreeAA
+    line 1 prescribes.
+    """
+    rooted = RootedTree(tree, root)
+    return EulerList(rooted)

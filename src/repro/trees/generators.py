@@ -1,0 +1,182 @@
+"""Tree family generators for tests, examples, and benchmarks.
+
+The benchmarks sweep the tree families below because they stress different
+regimes of the paper's bounds:
+
+* paths maximise ``D(T)`` relative to ``|V(T)|`` (the regime where the upper
+  and lower bounds meet, ``D(T) ∈ |V(T)|^Θ(1)``);
+* stars minimise the diameter (``D = 2``) while growing ``|V|``;
+* caterpillars, spiders, and brooms interpolate between the two;
+* complete binary trees have ``D = Θ(log |V|)`` (the open-gap regime the
+  conclusion highlights);
+* random trees (uniform via Prüfer sequences) exercise everything else.
+
+All generators label vertices with zero-padded strings so that
+lexicographic label order matches numeric order, which keeps examples and
+tests easy to read.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from .labeled_tree import Label, LabeledTree
+
+
+def _labels(count: int, prefix: str = "v") -> List[str]:
+    width = max(2, len(str(count - 1)))
+    return [f"{prefix}{i:0{width}d}" for i in range(count)]
+
+
+def path_tree(n_vertices: int) -> LabeledTree:
+    """A path of *n_vertices* vertices (diameter ``n_vertices − 1``)."""
+    if n_vertices < 1:
+        raise ValueError("a tree needs at least one vertex")
+    names = _labels(n_vertices)
+    if n_vertices == 1:
+        return LabeledTree(vertices=names)
+    return LabeledTree(edges=[(names[i], names[i + 1]) for i in range(n_vertices - 1)])
+
+
+def star_tree(n_leaves: int) -> LabeledTree:
+    """A star: one center (``v00``) with *n_leaves* leaves (diameter 2)."""
+    if n_leaves < 1:
+        raise ValueError("a star needs at least one leaf")
+    names = _labels(n_leaves + 1)
+    return LabeledTree(edges=[(names[0], leaf) for leaf in names[1:]])
+
+
+def binary_tree(depth: int) -> LabeledTree:
+    """A complete binary tree of the given *depth* (depth 0 = single vertex)."""
+    if depth < 0:
+        raise ValueError("depth must be non-negative")
+    count = 2 ** (depth + 1) - 1
+    names = _labels(count)
+    if count == 1:
+        return LabeledTree(vertices=names)
+    edges = []
+    for i in range(1, count):
+        edges.append((names[(i - 1) // 2], names[i]))
+    return LabeledTree(edges=edges)
+
+
+def caterpillar_tree(spine_length: int, legs_per_vertex: int = 1) -> LabeledTree:
+    """A caterpillar: a spine path with *legs_per_vertex* leaves per vertex."""
+    if spine_length < 1:
+        raise ValueError("the spine needs at least one vertex")
+    if legs_per_vertex < 0:
+        raise ValueError("legs_per_vertex must be non-negative")
+    total = spine_length * (1 + legs_per_vertex)
+    names = _labels(total)
+    spine = names[:spine_length]
+    edges: List[Tuple[str, str]] = [
+        (spine[i], spine[i + 1]) for i in range(spine_length - 1)
+    ]
+    cursor = spine_length
+    for s in spine:
+        for _ in range(legs_per_vertex):
+            edges.append((s, names[cursor]))
+            cursor += 1
+    if not edges:
+        return LabeledTree(vertices=spine)
+    return LabeledTree(edges=edges)
+
+
+def spider_tree(n_arms: int, arm_length: int) -> LabeledTree:
+    """A spider: *n_arms* paths of *arm_length* edges from a common center."""
+    if n_arms < 1 or arm_length < 1:
+        raise ValueError("a spider needs at least one arm of length ≥ 1")
+    names = _labels(1 + n_arms * arm_length)
+    center = names[0]
+    edges = []
+    cursor = 1
+    for _ in range(n_arms):
+        previous = center
+        for _ in range(arm_length):
+            edges.append((previous, names[cursor]))
+            previous = names[cursor]
+            cursor += 1
+    return LabeledTree(edges=edges)
+
+
+def broom_tree(handle_length: int, n_bristles: int) -> LabeledTree:
+    """A broom: a path of *handle_length* edges ending in *n_bristles* leaves."""
+    if handle_length < 1 or n_bristles < 1:
+        raise ValueError("a broom needs a handle and bristles")
+    names = _labels(handle_length + 1 + n_bristles)
+    edges = [(names[i], names[i + 1]) for i in range(handle_length)]
+    tip = names[handle_length]
+    for leaf in names[handle_length + 1 :]:
+        edges.append((tip, leaf))
+    return LabeledTree(edges=edges)
+
+
+def random_tree(n_vertices: int, seed: Optional[int] = None) -> LabeledTree:
+    """A uniformly random labeled tree via a random Prüfer sequence."""
+    if n_vertices < 1:
+        raise ValueError("a tree needs at least one vertex")
+    names = _labels(n_vertices)
+    if n_vertices == 1:
+        return LabeledTree(vertices=names)
+    if n_vertices == 2:
+        return LabeledTree(edges=[(names[0], names[1])])
+    rng = random.Random(seed)
+    sequence = [rng.randrange(n_vertices) for _ in range(n_vertices - 2)]
+    return LabeledTree(edges=_edges_from_pruefer(sequence, names))
+
+
+def tree_from_pruefer(sequence: Sequence[int]) -> LabeledTree:
+    """The labeled tree on ``len(sequence) + 2`` vertices encoded by a Prüfer
+    sequence.  Useful for exhaustively or randomly enumerating trees in
+    property-based tests."""
+    n = len(sequence) + 2
+    names = _labels(n)
+    if any(not 0 <= s < n for s in sequence):
+        raise ValueError("Prüfer entries must be vertex indices")
+    if n == 2:
+        return LabeledTree(edges=[(names[0], names[1])])
+    return LabeledTree(edges=_edges_from_pruefer(list(sequence), names))
+
+
+def _edges_from_pruefer(
+    sequence: List[int], names: Sequence[str]
+) -> List[Tuple[str, str]]:
+    n = len(sequence) + 2
+    degree = [1] * n
+    for s in sequence:
+        degree[s] += 1
+    edges: List[Tuple[str, str]] = []
+    # Standard decoding: repeatedly join the smallest leaf to the next entry.
+    import heapq
+
+    leaves = [i for i in range(n) if degree[i] == 1]
+    heapq.heapify(leaves)
+    for s in sequence:
+        leaf = heapq.heappop(leaves)
+        edges.append((names[leaf], names[s]))
+        degree[s] -= 1
+        if degree[s] == 1:
+            heapq.heappush(leaves, s)
+    u, v = heapq.heappop(leaves), heapq.heappop(leaves)
+    edges.append((names[u], names[v]))
+    return edges
+
+
+def figure_tree() -> LabeledTree:
+    """The 8-vertex tree of Figures 3 and 4 of the paper.
+
+    ``v1`` is the root; ``v2`` has children ``v3, v4, v5``; ``v3`` has
+    children ``v6, v7``; ``v4`` has child ``v8``.
+    """
+    return LabeledTree(
+        edges=[
+            ("v1", "v2"),
+            ("v2", "v3"),
+            ("v2", "v4"),
+            ("v2", "v5"),
+            ("v3", "v6"),
+            ("v3", "v7"),
+            ("v4", "v8"),
+        ]
+    )

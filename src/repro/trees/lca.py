@@ -1,0 +1,164 @@
+"""Rooted views of labeled trees and O(1) lowest-common-ancestor queries.
+
+PathsFinder (Section 6) roots the input space tree at the lowest-labeled
+vertex and reasons about subtrees and lowest common ancestors.  The LCA
+structure uses the Euler-tour + sparse-table technique of Bender and
+Farach-Colton [8] — the same tree-traversal idea that underlies the paper's
+``ListConstruction``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from .labeled_tree import Label, LabeledTree
+
+
+class RootedTree:
+    """A labeled tree together with a distinguished root.
+
+    Exposes parent/depth/subtree structure and O(1) LCA queries after
+    O(|V| log |V|) preprocessing.  Children are ordered by label so that
+    every party derives the identical rooted view, as the protocol requires.
+    """
+
+    def __init__(self, tree: LabeledTree, root: Optional[Label] = None) -> None:
+        if root is None:
+            root = tree.root_label
+        tree.require_vertex(root)
+        self._tree = tree
+        self._root = root
+        self._parent: Dict[Label, Optional[Label]] = {root: None}
+        self._depth: Dict[Label, int] = {root: 0}
+        self._children: Dict[Label, Tuple[Label, ...]] = {}
+        self._order: List[Label] = []  # preorder (DFS, children by label)
+        stack: List[Label] = [root]
+        while stack:
+            vertex = stack.pop()
+            self._order.append(vertex)
+            kids = tuple(
+                n for n in tree.neighbors(vertex) if n != self._parent[vertex]
+            )
+            self._children[vertex] = kids
+            for child in reversed(kids):
+                self._parent[child] = vertex
+                self._depth[child] = self._depth[vertex] + 1
+                stack.append(child)
+        # The O(|V| log |V|) LCA structure is built lazily on the first
+        # lca() query: many callers (TreeAA's duration formulas, the
+        # safe-area pass) only need parents/depths/children, and the sparse
+        # table would dominate both time and memory on large trees.
+        self._sparse: Optional[List[List[Tuple[int, Label]]]] = None
+
+    def _build_euler_sparse_table(self) -> None:
+        """Euler tour of (depth, vertex) pairs plus a min sparse table."""
+        tour: List[Tuple[int, Label]] = []
+        first: Dict[Label, int] = {}
+        # Iterative DFS recording the (depth, vertex) pair on entry and after
+        # each child returns — the classic Euler tour for LCA.
+        stack: List[Tuple[Label, int]] = [(self._root, 0)]
+        while stack:
+            vertex, child_index = stack.pop()
+            if child_index == 0:
+                first.setdefault(vertex, len(tour))
+            tour.append((self._depth[vertex], vertex))
+            kids = self._children[vertex]
+            if child_index < len(kids):
+                stack.append((vertex, child_index + 1))
+                stack.append((kids[child_index], 0))
+        self._euler = tour
+        self._first = first
+        size = len(tour)
+        levels = max(1, size.bit_length())
+        table: List[List[Tuple[int, Label]]] = [tour[:]]
+        span = 1
+        for _ in range(1, levels):
+            previous = table[-1]
+            if 2 * span > size:
+                break
+            row = [
+                min(previous[i], previous[i + span])
+                for i in range(size - 2 * span + 1)
+            ]
+            table.append(row)
+            span *= 2
+        self._sparse = table
+
+    # ------------------------------------------------------------------
+    # Structure accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def tree(self) -> LabeledTree:
+        return self._tree
+
+    @property
+    def root(self) -> Label:
+        return self._root
+
+    def parent(self, vertex: Label) -> Optional[Label]:
+        """The parent of *vertex*, or ``None`` for the root."""
+        return self._parent[vertex]
+
+    def depth(self, vertex: Label) -> int:
+        """Edges between *vertex* and the root."""
+        return self._depth[vertex]
+
+    def children(self, vertex: Label) -> Tuple[Label, ...]:
+        """The children of *vertex*, ordered by label."""
+        return self._children[vertex]
+
+    def preorder(self) -> Tuple[Label, ...]:
+        """All vertices in preorder (children visited in label order)."""
+        return tuple(self._order)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def lca(self, u: Label, v: Label) -> Label:
+        """The lowest common ancestor of *u* and *v*."""
+        if self._sparse is None:
+            self._build_euler_sparse_table()
+        try:
+            i, j = self._first[u], self._first[v]
+        except KeyError as exc:
+            raise KeyError(f"vertex {exc.args[0]!r} is not in the tree") from None
+        if i > j:
+            i, j = j, i
+        width = j - i + 1
+        level = width.bit_length() - 1
+        row = self._sparse[level]
+        left = row[i]
+        right = row[j - (1 << level) + 1]
+        return min(left, right)[1]
+
+    def is_ancestor(self, ancestor: Label, descendant: Label) -> bool:
+        """Whether *ancestor* lies on the root-to-*descendant* path."""
+        return self.lca(ancestor, descendant) == ancestor
+
+    def distance(self, u: Label, v: Label) -> int:
+        """``d(u, v)`` computed via depths and the LCA (O(1))."""
+        w = self.lca(u, v)
+        return self._depth[u] + self._depth[v] - 2 * self._depth[w]
+
+    def root_path(self, vertex: Label) -> Tuple[Label, ...]:
+        """The vertices of ``P(root, vertex)``, root first."""
+        chain: List[Label] = []
+        current: Optional[Label] = vertex
+        while current is not None:
+            chain.append(current)
+            current = self._parent[current]
+        chain.reverse()
+        return tuple(chain)
+
+    def subtree_vertices(self, vertex: Label) -> Tuple[Label, ...]:
+        """All vertices of the subtree rooted at *vertex* (preorder)."""
+        out: List[Label] = []
+        stack = [vertex]
+        while stack:
+            current = stack.pop()
+            out.append(current)
+            for child in reversed(self._children[current]):
+                stack.append(child)
+        return tuple(out)

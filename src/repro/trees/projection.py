@@ -1,0 +1,63 @@
+"""Projection of a vertex onto a path (Section 5, Figure 2).
+
+``proj_P(v)`` is the vertex of path ``P`` closest to ``v``.  In a tree this
+vertex is unique: walking from ``v`` towards any vertex of ``P``, the first
+path vertex encountered is the projection (Lemma 1's proof relies on exactly
+this characterisation).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, Optional
+
+from .labeled_tree import Label, LabeledTree
+from .paths import TreePath
+
+
+def project_onto_path(tree: LabeledTree, vertex: Label, path: TreePath) -> Label:
+    """``proj_P(vertex)`` — the unique vertex of *path* nearest to *vertex*.
+
+    Runs a BFS from *vertex* and returns the first path vertex reached; the
+    tree structure guarantees exactly one path vertex is at minimum distance.
+    """
+    tree.require_vertex(vertex)
+    for p in path:
+        tree.require_vertex(p)
+    if vertex in path:
+        return vertex
+    seen = {vertex}
+    queue = deque([vertex])
+    while queue:
+        current = queue.popleft()
+        for neighbor in tree.neighbors(current):
+            if neighbor in path:
+                return neighbor
+            if neighbor not in seen:
+                seen.add(neighbor)
+                queue.append(neighbor)
+    raise ValueError("path vertices are unreachable; not a path of this tree")
+
+
+def projection_distance(tree: LabeledTree, vertex: Label, path: TreePath) -> int:
+    """``d(vertex, proj_P(vertex))`` — how far *vertex* is from the path."""
+    if vertex in path:
+        return 0
+    seen = {vertex}
+    queue = deque([(vertex, 0)])
+    while queue:
+        current, dist = queue.popleft()
+        for neighbor in tree.neighbors(current):
+            if neighbor in path:
+                return dist + 1
+            if neighbor not in seen:
+                seen.add(neighbor)
+                queue.append((neighbor, dist + 1))
+    raise ValueError("path vertices are unreachable; not a path of this tree")
+
+
+def project_all(
+    tree: LabeledTree, vertices: Iterable[Label], path: TreePath
+) -> Dict[Label, Label]:
+    """Project each vertex in *vertices* onto *path* (Figure 2 en masse)."""
+    return {v: project_onto_path(tree, v, path) for v in vertices}

@@ -1,0 +1,158 @@
+"""Safe areas on trees — the substrate of the iteration-based baseline.
+
+The iteration-based outline described in the paper's introduction has each
+party compute, from the ``m`` values it received (of which up to ``t`` come
+from Byzantine parties), a *safe area*: a set of vertices guaranteed to lie
+in the convex hull of the honestly distributed values.  Formally the safe
+area is ``⋂ ⟨W'⟩`` over all subsets ``W'`` obtained by deleting ``t`` values.
+
+For trees this intersection has a clean characterisation: a vertex ``w`` is
+safe iff **every** connected component of ``T − w`` contains at most
+``m − t − 1`` of the received values.  (If some component held ``≥ m − t``
+values the adversary could delete all values elsewhere, leaving a hull that
+avoids ``w``; conversely, if no component can absorb ``m − t`` values then
+every ``(m − t)``-subset either contains ``w`` or spans two components, and
+in both cases ``w`` is in its hull.)
+
+A counting argument on the tree median shows the safe area is non-empty
+whenever ``m ≥ 2t + 1``, which the protocols guarantee via ``m ≥ n − t`` and
+``n > 3t``.  :func:`brute_force_safe_area` cross-checks the fast rule in the
+test suite.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
+
+from .convex import convex_hull
+from .labeled_tree import Label, LabeledTree
+from .paths import TreePath, diameter_path, path_between
+
+
+def component_value_counts(
+    tree: LabeledTree, vertex: Label, values: Sequence[Label]
+) -> Tuple[int, ...]:
+    """How many received values fall in each component of ``T − vertex``."""
+    counts: List[int] = []
+    for component in tree.components_without(vertex):
+        counts.append(sum(1 for value in values if value in component))
+    return tuple(counts)
+
+
+def is_safe_vertex(
+    tree: LabeledTree, vertex: Label, values: Sequence[Label], t: int
+) -> bool:
+    """Whether *vertex* lies in ``⟨W'⟩`` for every ``(m − t)``-subset ``W'``."""
+    if t < 0:
+        raise ValueError("t must be non-negative")
+    m = len(values)
+    if m - t < 1:
+        raise ValueError(f"need at least t + 1 = {t + 1} values, got {m}")
+    threshold = m - t  # a component holding this many values makes w unsafe
+    for count in component_value_counts(tree, vertex, values):
+        if count >= threshold:
+            return False
+    return True
+
+
+def safe_area(
+    tree: LabeledTree, values: Sequence[Label], t: int
+) -> FrozenSet[Label]:
+    """All safe vertices.  Non-empty whenever ``len(values) ≥ 2t + 1``.
+
+    Linear time: rooting the tree once, each component of ``T − v`` is
+    either a child subtree of ``v`` or the rest of the tree, so component
+    value counts reduce to subtree value sums computed in one post-order
+    pass.  (:func:`is_safe_vertex` is the O(|V|) per-vertex reference rule;
+    the test suite cross-checks the two and the brute-force intersection.)
+    """
+    m = len(values)
+    if t < 0:
+        raise ValueError("t must be non-negative")
+    if m - t < 1:
+        raise ValueError(f"need at least t + 1 = {t + 1} values, got {m}")
+    for value in values:
+        tree.require_vertex(value)
+
+    from .lca import RootedTree  # local import: avoid a module cycle
+
+    rooted = RootedTree(tree)
+    at_vertex: Dict[Label, int] = {}
+    for value in values:
+        at_vertex[value] = at_vertex.get(value, 0) + 1
+    # Post-order subtree sums (preorder reversed is a valid post-order).
+    subtree_count: Dict[Label, int] = {}
+    for vertex in reversed(rooted.preorder()):
+        total = at_vertex.get(vertex, 0)
+        for child in rooted.children(vertex):
+            total += subtree_count[child]
+        subtree_count[vertex] = total
+
+    threshold = m - t  # a component reaching this count makes v unsafe
+    area: Set[Label] = set()
+    for vertex in tree.vertices:
+        safe = True
+        for child in rooted.children(vertex):
+            if subtree_count[child] >= threshold:
+                safe = False
+                break
+        if safe and vertex != rooted.root:
+            if m - subtree_count[vertex] >= threshold:
+                safe = False
+        if safe:
+            area.add(vertex)
+    if not area and m >= 2 * t + 1:
+        raise AssertionError(
+            "safe area unexpectedly empty despite m >= 2t + 1; "
+            "this indicates a bug in the safe-area rule"
+        )
+    return frozenset(area)
+
+
+def brute_force_safe_area(
+    tree: LabeledTree, values: Sequence[Label], t: int
+) -> FrozenSet[Label]:
+    """Reference implementation: intersect hulls of all ``(m − t)``-subsets.
+
+    Exponential in ``t``; used only in tests to validate :func:`safe_area`.
+    """
+    m = len(values)
+    if m - t < 1:
+        raise ValueError(f"need at least t + 1 = {t + 1} values, got {m}")
+    area: Set[Label] = set(tree.vertices)
+    for keep in combinations(range(m), m - t):
+        subset = [values[i] for i in keep]
+        area &= convex_hull(tree, subset)
+        if not area:
+            break
+    return frozenset(area)
+
+
+def safe_area_subtree_path(
+    tree: LabeledTree, values: Sequence[Label], t: int
+) -> TreePath:
+    """The canonical diameter path of the safe area's induced subtree."""
+    area = safe_area(tree, values, t)
+    if not area:
+        raise ValueError("safe area is empty; cannot take its midpoint")
+    if len(area) == 1:
+        return TreePath([next(iter(area))])
+    edges = [(u, v) for u, v in tree.edges() if u in area and v in area]
+    sub = LabeledTree(edges=edges) if edges else LabeledTree(vertices=sorted(area))
+    return diameter_path(sub)
+
+
+def safe_area_midpoint(
+    tree: LabeledTree, values: Sequence[Label], t: int
+) -> Label:
+    """The midpoint of the safe area — the baseline's per-iteration update.
+
+    Deterministic: the midpoint of the canonical diameter path of the safe
+    subtree (ties broken towards the lower-labeled endpoint).  Choosing the
+    diameter midpoint roughly halves the safe area's spread per iteration,
+    which is exactly the ``2^{-R}`` convergence the paper's introduction
+    attributes to the iteration-based outline.
+    """
+    path = safe_area_subtree_path(tree, values, t)
+    return path[path.length // 2]

@@ -1,0 +1,76 @@
+"""Serialization for labeled trees: JSON round-trips and DOT export.
+
+The input space tree is *public knowledge* in the paper's model; in
+practice that means it must be distributable as a document.  This module
+fixes a canonical JSON form (sorted vertices, sorted edges), so two
+parties exchanging serialized trees derive identical
+:class:`~repro.trees.labeled_tree.LabeledTree` objects — and hence
+identical Euler lists, roots, and path orientations.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from .labeled_tree import Label, LabeledTree
+
+#: Canonical dict schema version.
+SCHEMA = "repro/labeled-tree/v1"
+
+
+def tree_to_dict(tree: LabeledTree) -> Dict[str, Any]:
+    """The canonical dict form: schema tag + sorted vertices + sorted edges."""
+    return {
+        "schema": SCHEMA,
+        "vertices": list(tree.vertices),
+        "edges": [list(edge) for edge in tree.edges()],
+    }
+
+
+def tree_from_dict(data: Dict[str, Any]) -> LabeledTree:
+    """Rebuild a tree from its canonical dict form (validating as we go)."""
+    if not isinstance(data, dict):
+        raise ValueError("expected a dict")
+    if data.get("schema") != SCHEMA:
+        raise ValueError(f"unknown schema {data.get('schema')!r}")
+    vertices = data.get("vertices")
+    edges = data.get("edges")
+    if not isinstance(vertices, list) or not isinstance(edges, list):
+        raise ValueError("vertices and edges must be lists")
+    parsed_edges = []
+    for edge in edges:
+        if not isinstance(edge, (list, tuple)) or len(edge) != 2:
+            raise ValueError(f"malformed edge {edge!r}")
+        parsed_edges.append((edge[0], edge[1]))
+    return LabeledTree(edges=parsed_edges, vertices=vertices)
+
+
+def tree_to_json(tree: LabeledTree, indent: int = None) -> str:
+    """Canonical JSON text.  Deterministic: equal trees serialize equally."""
+    return json.dumps(tree_to_dict(tree), indent=indent, sort_keys=True)
+
+
+def tree_from_json(text: str) -> LabeledTree:
+    return tree_from_dict(json.loads(text))
+
+
+def tree_to_dot(
+    tree: LabeledTree,
+    highlight: Dict[Label, str] = None,
+    name: str = "tree",
+) -> str:
+    """GraphViz DOT text; *highlight* maps vertices to fill colors."""
+    highlight = highlight or {}
+    lines: List[str] = [f"graph {json.dumps(name)} {{"]
+    lines.append("  node [shape=circle];")
+    for vertex in tree.vertices:
+        attrs = ""
+        color = highlight.get(vertex)
+        if color:
+            attrs = f' [style=filled, fillcolor="{color}"]'
+        lines.append(f"  {json.dumps(str(vertex))}{attrs};")
+    for u, v in tree.edges():
+        lines.append(f"  {json.dumps(str(u))} -- {json.dumps(str(v))};")
+    lines.append("}")
+    return "\n".join(lines)

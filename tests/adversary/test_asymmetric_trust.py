@@ -1,0 +1,155 @@
+"""Tests for the asymmetric-trust attack and the quorum-accusation defense.
+
+The attack: a corrupted sender graded 2 by an honest group A and 1 by the
+rest lands only in the latter's BAD sets.  Behaving consistently forever
+after, it feeds A's multisets one extra (extreme) value per iteration —
+divergence with no further detection, breaking the once-per-party burn
+accounting RealAA's round budget rests on.
+
+The defense (on by default): parties piggyback their BAD sets on value
+messages; ``t + 1`` accusers — at least one of them honest — globalise the
+blacklisting before the divergence can recur.
+"""
+
+import random
+
+import pytest
+
+from repro.adversary.realaa_attacks import AsymmetricTrustAdversary
+from repro.analysis import honest_value_ranges
+from repro.core import run_real_aa, run_tree_aa
+from repro.net import run_protocol
+from repro.protocols import RealAAParty
+from repro.trees import random_tree
+
+N, T = 7, 2
+INPUTS = [0.0, 0.0, 0.0, 100.0, 100.0, 0.0, 0.0]
+
+
+def run_attack(accusations, iterations=None, direction="up", known_range=100.0):
+    kwargs = (
+        {"iterations": iterations}
+        if iterations is not None
+        else {"known_range": known_range}
+    )
+    return run_protocol(
+        N,
+        T,
+        lambda pid: RealAAParty(
+            pid, N, T, INPUTS[pid], epsilon=1.0, accusations=accusations, **kwargs
+        ),
+        adversary=AsymmetricTrustAdversary(direction=direction),
+    )
+
+
+class TestAttackWithoutAccusations:
+    """Negative results: the ablated protocol is genuinely broken."""
+
+    def test_sustained_divergence(self):
+        result = run_attack(accusations=False, iterations=10)
+        ranges = honest_value_ranges(result)
+        assert all(r > 0 for r in ranges), ranges
+
+    def test_constant_factor_per_iteration(self):
+        result = run_attack(accusations=False, iterations=8)
+        ranges = honest_value_ranges(result)
+        factors = [b / a for a, b in zip(ranges[1:], ranges[2:])]
+        # from iteration 1 on the factor is pinned at 1/2 — never collapsing
+        assert all(f == pytest.approx(0.5, abs=0.05) for f in factors)
+
+    def test_budget_violated(self):
+        """ε-agreement fails within the deterministic round budget — the
+        bug this attack exposes in a memory-only design."""
+        result = run_attack(accusations=False)
+        ranges = honest_value_ranges(result)
+        assert ranges[-1] > 1.0
+
+    def test_validity_still_holds(self):
+        """The attack breaks agreement, never validity (the trim is sound)."""
+        result = run_attack(accusations=False, iterations=6)
+        for pid in result.honest:
+            assert 0.0 <= result.outputs[pid] <= 100.0
+
+    def test_no_divergence_in_setup_iteration(self):
+        """Iteration 0's asymmetric grading is invisible: everyone accepts
+        the planted values (grades 2 and 1 both accept); only the burner
+        creates divergence."""
+        result = run_attack(accusations=False, iterations=4)
+        asym = sorted(result.corrupted)[1:]
+        for pid in result.honest:
+            record = result.parties[pid].history[0]
+            for origin in asym:
+                assert origin in record.accepted
+
+    def test_asymmetric_bad_sets(self):
+        result = run_attack(accusations=False, iterations=4)
+        asym = sorted(result.corrupted)[1:]
+        bad_sets = [frozenset(result.parties[p].bad) for p in sorted(result.honest)]
+        for origin in asym:
+            memberships = {origin in bad for bad in bad_sets}
+            assert memberships == {True, False}  # trusted by some, not others
+
+
+class TestAccusationDefense:
+    def test_agreement_restored(self):
+        result = run_attack(accusations=True)
+        ranges = honest_value_ranges(result)
+        assert ranges[-1] <= 1.0
+
+    def test_quorum_globalises_blacklist(self):
+        result = run_attack(accusations=True, iterations=4)
+        for pid in result.honest:
+            assert result.parties[pid].bad == result.corrupted
+
+    def test_collapse_right_after_quorum(self):
+        result = run_attack(accusations=True, iterations=4)
+        ranges = honest_value_ranges(result)
+        # iteration 0: the burn keeps the range positive; iteration 1: the
+        # accusations land before acceptance, so the range collapses.
+        assert ranges[1] > 0.0
+        assert ranges[2] == pytest.approx(0.0, abs=1e-12)
+
+    @pytest.mark.parametrize("direction", ["up", "down"])
+    def test_both_directions(self, direction):
+        result = run_attack(accusations=True, direction=direction)
+        ranges = honest_value_ranges(result)
+        assert ranges[-1] <= 1.0
+
+    def test_false_accusations_are_harmless(self):
+        """Corrupted parties accusing every honest party never reach the
+        t + 1 quorum, so no honest party is ever blacklisted."""
+        result = run_protocol(
+            N,
+            T,
+            lambda pid: RealAAParty(
+                pid, N, T, INPUTS[pid], epsilon=1.0, known_range=100.0
+            ),
+            adversary=AsymmetricTrustAdversary(accuse_honest=True),
+        )
+        for pid in result.honest:
+            assert result.parties[pid].bad <= result.corrupted
+        ranges = honest_value_ranges(result)
+        assert ranges[-1] <= 1.0
+
+    def test_tree_aa_resists_the_attack(self):
+        tree = random_tree(30, seed=6)
+        rng = random.Random(3)
+        inputs = [rng.choice(tree.vertices) for _ in range(N)]
+        outcome = run_tree_aa(tree, inputs, T, adversary=AsymmetricTrustAdversary())
+        assert outcome.achieved_aa
+
+    def test_larger_network(self):
+        n, t = 13, 4
+        inputs = [0.0 if i % 2 == 0 else 100.0 for i in range(n)]
+        outcome = run_real_aa(
+            inputs,
+            t,
+            epsilon=1.0,
+            known_range=100.0,
+            adversary=AsymmetricTrustAdversary(),
+        )
+        assert outcome.achieved_aa
+
+    def test_direction_validated(self):
+        with pytest.raises(ValueError):
+            AsymmetricTrustAdversary(direction="sideways")

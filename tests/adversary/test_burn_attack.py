@@ -1,0 +1,192 @@
+"""Tests for the budget-splitting burn attack (the Fekete-style adversary)."""
+
+import pytest
+
+from repro.adversary.realaa_attacks import (
+    BurnScheduleAdversary,
+    SplitBroadcastAdversary,
+    even_burn_schedule,
+)
+from repro.analysis import honest_value_ranges
+from repro.baselines import IterativeRealAAParty
+from repro.net import run_protocol
+from repro.protocols import GRADE_LOW, RealAAParty
+
+
+class TestEvenBurnSchedule:
+    def test_even_division(self):
+        assert even_burn_schedule(6, 3) == [2, 2, 2]
+
+    def test_remainder_goes_first(self):
+        assert even_burn_schedule(5, 3) == [2, 2, 1]
+
+    def test_fewer_burns_than_iterations(self):
+        assert even_burn_schedule(2, 4) == [1, 1, 0, 0]
+
+    def test_zero_budget(self):
+        assert even_burn_schedule(0, 3) == [0, 0, 0]
+
+    def test_sums_to_budget(self):
+        for t in range(8):
+            for R in range(1, 6):
+                assert sum(even_burn_schedule(t, R)) == t
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            even_burn_schedule(-1, 2)
+        with pytest.raises(ValueError):
+            even_burn_schedule(1, 0)
+
+
+def run_attacked_realaa(schedule, iterations=3, direction="up", inputs=None, n=7, t=2):
+    if inputs is None:
+        inputs = [0.0, 0.0, 0.0, 10.0, 10.0, 0.0, 0.0]
+    adversary = BurnScheduleAdversary(schedule=schedule, direction=direction)
+    result = run_protocol(
+        n,
+        t,
+        lambda pid: RealAAParty(pid, n, t, inputs[pid], iterations=iterations),
+        adversary=adversary,
+    )
+    return result, adversary
+
+
+class TestBurnMechanics:
+    def test_schedule_validation(self):
+        with pytest.raises(ValueError):
+            BurnScheduleAdversary(schedule=[-1])
+        with pytest.raises(ValueError):
+            BurnScheduleAdversary(schedule=[1], direction="sideways")
+
+    def test_burn_log_matches_schedule(self):
+        _, adversary = run_attacked_realaa([1, 1])
+        assert [entry[0] for entry in adversary.burn_log] == [0, 1]
+        burners = {b for _, bs, _ in adversary.burn_log for b in bs}
+        assert burners == {5, 6}
+
+    def test_each_party_burns_once(self):
+        _, adversary = run_attacked_realaa([2, 2], iterations=4)
+        all_burners = [b for _, bs, _ in adversary.burn_log for b in bs]
+        assert len(all_burners) == len(set(all_burners)) == 2
+
+    def test_group_split_creates_inclusion_divergence(self):
+        result, adversary = run_attacked_realaa([2])
+        burners = set(adversary.burn_log[0][1])
+        accepted_counts = set()
+        for pid in result.honest:
+            record = result.parties[pid].history[0]
+            accepted_counts.add(len(set(record.accepted) & burners))
+        # some honest accepted the planted values, some rejected them
+        assert len(accepted_counts) > 1
+
+    def test_burners_blacklisted_everywhere_after_burn(self):
+        result, adversary = run_attacked_realaa([1], iterations=2)
+        burner = adversary.burn_log[0][1][0]
+        for pid in result.honest:
+            assert burner in result.parties[pid].history[0].newly_detected
+            # and the burner contributes nothing in the next iteration
+            assert burner not in result.parties[pid].history[1].accepted
+
+    def test_divergence_is_created(self):
+        result, _ = run_attacked_realaa([2], iterations=2)
+        ranges = honest_value_ranges(result)
+        assert ranges[1] > 0.0
+
+    def test_down_direction_plants_minimum(self):
+        result, adversary = run_attacked_realaa([1], direction="down")
+        burner = adversary.burn_log[0][1][0]
+        planted = [
+            record.accepted[burner]
+            for pid in result.honest
+            for record in [result.parties[pid].history[0]]
+            if burner in record.accepted
+        ]
+        assert planted and all(v == 0.0 for v in planted)
+
+    def test_up_direction_plants_maximum(self):
+        result, adversary = run_attacked_realaa([1], direction="up")
+        burner = adversary.burn_log[0][1][0]
+        planted = [
+            record.accepted[burner]
+            for pid in result.honest
+            for record in [result.parties[pid].history[0]]
+            if burner in record.accepted
+        ]
+        assert planted and all(v == 10.0 for v in planted)
+
+    def test_exhausted_budget_means_clean_iterations(self):
+        result, adversary = run_attacked_realaa([1, 1], iterations=4)
+        ranges = honest_value_ranges(result)
+        # after both burns are spent, one clean iteration collapses the range
+        assert ranges[3] == pytest.approx(0.0, abs=1e-12)
+
+    def test_no_burn_with_zero_schedule(self):
+        result, adversary = run_attacked_realaa([0, 0])
+        assert adversary.burn_log == []
+        ranges = honest_value_ranges(result)
+        assert ranges[1] == pytest.approx(0.0, abs=1e-12)
+
+    def test_validity_never_violated(self):
+        result, _ = run_attacked_realaa([2], iterations=3)
+        for pid in result.honest:
+            assert 0.0 <= result.outputs[pid] <= 10.0
+
+
+class TestReuseAgainstMemoryless:
+    def _run(self, memory, schedule, iterations=5):
+        n, t = 7, 2
+        inputs = [0.0, 0.0, 0.0, 10.0, 10.0, 0.0, 0.0]
+        adversary = BurnScheduleAdversary(schedule=schedule, reuse_burners=True)
+        result = run_protocol(
+            n,
+            t,
+            lambda pid: IterativeRealAAParty(
+                pid, n, t, inputs[pid], iterations=iterations, memory=memory
+            ),
+            adversary=adversary,
+        )
+        return honest_value_ranges(result)
+
+    def test_memoryless_victim_suffers_every_iteration(self):
+        ranges = self._run(memory=False, schedule=[2] * 5)
+        assert all(r > 0 for r in ranges[1:])
+
+    def test_memory_stops_reuse(self):
+        ranges = self._run(memory=True, schedule=[2] * 5)
+        # after the budget is spent (iteration 1 at the latest), detection
+        # means reused burners are ignored and the range collapses
+        assert ranges[-1] == pytest.approx(0.0, abs=1e-12)
+
+
+class TestSplitBroadcast:
+    def test_sustains_halving_forever(self):
+        n, t = 7, 2
+        inputs = [0.0, 10.0, 0.0, 10.0, 5.0, 0.0, 0.0]
+        result = run_protocol(
+            n,
+            t,
+            lambda pid: IterativeRealAAParty(
+                pid, n, t, inputs[pid], iterations=6, distribution="naive"
+            ),
+            adversary=SplitBroadcastAdversary(),
+        )
+        ranges = honest_value_ranges(result)
+        factors = [
+            after / before for before, after in zip(ranges, ranges[1:]) if before > 0
+        ]
+        assert factors, "expected sustained divergence"
+        assert all(f == pytest.approx(0.5, abs=0.1) for f in factors)
+
+    def test_validity_still_holds(self):
+        n, t = 7, 2
+        inputs = [0.0, 10.0, 0.0, 10.0, 5.0, 0.0, 0.0]
+        result = run_protocol(
+            n,
+            t,
+            lambda pid: IterativeRealAAParty(
+                pid, n, t, inputs[pid], iterations=6, distribution="naive"
+            ),
+            adversary=SplitBroadcastAdversary(),
+        )
+        for pid in result.honest:
+            assert 0.0 <= result.outputs[pid] <= 10.0

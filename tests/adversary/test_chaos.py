@@ -1,0 +1,102 @@
+"""Tests for the chaos adversary (randomized strategy mixing)."""
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.adversary import ChaosAdversary
+from repro.core import run_real_aa, run_tree_aa
+from repro.net import run_protocol
+from repro.protocols import RealAAParty
+from repro.trees import random_tree
+
+from ..conftest import trees_with_vertex_choices
+
+
+class TestConstruction:
+    def test_zero_weights_rejected(self):
+        with pytest.raises(ValueError):
+            ChaosAdversary(weights={name: 0 for name in ChaosAdversary.BEHAVIOURS})
+
+    def test_weights_bias_behaviour(self):
+        adversary = ChaosAdversary(
+            seed=1, weights={"silent": 100.0, **{n: 0.0 for n in ("faithful", "stale", "junk", "mirror")}}
+        )
+        run_real_aa(
+            [0.0, 5.0, 2.0, 1.0, 3.0, 0.0, 0.0],
+            t=2,
+            epsilon=0.5,
+            known_range=5.0,
+            adversary=adversary,
+        )
+        behaviours = {entry[2] for entry in adversary.log}
+        assert behaviours == {"silent"}
+
+    def test_log_is_recorded(self):
+        adversary = ChaosAdversary(seed=2)
+        run_real_aa(
+            [0.0, 5.0, 2.0, 1.0, 3.0, 0.0, 0.0],
+            t=2,
+            epsilon=0.5,
+            known_range=5.0,
+            adversary=adversary,
+        )
+        assert adversary.log
+        rounds = {entry[0] for entry in adversary.log}
+        assert 0 in rounds
+
+    def test_deterministic_per_seed(self):
+        def run(seed):
+            outcome = run_real_aa(
+                [0.0, 5.0, 2.0, 1.0, 3.0, 0.0, 0.0],
+                t=2,
+                epsilon=0.5,
+                known_range=5.0,
+                adversary=ChaosAdversary(seed=seed),
+            )
+            return outcome.honest_outputs
+
+        assert run(9) == run(9)
+
+
+class TestProtocolsSurviveChaos:
+    @pytest.mark.parametrize("seed", list(range(8)))
+    def test_realaa(self, seed):
+        rng = random.Random(seed)
+        inputs = [rng.uniform(-10, 10) for _ in range(7)]
+        outcome = run_real_aa(
+            inputs, t=2, epsilon=0.5, known_range=20.0,
+            adversary=ChaosAdversary(seed=seed),
+        )
+        assert outcome.achieved_aa
+
+    @pytest.mark.parametrize("seed", list(range(5)))
+    def test_tree_aa(self, seed):
+        tree = random_tree(20, seed)
+        rng = random.Random(seed)
+        inputs = [rng.choice(tree.vertices) for _ in range(7)]
+        outcome = run_tree_aa(tree, inputs, 2, adversary=ChaosAdversary(seed=seed))
+        assert outcome.achieved_aa
+
+    @given(
+        trees_with_vertex_choices(n_choices=7, min_vertices=2),
+        st.integers(min_value=0, max_value=100),
+    )
+    def test_property_tree_aa_under_chaos(self, tree_and_inputs, seed):
+        tree, inputs = tree_and_inputs
+        outcome = run_tree_aa(tree, inputs, 2, adversary=ChaosAdversary(seed=seed))
+        assert outcome.achieved_aa
+
+    def test_honest_never_blacklisted(self):
+        n, t = 7, 2
+        inputs = [0.0, 5.0, 2.0, 1.0, 3.0, 0.0, 0.0]
+        result = run_protocol(
+            n,
+            t,
+            lambda pid: RealAAParty(pid, n, t, inputs[pid], iterations=4),
+            adversary=ChaosAdversary(seed=4),
+        )
+        for pid in result.honest:
+            assert result.parties[pid].bad <= result.corrupted

@@ -1,0 +1,233 @@
+"""Tests for the general-purpose adversary strategies."""
+
+import pytest
+
+from repro.adversary import (
+    AdaptiveCrashAdversary,
+    ConsistentLiarAdversary,
+    CrashAdversary,
+    EchoAdversary,
+    NoAdversary,
+    PassiveAdversary,
+    RandomNoiseAdversary,
+    SilentAdversary,
+)
+from repro.core import run_real_aa
+from repro.net import ByzantineModelError, broadcast, run_protocol
+from repro.net.protocol import ProtocolParty
+from repro.protocols import RealAAParty
+
+
+class RecorderParty(ProtocolParty):
+    """Broadcasts its pid each round; records every inbox."""
+
+    def __init__(self, pid, n, t, rounds=3):
+        super().__init__(pid, n, t)
+        self._rounds = rounds
+        self.inboxes = []
+
+    @property
+    def duration(self):
+        return self._rounds
+
+    def messages_for_round(self, round_index):
+        return broadcast(("ping", self.pid, round_index), self.n)
+
+    def receive_round(self, round_index, inbox):
+        self.inboxes.append(dict(inbox))
+        self.output = self.inboxes
+
+
+class TestSilent:
+    def test_no_traffic_from_corrupted(self):
+        result = run_protocol(
+            4, 1, lambda pid: RecorderParty(pid, 4, 1), adversary=SilentAdversary()
+        )
+        for pid in result.honest:
+            for inbox in result.outputs[pid]:
+                assert 3 not in inbox
+
+
+class TestPassive:
+    def test_corrupted_behave_exactly_honestly(self):
+        result = run_protocol(
+            4, 1, lambda pid: RecorderParty(pid, 4, 1), adversary=PassiveAdversary()
+        )
+        for pid in result.honest:
+            for round_index, inbox in enumerate(result.outputs[pid]):
+                assert inbox[3] == ("ping", 3, round_index)
+
+    def test_outputs_match_fault_free_run(self):
+        inputs = [0.0, 4.0, 8.0, 2.0, 6.0, 1.0, 7.0]
+        passive = run_real_aa(
+            inputs, t=2, epsilon=0.5, known_range=8.0, adversary=PassiveAdversary()
+        )
+        clean = run_real_aa(
+            inputs, t=2, epsilon=0.5, known_range=8.0, adversary=NoAdversary()
+        )
+        for pid in passive.honest_outputs:
+            assert passive.honest_outputs[pid] == pytest.approx(
+                clean.honest_outputs[pid]
+            )
+
+
+class TestCrash:
+    def test_faithful_then_silent(self):
+        result = run_protocol(
+            4,
+            1,
+            lambda pid: RecorderParty(pid, 4, 1, rounds=4),
+            adversary=CrashAdversary(crash_round=2),
+        )
+        inboxes = result.outputs[0]
+        assert 3 in inboxes[0] and 3 in inboxes[1]
+        assert 3 not in inboxes[2] and 3 not in inboxes[3]
+
+    def test_partial_crash_round(self):
+        result = run_protocol(
+            4,
+            1,
+            lambda pid: RecorderParty(pid, 4, 1, rounds=3),
+            adversary=CrashAdversary(crash_round=1, partial_to=1),
+        )
+        # in the crash round only recipients with pid < 1 get the message
+        assert 3 in result.outputs[0][1]
+        assert 3 not in result.outputs[1][1]
+        assert 3 not in result.outputs[2][1]
+
+    def test_negative_round_rejected(self):
+        with pytest.raises(ValueError):
+            CrashAdversary(crash_round=-1)
+
+    def test_realaa_survives_crash(self):
+        outcome = run_real_aa(
+            [0.0, 5.0, 10.0, 3.0, 7.0, 1.0, 9.0],
+            t=2,
+            epsilon=0.5,
+            known_range=10.0,
+            adversary=CrashAdversary(crash_round=3, partial_to=2),
+        )
+        assert outcome.achieved_aa
+
+
+class TestConsistentLiar:
+    def test_liars_look_like_honest_parties_with_other_inputs(self):
+        n, t = 7, 2
+        inputs = [0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0]
+        lie = 6.0
+        liar = ConsistentLiarAdversary(
+            liar_factory=lambda pid: RealAAParty(pid, n, t, lie, iterations=3)
+        )
+        result = run_protocol(
+            n,
+            t,
+            lambda pid: RealAAParty(pid, n, t, inputs[pid], iterations=3),
+            adversary=liar,
+        )
+        # the lie is consistent, so nobody is detected...
+        for pid in result.honest:
+            assert not result.parties[pid].bad
+        # ...and validity still quantifies over honest inputs only
+        for value in (result.outputs[p] for p in result.honest):
+            assert 0.0 <= value <= 0.0 + 1e-12
+
+    def test_lie_outside_range_is_trimmed_away(self):
+        n, t = 7, 2
+        inputs = [1.0, 2.0, 3.0, 1.5, 2.5, 0.0, 0.0]
+        liar = ConsistentLiarAdversary(
+            liar_factory=lambda pid: RealAAParty(pid, n, t, 1000.0, iterations=3)
+        )
+        outcome = run_real_aa(
+            inputs, t=t, epsilon=0.5, known_range=3.0, adversary=liar
+        )
+        assert outcome.valid
+
+
+class TestRandomNoise:
+    def test_traffic_is_junk_but_protocol_survives(self):
+        outcome = run_real_aa(
+            [0.0, 10.0, 5.0, 2.0, 8.0, 0.0, 0.0],
+            t=2,
+            epsilon=0.5,
+            known_range=10.0,
+            adversary=RandomNoiseAdversary(seed=7),
+        )
+        assert outcome.achieved_aa
+
+    def test_deterministic_given_seed(self):
+        a = run_real_aa(
+            [0.0, 10.0, 5.0, 2.0, 8.0, 0.0, 0.0],
+            t=2,
+            epsilon=0.5,
+            known_range=10.0,
+            adversary=RandomNoiseAdversary(seed=3),
+        )
+        b = run_real_aa(
+            [0.0, 10.0, 5.0, 2.0, 8.0, 0.0, 0.0],
+            t=2,
+            epsilon=0.5,
+            known_range=10.0,
+            adversary=RandomNoiseAdversary(seed=3),
+        )
+        assert a.honest_outputs == b.honest_outputs
+
+
+class TestEcho:
+    def test_replays_an_honest_payload(self):
+        result = run_protocol(
+            4, 1, lambda pid: RecorderParty(pid, 4, 1), adversary=EchoAdversary()
+        )
+        inbox = result.outputs[0][0]
+        # party 3's message is a replay of the first honest payload seen
+        assert inbox[3][0] == "ping"
+        assert inbox[3][1] in result.honest
+
+    def test_realaa_survives_echo(self):
+        outcome = run_real_aa(
+            [0.0, 10.0, 5.0, 2.0, 8.0, 0.0, 0.0],
+            t=2,
+            epsilon=0.5,
+            known_range=10.0,
+            adversary=EchoAdversary(),
+        )
+        assert outcome.achieved_aa
+
+
+class TestAdaptiveCrash:
+    def test_schedule_is_followed(self):
+        adversary = AdaptiveCrashAdversary(schedule={1: [2], 3: [0]})
+        result = run_protocol(
+            5,
+            2,
+            lambda pid: RecorderParty(pid, 5, 2, rounds=5),
+            adversary=adversary,
+        )
+        assert result.trace.corruption_rounds == {2: 1, 0: 3}
+        inboxes_of_4 = result.outputs[4]
+        assert 2 in inboxes_of_4[0]
+        assert 2 not in inboxes_of_4[1]
+        assert 0 in inboxes_of_4[2]
+        assert 0 not in inboxes_of_4[3]
+
+    def test_budget_still_enforced(self):
+        adversary = AdaptiveCrashAdversary(schedule={0: [0], 1: [1], 2: [2]})
+        with pytest.raises(ByzantineModelError):
+            run_protocol(
+                7,
+                2,
+                lambda pid: RecorderParty(pid, 7, 2, rounds=4),
+                adversary=adversary,
+            )
+
+    def test_realaa_survives_adaptive_crash(self):
+        outcome = run_real_aa(
+            [0.0, 10.0, 5.0, 2.0, 8.0, 1.0, 9.0],
+            t=2,
+            epsilon=0.5,
+            known_range=10.0,
+            adversary=AdaptiveCrashAdversary(schedule={2: [1], 5: [4]}),
+        )
+        assert outcome.terminated and outcome.agreement
+        # Validity here quantifies over the parties that *remained* honest.
+        values = list(outcome.honest_outputs.values())
+        assert all(0.0 <= v <= 10.0 for v in values)

@@ -1,0 +1,90 @@
+"""Tests for the multi-seed aggregation helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.stats import Summary, aggregate, success_rate, summarize
+
+
+class TestSummarize:
+    def test_basic(self):
+        summary = summarize([1.0, 2.0, 3.0])
+        assert summary.count == 3
+        assert summary.mean == pytest.approx(2.0)
+        assert summary.std == pytest.approx(1.0)
+        assert summary.minimum == 1.0 and summary.maximum == 3.0
+
+    def test_single_value(self):
+        summary = summarize([5.0])
+        assert summary.std == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_str_is_compact(self):
+        text = str(summarize([1.0, 2.0]))
+        assert "±" in text and "[" in text
+
+    @given(st.lists(st.floats(min_value=-100, max_value=100), min_size=1, max_size=30))
+    def test_bounds_property(self, values):
+        summary = summarize(values)
+        assert summary.minimum <= summary.mean <= summary.maximum
+
+
+class TestAggregate:
+    def test_runs_all_seeds(self):
+        seen = []
+
+        def experiment(seed):
+            seen.append(seed)
+            return {"metric": seed * 2.0, "ok": True}
+
+        result = aggregate(experiment, seeds=[1, 2, 3])
+        assert seen == [1, 2, 3]
+        assert result["metric"].mean == pytest.approx(4.0)
+        assert result["ok"].mean == 1.0  # booleans become success rates
+
+    def test_mismatched_keys_rejected(self):
+        def experiment(seed):
+            return {"a": 1.0} if seed == 0 else {"b": 1.0}
+
+        with pytest.raises(ValueError, match="metrics"):
+            aggregate(experiment, seeds=[0, 1])
+
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate(lambda s: {}, seeds=[])
+
+    def test_with_a_real_protocol(self):
+        from repro.adversary import ChaosAdversary
+        from repro.core import run_real_aa
+
+        def experiment(seed):
+            outcome = run_real_aa(
+                [0.0, 8.0, 4.0, 2.0, 6.0, 0.0, 8.0],
+                t=2,
+                epsilon=0.5,
+                known_range=8.0,
+                adversary=ChaosAdversary(seed=seed),
+            )
+            return {
+                "achieved": outcome.achieved_aa,
+                "spread": outcome.output_spread,
+                "rounds": outcome.rounds,
+            }
+
+        result = aggregate(experiment, seeds=range(5))
+        assert result["achieved"].mean == 1.0
+        assert result["spread"].maximum <= 0.5
+
+
+class TestSuccessRate:
+    def test_rates(self):
+        assert success_rate([True, True, False, False]) == 0.5
+        assert success_rate([True]) == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            success_rate([])

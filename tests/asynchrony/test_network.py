@@ -1,0 +1,181 @@
+"""Tests for the asynchronous network's delivery semantics."""
+
+import pytest
+
+from repro.asynchrony import (
+    AsyncAdversary,
+    AsyncParty,
+    AsynchronousNetwork,
+    DelaySendersScheduler,
+    FIFOScheduler,
+    RandomScheduler,
+    SplitScheduler,
+    run_async_protocol,
+)
+from repro.net import ByzantineModelError
+
+
+class PingCollector(AsyncParty):
+    """Broadcasts one ping; outputs once it heard from ``quorum`` parties."""
+
+    def __init__(self, pid, n, t, quorum):
+        super().__init__(pid, n, t)
+        self.quorum = quorum
+        self.heard = []
+
+    def start(self):
+        return self.broadcast(("ping", self.pid))
+
+    def on_message(self, sender, payload):
+        if isinstance(payload, tuple) and payload[0] == "ping":
+            self.heard.append(sender)
+            if len(self.heard) >= self.quorum and self.output is None:
+                self.output = tuple(self.heard)
+        return []
+
+
+class TestBasics:
+    def test_everyone_hears_everyone(self):
+        n = 4
+        result = run_async_protocol(
+            n, 0, lambda pid: PingCollector(pid, n, 0, quorum=n)
+        )
+        assert result.completed
+        for pid in range(n):
+            assert sorted(result.outputs[pid]) == list(range(n))
+
+    def test_dense_party_keys_required(self):
+        with pytest.raises(ValueError):
+            AsynchronousNetwork({1: PingCollector(1, 2, 0, 1)}, t=0)
+
+    def test_trace_counts_messages(self):
+        n = 3
+        result = run_async_protocol(
+            n, 0, lambda pid: PingCollector(pid, n, 0, quorum=1)
+        )
+        assert result.trace.honest_message_count == n * n
+        assert result.trace.honest_payload_units > 0
+
+    def test_max_steps_marks_incomplete(self):
+        n = 4
+        result = run_async_protocol(
+            n,
+            0,
+            lambda pid: PingCollector(pid, n, 0, quorum=n + 1),  # unreachable
+        )
+        assert not result.completed
+
+
+class TestSchedulers:
+    def test_fifo_order(self):
+        n = 3
+        result = run_async_protocol(
+            n,
+            0,
+            lambda pid: PingCollector(pid, n, 0, quorum=n),
+            scheduler=FIFOScheduler(),
+        )
+        # FIFO: party 0's pings go out first, in recipient order
+        assert result.outputs[0][0] == 0
+
+    def test_random_scheduler_deterministic_per_seed(self):
+        n = 5
+        a = run_async_protocol(
+            n,
+            0,
+            lambda pid: PingCollector(pid, n, 0, quorum=3),
+            scheduler=RandomScheduler(9),
+        )
+        b = run_async_protocol(
+            n,
+            0,
+            lambda pid: PingCollector(pid, n, 0, quorum=3),
+            scheduler=RandomScheduler(9),
+        )
+        assert a.outputs == b.outputs
+
+    def test_delayed_sender_arrives_last_but_arrives(self):
+        n = 4
+        result = run_async_protocol(
+            n,
+            0,
+            lambda pid: PingCollector(pid, n, 0, quorum=n),
+            scheduler=DelaySendersScheduler([0]),
+        )
+        assert result.completed
+        for pid in range(1, n):
+            assert result.outputs[pid][-1] == 0  # 0's ping was starved
+
+    def test_split_scheduler_still_delivers_eventually(self):
+        n = 6
+        result = run_async_protocol(
+            n,
+            0,
+            lambda pid: PingCollector(pid, n, 0, quorum=n),
+            scheduler=SplitScheduler(group_a=[0, 1, 2]),
+        )
+        assert result.completed
+
+    def test_fairness_window_forces_old_messages(self):
+        n = 4
+        result = run_async_protocol(
+            n,
+            0,
+            lambda pid: PingCollector(pid, n, 0, quorum=n),
+            scheduler=DelaySendersScheduler([0]),
+            fairness_window=4,
+        )
+        assert result.completed
+        assert result.trace.forced_fair_deliveries > 0
+
+    def test_bad_scheduler_index_rejected(self):
+        class BrokenScheduler(FIFOScheduler):
+            def choose(self, pending, step):
+                return 999
+
+        with pytest.raises(ValueError, match="scheduler"):
+            run_async_protocol(
+                3,
+                0,
+                lambda pid: PingCollector(pid, 3, 0, quorum=3),
+                scheduler=BrokenScheduler(),
+            )
+
+
+class TestAdversaryModel:
+    def test_cannot_speak_for_honest(self):
+        class Forger(AsyncAdversary):
+            def on_start(self, network):
+                return [(0, 1, "forged")]
+
+        with pytest.raises(ByzantineModelError):
+            run_async_protocol(
+                4,
+                1,
+                lambda pid: PingCollector(pid, 4, 1, quorum=2),
+                adversary=Forger(corrupt=[3]),
+            )
+
+    def test_corruption_budget_enforced(self):
+        from repro.asynchrony import AsyncSilentAdversary
+
+        with pytest.raises(ByzantineModelError):
+            run_async_protocol(
+                4,
+                1,
+                lambda pid: PingCollector(pid, 4, 1, quorum=2),
+                adversary=AsyncSilentAdversary(corrupt=[2, 3]),
+            )
+
+    def test_byzantine_sender_id_is_authentic(self):
+        class Liar(AsyncAdversary):
+            def on_start(self, network):
+                return [(3, 0, ("ping", "claims-to-be-1"))]
+
+        result = run_async_protocol(
+            4,
+            1,
+            lambda pid: PingCollector(pid, 4, 1, quorum=4),
+            adversary=Liar(corrupt=[3]),
+        )
+        assert 3 in result.outputs[0]

@@ -1,0 +1,186 @@
+"""Tests for Bracha reliable broadcast: validity, consistency, totality."""
+
+import pytest
+
+from repro.asynchrony import (
+    AsyncNoiseAdversary,
+    AsyncSilentAdversary,
+    BrachaBroadcast,
+    EquivocatingSenderAdversary,
+    RandomScheduler,
+    RBCParty,
+    run_async_protocol,
+)
+
+
+def run_rbc(n, t, origin, value, adversary=None, scheduler=None):
+    return run_async_protocol(
+        n,
+        t,
+        lambda pid: RBCParty(pid, n, t, origin=origin, value=value),
+        adversary=adversary,
+        scheduler=scheduler,
+    )
+
+
+class TestConstruction:
+    def test_resilience_required(self):
+        with pytest.raises(ValueError, match="n > 3t"):
+            BrachaBroadcast(0, 6, 2, deliver=lambda *a: None)
+
+    def test_unhashable_broadcast_rejected(self):
+        rbc = BrachaBroadcast(0, 4, 1, deliver=lambda *a: None)
+        with pytest.raises(ValueError):
+            rbc.broadcast("tag", ["un", "hashable"])
+        with pytest.raises(ValueError):
+            rbc.broadcast(["bad tag"], "value")
+
+
+class TestValidity:
+    """Honest origin ⇒ every honest party delivers its value."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_all_deliver_under_random_scheduling(self, seed):
+        result = run_rbc(
+            7, 2, origin=0, value=42, adversary=AsyncSilentAdversary(),
+            scheduler=RandomScheduler(seed),
+        )
+        assert result.completed
+        assert set(result.honest_outputs.values()) == {42}
+
+    def test_minimum_network(self):
+        result = run_rbc(4, 1, origin=2, value="v", adversary=AsyncSilentAdversary())
+        assert set(result.honest_outputs.values()) == {"v"}
+
+    def test_survives_noise(self):
+        result = run_rbc(
+            7, 2, origin=1, value=3.5, adversary=AsyncNoiseAdversary(seed=8)
+        )
+        assert set(result.honest_outputs.values()) == {3.5}
+
+
+class TestConsistencyAndTotality:
+    @pytest.mark.parametrize("seed", list(range(6)))
+    def test_equivocating_origin_never_splits(self, seed):
+        """Consistency: whatever the scheduler does, honest parties never
+        deliver two different values; totality: if anyone delivered,
+        everyone did."""
+        n, t = 7, 2
+        adversary = EquivocatingSenderAdversary(
+            make_payload=lambda pid, variant: ("init", "test", f"v{variant}"),
+        )
+        result = run_async_protocol(
+            n,
+            t,
+            lambda pid: RBCParty(pid, n, t, origin=n - 1, value=None),
+            adversary=adversary,
+            scheduler=RandomScheduler(seed),
+            max_steps=50_000,
+        )
+        delivered = [v for v in result.honest_outputs.values() if v is not None]
+        assert len(set(delivered)) <= 1  # consistency
+        if delivered:  # totality
+            assert len(delivered) == len(result.honest)
+
+    def test_silent_origin_delivers_nothing(self):
+        result = run_rbc(7, 2, origin=6, value=None, adversary=AsyncSilentAdversary())
+        assert all(v is None for v in result.honest_outputs.values())
+        assert not result.completed  # nothing to deliver: parties wait forever
+
+
+class TestPayloadHygiene:
+    def test_malformed_messages_ignored(self):
+        rbc = BrachaBroadcast(0, 4, 1, deliver=lambda *a: None)
+        assert rbc.handle(1, "not a tuple") == []
+        assert rbc.handle(1, ()) == []
+        assert rbc.handle(1, ("init", "tag")) == []  # wrong arity
+        assert rbc.handle(1, ("echo", "tag", "not-an-origin", "v")) == []
+        assert rbc.handle(1, ("ready", "tag", 99, "v")) == []  # origin range
+
+    def test_validator_filters_values(self):
+        delivered = []
+        rbc = BrachaBroadcast(
+            0,
+            4,
+            1,
+            deliver=lambda o, tag, v: delivered.append(v),
+            validate=lambda v: isinstance(v, int),
+        )
+        assert rbc.handle(1, ("init", "tag", "not-int")) == []
+        out = rbc.handle(1, ("init", "tag", 5))
+        assert out and out[0][1][0] == "echo"
+
+    def test_echo_quorum_triggers_single_ready(self):
+        sent = []
+        rbc = BrachaBroadcast(0, 4, 1, deliver=lambda *a: None)
+        for sender in range(3):  # n - t = 3 echoes
+            sent.extend(rbc.handle(sender, ("echo", "g", 2, "v")))
+        readies = [p for _, p in sent if p[0] == "ready"]
+        assert len(readies) == 4  # one ready, broadcast to all 4 parties
+
+    def test_ready_amplification(self):
+        """t + 1 readies make a party ready even without an echo quorum."""
+        sent = []
+        rbc = BrachaBroadcast(0, 4, 1, deliver=lambda *a: None)
+        sent.extend(rbc.handle(1, ("ready", "g", 2, "v")))
+        assert not sent  # one ready (= t) is not enough
+        sent.extend(rbc.handle(2, ("ready", "g", 2, "v")))
+        assert any(p[0] == "ready" for _, p in sent)
+
+    def test_delivery_at_2t_plus_1_readies(self):
+        delivered = []
+        rbc = BrachaBroadcast(0, 4, 1, deliver=lambda o, g, v: delivered.append((o, v)))
+        for sender in range(3):  # 2t + 1 = 3
+            rbc.handle(sender, ("ready", "g", 2, "v"))
+        assert delivered == [(2, "v")]
+
+    def test_delivery_happens_once(self):
+        delivered = []
+        rbc = BrachaBroadcast(0, 4, 1, deliver=lambda o, g, v: delivered.append(v))
+        for sender in range(4):
+            rbc.handle(sender, ("ready", "g", 2, "v"))
+        assert delivered == ["v"]
+
+
+class TestArbitraryDeliveryOrders:
+    """Hypothesis quantifies over delivery schedules: RBC's guarantees must
+    hold for EVERY order the adversary can induce."""
+
+    from hypothesis import given
+    from hypothesis import strategies as st
+
+    @given(st.lists(st.integers(min_value=0, max_value=10_000), max_size=300))
+    def test_validity_under_any_schedule(self, script):
+        from repro.asynchrony import ScriptedScheduler
+
+        result = run_rbc(
+            4,
+            1,
+            origin=0,
+            value="v",
+            adversary=AsyncSilentAdversary(),
+            scheduler=ScriptedScheduler(script),
+        )
+        assert result.completed
+        assert set(result.honest_outputs.values()) == {"v"}
+
+    @given(st.lists(st.integers(min_value=0, max_value=10_000), max_size=300))
+    def test_consistency_under_any_schedule_with_equivocation(self, script):
+        from repro.asynchrony import ScriptedScheduler
+
+        n, t = 4, 1
+        adversary = EquivocatingSenderAdversary(
+            make_payload=lambda pid, variant: ("init", "test", f"v{variant}"),
+        )
+        result = run_async_protocol(
+            n,
+            t,
+            lambda pid: RBCParty(pid, n, t, origin=n - 1, value=None),
+            adversary=adversary,
+            scheduler=ScriptedScheduler(script),
+            max_steps=20_000,
+        )
+        delivered = [v for v in result.honest_outputs.values() if v is not None]
+        assert len(set(delivered)) <= 1
+        if delivered and result.completed:
+            assert len(delivered) == len(result.honest)

@@ -1,0 +1,252 @@
+"""Tests for exact AA and authenticated TreeAA at t < n/2."""
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.adversary import (
+    ChaosAdversary,
+    CrashAdversary,
+    PassiveAdversary,
+    RandomNoiseAdversary,
+    SilentAdversary,
+)
+from repro.authenticated import (
+    AuthTreeAAParty,
+    DSEquivocatorAdversary,
+    ExactRealAAParty,
+    SignatureAuthority,
+    check_authenticated_resilience,
+    exact_trimmed_mean,
+    run_auth_tree_aa,
+)
+from repro.net import run_protocol
+from repro.trees import LabeledTree, figure_tree, path_tree, random_tree
+
+from ..conftest import trees_with_vertex_choices
+
+
+class TestThreshold:
+    def test_half_rejected(self):
+        with pytest.raises(ValueError, match="n/2"):
+            check_authenticated_resilience(4, 2)
+        with pytest.raises(ValueError, match="n/2"):
+            check_authenticated_resilience(6, 3)
+
+    def test_below_half_accepted(self):
+        check_authenticated_resilience(5, 2)
+        check_authenticated_resilience(7, 3)
+        check_authenticated_resilience(2, 0)
+
+
+class TestExactTrimmedMean:
+    def test_all_honest(self):
+        # m = n: trim k = t from each side
+        assert exact_trimmed_mean([0.0, 1.0, 2.0, 3.0, 4.0], n=5, t=2) == 2.0
+
+    def test_some_bottom(self):
+        # m = n - t: nothing needs trimming
+        assert exact_trimmed_mean([1.0, 2.0, 3.0], n=5, t=2) == 2.0
+
+    def test_byzantine_outliers_trimmed(self):
+        values = [5.0, 5.0, 5.0, 1e9, -1e9]
+        assert exact_trimmed_mean(values, n=5, t=2) == 5.0
+
+    def test_too_few_values_rejected(self):
+        with pytest.raises(ValueError):
+            exact_trimmed_mean([1.0, 2.0], n=5, t=2)
+
+
+class TestExactRealAA:
+    def _run(self, inputs, n, t, adversary):
+        authority = SignatureAuthority()
+        return run_protocol(
+            n,
+            t,
+            lambda pid: ExactRealAAParty(pid, n, t, authority, inputs[pid]),
+            adversary=adversary,
+        )
+
+    @pytest.mark.parametrize(
+        "adversary_factory",
+        [
+            lambda: SilentAdversary(),
+            lambda: PassiveAdversary(),
+            lambda: RandomNoiseAdversary(seed=3),
+            lambda: ChaosAdversary(seed=5),
+            lambda: CrashAdversary(crash_round=1, partial_to=2),
+        ],
+    )
+    def test_exact_agreement_at_two_fifths(self, adversary_factory):
+        n, t = 5, 2  # t >= n/3: beyond the unauthenticated threshold
+        inputs = [0.0, 10.0, 4.0, 6.0, 2.0]
+        result = self._run(inputs, n, t, adversary_factory())
+        outputs = set(result.honest_outputs.values())
+        assert len(outputs) == 1  # EXACT agreement
+        value = outputs.pop()
+        honest_inputs = [inputs[p] for p in sorted(result.honest)]
+        assert min(honest_inputs) <= value <= max(honest_inputs)
+
+    def test_rounds_are_t_plus_one(self):
+        result = self._run([1.0] * 7, 7, 3, SilentAdversary())
+        assert result.trace.rounds_executed == 4
+
+    @given(
+        st.lists(
+            st.floats(min_value=-100, max_value=100), min_size=5, max_size=5
+        )
+    )
+    def test_property_exact_and_valid(self, inputs):
+        result = self._run(inputs, 5, 2, ChaosAdversary(seed=1))
+        outputs = set(result.honest_outputs.values())
+        assert len(outputs) == 1
+        honest_inputs = [inputs[p] for p in sorted(result.honest)]
+        value = outputs.pop()
+        assert min(honest_inputs) - 1e-9 <= value <= max(honest_inputs) + 1e-9
+
+    def test_equivocating_origins_become_bottom(self):
+        n, t = 5, 2
+        inputs = [0.0, 10.0, 4.0, 99.0, 99.0]
+        adversary = DSEquivocatorAdversary(values=lambda pid: (-1e6, 1e6))
+        result = self._run(inputs, n, t, adversary)
+        outputs = set(result.honest_outputs.values())
+        assert len(outputs) == 1
+        value = outputs.pop()
+        assert 0.0 <= value <= 10.0  # equivocators excluded entirely
+        for pid in result.honest:
+            extracted = result.parties[pid].extracted
+            assert extracted[3] is None and extracted[4] is None
+
+
+class TestAuthTreeAA:
+    @pytest.mark.parametrize(
+        "n,t", [(3, 1), (5, 2), (7, 3), (9, 4)]
+    )
+    def test_beyond_one_third(self, n, t):
+        """The headline: tree AA at every t < n/2 — far beyond what any
+        unauthenticated protocol can do for t >= n/3."""
+        tree = random_tree(15, seed=n)
+        rng = random.Random(n)
+        inputs = [rng.choice(tree.vertices) for _ in range(n)]
+        outcome = run_auth_tree_aa(tree, inputs, t, adversary=PassiveAdversary())
+        assert outcome.achieved_aa
+        # exact engine: all honest output the SAME vertex
+        assert len(set(outcome.honest_outputs.values())) == 1
+
+    @pytest.mark.parametrize(
+        "adversary_factory",
+        [
+            lambda: SilentAdversary(),
+            lambda: RandomNoiseAdversary(seed=9),
+            lambda: ChaosAdversary(seed=2),
+            lambda: DSEquivocatorAdversary(values=lambda pid: ("v00", "v01")),
+        ],
+    )
+    def test_adversaries(self, adversary_factory):
+        tree = path_tree(12)
+        n, t = 5, 2
+        rng = random.Random(7)
+        inputs = [rng.choice(tree.vertices) for _ in range(n)]
+        outcome = run_auth_tree_aa(tree, inputs, t, adversary=adversary_factory())
+        assert outcome.achieved_aa
+
+    def test_duration_is_two_ds_phases(self):
+        authority = SignatureAuthority()
+        party = AuthTreeAAParty(0, 5, 2, authority, figure_tree(), "v1")
+        assert party.duration == 2 * (2 + 1)
+
+    def test_trivial_tree(self):
+        authority = SignatureAuthority()
+        tree = LabeledTree(edges=[("a", "b")])
+        party = AuthTreeAAParty(0, 5, 2, authority, tree, "a")
+        assert party.duration == 0
+        assert party.output == "a"
+
+    def test_threshold_enforced(self):
+        authority = SignatureAuthority()
+        with pytest.raises(ValueError, match="n/2"):
+            AuthTreeAAParty(0, 4, 2, authority, figure_tree(), "v1")
+
+    @given(
+        trees_with_vertex_choices(n_choices=5, min_vertices=2),
+        st.integers(min_value=0, max_value=20),
+    )
+    def test_property_random_trees_t2_of_5(self, tree_and_inputs, seed):
+        tree, inputs = tree_and_inputs
+        outcome = run_auth_tree_aa(
+            tree, inputs, 2, adversary=ChaosAdversary(seed=seed)
+        )
+        assert outcome.achieved_aa
+
+    def test_rounds_independent_of_tree_size(self):
+        n, t = 5, 2
+        rounds = set()
+        for size in (10, 100, 1000):
+            tree = path_tree(size)
+            rng = random.Random(size)
+            inputs = [rng.choice(tree.vertices) for _ in range(n)]
+            outcome = run_auth_tree_aa(tree, inputs, t, adversary=SilentAdversary())
+            assert outcome.achieved_aa
+            rounds.add(outcome.rounds)
+        assert rounds == {2 * (t + 1)}
+
+
+class TestCrossPhaseReplayRegression:
+    """The domain-separation regression: replaying phase-1 Dolev–Strong
+    messages into phase 2 must not make honest origins look equivocating.
+    Found originally by the chaos fuzzer's 'stale' behaviour."""
+
+    def test_chaos_stale_replay(self):
+        tree = path_tree(12)
+        n, t = 5, 2
+        rng = random.Random(7)
+        inputs = [rng.choice(tree.vertices) for _ in range(n)]
+        outcome = run_auth_tree_aa(tree, inputs, t, adversary=ChaosAdversary(seed=2))
+        assert outcome.achieved_aa
+
+    def test_explicit_replay_attack(self):
+        """A dedicated adversary that records every round-0 payload and
+        replays them all in every later round."""
+        from repro.adversary.base import Adversary
+
+        class ReplayEverything(Adversary):
+            def __init__(self):
+                super().__init__()
+                self.recorded = []
+
+            def byzantine_messages(self, view):
+                for sender in sorted(view.honest_messages):
+                    for payload in view.honest_messages[sender].values():
+                        if (
+                            isinstance(payload, tuple)
+                            and payload
+                            and payload[0] == "dsmsg"
+                        ):
+                            self.recorded.append(payload)
+                        break
+                out = {}
+                for pid in sorted(view.corrupted):
+                    outbox = {}
+                    for i, payload in enumerate(self.recorded[-8:]):
+                        outbox[i % view.n] = payload
+                    out[pid] = outbox
+                return out
+
+        tree = path_tree(12)
+        n, t = 5, 2
+        rng = random.Random(3)
+        inputs = [rng.choice(tree.vertices) for _ in range(n)]
+        outcome = run_auth_tree_aa(tree, inputs, t, adversary=ReplayEverything())
+        assert outcome.achieved_aa
+
+    def test_sessions_are_in_the_signed_message(self):
+        from repro.authenticated.dolev_strong import _chain_valid
+
+        authority = SignatureAuthority()
+        sig = authority.signer(0).sign(("ds", "phase-1", 0, 5.0))
+        # valid in its own session ...
+        assert _chain_valid(authority, "phase-1", 0, 5.0, (sig,), n=5, minimum=1)
+        # ... and dead on arrival in any other
+        assert not _chain_valid(authority, "phase-2", 0, 5.0, (sig,), n=5, minimum=1)

@@ -1,0 +1,128 @@
+"""Tests for Dolev–Strong broadcast: agreement for any t < n."""
+
+import pytest
+
+from repro.adversary import (
+    CrashAdversary,
+    PassiveAdversary,
+    RandomNoiseAdversary,
+    SilentAdversary,
+)
+from repro.authenticated import (
+    BOTTOM,
+    DolevStrongParty,
+    DSEquivocatorAdversary,
+    SignatureAuthority,
+    SignatureForgeryAdversary,
+)
+from repro.net import run_protocol
+
+
+def run_ds(n, t, origin, value, adversary=None):
+    authority = SignatureAuthority()
+    return run_protocol(
+        n,
+        t,
+        lambda pid: DolevStrongParty(pid, n, t, authority, origin, value),
+        adversary=adversary,
+    )
+
+
+class TestHonestOrigin:
+    def test_all_agree_on_the_value(self):
+        result = run_ds(5, 2, origin=0, value="v", adversary=SilentAdversary())
+        assert set(result.honest_outputs.values()) == {"v"}
+
+    def test_rounds_are_t_plus_one(self):
+        result = run_ds(5, 2, origin=0, value="v", adversary=SilentAdversary())
+        assert result.trace.rounds_executed == 3
+
+    def test_beyond_one_third(self):
+        """t = 2 of n = 5 — impossible unauthenticated, fine here."""
+        result = run_ds(5, 2, origin=1, value=99, adversary=PassiveAdversary())
+        assert set(result.honest_outputs.values()) == {99}
+
+    def test_half_minus_one(self):
+        result = run_ds(7, 3, origin=0, value="w", adversary=SilentAdversary())
+        assert set(result.honest_outputs.values()) == {"w"}
+
+    def test_t_zero_single_round(self):
+        result = run_ds(3, 0, origin=2, value=1.25)
+        assert set(result.honest_outputs.values()) == {1.25}
+        assert result.trace.rounds_executed == 1
+
+    def test_noise_is_ignored(self):
+        result = run_ds(
+            5, 2, origin=0, value="v", adversary=RandomNoiseAdversary(seed=5)
+        )
+        assert set(result.honest_outputs.values()) == {"v"}
+
+    def test_forgery_attempt_bounces(self):
+        result = run_ds(
+            5,
+            2,
+            origin=0,
+            value="real",
+            adversary=SignatureForgeryAdversary(
+                forged_origin=0, planted_value="EVIL"
+            ),
+        )
+        assert set(result.honest_outputs.values()) == {"real"}
+
+
+class TestByzantineOrigin:
+    def test_silent_origin_yields_bottom(self):
+        result = run_ds(5, 2, origin=4, value=None, adversary=SilentAdversary())
+        assert set(result.honest_outputs.values()) == {BOTTOM}
+
+    @pytest.mark.parametrize("n,t", [(4, 1), (5, 2), (7, 3)])
+    def test_equivocation_yields_consistent_output(self, n, t):
+        """The attack signatures exist to stop: every honest party must
+        reach the SAME output — here consistently ⊥."""
+        adversary = DSEquivocatorAdversary(values=lambda pid: ("A", "B"))
+        result = run_ds(n, t, origin=n - 1, value=None, adversary=adversary)
+        outputs = set(result.honest_outputs.values())
+        assert len(outputs) == 1
+        assert outputs == {BOTTOM}
+
+    def test_crash_mid_broadcast_stays_consistent(self):
+        result = run_ds(
+            5,
+            2,
+            origin=4,
+            value="v",
+            adversary=CrashAdversary(crash_round=1, partial_to=2),
+        )
+        outputs = set(result.honest_outputs.values())
+        assert len(outputs) == 1  # agreement regardless of what it is
+
+
+class TestChainValidation:
+    def test_chain_shorter_than_round_rejected(self):
+        from repro.authenticated.dolev_strong import _chain_valid
+
+        authority = SignatureAuthority()
+        sig = authority.signer(0).sign(("ds", "s", 0, "v"))
+        assert _chain_valid(authority, "s", 0, "v", (sig,), n=4, minimum=1)
+        assert not _chain_valid(authority, "s", 0, "v", (sig,), n=4, minimum=2)
+
+    def test_chain_must_include_origin(self):
+        from repro.authenticated.dolev_strong import _chain_valid
+
+        authority = SignatureAuthority()
+        sig = authority.signer(1).sign(("ds", "s", 0, "v"))  # not the origin
+        assert not _chain_valid(authority, "s", 0, "v", (sig,), n=4, minimum=1)
+
+    def test_duplicate_signers_do_not_count_twice(self):
+        from repro.authenticated.dolev_strong import _chain_valid
+
+        authority = SignatureAuthority()
+        sig = authority.signer(0).sign(("ds", "s", 0, "v"))
+        assert not _chain_valid(authority, "s", 0, "v", (sig, sig), n=4, minimum=2)
+
+    def test_signature_on_other_value_rejected(self):
+        from repro.authenticated.dolev_strong import _chain_valid
+
+        authority = SignatureAuthority()
+        sig = authority.signer(0).sign(("ds", "s", 0, "other"))
+        assert not _chain_valid(authority, "s", 0, "v", (sig,), n=4, minimum=1)

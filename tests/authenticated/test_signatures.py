@@ -1,0 +1,57 @@
+"""Tests for the simulated signature scheme."""
+
+import pytest
+
+from repro.authenticated import Signature, SignatureAuthority
+
+
+class TestSigning:
+    def test_sign_and_verify(self):
+        authority = SignatureAuthority()
+        signature = authority.signer(3).sign(("msg", 1))
+        assert authority.verify(signature, ("msg", 1))
+
+    def test_wrong_message_fails(self):
+        authority = SignatureAuthority()
+        signature = authority.signer(3).sign("a")
+        assert not authority.verify(signature, "b")
+
+    def test_wrong_claimed_signer_fails(self):
+        authority = SignatureAuthority()
+        signature = authority.signer(3).sign("a")
+        forged = Signature(signer=4, token=signature.token)
+        assert not authority.verify(forged, "a")
+
+    def test_guessed_tokens_fail(self):
+        authority = SignatureAuthority()
+        authority.signer(0).sign("real message")
+        for guess in range(10):
+            forged = Signature(signer=1, token=guess)
+            assert not authority.verify(forged, "planted")
+
+    def test_replay_is_allowed(self):
+        """Real signatures are replayable; so are these."""
+        authority = SignatureAuthority()
+        signature = authority.signer(2).sign("hello")
+        assert authority.verify(signature, "hello")
+        assert authority.verify(Signature(2, signature.token), "hello")
+
+    def test_cross_authority_isolation(self):
+        a, b = SignatureAuthority(), SignatureAuthority()
+        signature = a.signer(0).sign("x")
+        assert not b.verify(signature, "x")
+
+    def test_signer_capability_is_cached(self):
+        authority = SignatureAuthority()
+        assert authority.signer(5) is authority.signer(5)
+
+    def test_unhashable_message_rejected(self):
+        authority = SignatureAuthority()
+        with pytest.raises(TypeError):
+            authority.signer(0).sign(["un", "hashable"])
+
+    def test_non_signature_objects_fail_verification(self):
+        authority = SignatureAuthority()
+        assert not authority.verify("not a signature", "m")
+        assert not authority.verify(None, "m")
+        assert not authority.verify(("sig", 0, 0), "m")

@@ -1,0 +1,168 @@
+"""Tests for the memoryless iteration-outline baseline on ℝ."""
+
+import math
+
+import pytest
+
+from repro.adversary import RandomNoiseAdversary, SilentAdversary
+from repro.adversary.realaa_attacks import (
+    BurnScheduleAdversary,
+    SplitBroadcastAdversary,
+)
+from repro.analysis import convergence_factors, honest_value_ranges
+from repro.baselines import IterativeRealAAParty, halving_iterations
+from repro.net import run_protocol
+
+
+def run_baseline(inputs, t, adversary=None, **kwargs):
+    n = len(inputs)
+    return run_protocol(
+        n,
+        t,
+        lambda pid: IterativeRealAAParty(pid, n, t, inputs[pid], **kwargs),
+        adversary=adversary,
+    )
+
+
+class TestHalvingIterations:
+    def test_exact_powers(self):
+        assert halving_iterations(8.0, 1.0) == 3
+        assert halving_iterations(1024.0, 1.0) == 10
+
+    def test_trivial(self):
+        assert halving_iterations(0.5, 1.0) == 1
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(ValueError):
+            halving_iterations(8.0, 0.0)
+
+
+class TestConstruction:
+    def test_one_budget_spec(self):
+        with pytest.raises(ValueError):
+            IterativeRealAAParty(0, 4, 1, 0.0)
+        with pytest.raises(ValueError):
+            IterativeRealAAParty(0, 4, 1, 0.0, known_range=1.0, iterations=2)
+
+    def test_distribution_validated(self):
+        with pytest.raises(ValueError):
+            IterativeRealAAParty(0, 4, 1, 0.0, iterations=1, distribution="pigeon")
+
+    def test_durations(self):
+        grade = IterativeRealAAParty(0, 4, 1, 0.0, iterations=4)
+        naive = IterativeRealAAParty(0, 4, 1, 0.0, iterations=4, distribution="naive")
+        assert grade.duration == 12
+        assert naive.duration == 4
+
+
+class TestConvergence:
+    INPUTS = [0.0, 10.0, 0.0, 10.0, 5.0, 0.0, 10.0]
+
+    def test_halving_rate_fault_free(self):
+        result = run_baseline(self.INPUTS, t=0, known_range=10.0, epsilon=0.01)
+        ranges = honest_value_ranges(result)
+        for before, after in zip(ranges, ranges[1:]):
+            assert after <= before / 2 + 1e-12
+
+    def test_agreement_reached_with_silent_adversary(self):
+        result = run_baseline(
+            self.INPUTS, t=2, known_range=10.0, epsilon=0.5, adversary=SilentAdversary()
+        )
+        outs = list(result.honest_outputs.values())
+        assert max(outs) - min(outs) <= 0.5
+
+    def test_validity_under_noise(self):
+        result = run_baseline(
+            self.INPUTS,
+            t=2,
+            known_range=10.0,
+            epsilon=0.5,
+            adversary=RandomNoiseAdversary(seed=5),
+        )
+        honest_inputs = [self.INPUTS[p] for p in sorted(result.honest)]
+        lo, hi = min(honest_inputs), max(honest_inputs)
+        for v in result.honest_outputs.values():
+            assert lo <= v <= hi
+
+    def test_validity_under_split_broadcast(self):
+        result = run_baseline(
+            self.INPUTS,
+            t=2,
+            known_range=10.0,
+            epsilon=0.5,
+            distribution="naive",
+            adversary=SplitBroadcastAdversary(),
+        )
+        honest_inputs = [self.INPUTS[p] for p in sorted(result.honest)]
+        lo, hi = min(honest_inputs), max(honest_inputs)
+        for v in result.honest_outputs.values():
+            assert lo <= v <= hi
+
+
+class TestAblationA1MemoryMatters:
+    """The paper's key point: without memory a Byzantine party can cause
+    inconsistencies every iteration; with memory it pays once."""
+
+    INPUTS = [0.0, 0.0, 0.0, 10.0, 10.0, 0.0, 0.0]
+
+    def test_memoryless_suffers_repeatedly(self):
+        result = run_baseline(
+            self.INPUTS,
+            t=2,
+            iterations=5,
+            memory=False,
+            adversary=BurnScheduleAdversary([2] * 5, reuse_burners=True),
+        )
+        ranges = honest_value_ranges(result)
+        assert all(r > 0 for r in ranges), ranges
+
+    def test_memory_caps_the_damage(self):
+        result = run_baseline(
+            self.INPUTS,
+            t=2,
+            iterations=5,
+            memory=True,
+            adversary=BurnScheduleAdversary([2] * 5, reuse_burners=True),
+        )
+        ranges = honest_value_ranges(result)
+        assert ranges[-1] == pytest.approx(0.0, abs=1e-12)
+
+    def test_memoryless_rate_is_at_most_half(self):
+        """Even under sustained attack the outline halves per iteration —
+        the guarantee its O(log(D/ε)) analysis rests on."""
+        result = run_baseline(
+            self.INPUTS,
+            t=2,
+            iterations=5,
+            memory=False,
+            adversary=BurnScheduleAdversary([2] * 5, reuse_burners=True),
+        )
+        ranges = honest_value_ranges(result)
+        for before, after in zip(ranges, ranges[1:]):
+            assert after <= before / 2 + 1e-9
+
+
+class TestNaiveDistribution:
+    def test_fault_free_naive_converges(self):
+        result = run_baseline(
+            [0.0, 8.0, 4.0, 2.0], t=0, known_range=8.0, epsilon=0.5, distribution="naive"
+        )
+        outs = list(result.honest_outputs.values())
+        assert max(outs) - min(outs) <= 0.5
+
+    def test_naive_uses_one_round_per_iteration(self):
+        result = run_baseline(
+            [0.0, 8.0, 4.0, 2.0], t=0, iterations=4, distribution="naive"
+        )
+        assert result.trace.rounds_executed == 4
+
+    def test_junk_payloads_ignored(self):
+        result = run_baseline(
+            [0.0, 8.0, 4.0, 2.0, 6.0, 0.0, 0.0],
+            t=2,
+            iterations=4,
+            distribution="naive",
+            adversary=RandomNoiseAdversary(seed=1),
+        )
+        for v in result.honest_outputs.values():
+            assert 0.0 <= v <= 8.0

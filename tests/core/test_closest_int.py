@@ -1,0 +1,85 @@
+"""Tests for closestInt and Remarks 1–2 (Section 4)."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import closest_int
+
+
+class TestDefinition:
+    def test_integers_map_to_themselves(self):
+        for z in range(-5, 6):
+            assert closest_int(float(z)) == z
+
+    def test_below_half_rounds_down(self):
+        assert closest_int(2.4) == 2
+        assert closest_int(-2.6) == -3
+
+    def test_above_half_rounds_up(self):
+        assert closest_int(2.6) == 3
+        assert closest_int(-2.4) == -2
+
+    def test_exact_half_rounds_up(self):
+        """The paper's tie-break: j − z < (z+1) − j fails at j = z + 0.5,
+        so closestInt(z + 0.5) = z + 1."""
+        assert closest_int(2.5) == 3
+        assert closest_int(-2.5) == -2
+        assert closest_int(0.5) == 1
+
+    def test_non_finite_rejected(self):
+        with pytest.raises(ValueError):
+            closest_int(float("nan"))
+        with pytest.raises(ValueError):
+            closest_int(float("inf"))
+
+    @given(st.floats(min_value=-1e6, max_value=1e6))
+    def test_result_within_half(self, j):
+        z = closest_int(j)
+        assert abs(j - z) <= 0.5
+
+    @given(st.floats(min_value=-1e6, max_value=1e6))
+    def test_result_is_floor_or_ceil(self, j):
+        assert closest_int(j) in (math.floor(j), math.ceil(j))
+
+
+class TestRemark1:
+    """j ∈ [i_min, i_max] with integer endpoints ⇒ closestInt(j) ∈ [i_min, i_max]."""
+
+    @given(
+        st.integers(min_value=-100, max_value=100),
+        st.integers(min_value=0, max_value=200),
+        st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_remark1(self, i_min, width, fraction):
+        i_max = i_min + width
+        j = i_min + fraction * width
+        assert i_min <= closest_int(j) <= i_max
+
+    def test_remark1_degenerate_interval(self):
+        assert closest_int(5.0) == 5
+
+
+class TestRemark2:
+    """|j − j'| ≤ 1 ⇒ |closestInt(j) − closestInt(j')| ≤ 1."""
+
+    @given(
+        st.floats(min_value=-1e5, max_value=1e5),
+        st.floats(min_value=-1.0, max_value=1.0),
+    )
+    def test_remark2(self, j, delta):
+        j2 = j + delta
+        assert abs(closest_int(j) - closest_int(j2)) <= 1
+
+    def test_remark2_worst_case_pairs(self):
+        # crafted pairs hugging the .5 boundaries from both sides
+        assert abs(closest_int(1.49) - closest_int(2.49)) <= 1
+        assert abs(closest_int(1.5) - closest_int(2.5)) <= 1
+        assert abs(closest_int(1.51) - closest_int(2.51)) <= 1
+
+    def test_remark2_fails_beyond_distance_one(self):
+        # sanity: the remark is tight — at distance slightly above 1 the
+        # rounded values can differ by 2
+        assert abs(closest_int(1.49) - closest_int(2.51)) == 2

@@ -1,0 +1,132 @@
+"""Failure-injection tests: randomized crash/corruption timing vs TreeAA.
+
+Hypothesis drives *when* things fail — adaptive corruption rounds, partial
+crash boundaries, mixed strategies — to probe timing-sensitive state in
+the phased composition (phase boundaries, gradecast rounds, iteration
+ends).
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adversary import (
+    AdaptiveCrashAdversary,
+    ChaosAdversary,
+    CrashAdversary,
+)
+from repro.adversary.realaa_attacks import BurnScheduleAdversary
+from repro.core import TreeAAParty, run_real_aa, run_tree_aa
+from repro.trees import random_tree
+
+N, T = 7, 2
+TREE = random_tree(18, seed=42)
+DURATION = TreeAAParty(0, N, T, TREE, TREE.vertices[0]).duration
+
+
+def tree_inputs(seed):
+    rng = random.Random(seed)
+    return [rng.choice(TREE.vertices) for _ in range(N)]
+
+
+class TestCrashTiming:
+    @given(
+        st.integers(min_value=0, max_value=DURATION),
+        st.integers(min_value=0, max_value=N),
+        st.integers(min_value=0, max_value=50),
+    )
+    def test_partial_crash_at_any_round(self, crash_round, partial_to, seed):
+        outcome = run_tree_aa(
+            TREE,
+            tree_inputs(seed),
+            T,
+            adversary=CrashAdversary(crash_round=crash_round, partial_to=partial_to),
+        )
+        assert outcome.achieved_aa
+
+    @given(
+        st.lists(
+            st.integers(min_value=0, max_value=DURATION - 1),
+            min_size=1,
+            max_size=2,
+            unique=True,
+        ),
+        st.integers(min_value=0, max_value=50),
+    )
+    def test_adaptive_corruption_at_any_rounds(self, corruption_rounds, seed):
+        """Seize up to t honest parties at arbitrary rounds, silencing them.
+        The parties corrupted mid-run no longer count as honest; AA must
+        still hold among the remainder."""
+        schedule = {
+            round_index: [pid]
+            for round_index, pid in zip(sorted(corruption_rounds), range(N))
+        }
+        outcome = run_tree_aa(
+            TREE,
+            tree_inputs(seed),
+            T,
+            adversary=AdaptiveCrashAdversary(schedule=schedule),
+        )
+        assert outcome.terminated
+        assert outcome.agreement
+        assert outcome.valid
+
+    def test_crash_exactly_at_phase_boundary(self):
+        """The barrier between PathsFinder and the projection phase is the
+        most state-sensitive round; crash right on it."""
+        from repro.core.paths_finder import paths_finder_duration
+
+        boundary = paths_finder_duration(TREE, N, T)
+        for offset in (-1, 0, 1):
+            outcome = run_tree_aa(
+                TREE,
+                tree_inputs(3),
+                T,
+                adversary=CrashAdversary(crash_round=boundary + offset, partial_to=2),
+            )
+            assert outcome.achieved_aa, offset
+
+
+class TestMixedFailures:
+    @given(st.integers(min_value=0, max_value=200))
+    def test_chaos_at_any_seed(self, seed):
+        outcome = run_tree_aa(
+            TREE, tree_inputs(seed), T, adversary=ChaosAdversary(seed=seed)
+        )
+        assert outcome.achieved_aa
+
+    @given(
+        st.lists(
+            st.integers(min_value=0, max_value=2), min_size=2, max_size=8
+        ).filter(lambda schedule: sum(schedule) <= T),
+        st.integers(min_value=0, max_value=30),
+    )
+    def test_arbitrary_burn_schedules(self, schedule, seed):
+        outcome = run_tree_aa(
+            TREE,
+            tree_inputs(seed),
+            T,
+            adversary=BurnScheduleAdversary(schedule),
+        )
+        assert outcome.achieved_aa
+
+    @given(
+        st.floats(min_value=-1e6, max_value=1e6),
+        st.floats(min_value=0.0, max_value=1e6),
+        st.integers(min_value=0, max_value=20),
+    )
+    def test_realaa_arbitrary_input_windows(self, base, width, seed):
+        rng = random.Random(seed)
+        inputs = [base + rng.uniform(0, width) for _ in range(N)]
+        outcome = run_real_aa(
+            inputs,
+            T,
+            epsilon=max(1e-6, width / 1000),
+            known_range=max(width, 1e-6),
+            adversary=ChaosAdversary(seed=seed),
+        )
+        assert outcome.terminated
+        assert outcome.valid
+        assert outcome.agreement

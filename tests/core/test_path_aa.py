@@ -1,0 +1,116 @@
+"""Tests for the Section-4 warm-up protocol: AA on paths."""
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.adversary import (
+    CrashAdversary,
+    PassiveAdversary,
+    RandomNoiseAdversary,
+    SilentAdversary,
+)
+from repro.adversary.realaa_attacks import BurnScheduleAdversary
+from repro.core import PathAAParty, run_path_aa
+from repro.trees import TreePath, path_tree
+
+
+def path_and_tree(k):
+    tree = path_tree(k)
+    return tree, TreePath(tree.vertices)
+
+
+class TestConstruction:
+    def test_requires_canonical_orientation(self):
+        tree, path = path_and_tree(4)
+        with pytest.raises(ValueError, match="canonical"):
+            PathAAParty(0, 4, 1, path.reversed(), path.end)
+
+    def test_input_must_be_on_path(self):
+        tree, path = path_and_tree(4)
+        with pytest.raises(KeyError):
+            PathAAParty(0, 4, 1, path, "zzz")
+
+
+class TestFaultFree:
+    def test_identical_inputs(self):
+        tree, path = path_and_tree(9)
+        v = path[4]
+        outcome = run_path_aa(tree, path, [v] * 4, t=0)
+        assert set(outcome.honest_outputs.values()) == {v}
+        assert outcome.achieved_aa
+
+    def test_split_inputs_meet_in_the_middle(self):
+        tree, path = path_and_tree(9)
+        inputs = [path[0], path[8], path[0], path[8]]
+        outcome = run_path_aa(tree, path, inputs, t=0)
+        assert outcome.achieved_aa
+        assert set(outcome.honest_outputs.values()) == {path[4]}
+
+
+class TestUnderAdversaries:
+    @pytest.mark.parametrize(
+        "adversary_factory",
+        [
+            lambda: SilentAdversary(),
+            lambda: PassiveAdversary(),
+            lambda: RandomNoiseAdversary(seed=2),
+            lambda: CrashAdversary(crash_round=2, partial_to=3),
+            lambda: BurnScheduleAdversary(schedule=[1, 1]),
+        ],
+    )
+    def test_aa_achieved(self, adversary_factory):
+        tree, path = path_and_tree(33)
+        n, t = 7, 2
+        rng = random.Random(5)
+        inputs = [rng.choice(path.vertices) for _ in range(n)]
+        outcome = run_path_aa(tree, path, inputs, t, adversary=adversary_factory())
+        assert outcome.achieved_aa
+
+    @given(
+        st.integers(min_value=2, max_value=40),
+        st.lists(st.integers(min_value=0, max_value=1000), min_size=7, max_size=7),
+        st.sampled_from(["silent", "burn"]),
+    )
+    def test_property_validity_and_agreement(self, k, picks, kind):
+        tree, path = path_and_tree(k)
+        inputs = [path[p % k] for p in picks]
+        adversary = (
+            SilentAdversary() if kind == "silent" else BurnScheduleAdversary([1, 1])
+        )
+        outcome = run_path_aa(tree, path, inputs, t=2, adversary=adversary)
+        assert outcome.terminated
+        assert outcome.valid
+        assert outcome.agreement
+
+    def test_outputs_within_honest_positions(self):
+        """Remark 1 made concrete: outputs lie between the extreme honest
+        input positions, never outside."""
+        tree, path = path_and_tree(21)
+        inputs = [path[5], path[10], path[15], path[8], path[12], path[0], path[20]]
+        outcome = run_path_aa(
+            tree, path, inputs, t=2, adversary=BurnScheduleAdversary([2])
+        )
+        positions = [path.position_of(v) for v in outcome.honest_outputs.values()]
+        assert all(5 <= p <= 15 for p in positions)
+
+    def test_reversed_input_order_is_normalised(self):
+        """run_path_aa canonicalises the path so any orientation works."""
+        tree, path = path_and_tree(7)
+        inputs = [path[1]] * 4
+        outcome = run_path_aa(tree, path.reversed(), inputs, t=1)
+        assert set(outcome.honest_outputs.values()) == {path[1]}
+
+
+class TestRoundComplexity:
+    def test_rounds_grow_sublinearly_with_length(self):
+        rounds = {}
+        for k in (8, 64, 512):
+            tree, path = path_and_tree(k)
+            inputs = [path[0], path[k - 1]] * 2
+            outcome = run_path_aa(tree, path, inputs[:4], t=1)
+            rounds[k] = outcome.rounds
+        assert rounds[64] <= rounds[8] * 3
+        assert rounds[512] <= rounds[8] * 4

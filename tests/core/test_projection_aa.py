@@ -1,0 +1,99 @@
+"""Tests for the Section-5 protocol: AA on trees given a known path."""
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.adversary import RandomNoiseAdversary, SilentAdversary
+from repro.adversary.realaa_attacks import BurnScheduleAdversary
+from repro.core import KnownPathAAParty, run_path_aa
+from repro.trees import (
+    LabeledTree,
+    TreePath,
+    convex_hull,
+    diameter_path,
+    random_tree,
+)
+
+from ..conftest import trees_with_vertex_choices
+
+
+class TestConstruction:
+    def test_input_anywhere_in_tree(self):
+        tree = random_tree(12, seed=3)
+        path = diameter_path(tree).canonical()
+        party = KnownPathAAParty(0, 4, 1, tree, path, tree.vertices[0])
+        assert party.projection in path
+
+    def test_unknown_input_rejected(self):
+        tree = random_tree(6, seed=0)
+        path = diameter_path(tree).canonical()
+        with pytest.raises(KeyError):
+            KnownPathAAParty(0, 4, 1, tree, path, "zzz")
+
+
+class TestSection5Guarantees:
+    def _run(self, tree, inputs, t, adversary=None):
+        path = diameter_path(tree)
+        return run_path_aa(tree, path, inputs, t, adversary=adversary, project=True)
+
+    def test_figure2_style_scenario(self):
+        spine = [f"v{i}" for i in range(1, 9)]
+        edges = [(spine[i], spine[i + 1]) for i in range(7)]
+        edges += [("v3", "u1"), ("v4", "x1"), ("x1", "u2"), ("v6", "u3")]
+        tree = LabeledTree(edges=edges)
+        path = TreePath(spine)
+        inputs = ["u1", "u2", "u3", "u1"]
+        outcome = run_path_aa(tree, path, inputs, t=1, project=True)
+        assert outcome.achieved_aa
+        # honest outputs lie on the projected segment v3..v6
+        for v in outcome.honest_outputs.values():
+            assert v in {"v3", "v4", "v5", "v6"}
+
+    @pytest.mark.parametrize(
+        "adversary_factory",
+        [
+            lambda: None,
+            lambda: SilentAdversary(),
+            lambda: RandomNoiseAdversary(seed=6),
+            lambda: BurnScheduleAdversary(schedule=[2]),
+        ],
+    )
+    def test_aa_on_random_trees(self, adversary_factory):
+        rng = random.Random(9)
+        tree = random_tree(25, seed=4)
+        inputs = [rng.choice(tree.vertices) for _ in range(7)]
+        outcome = self._run(tree, inputs, t=2, adversary=adversary_factory())
+        assert outcome.achieved_aa
+
+    @given(trees_with_vertex_choices(n_choices=7, min_vertices=2))
+    def test_property_aa_when_path_meets_hull(self, tree_and_inputs):
+        """Section 5's assumption is that the known path intersects the
+        honest inputs' hull.  The diameter path may miss it — then the
+        protocol's outputs are on the path but possibly outside the hull,
+        so only run the check when the hypothesis holds."""
+        tree, inputs = tree_and_inputs
+        path = diameter_path(tree)
+        honest_inputs = inputs[:5]  # parties 5, 6 are corrupted by default
+        hull = convex_hull(tree, honest_inputs)
+        outcome = run_path_aa(
+            tree, path, inputs, t=2, adversary=SilentAdversary(), project=True
+        )
+        assert outcome.terminated
+        if set(path.vertices) & hull:
+            assert outcome.valid
+        assert outcome.agreement
+
+    def test_outputs_always_on_the_path(self):
+        tree = random_tree(30, seed=8)
+        rng = random.Random(0)
+        inputs = [rng.choice(tree.vertices) for _ in range(7)]
+        path = diameter_path(tree)
+        outcome = run_path_aa(
+            tree, path, inputs, t=2, adversary=BurnScheduleAdversary([1, 1]), project=True
+        )
+        canonical = path.canonical()
+        for v in outcome.honest_outputs.values():
+            assert v in canonical

@@ -1,0 +1,104 @@
+"""Tests for the executable chain-of-views constructions."""
+
+import pytest
+
+from repro.lowerbound import (
+    chain_links,
+    demonstrate_real,
+    demonstrate_tree,
+    one_round_view_chain,
+    safe_area_midpoint_rule,
+    trimmed_mean_rule,
+    trimmed_midpoint_rule,
+)
+from repro.trees import diameter_path, path_tree, random_tree, star_tree
+
+
+class TestViewChain:
+    def test_endpoints(self):
+        views = one_round_view_chain(7, 2, "a", "b")
+        assert views[0] == ("a",) * 7
+        assert views[-1] == ("b",) * 7
+
+    def test_chain_length(self):
+        views = one_round_view_chain(7, 2, 0, 1)
+        assert len(views) == 1 + 4  # ceil(7/2) = 4 blocks
+
+    def test_adjacent_views_differ_in_one_block(self):
+        n, t = 7, 2
+        views = one_round_view_chain(n, t, 0, 1)
+        links = chain_links(n, t, 0, 1)
+        for link in links:
+            differing = {
+                i
+                for i in range(n)
+                if link.view_before[i] != link.view_after[i]
+            }
+            assert differing == set(link.byzantine_block)
+            assert len(differing) <= t
+
+    def test_blocks_are_within_budget(self):
+        for link in chain_links(10, 3, 0, 1):
+            assert len(link.byzantine_block) <= 3
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            one_round_view_chain(3, 0, 0, 1)
+        with pytest.raises(ValueError):
+            one_round_view_chain(3, 3, 0, 1)
+
+
+class TestRealDemonstration:
+    def test_validity_pins_endpoints(self):
+        demo = demonstrate_real(trimmed_mean_rule(2), 7, 2, 0.0, 1.0)
+        assert demo.outputs[0] == pytest.approx(0.0)
+        assert demo.outputs[-1] == pytest.approx(1.0)
+
+    def test_guaranteed_gap_is_achieved(self):
+        """The heart of Theorem 1: some adjacent execution pair forces a gap
+        of at least D/s."""
+        for rule in (trimmed_mean_rule(2), trimmed_midpoint_rule(2)):
+            demo = demonstrate_real(rule, 7, 2, 0.0, 1.0)
+            assert demo.max_gap >= demo.guaranteed_gap - 1e-12
+
+    def test_gap_at_least_fekete_K(self):
+        from repro.lowerbound import fekete_K
+
+        n, t, spread = 7, 2, 1.0
+        demo = demonstrate_real(trimmed_mean_rule(t), n, t, 0.0, spread)
+        assert demo.max_gap >= fekete_K(1, spread, n, t) - 1e-12
+
+    def test_witness_identifies_the_jump(self):
+        demo = demonstrate_real(trimmed_mean_rule(2), 7, 2, 0.0, 1.0)
+        link = demo.witness
+        jump = abs(
+            demo.outputs[link.index + 1] - demo.outputs[link.index]
+        )
+        assert jump == pytest.approx(demo.max_gap)
+
+    def test_larger_n_with_same_t_shrinks_the_forced_gap(self):
+        small = demonstrate_real(trimmed_mean_rule(2), 7, 2, 0.0, 1.0)
+        large = demonstrate_real(trimmed_mean_rule(2), 25, 2, 0.0, 1.0)
+        assert large.guaranteed_gap < small.guaranteed_gap
+
+
+class TestTreeDemonstration:
+    def test_on_a_path(self):
+        tree = path_tree(33)
+        demo = demonstrate_tree(safe_area_midpoint_rule(tree, 2), tree, 7, 2)
+        longest = diameter_path(tree)
+        assert demo.outputs[0] == longest.start
+        assert demo.outputs[-1] == longest.end
+        assert demo.max_gap >= demo.guaranteed_gap
+
+    def test_on_a_random_tree(self):
+        tree = random_tree(25, seed=9)
+        demo = demonstrate_tree(safe_area_midpoint_rule(tree, 2), tree, 7, 2)
+        assert demo.max_gap >= demo.guaranteed_gap
+
+    def test_star_is_easy(self):
+        """D = 2: the guaranteed gap is tiny and 1-agreement is achievable
+        in one round — consistent with the Ω(1) bound for constant D."""
+        tree = star_tree(6)
+        demo = demonstrate_tree(safe_area_midpoint_rule(tree, 2), tree, 7, 2)
+        assert demo.guaranteed_gap <= 1.0

@@ -1,0 +1,155 @@
+"""Tests for K(R, D), Theorem 2, and the optimal budget splits."""
+
+import itertools
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.lowerbound import (
+    fekete_K,
+    fekete_K_closed_form,
+    lower_bound_table,
+    max_split_product,
+    min_rounds_required,
+    optimal_integer_split,
+    theorem2_lower_bound,
+)
+
+
+def brute_force_best_product(t, rounds):
+    best = 0
+    for split in itertools.product(range(t + 1), repeat=rounds):
+        if sum(split) <= t:
+            product = 1
+            for s in split:
+                product *= s
+            best = max(best, product)
+    return best
+
+
+class TestOptimalSplit:
+    def test_even_division(self):
+        assert optimal_integer_split(6, 3) == (2, 2, 2)
+
+    def test_remainder_spread(self):
+        assert optimal_integer_split(7, 3) == (3, 2, 2)
+
+    def test_budget_below_rounds(self):
+        assert optimal_integer_split(2, 4) == (1, 1, 0, 0)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            optimal_integer_split(-1, 2)
+        with pytest.raises(ValueError):
+            optimal_integer_split(3, 0)
+
+    @given(
+        st.integers(min_value=0, max_value=9),
+        st.integers(min_value=1, max_value=4),
+    )
+    def test_product_matches_brute_force(self, t, rounds):
+        assert max_split_product(t, rounds) == brute_force_best_product(t, rounds)
+
+    @given(
+        st.integers(min_value=0, max_value=9),
+        st.integers(min_value=1, max_value=4),
+    )
+    def test_split_within_budget(self, t, rounds):
+        split = optimal_integer_split(t, rounds)
+        assert len(split) == rounds
+        assert sum(split) <= t
+
+
+class TestFeketeK:
+    def test_single_round(self):
+        # K(1, D) = D · t/(n+t)
+        assert fekete_K(1, 90.0, 7, 2) == pytest.approx(90.0 * 2 / 9)
+
+    def test_degenerates_when_rounds_exceed_budget(self):
+        assert fekete_K(3, 100.0, 7, 2) == 0.0
+
+    def test_exact_at_least_closed_form_when_divisible(self):
+        """Equation (1): the integer sup equals t^R/R^R when R | t (the even
+        split is integral); otherwise the integer constraint can only lose a
+        bounded constant factor per round."""
+        for n, t in ((7, 2), (13, 4), (31, 10)):
+            for R in range(1, t + 1):
+                exact = fekete_K(R, 1000.0, n, t)
+                closed = fekete_K_closed_form(R, 1000.0, n, t)
+                if t % R == 0:
+                    assert exact == pytest.approx(closed)
+                else:
+                    assert exact > 0
+                    # floor/ceil parts lose at most a factor 2 per round
+                    assert exact >= closed / (2.0**R)
+
+    def test_scales_linearly_in_spread(self):
+        assert fekete_K(2, 200.0, 7, 2) == pytest.approx(2 * fekete_K(2, 100.0, 7, 2))
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            fekete_K(0, 1.0, 7, 2)
+        with pytest.raises(ValueError):
+            fekete_K(1, -1.0, 7, 2)
+        with pytest.raises(ValueError):
+            fekete_K_closed_form(0, 1.0, 7, 2)
+
+
+class TestMinRoundsRequired:
+    def test_t_zero(self):
+        assert min_rounds_required(1e9, 4, 0) == 1
+
+    def test_small_diameter(self):
+        assert min_rounds_required(2.0, 7, 2) >= 1
+
+    def test_grows_with_diameter(self):
+        bounds = [min_rounds_required(10.0**e, 31, 10) for e in range(1, 7)]
+        assert bounds == sorted(bounds)
+        assert bounds[-1] > bounds[0]
+
+    def test_definition(self):
+        """The returned R has K(R) ≤ 1 while R−1 (if ≥ 1) has K(R−1) > 1
+        — for the monotone regime the search operates in."""
+        for D in (100.0, 1e4, 1e6):
+            R = min_rounds_required(D, 31, 10)
+            assert fekete_K(R, D, 31, 10) <= 1.0
+            if R > 1:
+                assert fekete_K(R - 1, D, 31, 10) > 1.0
+
+
+class TestTheorem2:
+    def test_footnote_t_zero(self):
+        assert theorem2_lower_bound(1e9, 5, 0) == 1.0
+
+    def test_small_diameter_degenerates(self):
+        assert theorem2_lower_bound(3.0, 7, 2) == 1.0
+
+    def test_example_value(self):
+        # D = 2^20, n+t/t = 4.5: log2 D / log2(4.5 · 20)
+        expected = 20.0 / math.log2(4.5 * 20)
+        assert theorem2_lower_bound(2.0**20, 7, 2) == pytest.approx(expected)
+
+    def test_grows_with_diameter(self):
+        values = [theorem2_lower_bound(10.0**e, 7, 2) for e in range(1, 10)]
+        assert values == sorted(values)
+
+    def test_shrinks_with_more_honest_parties(self):
+        """Larger (n+t)/t ⇒ the adversary is weaker ⇒ lower bound smaller."""
+        strong = theorem2_lower_bound(1e6, 4, 1)
+        weak = theorem2_lower_bound(1e6, 100, 1)
+        assert weak < strong
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            theorem2_lower_bound(10.0, 0, 0)
+
+
+class TestTable:
+    def test_lower_bound_table_rows(self):
+        rows = lower_bound_table([10.0, 100.0], 7, 2)
+        assert len(rows) == 2
+        for spread, thm2, integer_bound in rows:
+            assert thm2 >= 1.0
+            assert integer_bound >= 1

@@ -1,0 +1,74 @@
+"""Tests for message and payload-unit accounting (experiment T8's basis)."""
+
+import pytest
+
+from repro.adversary import RandomNoiseAdversary, SilentAdversary
+from repro.net import run_protocol
+from repro.net.network import payload_units
+from repro.protocols import RealAAParty
+
+
+class TestPayloadUnits:
+    def test_atoms(self):
+        assert payload_units(1) == 1
+        assert payload_units("s") == 1
+        assert payload_units(None) == 1
+        assert payload_units(3.5) == 1
+
+    def test_containers(self):
+        assert payload_units((1, 2, 3)) == 3
+        assert payload_units([1, [2, 3]]) == 3
+        assert payload_units({1: 2, 3: 4}) == 4  # keys count too
+        assert payload_units(("val", 0, {1: 2.0})) == 4
+
+    def test_empty_containers(self):
+        assert payload_units(()) == 0
+        assert payload_units({}) == 0
+
+    def test_nested_protocol_payload(self):
+        echo = ("echo", 0, {0: 1.0, 1: 2.0, 2: 3.0})
+        assert payload_units(echo) == 2 + 6
+
+
+class TestTraceAccounting:
+    def _run(self, adversary):
+        n, t = 4, 1
+        inputs = [0.0, 3.0, 1.0, 2.0]
+        return run_protocol(
+            n,
+            t,
+            lambda pid: RealAAParty(pid, n, t, inputs[pid], iterations=2),
+            adversary=adversary,
+        )
+
+    def test_per_round_messages_length(self):
+        result = self._run(SilentAdversary())
+        assert len(result.trace.per_round_messages) == result.trace.rounds_executed
+
+    def test_honest_messages_per_round_constant(self):
+        result = self._run(SilentAdversary())
+        # 3 honest senders × 4 recipients, every round
+        assert set(result.trace.per_round_messages) == {12}
+
+    def test_byzantine_units_counted_separately(self):
+        silent = self._run(SilentAdversary())
+        noisy = self._run(RandomNoiseAdversary(seed=4))
+        assert silent.trace.byzantine_payload_units == 0
+        assert noisy.trace.byzantine_payload_units > 0
+        assert (
+            silent.trace.honest_payload_units > 0
+        )  # honest traffic always counted
+
+    def test_totals_are_sums(self):
+        result = self._run(RandomNoiseAdversary(seed=4))
+        trace = result.trace
+        assert trace.message_count == (
+            trace.honest_message_count + trace.byzantine_message_count
+        )
+        assert trace.payload_unit_count == (
+            trace.honest_payload_units + trace.byzantine_payload_units
+        )
+
+    def test_message_count_matches_per_round_sum(self):
+        result = self._run(RandomNoiseAdversary(seed=4))
+        assert sum(result.trace.per_round_messages) == result.trace.message_count

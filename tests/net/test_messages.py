@@ -1,0 +1,63 @@
+"""Tests for message envelopes and inbox grouping."""
+
+from repro.net import Message, broadcast, deliver
+
+
+class TestMessage:
+    def test_fields(self):
+        m = Message(sender=1, recipient=2, round=0, payload="x")
+        assert (m.sender, m.recipient, m.round, m.payload) == (1, 2, 0, "x")
+
+    def test_repr_is_compact(self):
+        m = Message(1, 2, 3, "hello")
+        assert "1->2" in repr(m)
+        assert "r3" in repr(m)
+
+    def test_frozen(self):
+        import pytest
+
+        m = Message(1, 2, 0, None)
+        with pytest.raises(Exception):
+            m.sender = 9  # type: ignore[misc]
+
+
+class TestDeliver:
+    def test_groups_by_recipient(self):
+        messages = [
+            Message(0, 1, 0, "a"),
+            Message(2, 1, 0, "b"),
+            Message(0, 2, 0, "c"),
+        ]
+        inboxes = deliver(messages, n=3)
+        assert inboxes[1] == {0: "a", 2: "b"}
+        assert inboxes[2] == {0: "c"}
+        assert inboxes[0] == {}
+
+    def test_every_party_gets_an_inbox(self):
+        inboxes = deliver([], n=4)
+        assert sorted(inboxes) == [0, 1, 2, 3]
+
+    def test_last_payload_wins_on_double_send(self):
+        messages = [Message(0, 1, 0, "first"), Message(0, 1, 0, "second")]
+        assert deliver(messages, n=2)[1] == {0: "second"}
+
+    def test_out_of_range_recipient_dropped(self):
+        messages = [Message(0, 99, 0, "lost"), Message(0, -1, 0, "lost")]
+        inboxes = deliver(messages, n=2)
+        assert all(not inbox for inbox in inboxes.values())
+
+    def test_sender_key_is_authenticated_identity(self):
+        """The inbox is keyed by the Message.sender field the *network*
+        stamped — the structural form of authenticated channels."""
+        messages = [Message(3, 0, 0, {"claims_to_be": 1})]
+        inboxes = deliver(messages, n=4)
+        assert 3 in inboxes[0] and 1 not in inboxes[0]
+
+
+class TestBroadcast:
+    def test_reaches_everyone_including_self(self):
+        outbox = broadcast("p", n=3)
+        assert outbox == {0: "p", 1: "p", 2: "p"}
+
+    def test_empty_network(self):
+        assert broadcast("p", n=0) == {}

@@ -1,0 +1,173 @@
+"""Tests for the protocol-party interface and phased composition."""
+
+import pytest
+
+from repro.net import PhasedParty, ProtocolParty, SilentParty
+from repro.net.messages import broadcast
+
+
+class CountingParty(ProtocolParty):
+    """Broadcasts its round number for a fixed number of rounds; outputs the
+    list of rounds in which it received something."""
+
+    def __init__(self, pid, n, t, rounds, label="c"):
+        super().__init__(pid, n, t)
+        self._rounds = rounds
+        self.label = label
+        self.seen = []
+        self.sent = []
+
+    @property
+    def duration(self):
+        return self._rounds
+
+    def messages_for_round(self, round_index):
+        self.sent.append(round_index)
+        return broadcast((self.label, round_index), self.n)
+
+    def receive_round(self, round_index, inbox):
+        self.seen.append((round_index, dict(inbox)))
+        if round_index == self._rounds - 1:
+            self.output = (self.label, [r for r, _ in self.seen])
+
+
+class TestProtocolParty:
+    def test_pid_validation(self):
+        with pytest.raises(ValueError):
+            CountingParty(5, 3, 0, rounds=1)
+        with pytest.raises(ValueError):
+            CountingParty(0, 0, 0, rounds=1)
+        with pytest.raises(ValueError):
+            CountingParty(0, 3, -1, rounds=1)
+
+    def test_finished(self):
+        party = CountingParty(0, 1, 0, rounds=2)
+        assert not party.finished(1)
+        assert party.finished(2)
+
+    def test_silent_party(self):
+        party = SilentParty(0, 3, 1)
+        assert party.duration == 0
+        assert party.messages_for_round(0) == {}
+        party.receive_round(0, {})
+        assert party.output is None
+
+
+class TestPhasedParty:
+    def _run_alone(self, party):
+        """Drive a single party through its rounds with empty inboxes
+        reflecting its own broadcast."""
+        for r in range(party.duration):
+            out = party.messages_for_round(r)
+            inbox = {party.pid: out[party.pid]} if party.pid in out else {}
+            party.receive_round(r, inbox)
+
+    def test_requires_phases(self):
+        with pytest.raises(ValueError):
+            PhasedParty(0, 1, 0, phases=[])
+
+    def test_rejects_zero_duration_phase(self):
+        with pytest.raises(ValueError):
+            PhasedParty(
+                0, 1, 0, phases=[(0, lambda _: CountingParty(0, 1, 0, 1))]
+            )
+
+    def test_rejects_overlong_subparty(self):
+        with pytest.raises(ValueError, match="rounds"):
+            PhasedParty(
+                0, 1, 0, phases=[(1, lambda _: CountingParty(0, 1, 0, 5))]
+            )
+
+    def test_total_duration(self):
+        party = PhasedParty(
+            0,
+            1,
+            0,
+            phases=[
+                (2, lambda _: CountingParty(0, 1, 0, 2, "a")),
+                (3, lambda _: CountingParty(0, 1, 0, 3, "b")),
+            ],
+        )
+        assert party.duration == 5
+
+    def test_phase_outputs_chain(self):
+        received = []
+
+        def make_second(previous):
+            received.append(previous)
+            return CountingParty(0, 1, 0, 1, "b")
+
+        party = PhasedParty(
+            0,
+            1,
+            0,
+            phases=[(1, lambda _: CountingParty(0, 1, 0, 1, "a")), (1, make_second)],
+        )
+        self._run_alone(party)
+        assert received == [("a", [0])]
+        assert party.output == ("b", [0])
+
+    def test_idle_tail_sends_nothing(self):
+        """A sub-party shorter than its declared phase goes quiet at the
+        barrier — TreeAA's 'wait until round R_PathsFinder ends'."""
+        party = PhasedParty(
+            0,
+            1,
+            0,
+            phases=[
+                (4, lambda _: CountingParty(0, 1, 0, 2, "a")),
+                (1, lambda _: CountingParty(0, 1, 0, 1, "b")),
+            ],
+        )
+        sent = []
+        for r in range(party.duration):
+            out = party.messages_for_round(r)
+            sent.append(bool(out))
+            inbox = {0: out[0]} if 0 in out else {}
+            party.receive_round(r, inbox)
+        assert sent == [True, True, False, False, True]
+        assert party.output == ("b", [0])
+
+    def test_phase_index_tracks_progress(self):
+        party = PhasedParty(
+            0,
+            1,
+            0,
+            phases=[
+                (1, lambda _: CountingParty(0, 1, 0, 1, "a")),
+                (1, lambda _: CountingParty(0, 1, 0, 1, "b")),
+            ],
+        )
+        assert party.phase_index == 0
+        party.messages_for_round(0)
+        party.receive_round(0, {})
+        assert party.phase_index == 1
+
+    def test_second_phase_sub_rounds_are_local(self):
+        """The phase-2 sub-party must see local round numbers starting at 0."""
+        captured = {}
+
+        class Probe(CountingParty):
+            def messages_for_round(self, round_index):
+                captured.setdefault("first_round", round_index)
+                return super().messages_for_round(round_index)
+
+        party = PhasedParty(
+            0,
+            1,
+            0,
+            phases=[
+                (3, lambda _: CountingParty(0, 1, 0, 3, "a")),
+                (2, lambda _: Probe(0, 1, 0, 2, "b")),
+            ],
+        )
+        self._run_alone(party)
+        assert captured["first_round"] == 0
+
+    def test_out_of_range_rounds_are_ignored(self):
+        party = PhasedParty(
+            0, 1, 0, phases=[(1, lambda _: CountingParty(0, 1, 0, 1, "a"))]
+        )
+        self._run_alone(party)
+        assert party.messages_for_round(99) == {}
+        party.receive_round(99, {})  # no crash

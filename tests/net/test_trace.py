@@ -1,0 +1,116 @@
+"""Tests for transcript recording and invariant monitoring."""
+
+import pytest
+
+from repro.adversary import SilentAdversary
+from repro.adversary.realaa_attacks import BurnScheduleAdversary
+from repro.net import (
+    InvariantMonitor,
+    InvariantViolation,
+    TranscriptRecorder,
+    run_protocol,
+)
+from repro.protocols import RealAAParty
+
+N, T = 7, 2
+INPUTS = [0.0, 10.0, 5.0, 2.0, 8.0, 0.0, 0.0]
+
+
+def run_with_observer(observer, adversary=None, iterations=2):
+    return run_protocol(
+        N,
+        T,
+        lambda pid: RealAAParty(pid, N, T, INPUTS[pid], iterations=iterations),
+        adversary=adversary,
+        observer=observer,
+    )
+
+
+class TestTranscriptRecorder:
+    def test_records_every_round(self):
+        recorder = TranscriptRecorder()
+        result = run_with_observer(recorder, adversary=SilentAdversary())
+        assert len(recorder.rounds) == result.trace.rounds_executed
+
+    def test_honest_traffic_recorded(self):
+        recorder = TranscriptRecorder()
+        run_with_observer(recorder, adversary=SilentAdversary())
+        first = recorder.rounds[0]
+        assert set(first.honest_messages) == {0, 1, 2, 3, 4}
+        # round 0 payloads are value announcements
+        payload = first.honest_messages[0][0]
+        assert payload[0] == "val"
+
+    def test_byzantine_traffic_counted(self):
+        recorder = TranscriptRecorder()
+        run_with_observer(recorder, adversary=BurnScheduleAdversary([1, 1]))
+        assert recorder.byzantine_message_total > 0
+
+    def test_silent_adversary_sends_nothing(self):
+        recorder = TranscriptRecorder()
+        run_with_observer(recorder, adversary=SilentAdversary())
+        assert recorder.byzantine_message_total == 0
+
+    def test_render(self):
+        recorder = TranscriptRecorder()
+        run_with_observer(recorder, adversary=BurnScheduleAdversary([1, 1]))
+        text = recorder.render()
+        assert "round 0" in text
+        assert "(byz)" in text
+        assert "<" in text  # long dict payloads abbreviated
+
+    def test_render_limits_rounds(self):
+        recorder = TranscriptRecorder()
+        run_with_observer(recorder, adversary=SilentAdversary())
+        text = recorder.render(max_rounds=1)
+        assert "round 0" in text and "round 1" not in text
+
+    def test_corrupted_set_in_records(self):
+        recorder = TranscriptRecorder()
+        run_with_observer(recorder, adversary=SilentAdversary())
+        assert recorder.rounds[0].corrupted == (5, 6)
+
+
+class TestInvariantMonitor:
+    def test_holding_invariant_checks_every_round(self):
+        monitor = InvariantMonitor(
+            {
+                "values-in-envelope": lambda r, parties, corrupted: all(
+                    0.0 <= parties[p].value <= 10.0
+                    for p in range(N)
+                    if p not in corrupted
+                )
+            }
+        )
+        result = run_with_observer(monitor, adversary=BurnScheduleAdversary([1, 1]))
+        assert monitor.checked_rounds == result.trace.rounds_executed
+
+    def test_violation_reports_round(self):
+        monitor = InvariantMonitor(
+            {"fails-in-round-3": lambda r, parties, corrupted: r < 3}
+        )
+        with pytest.raises(InvariantViolation) as info:
+            run_with_observer(monitor, adversary=SilentAdversary())
+        assert info.value.round_index == 3
+        assert info.value.name == "fails-in-round-3"
+
+    def test_range_never_grows_invariant(self):
+        """A real protocol invariant, monitored live: the honest value
+        envelope never widens."""
+        state = {"low": min(INPUTS[:5]), "high": max(INPUTS[:5])}
+
+        def envelope(r, parties, corrupted):
+            values = [
+                parties[p].value for p in range(N) if p not in corrupted
+            ]
+            ok = min(values) >= state["low"] - 1e-12 and max(values) <= state[
+                "high"
+            ] + 1e-12
+            state["low"], state["high"] = min(values), max(values)
+            return ok
+
+        monitor = InvariantMonitor({"shrinking-envelope": envelope})
+        run_with_observer(
+            monitor, adversary=BurnScheduleAdversary([1, 1]), iterations=4
+        )
+        assert monitor.checked_rounds == 12

@@ -1,0 +1,141 @@
+"""Tests for gradecast's three guarantees under honest and Byzantine senders."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.adversary import Adversary, RandomNoiseAdversary, SilentAdversary
+from repro.net import run_protocol
+from repro.protocols import (
+    BOTTOM,
+    GRADE_HIGH,
+    GRADE_LOW,
+    GRADE_NONE,
+    GradecastParty,
+)
+
+
+def run_gradecast(n, t, sender, value, adversary=None):
+    result = run_protocol(
+        n,
+        t,
+        lambda pid: GradecastParty(pid, n, t, sender=sender, value=value),
+        adversary=adversary,
+    )
+    return result
+
+
+class TestHonestSender:
+    def test_everyone_grades_two(self):
+        result = run_gradecast(7, 2, sender=0, value=3.5)
+        for pid in range(7):
+            assert result.outputs[pid] == (3.5, GRADE_HIGH)
+
+    def test_works_with_byzantine_helpers_silent(self):
+        result = run_gradecast(7, 2, sender=0, value="v", adversary=SilentAdversary())
+        for pid in result.honest:
+            assert result.outputs[pid] == ("v", GRADE_HIGH)
+
+    def test_works_with_noise(self):
+        result = run_gradecast(
+            7, 2, sender=1, value=42, adversary=RandomNoiseAdversary(seed=4)
+        )
+        for pid in result.honest:
+            assert result.outputs[pid] == (42, GRADE_HIGH)
+
+    @given(st.integers(min_value=-100, max_value=100))
+    def test_arbitrary_values(self, value):
+        result = run_gradecast(4, 1, sender=2, value=value, adversary=SilentAdversary())
+        for pid in result.honest:
+            assert result.outputs[pid] == (value, GRADE_HIGH)
+
+    def test_minimum_network(self):
+        result = run_gradecast(4, 1, sender=0, value="x", adversary=SilentAdversary())
+        for pid in result.honest:
+            assert result.outputs[pid] == ("x", GRADE_HIGH)
+
+
+class TestByzantineSender:
+    def test_silent_sender_grades_zero(self):
+        result = run_gradecast(7, 2, sender=6, value=None, adversary=SilentAdversary())
+        for pid in result.honest:
+            assert result.outputs[pid] == (BOTTOM, GRADE_NONE)
+
+    def _equivocation_adversary(self, n, split_at):
+        class Equivocator(Adversary):
+            """Corrupted sender sends 'A' to low pids, 'B' to high pids;
+            corrupted helpers echo/support faithfully for each side."""
+
+            def byzantine_messages(self, view):
+                out = {}
+                for pid in sorted(view.corrupted):
+                    outbox = {}
+                    if view.round_index == 0 and pid == n - 1:
+                        for r in range(view.n):
+                            outbox[r] = ("val", 0, "A" if r < split_at else "B")
+                    out[pid] = outbox
+                return out
+
+        return Equivocator()
+
+    @pytest.mark.parametrize("split_at", [1, 3, 5])
+    def test_graded_consistency_under_equivocation(self, split_at):
+        """If two honest parties grade ≥ 1, their values are equal."""
+        n, t = 7, 2
+        result = run_gradecast(
+            n, t, sender=n - 1, value=None, adversary=self._equivocation_adversary(n, split_at)
+        )
+        graded = [
+            result.outputs[pid]
+            for pid in result.honest
+            if result.outputs[pid][1] >= GRADE_LOW
+        ]
+        values = {value for value, _ in graded}
+        assert len(values) <= 1
+
+    @pytest.mark.parametrize("split_at", [1, 2, 3, 4, 5, 6])
+    def test_graded_agreement_under_equivocation(self, split_at):
+        """If an honest party grades 2, every honest party grades ≥ 1."""
+        n, t = 7, 2
+        result = run_gradecast(
+            n, t, sender=n - 1, value=None, adversary=self._equivocation_adversary(n, split_at)
+        )
+        grades = [result.outputs[pid][1] for pid in result.honest]
+        if GRADE_HIGH in grades:
+            assert all(g >= GRADE_LOW for g in grades)
+
+
+class TestPayloadHygiene:
+    def test_sender_argument_validated(self):
+        with pytest.raises(ValueError):
+            GradecastParty(0, 4, 1, sender=9)
+
+    def test_resilience_validated(self):
+        with pytest.raises(ValueError):
+            GradecastParty(0, 3, 1, sender=0)
+
+    def test_unhashable_value_treated_as_missing(self):
+        class SendsUnhashable(Adversary):
+            def byzantine_messages(self, view):
+                if view.round_index == 0:
+                    return {3: {r: ("val", 0, ["un", "hashable"]) for r in range(4)}}
+                return {3: {}}
+
+        result = run_gradecast(
+            4, 1, sender=3, value=None, adversary=SendsUnhashable(corrupt=[3])
+        )
+        for pid in result.honest:
+            assert result.outputs[pid] == (BOTTOM, GRADE_NONE)
+
+    def test_wrong_iteration_tag_ignored(self):
+        class WrongTag(Adversary):
+            def byzantine_messages(self, view):
+                if view.round_index == 0:
+                    return {3: {r: ("val", 99, "late") for r in range(4)}}
+                return {3: {}}
+
+        result = run_gradecast(
+            4, 1, sender=3, value=None, adversary=WrongTag(corrupt=[3])
+        )
+        for pid in result.honest:
+            assert result.outputs[pid] == (BOTTOM, GRADE_NONE)

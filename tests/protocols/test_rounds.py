@@ -1,0 +1,180 @@
+"""Tests for the round-complexity formulas (Theorem 3, Lemma 5, Remark 3)."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.protocols import (
+    ROUNDS_PER_ITERATION,
+    check_resilience,
+    lemma5_factor,
+    paths_finder_round_bound,
+    realaa_duration,
+    realaa_iterations,
+    schedule_factor,
+    theorem3_round_bound,
+    tree_aa_round_bound,
+)
+
+
+class TestResilience:
+    def test_boundary(self):
+        check_resilience(4, 1)
+        check_resilience(7, 2)
+        with pytest.raises(ValueError):
+            check_resilience(3, 1)
+        with pytest.raises(ValueError):
+            check_resilience(6, 2)
+
+    def test_t_zero_always_fine(self):
+        check_resilience(1, 0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            check_resilience(4, -1)
+        with pytest.raises(ValueError):
+            check_resilience(0, 0)
+
+
+class TestLemma5Factor:
+    def test_t_zero_collapses(self):
+        assert lemma5_factor(4, 0, 1) == 0.0
+
+    def test_single_iteration(self):
+        # t / (n − 2t) with R = 1
+        assert lemma5_factor(7, 2, 1) == pytest.approx(2 / 3)
+
+    def test_matches_closed_form(self):
+        n, t, R = 13, 4, 3
+        assert lemma5_factor(n, t, R) == pytest.approx(
+            t**R / (R**R * (n - 2 * t) ** R)
+        )
+
+    @given(st.integers(min_value=1, max_value=6), st.integers(min_value=1, max_value=20))
+    def test_decreasing_in_iterations_eventually(self, t, extra):
+        n = 3 * t + 1 + extra
+        factors = [lemma5_factor(n, t, R) for R in range(1, 10)]
+        # after R >= t the factor is strictly decreasing
+        tail = factors[t - 1 :]
+        assert all(a >= b for a, b in zip(tail, tail[1:]))
+
+    def test_invalid_iterations(self):
+        with pytest.raises(ValueError):
+            lemma5_factor(4, 1, 0)
+
+
+class TestScheduleFactor:
+    def test_even_split_is_best(self):
+        n, t, R = 10, 3, 3
+        even = schedule_factor(n, t, [1, 1, 1])
+        assert even >= schedule_factor(n, t, [3, 0, 0])
+        assert even >= schedule_factor(n, t, [2, 1, 0])
+
+    def test_budget_enforced(self):
+        with pytest.raises(ValueError):
+            schedule_factor(7, 2, [2, 1])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            schedule_factor(7, 2, [-1, 3])
+
+    def test_zero_entry_collapses(self):
+        assert schedule_factor(7, 2, [2, 0]) == 0.0
+
+
+class TestRealAAIterations:
+    def test_no_spread_single_iteration(self):
+        assert realaa_iterations(0.0, 1.0, 7, 2) == 1
+
+    def test_t_zero_single_iteration(self):
+        assert realaa_iterations(1e9, 1e-9, 4, 0) == 1
+
+    def test_guarantee_met(self):
+        from repro.protocols import worst_burn_factor
+
+        for spread in (10.0, 1e3, 1e6):
+            for eps in (1.0, 0.01):
+                R = realaa_iterations(spread, eps, 7, 2)
+                assert spread * worst_burn_factor(7, 2, R) <= eps
+                if R > 1:
+                    assert spread * worst_burn_factor(7, 2, R - 1) > eps
+
+    def test_budget_capped_at_t_plus_one(self):
+        """A clean iteration collapses the range exactly, so t + 1
+        iterations always suffice — the budget never exceeds that."""
+        for n, t in ((4, 1), (7, 2), (13, 4), (31, 10)):
+            assert realaa_iterations(1e30, 1e-9, n, t) <= t + 1
+
+    def test_worst_burn_factor_properties(self):
+        from repro.protocols import worst_burn_factor
+
+        # zero beyond the budget: every iteration needs a fresh burn
+        assert worst_burn_factor(7, 2, 3) == 0.0
+        # never exceeds 1 (ranges cannot grow)
+        for R in range(1, 11):
+            assert 0.0 <= worst_burn_factor(31, 10, R) <= 1.0
+        # dominates the idealised Lemma-5 form (it is the conservative one)
+        for R in range(1, 5):
+            assert worst_burn_factor(13, 4, R) >= lemma5_factor(13, 4, R) - 1e-12
+
+    def test_monotone_in_spread(self):
+        rs = [realaa_iterations(d, 1.0, 7, 2) for d in (1, 10, 100, 1e4, 1e8)]
+        assert rs == sorted(rs)
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(ValueError):
+            realaa_iterations(10.0, 0.0, 7, 2)
+
+    def test_negative_range(self):
+        with pytest.raises(ValueError):
+            realaa_iterations(-1.0, 1.0, 7, 2)
+
+    def test_duration_is_three_per_iteration(self):
+        assert realaa_duration(100.0, 1.0, 7, 2) == (
+            ROUNDS_PER_ITERATION * realaa_iterations(100.0, 1.0, 7, 2)
+        )
+
+
+class TestTheorem3Bound:
+    def test_trivial_spread(self):
+        assert theorem3_round_bound(0.5, 1.0) == ROUNDS_PER_ITERATION
+
+    def test_formula_at_large_ratio(self):
+        # D/ε = 2^16: 7·16/log2(16) = 28
+        assert theorem3_round_bound(2**16, 1.0) == 28
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(ValueError):
+            theorem3_round_bound(10.0, -1.0)
+
+    @given(st.floats(min_value=8.0, max_value=1e9))
+    def test_operational_count_within_theorem3(self, spread):
+        """The Lemma-5-derived iteration count never exceeds the paper's
+        closed-form bound (for the optimal-resilience n = 3t + 1)."""
+        for n, t in ((4, 1), (7, 2), (13, 4)):
+            assert realaa_duration(spread, 1.0, n, t) <= theorem3_round_bound(
+                spread, 1.0
+            )
+
+    def test_sub_logarithmic_growth(self):
+        """The hallmark of Theorem 3: o(log) growth in D."""
+        small = theorem3_round_bound(2**10, 1.0)
+        large = theorem3_round_bound(2**40, 1.0)
+        assert large < 4 * small  # log would give exactly 4× here
+
+
+class TestCompositeBounds:
+    def test_paths_finder_bound(self):
+        assert paths_finder_round_bound(100) == theorem3_round_bound(200, 1.0)
+        with pytest.raises(ValueError):
+            paths_finder_round_bound(0)
+
+    def test_tree_aa_bound_composition(self):
+        assert tree_aa_round_bound(100, 30) == paths_finder_round_bound(
+            100
+        ) + theorem3_round_bound(30, 1.0)
+
+    def test_tree_aa_bound_handles_tiny_diameter(self):
+        assert tree_aa_round_bound(5, 0) >= ROUNDS_PER_ITERATION

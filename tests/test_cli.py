@@ -1,0 +1,200 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import (
+    CLIError,
+    main,
+    make_adversary,
+    parse_tree_spec,
+    pick_inputs,
+)
+from repro.trees import diameter, figure_tree, tree_to_json
+
+
+class TestTreeSpecs:
+    def test_path(self):
+        assert parse_tree_spec("path:9").n_vertices == 9
+
+    def test_star(self):
+        tree = parse_tree_spec("star:5")
+        assert tree.n_vertices == 6
+        assert diameter(tree) == 2
+
+    def test_binary(self):
+        assert parse_tree_spec("binary:3").n_vertices == 15
+
+    def test_caterpillar(self):
+        assert parse_tree_spec("caterpillar:4x2").n_vertices == 12
+
+    def test_spider(self):
+        assert parse_tree_spec("spider:3x4").n_vertices == 13
+
+    def test_broom(self):
+        assert parse_tree_spec("broom:3x4").n_vertices == 8
+
+    def test_random_with_seed(self):
+        assert parse_tree_spec("random:20:5") == parse_tree_spec("random:20:5")
+
+    def test_figure(self):
+        assert parse_tree_spec("figure") == figure_tree()
+
+    def test_json_file(self, tmp_path):
+        path = tmp_path / "tree.json"
+        path.write_text(tree_to_json(figure_tree()))
+        assert parse_tree_spec(f"@{path}") == figure_tree()
+
+    def test_unknown_family(self):
+        with pytest.raises(CLIError, match="unknown tree family"):
+            parse_tree_spec("pyramid:3")
+
+    def test_malformed(self):
+        with pytest.raises(CLIError, match="malformed"):
+            parse_tree_spec("path:not-a-number")
+
+
+class TestAdversarySpecs:
+    @pytest.mark.parametrize(
+        "spec",
+        ["none", "silent", "passive", "noise", "noise:7", "crash", "crash:5",
+         "burn", "burn-down", "asym"],
+    )
+    def test_known(self, spec):
+        assert make_adversary(spec, t=2) is not None
+
+    def test_unknown(self):
+        with pytest.raises(CLIError):
+            make_adversary("gremlin", t=2)
+
+
+class TestInputs:
+    def test_random_inputs(self):
+        tree = parse_tree_spec("path:5")
+        inputs = pick_inputs(tree, "random:3", 7)
+        assert len(inputs) == 7
+        assert all(v in tree for v in inputs)
+
+    def test_explicit_inputs(self):
+        tree = parse_tree_spec("figure")
+        assert pick_inputs(tree, "v1,v2,v3", 3) == ["v1", "v2", "v3"]
+
+    def test_wrong_count(self):
+        tree = parse_tree_spec("figure")
+        with pytest.raises(CLIError, match="exactly"):
+            pick_inputs(tree, "v1,v2", 3)
+
+    def test_unknown_label(self):
+        tree = parse_tree_spec("figure")
+        with pytest.raises(CLIError, match="not a vertex"):
+            pick_inputs(tree, "v1,v2,zzz", 3)
+
+
+class TestCommands:
+    def test_tree_aa_success_exit_code(self, capsys):
+        code = main(
+            [
+                "tree-aa",
+                "--tree",
+                "random:15:2",
+                "--inputs",
+                "random:1",
+                "--adversary",
+                "silent",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "1-agreement" in out and "yes" in out
+
+    def test_real_aa(self, capsys):
+        code = main(
+            ["real-aa", "--inputs", "0,4,2,3", "--t", "1", "--epsilon", "0.5"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "eps-agreement" in out
+
+    def test_real_aa_malformed_inputs(self, capsys):
+        code = main(["real-aa", "--inputs", "0,banana", "--t", "1"])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_bounds(self, capsys):
+        code = main(["bounds", "--diameter", "1000", "--n", "13", "--t", "4"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Theorem 2 lower" in out
+
+    def test_make_tree_json_round_trips(self, capsys):
+        code = main(["make-tree", "figure", "--format", "json"])
+        out = capsys.readouterr().out
+        assert code == 0
+        data = json.loads(out)
+        assert data["schema"].startswith("repro/")
+
+    def test_make_tree_edges(self, capsys):
+        code = main(["make-tree", "path:3", "--format", "edges"])
+        out = capsys.readouterr().out.strip().splitlines()
+        assert code == 0
+        assert len(out) == 2
+
+    def test_make_tree_dot(self, capsys):
+        code = main(["make-tree", "star:3", "--format", "dot"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert out.startswith("graph")
+
+    def test_chain_demo(self, capsys):
+        code = main(["chain-demo", "--n", "7", "--t", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "forced gap" in out
+
+    def test_bad_tree_spec_is_a_clean_error(self, capsys):
+        code = main(
+            ["tree-aa", "--tree", "dodecahedron", "--inputs", "random"]
+        )
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestAuthenticatedCommand:
+    def test_auth_tree_aa_beyond_one_third(self, capsys):
+        code = main(
+            [
+                "auth-tree-aa",
+                "--tree",
+                "random:15:1",
+                "--n",
+                "7",
+                "--t",
+                "3",
+                "--inputs",
+                "random:2",
+                "--adversary",
+                "passive",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "t=3 < n/2=3.5" in out
+
+    def test_auth_tree_aa_rejects_half(self, capsys):
+        import pytest as _pytest
+
+        with _pytest.raises(ValueError):
+            main(
+                [
+                    "auth-tree-aa",
+                    "--tree",
+                    "path:5",
+                    "--n",
+                    "4",
+                    "--t",
+                    "2",
+                    "--inputs",
+                    "random",
+                ]
+            )

@@ -1,0 +1,167 @@
+"""Tests for convex hulls on trees (Section 2, Figure 1)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.trees import (
+    LabeledTree,
+    convex_hull,
+    diameter,
+    hull_is_path,
+    in_convex_hull,
+    induced_subtree,
+    path_between,
+    path_tree,
+    star_tree,
+    steiner_diameter,
+)
+
+from ..conftest import small_trees, trees_with_vertex_choices
+
+
+def figure1_tree() -> LabeledTree:
+    """The tree of Figure 1: hull of {u1, u2, u3} is {u1..u5}.
+
+    u4 and u5 are internal vertices connecting the three anchors; w1/w2
+    hang off the hull.
+    """
+    return LabeledTree(
+        edges=[
+            ("u1", "u4"),
+            ("u4", "u5"),
+            ("u5", "u2"),
+            ("u5", "u3"),
+            ("u4", "w1"),
+            ("u2", "w2"),
+        ]
+    )
+
+
+class TestFigure1:
+    def test_hull_matches_paper(self):
+        tree = figure1_tree()
+        hull = convex_hull(tree, ["u1", "u2", "u3"])
+        assert hull == frozenset({"u1", "u2", "u3", "u4", "u5"})
+
+    def test_membership_agrees(self):
+        tree = figure1_tree()
+        anchors = ["u1", "u2", "u3"]
+        for vertex in tree.vertices:
+            assert in_convex_hull(tree, vertex, anchors) == (
+                vertex in convex_hull(tree, anchors)
+            )
+
+
+class TestConvexHull:
+    def test_singleton(self):
+        tree = path_tree(5)
+        v = tree.vertices[2]
+        assert convex_hull(tree, [v]) == frozenset({v})
+
+    def test_two_vertices_is_their_path(self):
+        tree = path_tree(6)
+        names = tree.vertices
+        hull = convex_hull(tree, [names[1], names[4]])
+        assert hull == frozenset(path_between(tree, names[1], names[4]).vertices)
+
+    def test_empty_rejected(self):
+        tree = path_tree(3)
+        with pytest.raises(ValueError):
+            convex_hull(tree, [])
+        with pytest.raises(ValueError):
+            in_convex_hull(tree, tree.vertices[0], [])
+
+    def test_unknown_vertex_rejected(self):
+        tree = path_tree(3)
+        with pytest.raises(KeyError):
+            convex_hull(tree, ["nope"])
+
+    def test_duplicates_ignored(self):
+        tree = path_tree(4)
+        names = tree.vertices
+        assert convex_hull(tree, [names[0], names[0], names[3]]) == convex_hull(
+            tree, [names[0], names[3]]
+        )
+
+    @given(trees_with_vertex_choices(n_choices=3))
+    def test_anchors_always_inside(self, tree_and_anchors):
+        tree, anchors = tree_and_anchors
+        hull = convex_hull(tree, anchors)
+        assert set(anchors) <= hull
+
+    @given(trees_with_vertex_choices(n_choices=3))
+    def test_hull_is_pairwise_path_union(self, tree_and_anchors):
+        """w ∈ ⟨S⟩ iff w lies on P(u, v) for some u, v ∈ S (paper, §2)."""
+        tree, anchors = tree_and_anchors
+        hull = convex_hull(tree, anchors)
+        brute = set()
+        for u in anchors:
+            for v in anchors:
+                brute |= set(path_between(tree, u, v).vertices)
+        assert hull == brute
+
+    @given(trees_with_vertex_choices(n_choices=4))
+    def test_membership_matches_materialised_hull(self, tree_and_anchors):
+        tree, anchors = tree_and_anchors
+        hull = convex_hull(tree, anchors)
+        for vertex in tree.vertices:
+            assert in_convex_hull(tree, vertex, anchors) == (vertex in hull)
+
+    @given(trees_with_vertex_choices(n_choices=3))
+    def test_hull_is_connected(self, tree_and_anchors):
+        tree, anchors = tree_and_anchors
+        hull = convex_hull(tree, anchors)
+        # walk within the hull from one anchor
+        seen = {anchors[0]}
+        frontier = [anchors[0]]
+        while frontier:
+            current = frontier.pop()
+            for nxt in tree.neighbors(current):
+                if nxt in hull and nxt not in seen:
+                    seen.add(nxt)
+                    frontier.append(nxt)
+        assert seen == set(hull)
+
+    @given(trees_with_vertex_choices(n_choices=3))
+    def test_hull_is_convex(self, tree_and_anchors):
+        """The hull contains the path between any two of its vertices."""
+        tree, anchors = tree_and_anchors
+        hull = sorted(convex_hull(tree, anchors))
+        for u in hull[:4]:
+            for v in hull[-4:]:
+                assert set(path_between(tree, u, v).vertices) <= set(hull)
+
+
+class TestDerivedHelpers:
+    def test_hull_is_path_true_on_path(self):
+        tree = path_tree(5)
+        names = tree.vertices
+        assert hull_is_path(tree, [names[0], names[4]])
+
+    def test_hull_is_path_false_on_star_branches(self):
+        tree = star_tree(3)
+        leaves = tree.vertices[1:]
+        assert not hull_is_path(tree, list(leaves))
+
+    def test_induced_subtree(self):
+        tree = figure1_tree()
+        sub = induced_subtree(tree, ["u1", "u2", "u3"])
+        assert set(sub.vertices) == {"u1", "u2", "u3", "u4", "u5"}
+        assert sub.adjacent("u4", "u5")
+
+    def test_induced_subtree_single_vertex(self):
+        tree = path_tree(3)
+        sub = induced_subtree(tree, [tree.vertices[1]])
+        assert sub.n_vertices == 1
+
+    def test_steiner_diameter(self):
+        tree = path_tree(10)
+        names = tree.vertices
+        assert steiner_diameter(tree, [names[2], names[7]]) == 5
+        assert steiner_diameter(tree, [names[4]]) == 0
+
+    @given(trees_with_vertex_choices(n_choices=3))
+    def test_steiner_diameter_bounded_by_tree_diameter(self, tree_and_anchors):
+        tree, anchors = tree_and_anchors
+        assert steiner_diameter(tree, anchors) <= diameter(tree)

@@ -1,0 +1,157 @@
+"""Tests for ListConstruction — the Euler-tour list of Section 6 (Lemma 2)."""
+
+import pytest
+from hypothesis import given
+
+from repro.trees import (
+    LabeledTree,
+    RootedTree,
+    figure_tree,
+    list_construction,
+    path_tree,
+    star_tree,
+)
+
+from ..conftest import small_trees
+
+
+class TestFigure3:
+    """The worked example in the paper's Section 6."""
+
+    def test_exact_list(self):
+        euler = list_construction(figure_tree(), root="v1")
+        assert list(euler.entries) == [
+            "v1", "v2", "v3", "v6", "v3", "v7", "v3", "v2",
+            "v4", "v8", "v4", "v2", "v5", "v2", "v1",
+        ]
+
+    def test_occurrence_sets_match_paper(self):
+        """Figure 4's discussion: L(v3) = {3,5,7}, L(v6) = {4}, L(v5) = {13},
+        L(v4) = {9,11}, L(v8) = {10} — 1-based in the paper, 0-based here."""
+        euler = list_construction(figure_tree())
+        assert euler.occurrences("v3") == (2, 4, 6)
+        assert euler.occurrences("v6") == (3,)
+        assert euler.occurrences("v5") == (12,)
+        assert euler.occurrences("v4") == (8, 10)
+        assert euler.occurrences("v8") == (9,)
+
+    def test_invalid_vertices_inside_honest_range(self):
+        """Figure 4: with honest inputs v3, v6, v5 the indices of v4 and v8
+        lie strictly inside the honest index range."""
+        euler = list_construction(figure_tree())
+        honest_indices = [euler.first_occurrence(v) for v in ("v3", "v6", "v5")]
+        lo, hi = min(honest_indices), max(honest_indices)
+        for invalid in ("v4", "v8"):
+            for index in euler.occurrences(invalid):
+                assert lo <= index <= hi
+
+
+class TestBasics:
+    def test_single_vertex(self):
+        euler = list_construction(LabeledTree(vertices=["a"]))
+        assert list(euler.entries) == ["a"]
+        assert euler.occurrences("a") == (0,)
+
+    def test_edge(self):
+        euler = list_construction(LabeledTree(edges=[("a", "b")]))
+        assert list(euler.entries) == ["a", "b", "a"]
+
+    def test_path(self):
+        euler = list_construction(path_tree(3))
+        names = path_tree(3).vertices
+        assert list(euler.entries) == [
+            names[0], names[1], names[2], names[1], names[0],
+        ]
+
+    def test_star_children_in_label_order(self):
+        tree = star_tree(3)
+        euler = list_construction(tree)
+        center, leaves = tree.vertices[0], tree.vertices[1:]
+        expected = [center]
+        for leaf in leaves:
+            expected += [leaf, center]
+        assert list(euler.entries) == expected
+
+    def test_custom_root(self):
+        euler = list_construction(figure_tree(), root="v2")
+        assert euler.entries[0] == "v2"
+        assert euler.entries[-1] == "v2"
+
+    def test_unknown_vertex_raises(self):
+        euler = list_construction(path_tree(3))
+        with pytest.raises(KeyError):
+            euler.occurrences("zzz")
+
+    def test_getitem_and_len(self):
+        euler = list_construction(figure_tree())
+        assert euler[0] == "v1"
+        assert len(euler) == 15
+
+    def test_deterministic_across_parties(self):
+        """All honest parties must compute the same list."""
+        a = list_construction(figure_tree())
+        b = list_construction(figure_tree())
+        assert a.entries == b.entries
+
+
+class TestLemma2Properties:
+    @given(small_trees(min_vertices=2))
+    def test_property1_consecutive_entries_adjacent(self, tree):
+        euler = list_construction(tree)
+        entries = euler.entries
+        for i in range(len(entries) - 1):
+            assert tree.adjacent(entries[i], entries[i + 1])
+
+    @given(small_trees())
+    def test_property2_length_and_coverage(self, tree):
+        euler = list_construction(tree)
+        assert len(euler) <= 2 * tree.n_vertices
+        for vertex in tree.vertices:
+            assert euler.occurrences(vertex)
+
+    @given(small_trees())
+    def test_property3_subtree_interval(self, tree):
+        euler = list_construction(tree)
+        rooted = euler.rooted
+        for v in tree.vertices:
+            subtree = set(rooted.subtree_vertices(v))
+            lo, hi = euler.subtree_interval(v)
+            for u in tree.vertices:
+                in_interval = all(lo <= i <= hi for i in euler.occurrences(u))
+                assert in_interval == (u in subtree)
+
+    @given(small_trees())
+    def test_property3_via_helper(self, tree):
+        euler = list_construction(tree)
+        rooted = euler.rooted
+        for v in tree.vertices:
+            subtree = set(rooted.subtree_vertices(v))
+            for u in tree.vertices:
+                assert euler.vertex_in_subtree(u, v) == (u in subtree)
+
+    @given(small_trees(min_vertices=2))
+    def test_property4_lca_between_any_index_pair(self, tree):
+        euler = list_construction(tree)
+        rooted = euler.rooted
+        vertices = tree.vertices
+        for v in vertices:
+            for u in vertices:
+                lca = rooted.lca(v, u)
+                for i in euler.occurrences(v):
+                    for j in euler.occurrences(u):
+                        lo, hi = min(i, j), max(i, j)
+                        window = set(euler.entries[lo : hi + 1])
+                        assert lca in window
+
+    @given(small_trees())
+    def test_exact_length_formula(self, tree):
+        """This DFS records each vertex once per incident edge traversal:
+        |L| = 2|V| − 1 exactly (stronger than Lemma 2's ≤ 2|V|)."""
+        euler = list_construction(tree)
+        assert len(euler) == 2 * tree.n_vertices - 1
+
+    @given(small_trees())
+    def test_endpoints_are_root(self, tree):
+        euler = list_construction(tree)
+        assert euler.entries[0] == euler.rooted.root
+        assert euler.entries[-1] == euler.rooted.root

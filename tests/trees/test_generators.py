@@ -1,0 +1,154 @@
+"""Tests for the tree-family generators used by benchmarks and tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.trees import (
+    binary_tree,
+    broom_tree,
+    caterpillar_tree,
+    diameter,
+    figure_tree,
+    path_tree,
+    random_tree,
+    spider_tree,
+    star_tree,
+    tree_from_pruefer,
+)
+
+
+class TestPathTree:
+    def test_sizes(self):
+        assert path_tree(1).n_vertices == 1
+        assert path_tree(5).n_vertices == 5
+
+    def test_diameter(self):
+        assert diameter(path_tree(10)) == 9
+
+    def test_labels_sort_numerically(self):
+        tree = path_tree(12)
+        assert tree.vertices == tuple(sorted(tree.vertices))
+        assert tree.root_label == tree.vertices[0]
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            path_tree(0)
+
+
+class TestStarTree:
+    def test_shape(self):
+        tree = star_tree(6)
+        assert tree.n_vertices == 7
+        assert tree.degree(tree.vertices[0]) == 6
+        assert diameter(tree) == 2
+
+    def test_single_leaf(self):
+        assert star_tree(1).n_vertices == 2
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            star_tree(0)
+
+
+class TestBinaryTree:
+    def test_depth0(self):
+        assert binary_tree(0).n_vertices == 1
+
+    def test_sizes(self):
+        assert binary_tree(3).n_vertices == 15
+
+    def test_diameter(self):
+        assert diameter(binary_tree(3)) == 6  # leaf to leaf through the root
+
+    def test_degrees(self):
+        tree = binary_tree(2)
+        root = tree.vertices[0]
+        assert tree.degree(root) == 2
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            binary_tree(-1)
+
+
+class TestCaterpillar:
+    def test_size(self):
+        tree = caterpillar_tree(4, legs_per_vertex=2)
+        assert tree.n_vertices == 12
+
+    def test_no_legs_is_path(self):
+        tree = caterpillar_tree(5, legs_per_vertex=0)
+        assert diameter(tree) == 4
+
+    def test_diameter_with_legs(self):
+        tree = caterpillar_tree(4, legs_per_vertex=1)
+        assert diameter(tree) == 5  # leg — spine — leg
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            caterpillar_tree(0)
+
+
+class TestSpiderAndBroom:
+    def test_spider_size(self):
+        tree = spider_tree(3, 4)
+        assert tree.n_vertices == 13
+        assert tree.degree(tree.vertices[0]) == 3
+
+    def test_spider_diameter(self):
+        assert diameter(spider_tree(3, 4)) == 8
+
+    def test_spider_one_arm_is_path(self):
+        assert diameter(spider_tree(1, 5)) == 5
+
+    def test_broom_shape(self):
+        tree = broom_tree(4, 3)
+        assert tree.n_vertices == 8
+        assert diameter(tree) == 5
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            spider_tree(0, 1)
+        with pytest.raises(ValueError):
+            broom_tree(1, 0)
+
+
+class TestRandomAndPruefer:
+    @given(st.integers(min_value=1, max_value=40), st.integers(0, 10))
+    def test_random_tree_size(self, n, seed):
+        assert random_tree(n, seed).n_vertices == n
+
+    def test_random_tree_deterministic_per_seed(self):
+        assert random_tree(20, seed=5) == random_tree(20, seed=5)
+
+    def test_random_tree_varies_with_seed(self):
+        trees = {random_tree(12, seed=s) for s in range(8)}
+        assert len(trees) > 1
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=5), min_size=4, max_size=4)
+    )
+    def test_pruefer_decoding_size(self, sequence):
+        assert tree_from_pruefer(sequence).n_vertices == 6
+
+    def test_pruefer_star(self):
+        # all entries equal → star centred at that vertex
+        tree = tree_from_pruefer([0, 0, 0])
+        center = tree.vertices[0]
+        assert tree.degree(center) == 4
+
+    def test_pruefer_path(self):
+        tree = tree_from_pruefer([1, 2])
+        assert diameter(tree) == 3
+
+    def test_pruefer_rejects_bad_entries(self):
+        with pytest.raises(ValueError):
+            tree_from_pruefer([9])
+
+
+class TestFigureTree:
+    def test_structure(self):
+        tree = figure_tree()
+        assert tree.n_vertices == 8
+        assert tree.neighbors("v2") == ("v1", "v3", "v4", "v5")
+        assert diameter(tree) == 4

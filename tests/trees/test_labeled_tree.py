@@ -1,0 +1,172 @@
+"""Unit tests for the LabeledTree data structure."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.trees import LabeledTree, NotATreeError
+
+from ..conftest import small_trees
+
+
+class TestConstruction:
+    def test_single_vertex(self):
+        tree = LabeledTree(vertices=["a"])
+        assert tree.n_vertices == 1
+        assert tree.vertices == ("a",)
+        assert tree.root_label == "a"
+        assert list(tree.edges()) == []
+
+    def test_simple_edge(self):
+        tree = LabeledTree(edges=[("b", "a")])
+        assert tree.n_vertices == 2
+        assert tree.vertices == ("a", "b")
+        assert list(tree.edges()) == [("a", "b")]
+
+    def test_empty_rejected(self):
+        with pytest.raises(NotATreeError):
+            LabeledTree()
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(NotATreeError, match="self-loop"):
+            LabeledTree(edges=[("a", "a")])
+
+    def test_duplicate_edge_rejected(self):
+        with pytest.raises(NotATreeError, match="duplicate"):
+            LabeledTree(edges=[("a", "b"), ("b", "a")])
+
+    def test_cycle_rejected(self):
+        with pytest.raises(NotATreeError):
+            LabeledTree(edges=[("a", "b"), ("b", "c"), ("c", "a")])
+
+    def test_disconnected_rejected(self):
+        with pytest.raises(NotATreeError):
+            LabeledTree(edges=[("a", "b"), ("c", "d")])
+
+    def test_disconnected_via_extra_vertex_rejected(self):
+        with pytest.raises(NotATreeError):
+            LabeledTree(edges=[("a", "b")], vertices=["z"])
+
+    def test_extra_vertices_merge_with_edges(self):
+        tree = LabeledTree(edges=[("a", "b")], vertices=["a", "b"])
+        assert tree.n_vertices == 2
+
+    def test_integer_labels(self):
+        tree = LabeledTree(edges=[(2, 1), (2, 3)])
+        assert tree.root_label == 1
+        assert tree.neighbors(2) == (1, 3)
+
+
+class TestAccessors:
+    def test_root_is_lowest_label(self):
+        tree = LabeledTree(edges=[("m", "z"), ("m", "b"), ("b", "a")])
+        assert tree.root_label == "a"
+
+    def test_neighbors_sorted(self):
+        tree = LabeledTree(edges=[("c", "z"), ("c", "a"), ("c", "m")])
+        assert tree.neighbors("c") == ("a", "m", "z")
+
+    def test_degree_and_leaves(self):
+        tree = LabeledTree(edges=[("a", "b"), ("b", "c"), ("b", "d")])
+        assert tree.degree("b") == 3
+        assert tree.degree("a") == 1
+        assert tree.leaves() == ("a", "c", "d")
+
+    def test_single_vertex_is_leaf(self):
+        assert LabeledTree(vertices=["x"]).leaves() == ("x",)
+
+    def test_contains_len_iter(self):
+        tree = LabeledTree(edges=[("a", "b"), ("b", "c")])
+        assert "a" in tree and "q" not in tree
+        assert len(tree) == 3
+        assert list(tree) == ["a", "b", "c"]
+
+    def test_adjacent(self):
+        tree = LabeledTree(edges=[("a", "b"), ("b", "c")])
+        assert tree.adjacent("a", "b")
+        assert not tree.adjacent("a", "c")
+
+    def test_require_vertex(self):
+        tree = LabeledTree(vertices=["a"])
+        with pytest.raises(KeyError):
+            tree.require_vertex("zzz")
+
+
+class TestComponentsWithout:
+    def test_removing_center_of_star(self):
+        tree = LabeledTree(edges=[("c", "a"), ("c", "b"), ("c", "d")])
+        components = tree.components_without("c")
+        assert sorted(sorted(comp) for comp in components) == [
+            ["a"],
+            ["b"],
+            ["d"],
+        ]
+
+    def test_removing_leaf(self):
+        tree = LabeledTree(edges=[("a", "b"), ("b", "c")])
+        components = tree.components_without("a")
+        assert len(components) == 1
+        assert components[0] == frozenset({"b", "c"})
+
+    def test_removing_middle_of_path(self):
+        tree = LabeledTree(edges=[("a", "b"), ("b", "c"), ("c", "d")])
+        components = tree.components_without("b")
+        assert frozenset({"a"}) in components
+        assert frozenset({"c", "d"}) in components
+
+    @given(small_trees(min_vertices=2))
+    def test_components_partition_remaining_vertices(self, tree):
+        for vertex in tree.vertices:
+            components = tree.components_without(vertex)
+            union = set()
+            total = 0
+            for comp in components:
+                union |= comp
+                total += len(comp)
+            assert union == set(tree.vertices) - {vertex}
+            assert total == len(union)  # disjoint
+
+    @given(small_trees(min_vertices=2))
+    def test_one_component_per_neighbor(self, tree):
+        for vertex in tree.vertices:
+            assert len(tree.components_without(vertex)) == tree.degree(vertex)
+
+
+class TestEqualityAndCopies:
+    def test_equality_is_structural(self):
+        a = LabeledTree(edges=[("a", "b"), ("b", "c")])
+        b = LabeledTree(edges=[("b", "c"), ("a", "b")])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_inequality(self):
+        a = LabeledTree(edges=[("a", "b"), ("b", "c")])
+        b = LabeledTree(edges=[("a", "b"), ("a", "c")])
+        assert a != b
+
+    def test_edge_list_round_trip(self):
+        tree = LabeledTree(edges=[("a", "b"), ("b", "c"), ("c", "d")])
+        assert LabeledTree(edges=tree.to_edge_list()) == tree
+
+    def test_from_parent_map(self):
+        tree = LabeledTree.from_parent_map({"b": "a", "c": "a", "d": "b"})
+        assert tree.n_vertices == 4
+        assert tree.adjacent("d", "b")
+
+    def test_relabel(self):
+        tree = LabeledTree(edges=[("a", "b"), ("b", "c")])
+        renamed = tree.relabel({"a": "x", "b": "y", "c": "z"})
+        assert renamed.adjacent("x", "y") and renamed.adjacent("y", "z")
+
+    def test_relabel_single_vertex(self):
+        tree = LabeledTree(vertices=["a"])
+        assert tree.relabel({"a": "q"}).vertices == ("q",)
+
+    def test_relabel_requires_injective(self):
+        tree = LabeledTree(edges=[("a", "b")])
+        with pytest.raises(ValueError, match="injective"):
+            tree.relabel({"a": "x", "b": "x"})
+
+    @given(small_trees())
+    def test_repr_mentions_size(self, tree):
+        assert str(tree.n_vertices) in repr(tree)

@@ -1,0 +1,137 @@
+"""Tests for rooted trees and LCA queries."""
+
+import pytest
+from hypothesis import given
+
+from repro.trees import (
+    LabeledTree,
+    RootedTree,
+    binary_tree,
+    distance,
+    figure_tree,
+    path_between,
+    path_tree,
+)
+
+from ..conftest import small_trees
+
+
+def brute_force_lca(rooted: RootedTree, u, v):
+    """Reference LCA: deepest common vertex of the two root paths."""
+    pu = rooted.root_path(u)
+    pv = rooted.root_path(v)
+    common = None
+    for a, b in zip(pu, pv):
+        if a == b:
+            common = a
+        else:
+            break
+    return common
+
+
+class TestRootedStructure:
+    def test_default_root_is_lowest_label(self):
+        rooted = RootedTree(figure_tree())
+        assert rooted.root == "v1"
+
+    def test_explicit_root(self):
+        rooted = RootedTree(figure_tree(), root="v3")
+        assert rooted.root == "v3"
+        assert rooted.parent("v2") == "v3"
+
+    def test_unknown_root_rejected(self):
+        with pytest.raises(KeyError):
+            RootedTree(figure_tree(), root="nope")
+
+    def test_parent_and_depth_on_figure_tree(self):
+        rooted = RootedTree(figure_tree())
+        assert rooted.parent("v1") is None
+        assert rooted.parent("v2") == "v1"
+        assert rooted.parent("v6") == "v3"
+        assert rooted.depth("v1") == 0
+        assert rooted.depth("v8") == 3
+
+    def test_children_sorted_by_label(self):
+        rooted = RootedTree(figure_tree())
+        assert rooted.children("v2") == ("v3", "v4", "v5")
+        assert rooted.children("v8") == ()
+
+    def test_preorder_starts_at_root(self):
+        rooted = RootedTree(figure_tree())
+        order = rooted.preorder()
+        assert order[0] == "v1"
+        assert sorted(order) == sorted(figure_tree().vertices)
+
+    def test_root_path(self):
+        rooted = RootedTree(figure_tree())
+        assert rooted.root_path("v8") == ("v1", "v2", "v4", "v8")
+        assert rooted.root_path("v1") == ("v1",)
+
+    def test_subtree_vertices(self):
+        rooted = RootedTree(figure_tree())
+        assert set(rooted.subtree_vertices("v3")) == {"v3", "v6", "v7"}
+        assert set(rooted.subtree_vertices("v1")) == set(figure_tree().vertices)
+
+
+class TestLCA:
+    def test_figure_tree_lcas(self):
+        rooted = RootedTree(figure_tree())
+        assert rooted.lca("v6", "v7") == "v3"
+        assert rooted.lca("v6", "v8") == "v2"
+        assert rooted.lca("v6", "v3") == "v3"
+        assert rooted.lca("v1", "v8") == "v1"
+        assert rooted.lca("v5", "v5") == "v5"
+
+    def test_unknown_vertex_rejected(self):
+        rooted = RootedTree(figure_tree())
+        with pytest.raises(KeyError):
+            rooted.lca("v1", "zzz")
+
+    @given(small_trees(min_vertices=2))
+    def test_lca_matches_brute_force(self, tree):
+        rooted = RootedTree(tree)
+        vertices = tree.vertices
+        for u in vertices:
+            for v in vertices:
+                assert rooted.lca(u, v) == brute_force_lca(rooted, u, v)
+
+    @given(small_trees(min_vertices=2))
+    def test_lca_lies_on_connecting_path(self, tree):
+        rooted = RootedTree(tree)
+        u, v = tree.vertices[0], tree.vertices[-1]
+        lca = rooted.lca(u, v)
+        assert lca in path_between(tree, u, v)
+
+    @given(small_trees(min_vertices=2))
+    def test_distance_via_lca_matches_bfs(self, tree):
+        rooted = RootedTree(tree)
+        for u in tree.vertices:
+            for v in tree.vertices:
+                assert rooted.distance(u, v) == distance(tree, u, v)
+
+    def test_is_ancestor(self):
+        rooted = RootedTree(figure_tree())
+        assert rooted.is_ancestor("v2", "v8")
+        assert rooted.is_ancestor("v8", "v8")
+        assert not rooted.is_ancestor("v8", "v2")
+        assert not rooted.is_ancestor("v3", "v8")
+
+    def test_deep_path_tree(self):
+        tree = path_tree(200)
+        rooted = RootedTree(tree)
+        names = tree.vertices
+        assert rooted.lca(names[50], names[150]) == names[50]
+        assert rooted.distance(names[0], names[199]) == 199
+
+    def test_wide_binary_tree(self):
+        tree = binary_tree(6)
+        rooted = RootedTree(tree)
+        leaves = [v for v in tree.vertices if tree.degree(v) == 1]
+        for leaf in leaves[:10]:
+            assert rooted.lca(leaf, rooted.root) == rooted.root
+
+    def test_single_vertex_tree(self):
+        tree = LabeledTree(vertices=["only"])
+        rooted = RootedTree(tree)
+        assert rooted.lca("only", "only") == "only"
+        assert rooted.depth("only") == 0

@@ -1,0 +1,176 @@
+"""Tests for paths, distances, and diameters (Section 2 notation)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.trees import (
+    LabeledTree,
+    TreePath,
+    diameter,
+    diameter_path,
+    distance,
+    distances_from,
+    eccentricity,
+    farthest_vertex,
+    is_path_in_tree,
+    path_between,
+    path_tree,
+    star_tree,
+)
+
+from ..conftest import small_trees
+
+
+class TestTreePath:
+    def test_single_vertex_path(self):
+        path = TreePath(["a"])
+        assert path.length == 0
+        assert len(path) == 1
+        assert path.start == path.end == "a"
+
+    def test_basic_accessors(self):
+        path = TreePath(["a", "b", "c"])
+        assert path.length == 2
+        assert path[1] == "b"
+        assert "b" in path and "z" not in path
+        assert list(path) == ["a", "b", "c"]
+        assert path.position_of("c") == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            TreePath([])
+
+    def test_repeated_vertex_rejected(self):
+        with pytest.raises(ValueError):
+            TreePath(["a", "b", "a"])
+
+    def test_position_of_missing(self):
+        with pytest.raises(KeyError):
+            TreePath(["a"]).position_of("b")
+
+    def test_extended(self):
+        path = TreePath(["a", "b"]).extended("c")
+        assert path.vertices == ("a", "b", "c")
+
+    def test_extended_rejects_duplicate(self):
+        with pytest.raises(ValueError):
+            TreePath(["a", "b"]).extended("a")
+
+    def test_reversed(self):
+        assert TreePath(["a", "b", "c"]).reversed().vertices == ("c", "b", "a")
+
+    def test_prefix(self):
+        path = TreePath(["a", "b", "c", "d"])
+        assert path.prefix(2).vertices == ("a", "b")
+        with pytest.raises(ValueError):
+            path.prefix(0)
+        with pytest.raises(ValueError):
+            path.prefix(5)
+
+    def test_is_prefix_of(self):
+        short = TreePath(["a", "b"])
+        long = TreePath(["a", "b", "c"])
+        assert short.is_prefix_of(long)
+        assert not long.is_prefix_of(short)
+        assert short.is_prefix_of(short)
+
+    def test_canonical_orients_lower_endpoint_first(self):
+        assert TreePath(["z", "m", "a"]).canonical().start == "a"
+        assert TreePath(["a", "m", "z"]).canonical().start == "a"
+
+    def test_equality_and_hash(self):
+        assert TreePath(["a", "b"]) == TreePath(["a", "b"])
+        assert TreePath(["a", "b"]) != TreePath(["b", "a"])
+        assert hash(TreePath(["a"])) == hash(TreePath(["a"]))
+
+
+class TestPathBetween:
+    def test_same_vertex(self):
+        tree = LabeledTree(edges=[("a", "b")])
+        assert path_between(tree, "a", "a").vertices == ("a",)
+
+    def test_on_a_path_tree(self):
+        tree = path_tree(5)
+        names = tree.vertices
+        path = path_between(tree, names[0], names[4])
+        assert path.vertices == tuple(names)
+
+    def test_through_branch_vertex(self):
+        tree = LabeledTree(edges=[("a", "c"), ("b", "c"), ("c", "d")])
+        assert path_between(tree, "a", "b").vertices == ("a", "c", "b")
+
+    @given(small_trees(min_vertices=2))
+    def test_endpoints_and_adjacency(self, tree):
+        u, v = tree.vertices[0], tree.vertices[-1]
+        path = path_between(tree, u, v)
+        assert path.start == u and path.end == v
+        assert is_path_in_tree(tree, path)
+
+    @given(small_trees(min_vertices=2))
+    def test_symmetry_of_distance(self, tree):
+        u, v = tree.vertices[0], tree.vertices[-1]
+        assert distance(tree, u, v) == distance(tree, v, u)
+
+    @given(small_trees(min_vertices=3))
+    def test_triangle_inequality(self, tree):
+        a, b, c = tree.vertices[0], tree.vertices[1], tree.vertices[2]
+        assert distance(tree, a, c) <= distance(tree, a, b) + distance(tree, b, c)
+
+
+class TestDistancesAndDiameter:
+    def test_distances_from(self):
+        tree = path_tree(4)
+        names = tree.vertices
+        dist = distances_from(tree, names[0])
+        assert [dist[v] for v in names] == [0, 1, 2, 3]
+
+    def test_eccentricity(self):
+        tree = star_tree(5)
+        center = tree.vertices[0]
+        assert eccentricity(tree, center) == 1
+        assert eccentricity(tree, tree.vertices[1]) == 2
+
+    def test_farthest_vertex_tie_break(self):
+        tree = star_tree(3)
+        winner, dist = farthest_vertex(tree, tree.vertices[1])
+        assert dist == 2
+        assert winner == tree.vertices[2]  # lowest label among the leaves
+
+    def test_diameter_of_path(self):
+        assert diameter(path_tree(10)) == 9
+
+    def test_diameter_of_star(self):
+        assert diameter(star_tree(7)) == 2
+
+    def test_diameter_of_single_vertex(self):
+        assert diameter(LabeledTree(vertices=["a"])) == 0
+
+    def test_diameter_path_is_canonical(self):
+        tree = path_tree(6)
+        longest = diameter_path(tree)
+        assert longest.start <= longest.end
+        assert longest.length == 5
+
+    @given(small_trees(min_vertices=1))
+    def test_diameter_matches_brute_force(self, tree):
+        brute = 0
+        for u in tree.vertices:
+            for v in tree.vertices:
+                brute = max(brute, distance(tree, u, v))
+        assert diameter(tree) == brute
+
+    @given(small_trees(min_vertices=2))
+    def test_diameter_path_length_equals_diameter(self, tree):
+        assert diameter_path(tree).length == diameter(tree)
+
+
+class TestIsPathInTree:
+    def test_detects_non_edges(self):
+        tree = path_tree(4)
+        names = tree.vertices
+        assert not is_path_in_tree(tree, TreePath([names[0], names[2]]))
+
+    def test_detects_foreign_vertices(self):
+        tree = path_tree(3)
+        assert not is_path_in_tree(tree, TreePath(["zzz"]))

@@ -1,0 +1,118 @@
+"""Tests for vertex-onto-path projection (Section 5, Figure 2, Lemma 1)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.trees import (
+    LabeledTree,
+    TreePath,
+    convex_hull,
+    diameter_path,
+    distance,
+    path_tree,
+    project_all,
+    project_onto_path,
+    projection_distance,
+)
+
+from ..conftest import small_trees, trees_with_vertex_choices
+
+
+def figure2_tree():
+    """The tree of Figure 2: a spine v1..v8 with u1, u2, u3 hanging off.
+
+    proj(u1) = v3, proj(u2) = v4, proj(u3) = v6.
+    """
+    spine = [f"v{i}" for i in range(1, 9)]
+    edges = [(spine[i], spine[i + 1]) for i in range(7)]
+    edges += [("v3", "u1"), ("v4", "x1"), ("x1", "u2"), ("v6", "u3")]
+    return LabeledTree(edges=edges), TreePath(spine)
+
+
+class TestFigure2:
+    def test_projections_match_paper(self):
+        tree, spine = figure2_tree()
+        assert project_onto_path(tree, "u1", spine) == "v3"
+        assert project_onto_path(tree, "u2", spine) == "v4"
+        assert project_onto_path(tree, "u3", spine) == "v6"
+
+    def test_project_all(self):
+        tree, spine = figure2_tree()
+        assert project_all(tree, ["u1", "u2", "u3"], spine) == {
+            "u1": "v3",
+            "u2": "v4",
+            "u3": "v6",
+        }
+
+    def test_projection_distances(self):
+        tree, spine = figure2_tree()
+        assert projection_distance(tree, "u1", spine) == 1
+        assert projection_distance(tree, "u2", spine) == 2
+        assert projection_distance(tree, "v5", spine) == 0
+
+
+class TestProjectionProperties:
+    def test_vertex_on_path_projects_to_itself(self):
+        tree = path_tree(5)
+        path = TreePath(tree.vertices)
+        for v in tree.vertices:
+            assert project_onto_path(tree, v, path) == v
+
+    def test_unknown_vertex_rejected(self):
+        tree = path_tree(3)
+        path = TreePath(tree.vertices)
+        with pytest.raises(KeyError):
+            project_onto_path(tree, "zzz", path)
+
+    @given(small_trees(min_vertices=2))
+    def test_projection_onto_diameter_path_minimises_distance(self, tree):
+        path = diameter_path(tree)
+        for v in tree.vertices:
+            proj = project_onto_path(tree, v, path)
+            best = min(distance(tree, v, p) for p in path)
+            assert distance(tree, v, proj) == best
+
+    @given(small_trees(min_vertices=2))
+    def test_projection_is_unique_minimiser(self, tree):
+        path = diameter_path(tree)
+        for v in tree.vertices:
+            proj = project_onto_path(tree, v, path)
+            best = distance(tree, v, proj)
+            minimisers = [p for p in path if distance(tree, v, p) == best]
+            assert minimisers == [proj]
+
+    @given(small_trees(min_vertices=2))
+    def test_projection_distance_matches(self, tree):
+        path = diameter_path(tree)
+        for v in tree.vertices:
+            proj = project_onto_path(tree, v, path)
+            assert projection_distance(tree, v, path) == distance(tree, v, proj)
+
+
+class TestLemma1:
+    """proj_P(v) ∈ V(P) ∩ ⟨S⟩ whenever v ∈ S and P intersects ⟨S⟩."""
+
+    @given(trees_with_vertex_choices(n_choices=3))
+    def test_projection_stays_in_hull(self, tree_and_anchors):
+        tree, anchors = tree_and_anchors
+        path = diameter_path(tree)
+        hull = convex_hull(tree, anchors)
+        if not (set(path.vertices) & hull):
+            return  # Lemma 1's hypothesis V(P) ∩ ⟨S⟩ ≠ ∅ fails; skip
+        for v in anchors:
+            proj = project_onto_path(tree, v, path)
+            assert proj in hull
+            assert proj in path
+
+    def test_counterexample_without_hypothesis(self):
+        """If the path misses the hull, the projection may leave the hull —
+        Lemma 1's hypothesis is necessary."""
+        #   a - b - c
+        #       |
+        #       d
+        tree = LabeledTree(edges=[("a", "b"), ("b", "c"), ("b", "d")])
+        path = TreePath(["c"])  # a trivial path avoiding hull {a}
+        proj = project_onto_path(tree, "a", path)
+        assert proj == "c"
+        assert proj not in convex_hull(tree, ["a"])

@@ -1,0 +1,167 @@
+"""Tests for the tree safe area (the baseline's per-iteration core)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.trees import (
+    LabeledTree,
+    brute_force_safe_area,
+    component_value_counts,
+    convex_hull,
+    in_convex_hull,
+    is_safe_vertex,
+    path_tree,
+    safe_area,
+    safe_area_midpoint,
+    safe_area_subtree_path,
+    star_tree,
+)
+
+from ..conftest import small_trees, trees_with_vertex_choices
+
+
+class TestComponentCounts:
+    def test_counts_on_path(self):
+        tree = path_tree(5)
+        names = tree.vertices
+        values = [names[0], names[0], names[4]]
+        counts = component_value_counts(tree, names[2], values)
+        assert sorted(counts) == [1, 2]
+
+    def test_values_at_vertex_not_counted(self):
+        tree = path_tree(3)
+        names = tree.vertices
+        counts = component_value_counts(tree, names[1], [names[1], names[1]])
+        assert counts == (0, 0)
+
+
+class TestSafeVertexRule:
+    def test_t0_safe_area_is_hull(self):
+        """With t = 0, safe = in the hull of all values."""
+        tree = path_tree(7)
+        names = tree.vertices
+        values = [names[1], names[5]]
+        area = safe_area(tree, values, t=0)
+        assert area == convex_hull(tree, values)
+
+    def test_majority_pins_the_area(self):
+        tree = path_tree(5)
+        names = tree.vertices
+        values = [names[0]] * 4 + [names[4]]
+        # with t = 1, deleting the lone names[4] leaves everything at names[0]
+        area = safe_area(tree, values, t=1)
+        assert area == frozenset({names[0]})
+
+    def test_insufficient_values_rejected(self):
+        tree = path_tree(3)
+        with pytest.raises(ValueError):
+            is_safe_vertex(tree, tree.vertices[0], [tree.vertices[0]], t=1)
+
+    def test_negative_t_rejected(self):
+        tree = path_tree(3)
+        with pytest.raises(ValueError):
+            is_safe_vertex(tree, tree.vertices[0], [tree.vertices[0]], t=-1)
+
+    def test_unknown_value_rejected(self):
+        tree = path_tree(3)
+        with pytest.raises(KeyError):
+            safe_area(tree, ["zzz", tree.vertices[0], tree.vertices[1]], t=1)
+
+
+class TestAgainstBruteForce:
+    @given(trees_with_vertex_choices(n_choices=4))
+    def test_matches_subset_intersection_t1(self, tree_and_values):
+        tree, values = tree_and_values
+        assert safe_area(tree, values, 1) == brute_force_safe_area(tree, values, 1)
+
+    @given(trees_with_vertex_choices(n_choices=7))
+    def test_matches_subset_intersection_t2(self, tree_and_values):
+        tree, values = tree_and_values
+        assert safe_area(tree, values, 2) == brute_force_safe_area(tree, values, 2)
+
+    @given(trees_with_vertex_choices(n_choices=5))
+    def test_safe_area_within_full_hull(self, tree_and_values):
+        tree, values = tree_and_values
+        assert safe_area(tree, values, 1) <= convex_hull(tree, values)
+
+
+class TestNonEmptiness:
+    @given(trees_with_vertex_choices(n_choices=5))
+    def test_nonempty_with_m_at_least_2t_plus_1(self, tree_and_values):
+        tree, values = tree_and_values  # m = 5 = 2·2 + 1
+        assert safe_area(tree, values, 2)
+
+    @given(trees_with_vertex_choices(n_choices=3))
+    def test_nonempty_t1(self, tree_and_values):
+        tree, values = tree_and_values  # m = 3 = 2·1 + 1
+        assert safe_area(tree, values, 1)
+
+
+class TestRobustnessGuarantee:
+    """The defining property: a safe vertex survives deleting any t values,
+    i.e. lies in the hull of the honest values no matter which t of the
+    received values were Byzantine."""
+
+    @given(trees_with_vertex_choices(n_choices=5))
+    def test_safe_vertices_in_every_subset_hull(self, tree_and_values):
+        from itertools import combinations
+
+        tree, values = tree_and_values
+        t = 1
+        area = safe_area(tree, values, t)
+        for keep in combinations(range(len(values)), len(values) - t):
+            subset = [values[i] for i in keep]
+            for w in area:
+                assert in_convex_hull(tree, w, subset)
+
+
+class TestMidpoint:
+    def test_midpoint_of_two_opinions(self):
+        tree = path_tree(9)
+        names = tree.vertices
+        values = [names[0], names[0], names[8], names[8], names[4]]
+        mid = safe_area_midpoint(tree, values, t=1)
+        # safe area is the hull core; midpoint lands near the center
+        assert mid in safe_area(tree, values, 1)
+
+    def test_midpoint_single_vertex_area(self):
+        tree = star_tree(4)
+        center = tree.vertices[0]
+        leaves = list(tree.vertices[1:])
+        values = leaves[:3] + [leaves[0]]
+        mid = safe_area_midpoint(tree, values, t=1)
+        assert mid in safe_area(tree, values, 1)
+
+    @given(trees_with_vertex_choices(n_choices=5))
+    def test_midpoint_always_safe(self, tree_and_values):
+        tree, values = tree_and_values
+        assert safe_area_midpoint(tree, values, 1) in safe_area(tree, values, 1)
+
+    @given(trees_with_vertex_choices(n_choices=5))
+    def test_midpoint_deterministic(self, tree_and_values):
+        tree, values = tree_and_values
+        assert safe_area_midpoint(tree, values, 1) == safe_area_midpoint(
+            tree, list(values), 1
+        )
+
+    @given(trees_with_vertex_choices(n_choices=5))
+    def test_subtree_path_within_area(self, tree_and_values):
+        tree, values = tree_and_values
+        area = safe_area(tree, values, 1)
+        path = safe_area_subtree_path(tree, values, 1)
+        assert set(path.vertices) <= area
+
+    @given(trees_with_vertex_choices(n_choices=5))
+    def test_midpoint_halves_the_area_span(self, tree_and_values):
+        """The midpoint is within ⌈span/2⌉ of every safe vertex — the step
+        that gives the baseline its per-iteration halving."""
+        from repro.trees import distance
+
+        tree, values = tree_and_values
+        area = safe_area(tree, values, 1)
+        path = safe_area_subtree_path(tree, values, 1)
+        mid = safe_area_midpoint(tree, values, 1)
+        span = path.length
+        for w in area:
+            assert distance(tree, mid, w) <= (span + 1) // 2

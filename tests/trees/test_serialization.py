@@ -1,0 +1,98 @@
+"""Tests for tree serialization (JSON canonical form, DOT export)."""
+
+import json
+
+import pytest
+from hypothesis import given
+
+from repro.trees import (
+    LabeledTree,
+    figure_tree,
+    tree_from_dict,
+    tree_from_json,
+    tree_to_dict,
+    tree_to_dot,
+    tree_to_json,
+)
+
+from ..conftest import small_trees
+
+
+class TestJsonRoundTrip:
+    def test_figure_tree(self):
+        tree = figure_tree()
+        assert tree_from_json(tree_to_json(tree)) == tree
+
+    def test_single_vertex(self):
+        tree = LabeledTree(vertices=["solo"])
+        assert tree_from_json(tree_to_json(tree)) == tree
+
+    @given(small_trees())
+    def test_round_trip_property(self, tree):
+        assert tree_from_json(tree_to_json(tree)) == tree
+
+    @given(small_trees())
+    def test_deterministic_serialization(self, tree):
+        """Equal trees produce byte-identical JSON — required for the
+        'publicly known tree' to actually be common knowledge."""
+        rebuilt = tree_from_json(tree_to_json(tree))
+        assert tree_to_json(rebuilt) == tree_to_json(tree)
+
+    def test_schema_tag_present(self):
+        data = tree_to_dict(figure_tree())
+        assert data["schema"] == "repro/labeled-tree/v1"
+
+    def test_pretty_printing(self):
+        text = tree_to_json(figure_tree(), indent=2)
+        assert "\n" in text
+        json.loads(text)
+
+
+class TestValidation:
+    def test_wrong_schema_rejected(self):
+        with pytest.raises(ValueError, match="schema"):
+            tree_from_dict({"schema": "nope", "vertices": [], "edges": []})
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(ValueError):
+            tree_from_dict([1, 2, 3])
+
+    def test_malformed_edge_rejected(self):
+        with pytest.raises(ValueError, match="edge"):
+            tree_from_dict(
+                {
+                    "schema": "repro/labeled-tree/v1",
+                    "vertices": ["a", "b"],
+                    "edges": [["a"]],
+                }
+            )
+
+    def test_non_tree_payload_rejected(self):
+        from repro.trees import NotATreeError
+
+        with pytest.raises(NotATreeError):
+            tree_from_dict(
+                {
+                    "schema": "repro/labeled-tree/v1",
+                    "vertices": ["a", "b", "c"],
+                    "edges": [["a", "b"], ["b", "c"], ["c", "a"]],
+                }
+            )
+
+
+class TestDot:
+    def test_structure(self):
+        dot = tree_to_dot(figure_tree())
+        assert dot.startswith("graph")
+        assert '"v1" -- "v2"' in dot
+        assert dot.rstrip().endswith("}")
+
+    def test_highlighting(self):
+        dot = tree_to_dot(figure_tree(), highlight={"v3": "green"})
+        assert 'fillcolor="green"' in dot
+
+    def test_every_vertex_listed(self):
+        tree = figure_tree()
+        dot = tree_to_dot(tree)
+        for vertex in tree.vertices:
+            assert f'"{vertex}"' in dot
