@@ -16,43 +16,50 @@ from __future__ import annotations
 import pytest
 
 from repro.adversary.realaa_attacks import BurnScheduleAdversary, even_burn_schedule
-from repro.analysis import measured_realaa_rounds
 from repro.baselines import halving_iterations
 from repro.core import run_real_aa
-from repro.protocols import realaa_duration, realaa_iterations, theorem3_round_bound
+from repro.protocols import theorem3_round_bound
 
 NETWORKS = [(7, 2), (13, 4), (25, 8), (49, 16)]
 SPREADS = [2.0**4, 2.0**10, 2.0**16]
 
+#: The T2 grid as engine data; the "even-burn" adversary spec reproduces
+#: the even burn schedule the serial sweep constructed inline.
+T2_GRID = [
+    {
+        "n": n,
+        "t": t,
+        "spread": spread,
+        "epsilon": 1.0,
+        "adversary": "even-burn",
+        "seed": 0,
+    }
+    for n, t in NETWORKS
+    for spread in SPREADS
+]
 
-def test_t2_table(report, benchmark):
+
+def test_t2_table(report, benchmark, sweep_config):
     def sweep():
         rows = []
-        for n, t in NETWORKS:
-            for spread in SPREADS:
-                iterations = realaa_iterations(spread, 1.0, n, t)
-                budget = realaa_duration(spread, 1.0, n, t)
-                bound = theorem3_round_bound(spread, 1.0)
-                outline = 3 * halving_iterations(spread, 1.0)
-                adversary_factory = lambda: BurnScheduleAdversary(  # noqa: E731
-                    even_burn_schedule(min(t, iterations), iterations)
-                )
-                _, measured, ok = measured_realaa_rounds(
-                    spread, 1.0, n, t, adversary_factory=adversary_factory
-                )
-                rows.append(
-                    [
-                        f"n={n},t={t}",
-                        f"2^{int(spread).bit_length() - 1}",
-                        budget,
-                        measured if measured is not None else "-",
-                        bound,
-                        outline,
-                        ok,
-                    ]
-                )
-                assert ok
-                assert budget <= 3 * (t + 1)
+        for point in sweep_config.run("t2-realaa", "realaa-point", T2_GRID):
+            n, t, spread = point["n"], point["t"], point["spread"]
+            budget, measured, ok = point["budget"], point["measured"], point["ok"]
+            bound = theorem3_round_bound(spread, 1.0)
+            outline = 3 * halving_iterations(spread, 1.0)
+            rows.append(
+                [
+                    f"n={n},t={t}",
+                    f"2^{int(spread).bit_length() - 1}",
+                    budget,
+                    measured if measured is not None else "-",
+                    bound,
+                    outline,
+                    ok,
+                ]
+            )
+            assert ok
+            assert budget <= 3 * (t + 1)
         return rows
 
     rows = benchmark.pedantic(sweep, rounds=1, iterations=1)

@@ -14,75 +14,63 @@ import random
 import pytest
 
 from repro.adversary.realaa_attacks import BurnScheduleAdversary
-from repro.analysis import run_tree_point, spread_inputs
+from repro.analysis import spread_inputs, tree_spec_for
 from repro.core import run_tree_aa
 from repro.protocols import tree_aa_round_bound
-from repro.trees import (
-    caterpillar_tree,
-    diameter,
-    path_tree,
-    random_tree,
-    star_tree,
-)
+from repro.trees import path_tree, random_tree
 
 N, T = 7, 2
 
-FAMILIES = [
-    ("path", lambda size: path_tree(size)),
-    ("caterpillar", lambda size: caterpillar_tree(max(1, size // 2), 1)),
-    ("random", lambda size: random_tree(size, seed=42)),
-    ("star", lambda size: star_tree(size - 1)),
-]
+FAMILIES = ["path", "caterpillar", "random", "star"]
 
 SIZES = [15, 63, 255, 1023]
 
+#: The T1 grid as engine data (see repro.analysis.parallel): the explicit
+#: per-point seed matches the historical serial sweep exactly.
+T1_GRID = [
+    {
+        "family": family,
+        "tree": tree_spec_for(family, size),
+        "n": N,
+        "t": T,
+        "adversary": "burn",
+        "seed": size,
+    }
+    for family in FAMILIES
+    for size in SIZES
+]
 
-def _one_point(family, make, size):
-    return run_tree_point(
-        family,
-        make(size),
-        N,
-        T,
-        seed=size,
-        adversary_factory=lambda: BurnScheduleAdversary([1] * T),
-    )
 
-
-def test_t1_table(report, benchmark):
+def test_t1_table(report, benchmark, sweep_config):
     rows = []
 
     def sweep():
-        collected = []
-        for family, make in FAMILIES:
-            for size in SIZES:
-                point = _one_point(family, make, size)
-                collected.append(point)
-        return collected
+        return sweep_config.run("t1-tree-aa", "tree-point", T1_GRID).rows
 
     points = benchmark.pedantic(sweep, rounds=1, iterations=1)
     for point in points:
-        bound = tree_aa_round_bound(point.n_vertices, point.tree_diameter)
+        bound = tree_aa_round_bound(point["n_vertices"], point["tree_diameter"])
         winner = (
             "TreeAA"
-            if point.tree_rounds < point.baseline_rounds
+            if point["tree_rounds"] < point["baseline_rounds"]
             else "baseline"
-            if point.baseline_rounds < point.tree_rounds
+            if point["baseline_rounds"] < point["tree_rounds"]
             else "tie"
         )
         rows.append(
             [
-                point.family,
-                point.n_vertices,
-                point.tree_diameter,
-                point.tree_rounds,
+                point["family"],
+                point["n_vertices"],
+                point["tree_diameter"],
+                point["tree_rounds"],
                 bound,
-                point.baseline_rounds,
+                point["baseline_rounds"],
                 winner,
-                point.tree_ok and point.baseline_ok,
+                point["tree_ok"] and point["baseline_ok"],
             ]
         )
-        assert point.tree_ok and point.baseline_ok
-        assert point.tree_rounds <= bound
+        assert point["tree_ok"] and point["baseline_ok"]
+        assert point["tree_rounds"] <= bound
     report.table(
         "T1",
         "TreeAA rounds vs iterated-safe-area baseline (n=7, t=2, burn adversary)",

@@ -10,13 +10,67 @@ times the central operation of each experiment.
 from __future__ import annotations
 
 import os
-from typing import Any, Iterable, Sequence
+from dataclasses import dataclass
+from typing import Any, Iterable, Optional, Sequence
 
 import pytest
 
 from repro.analysis import format_table
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+DEFAULT_CACHE_DIR = os.path.join(RESULTS_DIR, "cache")
+
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    group = parser.getgroup("sweep", "parallel sweep engine")
+    group.addoption(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for sweep benchmarks (0 = all cores, 1 = serial)",
+    )
+    group.addoption(
+        "--cache-dir",
+        default=DEFAULT_CACHE_DIR,
+        help="sweep result cache directory",
+    )
+    group.addoption(
+        "--no-cache",
+        action="store_true",
+        help="disable the sweep result cache (recompute every grid point)",
+    )
+
+
+@dataclass(frozen=True)
+class SweepConfig:
+    """Engine knobs shared by every sweep benchmark in this directory."""
+
+    jobs: int
+    cache_dir: Optional[str]
+    no_cache: bool
+
+    def run(self, name: str, runner: str, grid, **kwargs):
+        """Run a grid with this configuration (thin `run_grid` wrapper)."""
+        from repro.analysis import run_grid
+
+        return run_grid(
+            name,
+            runner,
+            grid,
+            jobs=self.jobs,
+            cache_dir=self.cache_dir,
+            no_cache=self.no_cache,
+            **kwargs,
+        )
+
+
+@pytest.fixture(scope="session")
+def sweep_config(request: pytest.FixtureRequest) -> SweepConfig:
+    return SweepConfig(
+        jobs=request.config.getoption("--jobs"),
+        cache_dir=request.config.getoption("--cache-dir"),
+        no_cache=request.config.getoption("--no-cache"),
+    )
 
 
 class Reporter:

@@ -10,12 +10,23 @@ from .metrics import (
     tree_output_diameter,
     tree_validity,
 )
+from .parallel import (
+    SweepCache,
+    SweepReport,
+    default_cache_dir,
+    get_runner,
+    grid_from_axes,
+    point_seed,
+    register_runner,
+    run_grid,
+)
 from .stats import Summary, aggregate, success_rate, summarize
 from .sweep import (
     TreeSweepPoint,
     measured_realaa_rounds,
     run_tree_point,
     spread_inputs,
+    tree_spec_for,
 )
 from .tables import format_table, print_table
 
@@ -31,7 +42,16 @@ __all__ = [
     "TreeSweepPoint",
     "run_tree_point",
     "spread_inputs",
+    "tree_spec_for",
     "measured_realaa_rounds",
+    "SweepCache",
+    "SweepReport",
+    "default_cache_dir",
+    "get_runner",
+    "grid_from_axes",
+    "point_seed",
+    "register_runner",
+    "run_grid",
     "format_table",
     "print_table",
     "Summary",

@@ -3,16 +3,24 @@
 Each sweep runs full protocol executions over a grid and returns rows ready
 for :func:`repro.analysis.tables.format_table`.  Imports of the protocol
 layers are local to the functions to keep the package import graph acyclic.
+
+The ``*_runner`` functions at the bottom are the *data-driven* forms of
+the same sweeps, registered with :mod:`repro.analysis.parallel` so that
+grids of them can execute through the process-pool engine (every argument
+a JSON-serialisable scalar, trees and adversaries described by the CLI's
+spec strings).
 """
 
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from ..net.network import TraceLevel
 from ..trees.labeled_tree import Label, LabeledTree
 from ..trees.paths import diameter
+from .parallel import register_runner
 
 
 @dataclass
@@ -32,11 +40,19 @@ def spread_inputs(
     tree: LabeledTree, n: int, rng: random.Random
 ) -> List[Label]:
     """Inputs stretching across the tree: both diameter endpoints plus
-    random vertices — the worst case for convergence distance."""
+    random vertices — the worst case for convergence distance.
+
+    Always returns exactly ``n`` inputs: for ``n < 2`` the endpoint seeds
+    are truncated (a 1-party sweep gets one diameter endpoint, an empty
+    sweep gets no inputs) rather than handing back more inputs than
+    parties.
+    """
+    if n < 0:
+        raise ValueError(f"need n >= 0 parties, got {n}")
     from ..trees.paths import diameter_path
 
     longest = diameter_path(tree)
-    picks: List[Label] = [longest.start, longest.end]
+    picks: List[Label] = [longest.start, longest.end][:n]
     while len(picks) < n:
         picks.append(rng.choice(tree.vertices))
     rng.shuffle(picks)
@@ -50,6 +66,7 @@ def run_tree_point(
     t: int,
     seed: int = 0,
     adversary_factory: Optional[Callable[[], Any]] = None,
+    trace_level: TraceLevel = TraceLevel.FULL,
 ) -> TreeSweepPoint:
     """Run TreeAA and the iterated-safe-area baseline on the same instance."""
     from ..core.api import run_tree_aa
@@ -61,7 +78,9 @@ def run_tree_point(
     inputs = spread_inputs(tree, n, rng)
 
     adversary = adversary_factory() if adversary_factory is not None else None
-    outcome = run_tree_aa(tree, inputs, t, adversary=adversary)
+    outcome = run_tree_aa(
+        tree, inputs, t, adversary=adversary, trace_level=trace_level
+    )
 
     adversary2 = adversary_factory() if adversary_factory is not None else None
     baseline_exec = run_protocol(
@@ -69,6 +88,7 @@ def run_tree_point(
         t,
         lambda pid: IterativeTreeAAParty(pid, n, t, tree, inputs[pid]),
         adversary=adversary2,
+        trace_level=trace_level,
     )
     honest_inputs = [inputs[pid] for pid in sorted(baseline_exec.honest)]
     honest_outputs = list(baseline_exec.honest_outputs.values())
@@ -94,6 +114,7 @@ def measured_realaa_rounds(
     t: int,
     adversary_factory: Optional[Callable[[], Any]] = None,
     seed: int = 0,
+    trace_level: TraceLevel = TraceLevel.FULL,
 ) -> Tuple[int, Optional[int], bool]:
     """(budgeted rounds, measured rounds, AA achieved) for one RealAA run.
 
@@ -112,5 +133,100 @@ def measured_realaa_rounds(
         epsilon=epsilon,
         known_range=float(spread),
         adversary=adversary,
+        trace_level=trace_level,
     )
     return outcome.rounds, outcome.measured_rounds, outcome.achieved_aa
+
+
+# ----------------------------------------------------------------------
+# Data-driven runners for the parallel engine
+# ----------------------------------------------------------------------
+
+
+def tree_spec_for(family: str, size: int) -> str:
+    """The CLI tree spec matching the T1 benchmark's tree families."""
+    if family == "path":
+        return f"path:{size}"
+    if family == "caterpillar":
+        return f"caterpillar:{max(1, size // 2)}x1"
+    if family == "random":
+        return f"random:{size}:42"
+    if family == "star":
+        return f"star:{size - 1}"
+    raise ValueError(f"unknown sweep tree family {family!r}")
+
+
+def _adversary_factory(spec: Optional[str], t: int) -> Optional[Callable[[], Any]]:
+    """A fresh-adversary factory from a CLI adversary spec (``None``/"none"
+    mean fault-free)."""
+    if spec is None or spec == "none":
+        return None
+    from ..cli import make_adversary
+
+    return lambda: make_adversary(spec, t)
+
+
+@register_runner("tree-point")
+def tree_point_runner(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
+    """One TreeAA-vs-baseline grid point, described entirely by data.
+
+    ``params``: ``tree`` (CLI tree spec), ``n``, ``t``, optional
+    ``family`` (display name) and ``adversary`` (CLI adversary spec).
+    Payload accounting is skipped (``TraceLevel.AGGREGATE``) — the row
+    only carries rounds and AA verdicts, which are unaffected.
+    """
+    from ..cli import parse_tree_spec
+
+    tree = parse_tree_spec(params["tree"])
+    n, t = int(params["n"]), int(params["t"])
+    point = run_tree_point(
+        str(params.get("family", "tree")),
+        tree,
+        n,
+        t,
+        seed=seed,
+        adversary_factory=_adversary_factory(params.get("adversary"), t),
+        trace_level=TraceLevel.AGGREGATE,
+    )
+    return asdict(point)
+
+
+@register_runner("realaa-point")
+def realaa_point_runner(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
+    """One RealAA grid point: ``spread``, ``epsilon``, ``n``, ``t``,
+    optional ``adversary`` — a CLI spec or ``"even-burn"`` (the T2
+    schedule: the budget spread evenly over the iteration count)."""
+    n, t = int(params["n"]), int(params["t"])
+    spread, epsilon = float(params["spread"]), float(params["epsilon"])
+    spec = params.get("adversary")
+    if spec == "even-burn":
+        from ..adversary.realaa_attacks import (
+            BurnScheduleAdversary,
+            even_burn_schedule,
+        )
+        from ..protocols.rounds import realaa_iterations
+
+        iterations = realaa_iterations(spread, epsilon, n, t)
+        factory: Optional[Callable[[], Any]] = lambda: BurnScheduleAdversary(
+            even_burn_schedule(min(t, iterations), iterations)
+        )
+    else:
+        factory = _adversary_factory(spec, t)
+    budget, measured, ok = measured_realaa_rounds(
+        spread,
+        epsilon,
+        n,
+        t,
+        adversary_factory=factory,
+        seed=seed,
+        trace_level=TraceLevel.AGGREGATE,
+    )
+    return {
+        "n": n,
+        "t": t,
+        "spread": spread,
+        "epsilon": epsilon,
+        "budget": budget,
+        "measured": measured,
+        "ok": ok,
+    }

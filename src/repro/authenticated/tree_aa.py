@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import Any, Optional
 
 from ..core.closest_int import closest_int
+from ..core.errors import ValidityViolationError, check_index_in_range
 from ..net.messages import Inbox, Outbox, PartyId
 from ..net.protocol import PhasedParty, ProtocolParty
 from ..trees.euler import EulerList, list_construction
@@ -52,10 +53,7 @@ class AuthPathsFinderParty(ExactRealAAParty):
 
     def _final_output(self) -> TreePath:
         index = closest_int(self.value)
-        assert 0 <= index < len(self.euler), (
-            f"closestInt({self.value}) = {index} outside L — engine "
-            "validity violated"
-        )
+        check_index_in_range(index, len(self.euler), "L", self.value)
         return TreePath(self.euler.rooted.root_path(self.euler[index]))
 
 
@@ -86,7 +84,11 @@ class AuthProjectionPhaseParty(ExactRealAAParty):
 
     def _final_output(self) -> Label:
         index = closest_int(self.value)
-        assert index >= 0
+        if index < 0:
+            raise ValidityViolationError(
+                f"closestInt({self.value}) = {index} below the path start — "
+                "engine validity violated"
+            )
         if index >= len(self.path):
             return self.path.end
         return self.path[index]

@@ -6,6 +6,8 @@ Commands
 ``tree-aa``     run TreeAA on a generated or JSON-loaded tree
 ``auth-tree-aa`` run the authenticated (t < n/2) TreeAA variant
 ``real-aa``     run RealAA(ε) on real-valued inputs
+``sweep``       run an experiment grid through the parallel engine
+                (``--jobs N``, ``--cache-dir DIR``, ``--no-cache``)
 ``bounds``      print the paper's round bounds for given parameters
 ``make-tree``   generate a tree and print it (edges / JSON / DOT)
 ``chain-demo``  execute Fekete's one-round chain-of-views construction
@@ -237,6 +239,101 @@ def cmd_real_aa(args: argparse.Namespace) -> int:
     return 0 if outcome.achieved_aa else 1
 
 
+def cmd_sweep(args: argparse.Namespace) -> int:
+    """Run a TreeAA or RealAA experiment grid through the parallel engine."""
+    from .analysis import format_table, run_grid, tree_spec_for
+
+    if args.jobs < 0:
+        raise CLIError("--jobs must be >= 1, or 0 for all cores")
+    if args.kind == "tree-aa":
+        try:
+            grid = [
+                {
+                    "family": family,
+                    "tree": tree_spec_for(family, size),
+                    "n": args.n,
+                    "t": args.t,
+                    "adversary": args.adversary,
+                    "seed": size,
+                }
+                for family in args.families.split(",")
+                for size in (int(s) for s in args.sizes.split(","))
+            ]
+        except ValueError as exc:
+            raise CLIError(str(exc)) from None
+        runner = "tree-point"
+        headers = [
+            "family",
+            "|V(T)|",
+            "D(T)",
+            "TreeAA rounds",
+            "baseline rounds",
+            "AA ok",
+        ]
+        to_row = lambda r: [  # noqa: E731
+            r["family"],
+            r["n_vertices"],
+            r["tree_diameter"],
+            r["tree_rounds"],
+            r["baseline_rounds"],
+            r["tree_ok"] and r["baseline_ok"],
+        ]
+        all_ok = lambda r: r["tree_ok"] and r["baseline_ok"]  # noqa: E731
+    else:
+        try:
+            networks = [
+                tuple(int(x) for x in pair.split(":"))
+                for pair in args.networks.split(",")
+            ]
+            spreads = [float(s) for s in args.spreads.split(",")]
+        except ValueError as exc:
+            raise CLIError(f"malformed sweep grid: {exc}") from None
+        if any(len(pair) != 2 for pair in networks):
+            raise CLIError("--networks takes comma-separated n:t pairs")
+        grid = [
+            {
+                "n": n,
+                "t": t,
+                "spread": spread,
+                "epsilon": args.epsilon,
+                "adversary": args.adversary,
+                "seed": 0,
+            }
+            for n, t in networks
+            for spread in spreads
+        ]
+        runner = "realaa-point"
+        headers = ["network", "spread", "budget", "measured", "AA ok"]
+        to_row = lambda r: [  # noqa: E731
+            f"n={r['n']},t={r['t']}",
+            f"{r['spread']:g}",
+            r["budget"],
+            r["measured"] if r["measured"] is not None else "-",
+            r["ok"],
+        ]
+        all_ok = lambda r: r["ok"]  # noqa: E731
+
+    report = run_grid(
+        f"cli-{args.kind}",
+        runner,
+        grid,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        no_cache=args.no_cache,
+        base_seed=args.base_seed,
+    )
+    print(
+        format_table(
+            headers,
+            [to_row(row) for row in report.rows],
+            title=f"sweep {args.kind} (adversary={args.adversary})",
+        )
+    )
+    print()
+    print(report.summary())
+    return 0 if all(all_ok(row) for row in report.rows) else 1
+
+
 def cmd_bounds(args: argparse.Namespace) -> int:
     d, n, t = args.diameter, args.n, args.t
     rows = [
@@ -326,6 +423,38 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--epsilon", type=float, default=0.5)
     p.add_argument("--adversary", default="silent")
     p.set_defaults(func=cmd_real_aa)
+
+    p = sub.add_parser(
+        "sweep", help="run an experiment grid (parallel, cached)"
+    )
+    p.add_argument(
+        "--kind", default="tree-aa", choices=["tree-aa", "real-aa"]
+    )
+    p.add_argument("--jobs", type=int, default=1, help="worker processes (0 = all cores)")
+    p.add_argument("--cache-dir", default=None, help="result cache directory")
+    p.add_argument(
+        "--no-cache", action="store_true", help="disable the result cache"
+    )
+    p.add_argument("--base-seed", type=int, default=0)
+    p.add_argument("--n", type=int, default=7)
+    p.add_argument("--t", type=int, default=2)
+    p.add_argument(
+        "--families",
+        default="path,caterpillar,random,star",
+        help="tree-aa: comma-separated tree families",
+    )
+    p.add_argument(
+        "--sizes", default="15,63,255", help="tree-aa: comma-separated |V(T)|"
+    )
+    p.add_argument(
+        "--networks", default="7:2,13:4", help="real-aa: comma-separated n:t"
+    )
+    p.add_argument(
+        "--spreads", default="16,1024", help="real-aa: comma-separated D"
+    )
+    p.add_argument("--epsilon", type=float, default=1.0)
+    p.add_argument("--adversary", default="burn")
+    p.set_defaults(func=cmd_sweep)
 
     p = sub.add_parser("bounds", help="print the paper's round bounds")
     p.add_argument("--diameter", type=float, required=True)

@@ -14,6 +14,7 @@ from .api import (
     run_tree_aa,
 )
 from .closest_int import closest_int
+from .errors import ValidityViolationError
 from .path_aa import PathAAParty
 from .paths_finder import PathsFinderParty, paths_finder_duration
 from .projection_aa import KnownPathAAParty
@@ -25,6 +26,7 @@ from .tree_aa import (
 
 __all__ = [
     "closest_int",
+    "ValidityViolationError",
     "PathAAParty",
     "KnownPathAAParty",
     "PathsFinderParty",

@@ -12,7 +12,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Set
 
 from ..net.messages import PartyId
-from ..net.network import ExecutionResult
+from ..net.network import ExecutionResult, TraceLevel
 from ..net.runner import run_protocol
 from ..protocols.realaa import RealAAParty
 from ..trees.convex import in_convex_hull
@@ -104,6 +104,7 @@ def run_tree_aa(
     t: int,
     adversary: Optional["Adversary"] = None,  # noqa: F821 - documented duck type
     root: Optional[Label] = None,
+    trace_level: TraceLevel = TraceLevel.FULL,
 ) -> TreeAAOutcome:
     """Run **TreeAA** with ``inputs[pid]`` as party ``pid``'s input vertex.
 
@@ -116,6 +117,7 @@ def run_tree_aa(
         t,
         lambda pid: TreeAAParty(pid, n, t, tree, inputs[pid], root=root),
         adversary=adversary,
+        trace_level=trace_level,
     )
     honest_inputs = {pid: inputs[pid] for pid in sorted(execution.honest)}
     honest_outputs = execution.honest_outputs
@@ -175,6 +177,7 @@ def run_real_aa(
     known_range: Optional[float] = None,
     iterations: Optional[int] = None,
     adversary: Optional["Adversary"] = None,  # noqa: F821
+    trace_level: TraceLevel = TraceLevel.FULL,
 ) -> RealAAOutcome:
     """Run **RealAA(ε)** on real-valued inputs.
 
@@ -198,6 +201,7 @@ def run_real_aa(
             iterations=iterations,
         ),
         adversary=adversary,
+        trace_level=trace_level,
     )
     honest_inputs = {pid: float(inputs[pid]) for pid in sorted(execution.honest)}
     honest_outputs = execution.honest_outputs

@@ -20,6 +20,7 @@ from ..protocols.realaa import RealAAParty
 from ..trees.labeled_tree import Label
 from ..trees.paths import TreePath
 from .closest_int import closest_int
+from .errors import check_index_in_range
 
 
 class PathAAParty(RealAAParty):
@@ -63,9 +64,6 @@ class PathAAParty(RealAAParty):
     def _final_output(self) -> Label:
         index = closest_int(self.value)
         # Remark 1: RealAA validity keeps j within the honest positions, so
-        # the rounded index is a legal position; the assert documents that.
-        assert 0 <= index < len(self.path), (
-            f"closestInt({self.value}) = {index} fell outside the path — "
-            "RealAA validity was violated"
-        )
+        # the rounded index is a legal position; the guard enforces that.
+        check_index_in_range(index, len(self.path), "the path", self.value)
         return self.path[index]

@@ -28,6 +28,7 @@ from ..trees.euler import EulerList, list_construction
 from ..trees.labeled_tree import Label, LabeledTree
 from ..trees.paths import TreePath
 from .closest_int import closest_int
+from .errors import check_index_in_range
 
 
 def paths_finder_duration(tree: LabeledTree, n: int, t: int) -> int:
@@ -77,9 +78,6 @@ class PathsFinderParty(RealAAParty):
 
     def _final_output(self) -> TreePath:
         index = closest_int(self.value)
-        assert 0 <= index < len(self.euler), (
-            f"closestInt({self.value}) = {index} fell outside L — "
-            "RealAA validity was violated"
-        )
+        check_index_in_range(index, len(self.euler), "L", self.value)
         self.selected_vertex = self.euler[index]
         return TreePath(self.euler.rooted.root_path(self.selected_vertex))

@@ -18,6 +18,7 @@ from ..trees.labeled_tree import Label, LabeledTree
 from ..trees.paths import TreePath
 from ..trees.projection import project_onto_path
 from .closest_int import closest_int
+from .errors import check_index_in_range
 
 
 class KnownPathAAParty(RealAAParty):
@@ -62,8 +63,5 @@ class KnownPathAAParty(RealAAParty):
 
     def _final_output(self) -> Label:
         index = closest_int(self.value)
-        assert 0 <= index < len(self.path), (
-            f"closestInt({self.value}) = {index} fell outside the path — "
-            "RealAA validity was violated"
-        )
+        check_index_in_range(index, len(self.path), "the path", self.value)
         return self.path[index]

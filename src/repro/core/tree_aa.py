@@ -35,6 +35,7 @@ from ..trees.lca import RootedTree
 from ..trees.paths import TreePath, diameter
 from ..trees.projection import project_onto_path
 from .closest_int import closest_int
+from .errors import ValidityViolationError
 from .paths_finder import PathsFinderParty, paths_finder_duration
 
 
@@ -71,10 +72,11 @@ class ProjectionPhaseParty(RealAAParty):
 
     def _final_output(self) -> Label:
         index = closest_int(self.value)
-        assert index >= 0, (
-            f"closestInt({self.value}) = {index} below the path start — "
-            "RealAA validity was violated"
-        )
+        if index < 0:
+            raise ValidityViolationError(
+                f"closestInt({self.value}) = {index} below the path start — "
+                "RealAA validity was violated"
+            )
         if index >= len(self.path):
             # TreeAA line 6: this party holds the shorter path of the
             # Lemma-4 pair; output its last vertex (v_k).  Theorem 4 shows

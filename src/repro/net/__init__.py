@@ -11,8 +11,14 @@ from .network import (
     ExecutionResult,
     ExecutionTrace,
     SynchronousNetwork,
+    TraceLevel,
 )
-from .protocol import PhasedParty, ProtocolParty, SilentParty
+from .protocol import (
+    PhasedParty,
+    ProtocolParty,
+    ProtocolStateError,
+    SilentParty,
+)
 from .trace import (
     InvariantMonitor,
     InvariantViolation,
@@ -30,12 +36,14 @@ __all__ = [
     "broadcast",
     "deliver",
     "ProtocolParty",
+    "ProtocolStateError",
     "SilentParty",
     "PhasedParty",
     "SynchronousNetwork",
     "AdversaryView",
     "ExecutionResult",
     "ExecutionTrace",
+    "TraceLevel",
     "ByzantineModelError",
     "run_protocol",
     "run_fault_free",

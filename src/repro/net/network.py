@@ -18,6 +18,7 @@ only ever carry a corrupted party's own id as the sender.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from enum import IntEnum
 from typing import Any, Dict, List, Mapping, Optional, Set
 
 from .messages import Inbox, Message, Outbox, PartyId, deliver
@@ -26,6 +27,28 @@ from .protocol import ProtocolParty
 
 class ByzantineModelError(RuntimeError):
     """Raised when an adversary exceeds the powers the model grants it."""
+
+
+class TraceLevel(IntEnum):
+    """How much accounting :class:`ExecutionTrace` performs per round.
+
+    ``AGGREGATE``
+        Message *counts* only (total, per sender class, per round).  The
+        executor skips :class:`~repro.net.messages.Message` object
+        construction and the deep :func:`payload_units` walk — the fast
+        path used by parameter sweeps, where only rounds and AA verdicts
+        feed the result rows.
+    ``FULL``
+        Everything ``AGGREGATE`` tracks plus payload-unit accounting, the
+        level the message-complexity experiment (T8) needs.  The default.
+
+    Attaching an :class:`~repro.net.trace.Observer` forces message-object
+    construction regardless of the level (observers receive the objects),
+    but payload units are still only accumulated at ``FULL``.
+    """
+
+    AGGREGATE = 0
+    FULL = 1
 
 
 @dataclass
@@ -60,18 +83,36 @@ def payload_units(payload: Any) -> int:
     message-complexity experiment (T8): the paper cites ``O(R·n³)``
     message complexity for RealAA ([6]), which here shows up as ``O(n²)``
     messages per round carrying ``O(n)``-entry echo/support vectors.
+
+    Iterative on purpose: the payload is adversary-controlled, and a
+    Byzantine sender must not be able to crash the *simulator* with a
+    deeply nested container (Python's recursion limit is ~1000 frames).
     """
-    if isinstance(payload, dict):
-        return sum(payload_units(k) + payload_units(v) for k, v in payload.items())
-    if isinstance(payload, (list, tuple, set, frozenset)):
-        return sum(payload_units(item) for item in payload)
-    return 1
+    total = 0
+    stack = [payload]
+    while stack:
+        item = stack.pop()
+        if isinstance(item, dict):
+            for key, value in item.items():
+                stack.append(key)
+                stack.append(value)
+        elif isinstance(item, (list, tuple, set, frozenset)):
+            stack.extend(item)
+        else:
+            total += 1
+    return total
 
 
 @dataclass
 class ExecutionTrace:
-    """Accounting for one protocol execution."""
+    """Accounting for one protocol execution.
 
+    ``honest_payload_units`` / ``byzantine_payload_units`` are only
+    accumulated at :attr:`TraceLevel.FULL`; at ``AGGREGATE`` they stay 0
+    while every message *count* remains exact.
+    """
+
+    level: TraceLevel = TraceLevel.FULL
     rounds_executed: int = 0
     honest_message_count: int = 0
     byzantine_message_count: int = 0
@@ -123,6 +164,12 @@ class SynchronousNetwork:
     adversary:
         An object implementing the :class:`repro.adversary.base.Adversary`
         protocol, or ``None`` for a fault-free execution.
+    trace_level:
+        How much accounting to perform per round (see :class:`TraceLevel`).
+        ``FULL`` (the default) matches the historical behaviour;
+        ``AGGREGATE`` keeps exact message counts but skips per-message
+        object construction and payload-unit accounting — measurably
+        faster on the sweep hot path.
     """
 
     def __init__(
@@ -131,6 +178,7 @@ class SynchronousNetwork:
         t: int,
         adversary: Optional["Adversary"] = None,  # noqa: F821 - documented duck type
         observer: Optional["Observer"] = None,  # noqa: F821 - see repro.net.trace
+        trace_level: TraceLevel = TraceLevel.FULL,
     ) -> None:
         n = len(parties)
         if sorted(parties) != list(range(n)):
@@ -141,7 +189,7 @@ class SynchronousNetwork:
         self.adversary = adversary
         self.observer = observer
         self.corrupted: Set[PartyId] = set()
-        self.trace = ExecutionTrace()
+        self.trace = ExecutionTrace(level=TraceLevel(trace_level))
         if adversary is not None:
             initial = set(adversary.initial_corruptions(self._setup_view()))
             self._register_corruptions(initial, round_index=0)
@@ -207,7 +255,8 @@ class SynchronousNetwork:
                 honest_out[pid] = {}
 
         # 2. The rushing adversary reacts: adaptive corruption + messages.
-        byzantine_messages: List[Message] = []
+        byzantine_out: Dict[PartyId, Outbox] = {}
+        byzantine_sent = 0
         if self.adversary is not None:
             view = AdversaryView(
                 round_index=round_index,
@@ -230,32 +279,64 @@ class SynchronousNetwork:
                     raise ByzantineModelError(
                         f"adversary tried to speak for honest party {sender}"
                     )
-                for recipient, payload in outbox.items():
-                    byzantine_messages.append(
-                        Message(sender, recipient, round_index, payload)
-                    )
+                for recipient in outbox:
+                    # Authenticated point-to-point channels only exist
+                    # between the n modelled parties: a Byzantine message
+                    # addressed outside 0..n-1 is a power the model does
+                    # not grant, not traffic `deliver` may silently drop.
+                    if type(recipient) is not int or not 0 <= recipient < self.n:
+                        raise ByzantineModelError(
+                            f"byzantine sender {sender} addressed unknown "
+                            f"recipient {recipient!r}"
+                        )
+                byzantine_out[sender] = dict(outbox)
+                byzantine_sent += len(outbox)
 
         # 3. Deliver everything at once; honest parties process their inbox.
-        all_messages = byzantine_messages + [
-            Message(sender, recipient, round_index, payload)
-            for sender, outbox in honest_out.items()
-            for recipient, payload in outbox.items()
-        ]
         honest_sent = sum(len(outbox) for outbox in honest_out.values())
         self.trace.honest_message_count += honest_sent
-        self.trace.byzantine_message_count += len(byzantine_messages)
-        self.trace.per_round_messages.append(
-            honest_sent + len(byzantine_messages)
-        )
-        self.trace.honest_payload_units += sum(
-            payload_units(payload)
-            for outbox in honest_out.values()
-            for payload in outbox.values()
-        )
-        self.trace.byzantine_payload_units += sum(
-            payload_units(message.payload) for message in byzantine_messages
-        )
-        inboxes = deliver(all_messages, self.n)
+        self.trace.byzantine_message_count += byzantine_sent
+        self.trace.per_round_messages.append(honest_sent + byzantine_sent)
+
+        full = self.trace.level is TraceLevel.FULL
+        byzantine_messages: List[Message] = []
+        if full or self.observer is not None:
+            # Slow path: materialise Message objects (observers consume
+            # them) and, at FULL, walk every payload for unit accounting.
+            byzantine_messages = [
+                Message(sender, recipient, round_index, payload)
+                for sender, outbox in byzantine_out.items()
+                for recipient, payload in outbox.items()
+            ]
+            all_messages = byzantine_messages + [
+                Message(sender, recipient, round_index, payload)
+                for sender, outbox in honest_out.items()
+                for recipient, payload in outbox.items()
+            ]
+            if full:
+                self.trace.honest_payload_units += sum(
+                    payload_units(payload)
+                    for outbox in honest_out.values()
+                    for payload in outbox.values()
+                )
+                self.trace.byzantine_payload_units += sum(
+                    payload_units(message.payload)
+                    for message in byzantine_messages
+                )
+            inboxes = deliver(all_messages, self.n)
+        else:
+            # Fast path (AGGREGATE, no observer): fill the inboxes
+            # directly.  Equivalent to `deliver`: each sender's outbox is
+            # a dict, so (sender, recipient) pairs are unique within a
+            # round and delivery order cannot matter.
+            inboxes = {pid: {} for pid in range(self.n)}
+            for sender, outbox in byzantine_out.items():
+                for recipient, payload in outbox.items():
+                    inboxes[recipient][sender] = payload
+            for sender, outbox in honest_out.items():
+                for recipient, payload in outbox.items():
+                    if 0 <= recipient < self.n:
+                        inboxes[recipient][sender] = payload
         if self.adversary is not None and self.corrupted:
             self.adversary.observe_delivery(
                 round_index,

@@ -20,6 +20,15 @@ from typing import Any, Callable, List, Optional, Sequence, Tuple
 from .messages import Inbox, Outbox, PartyId
 
 
+class ProtocolStateError(RuntimeError):
+    """A party's state machine was driven outside its contract.
+
+    Raised with a real exception (not ``assert``) so the guard survives
+    ``python -O``: these conditions indicate a harness bug, and silently
+    proceeding would corrupt the execution rather than fail it.
+    """
+
+
 class ProtocolParty(abc.ABC):
     """One party's state machine for a fixed-duration synchronous protocol.
 
@@ -110,7 +119,8 @@ class PhasedParty(ProtocolParty):
         self._check_subduration()
 
     def _check_subduration(self) -> None:
-        assert self._current is not None
+        if self._current is None:
+            raise ProtocolStateError("no active sub-party to check")
         declared = self._declared[self._phase_index]
         if self._current.duration > declared:
             raise ValueError(
@@ -148,7 +158,10 @@ class PhasedParty(ProtocolParty):
         local = self._locate(round_index)
         if local is None:
             return
-        assert self._current is not None
+        if self._current is None:
+            raise ProtocolStateError(
+                f"round {round_index} delivered to a finished PhasedParty"
+            )
         if local < self._current.duration:
             self._current.receive_round(local, inbox)
         # Advance across the phase boundary once the declared duration ends.

@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import Any, Callable, Dict, Optional, Sequence
 
 from .messages import PartyId
-from .network import ExecutionResult, SynchronousNetwork
+from .network import ExecutionResult, SynchronousNetwork, TraceLevel
 from .protocol import ProtocolParty
 
 PartyFactory = Callable[[PartyId], ProtocolParty]
@@ -25,15 +25,20 @@ def run_protocol(
     adversary: Optional["Adversary"] = None,  # noqa: F821 - documented duck type
     max_rounds: Optional[int] = None,
     observer: Optional["Observer"] = None,  # noqa: F821 - see repro.net.trace
+    trace_level: TraceLevel = TraceLevel.FULL,
 ) -> ExecutionResult:
     """Build ``n`` parties, wire them to the adversary, and run to completion.
 
     Returns the :class:`~repro.net.network.ExecutionResult`, whose
     ``honest_outputs`` are what AA's Termination / Validity / Agreement
-    properties quantify over.
+    properties quantify over.  ``trace_level`` selects between full
+    payload accounting and the aggregate-counts fast path (see
+    :class:`~repro.net.network.TraceLevel`).
     """
     parties = {pid: party_factory(pid) for pid in range(n)}
-    network = SynchronousNetwork(parties, t, adversary, observer=observer)
+    network = SynchronousNetwork(
+        parties, t, adversary, observer=observer, trace_level=trace_level
+    )
     return network.run(max_rounds=max_rounds)
 
 

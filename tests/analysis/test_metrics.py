@@ -128,6 +128,46 @@ class TestSweepHelpers:
         assert longest.end in inputs
         assert len(inputs) == 7
 
+    def test_spread_inputs_n1_returns_one_input(self):
+        import random
+
+        from repro.analysis import spread_inputs
+        from repro.trees import diameter_path
+
+        tree = path_tree(9)
+        inputs = spread_inputs(tree, 1, random.Random(0))
+        assert len(inputs) == 1
+        longest = diameter_path(tree)
+        assert inputs[0] in (longest.start, longest.end)
+
+    def test_spread_inputs_n2_returns_both_endpoints(self):
+        import random
+
+        from repro.analysis import spread_inputs
+        from repro.trees import diameter_path
+
+        tree = path_tree(9)
+        inputs = spread_inputs(tree, 2, random.Random(0))
+        longest = diameter_path(tree)
+        assert sorted(inputs) == sorted([longest.start, longest.end])
+
+    def test_spread_inputs_n0_returns_empty(self):
+        import random
+
+        from repro.analysis import spread_inputs
+
+        assert spread_inputs(path_tree(9), 0, random.Random(0)) == []
+
+    def test_spread_inputs_negative_n_rejected(self):
+        import random
+
+        import pytest
+
+        from repro.analysis import spread_inputs
+
+        with pytest.raises(ValueError):
+            spread_inputs(path_tree(9), -1, random.Random(0))
+
     def test_run_tree_point_smoke(self):
         from repro.analysis import run_tree_point
 

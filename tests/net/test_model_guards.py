@@ -1,0 +1,122 @@
+"""Regression tests for simulator model guards against hostile inputs.
+
+Two attack surfaces the executor itself must survive:
+
+* a Byzantine message addressed outside ``0..n-1`` must raise
+  :class:`ByzantineModelError` instead of being silently dropped (or
+  corrupting delivery);
+* a deeply nested Byzantine payload must be *charged* to the adversary,
+  not crash the simulator with ``RecursionError``.
+"""
+
+import pytest
+
+from repro.adversary import Adversary
+from repro.net import (
+    ByzantineModelError,
+    SynchronousNetwork,
+    TraceLevel,
+    broadcast,
+    run_protocol,
+)
+from repro.net.network import payload_units
+from repro.net.protocol import ProtocolParty
+
+
+class OneRoundParty(ProtocolParty):
+    """Broadcast the own id once; output the received inbox."""
+
+    @property
+    def duration(self):
+        return 1
+
+    def messages_for_round(self, round_index):
+        return broadcast(self.pid, self.n)
+
+    def receive_round(self, round_index, inbox):
+        self.output = dict(inbox)
+
+
+class FixedOutboxAdversary(Adversary):
+    """Sends a fixed outbox dict for its corrupted parties every round."""
+
+    def __init__(self, outboxes, corrupt=None):
+        super().__init__(corrupt=corrupt)
+        self._outboxes = outboxes
+
+    def byzantine_messages(self, view):
+        return {
+            sender: dict(outbox)
+            for sender, outbox in self._outboxes.items()
+        }
+
+
+def _run(outboxes, n=4, t=1, trace_level=TraceLevel.FULL):
+    return run_protocol(
+        n,
+        t,
+        lambda pid: OneRoundParty(pid, n, t),
+        adversary=FixedOutboxAdversary(outboxes, corrupt=[n - 1]),
+        trace_level=trace_level,
+    )
+
+
+class TestByzantineRecipientValidation:
+    def test_out_of_range_recipient_raises(self):
+        with pytest.raises(ByzantineModelError, match="unknown recipient"):
+            _run({3: {4: "payload"}})
+
+    def test_negative_recipient_raises(self):
+        with pytest.raises(ByzantineModelError, match="unknown recipient"):
+            _run({3: {-1: "payload"}})
+
+    def test_non_int_recipient_raises(self):
+        with pytest.raises(ByzantineModelError, match="unknown recipient"):
+            _run({3: {"0": "payload"}})
+
+    def test_bool_recipient_raises(self):
+        # bool is an int subclass; the channel model still has no party
+        # named True.
+        with pytest.raises(ByzantineModelError, match="unknown recipient"):
+            _run({3: {True: "payload"}})
+
+    @pytest.mark.parametrize(
+        "trace_level", [TraceLevel.FULL, TraceLevel.AGGREGATE]
+    )
+    def test_validation_applies_at_both_trace_levels(self, trace_level):
+        with pytest.raises(ByzantineModelError, match="unknown recipient"):
+            _run({3: {99: "payload"}}, trace_level=trace_level)
+
+    @pytest.mark.parametrize(
+        "trace_level", [TraceLevel.FULL, TraceLevel.AGGREGATE]
+    )
+    def test_legal_recipients_deliver(self, trace_level):
+        result = _run({3: {0: "byz"}}, trace_level=trace_level)
+        assert result.outputs[0][3] == "byz"
+        assert result.trace.byzantine_message_count == 1
+
+
+def _deep_payload(depth=5000):
+    payload = "atom"
+    for _ in range(depth):
+        payload = [payload]
+    return payload
+
+
+class TestAdversarialPayloadDepth:
+    def test_payload_units_is_iterative(self):
+        # Far beyond the interpreter's default recursion limit (~1000).
+        assert payload_units(_deep_payload(5000)) == 1
+
+    def test_deep_mixed_containers(self):
+        payload = {"k": "v"}
+        for _ in range(3000):
+            payload = {"wrap": payload, "pad": (1, 2)}
+        assert payload_units(payload) > 0
+
+    def test_deep_byzantine_payload_is_charged_not_crashing(self):
+        result = _run({3: {0: _deep_payload(5000)}})
+        # The nested containers collapse to one atomic unit, charged to
+        # the adversary — and the execution completed.
+        assert result.trace.byzantine_payload_units == 1
+        assert result.trace.rounds_executed == 1
