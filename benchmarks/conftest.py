@@ -9,6 +9,7 @@ times the central operation of each experiment.
 
 from __future__ import annotations
 
+import json
 import os
 from dataclasses import dataclass
 from typing import Any, Iterable, Optional, Sequence
@@ -74,7 +75,16 @@ def sweep_config(request: pytest.FixtureRequest) -> SweepConfig:
 
 
 class Reporter:
-    """Writes experiment tables to the results directory."""
+    """Writes experiment tables to the results directory.
+
+    Every table lands twice: human-readable ``results/<exp_id>.txt`` and
+    machine-readable ``results/<exp_id>.jsonl`` (one ``table_row`` record
+    per row, keyed by the column headers), so downstream analyses diff and
+    plot experiment outputs without re-parsing rendered tables.  See
+    docs/OBSERVABILITY.md.
+    """
+
+    JSONL_SCHEMA_VERSION = 1
 
     def __init__(self) -> None:
         os.makedirs(RESULTS_DIR, exist_ok=True)
@@ -87,15 +97,55 @@ class Reporter:
         rows: Iterable[Sequence[Any]],
         notes: str = "",
     ) -> str:
+        rows = [list(row) for row in rows]
         text = format_table(headers, rows, title=f"[{exp_id}] {title}")
         if notes:
             text += "\n" + notes
         path = os.path.join(RESULTS_DIR, f"{exp_id}.txt")
         with open(path, "w") as handle:
             handle.write(text + "\n")
+        self._write_jsonl(exp_id, title, headers, rows)
         print()
         print(text)
         return text
+
+    def _write_jsonl(
+        self,
+        exp_id: str,
+        title: str,
+        headers: Sequence[str],
+        rows: Sequence[Sequence[Any]],
+    ) -> None:
+        path = os.path.join(RESULTS_DIR, f"{exp_id}.jsonl")
+        keys = [str(header) for header in headers]
+        with open(path, "w") as handle:
+            handle.write(
+                json.dumps(
+                    {
+                        "type": "table_header",
+                        "schema_version": self.JSONL_SCHEMA_VERSION,
+                        "exp": exp_id,
+                        "title": title,
+                        "headers": keys,
+                        "rows": len(rows),
+                    },
+                    sort_keys=True,
+                )
+                + "\n"
+            )
+            for index, row in enumerate(rows):
+                handle.write(
+                    json.dumps(
+                        {
+                            "type": "table_row",
+                            "index": index,
+                            "row": dict(zip(keys, row)),
+                        },
+                        sort_keys=True,
+                        default=str,
+                    )
+                    + "\n"
+                )
 
 
 @pytest.fixture(scope="session")

@@ -1,30 +1,33 @@
 #!/usr/bin/env python3
-"""Watching a Byzantine attack round by round.
+"""Watching a Byzantine attack round by round — and recording it.
 
-Attaches a :class:`~repro.net.TranscriptRecorder` and an
-:class:`~repro.net.InvariantMonitor` to a TreeAA execution under the
-burn-schedule adversary, then prints the first iteration's traffic and the
-live-checked invariants — the debugging workflow for protocol work.
+Attaches three observers to one TreeAA execution under the burn-schedule
+adversary, fanned out through :class:`~repro.net.MultiObserver`:
+
+* a :class:`~repro.net.TranscriptRecorder` for the human-readable view of
+  the first gradecast iteration;
+* an :class:`~repro.net.InvariantMonitor` live-checking that no honest
+  output ever leaves the honest inputs' convex hull;
+* a :class:`~repro.observability.MetricsCollector`, whose structured
+  per-round metrics are exported as a JSONL trace and then re-loaded and
+  summarised offline — the workflow behind ``python -m repro trace`` /
+  ``python -m repro report``.
+
+This regenerates the numbers quoted in docs/PROTOCOL_WALKTHROUGH.md
+(18 rounds, all honest outputs ``v3``, final hull diameter 0).
 
 Run:  python examples/transcript_debugging.py
 """
 
+import os
+import tempfile
+
 from repro.adversary.realaa_attacks import BurnScheduleAdversary
 from repro.analysis import tree_validity
 from repro.core import TreeAAParty
-from repro.net import InvariantMonitor, TranscriptRecorder, run_protocol
+from repro.net import InvariantMonitor, MultiObserver, TranscriptRecorder, run_protocol
+from repro.observability import MetricsCollector, export_run, load_run, render_report
 from repro.trees import convex_hull, figure_tree
-
-
-class CombinedObserver:
-    """Fan out network observations to several observers."""
-
-    def __init__(self, *observers):
-        self.observers = observers
-
-    def on_round(self, *args):
-        for observer in self.observers:
-            observer.on_round(*args)
 
 
 def main() -> None:
@@ -34,6 +37,7 @@ def main() -> None:
     hull = convex_hull(tree, inputs[: n - t])
 
     recorder = TranscriptRecorder()
+    collector = MetricsCollector(tree=tree)
 
     def outputs_stay_in_hull(round_index, parties, corrupted):
         # Once a party has an output, it must already be a valid vertex.
@@ -52,7 +56,7 @@ def main() -> None:
         t,
         lambda pid: TreeAAParty(pid, n, t, tree, inputs[pid]),
         adversary=BurnScheduleAdversary([1, 1]),
-        observer=CombinedObserver(recorder, monitor),
+        observer=MultiObserver(recorder, monitor, collector),
     )
 
     print("First gradecast iteration (3 rounds) of PathsFinder:\n")
@@ -64,6 +68,26 @@ def main() -> None:
     honest_inputs = [inputs[p] for p in sorted(result.honest)]
     assert tree_validity(tree, honest_inputs, list(result.honest_outputs.values()))
     print("Validity re-checked offline: ok.")
+
+    # Export the same execution as a JSONL trace and summarise it offline —
+    # what `repro trace --out run.jsonl` + `repro report run.jsonl` do.
+    with tempfile.TemporaryDirectory() as tmpdir:
+        trace_path = os.path.join(tmpdir, "figure_run.jsonl")
+        export_run(
+            trace_path,
+            collector,
+            result,
+            protocol="tree-aa",
+            tree=tree,
+            inputs=inputs,
+            verdicts={"terminated": True, "valid": True, "agreement": True},
+            t=t,
+        )
+        run = load_run(trace_path)
+        print(f"\nJSONL trace: {run.rounds_executed} round records, "
+              f"hull diameter per round {run.round_series('hull_diameter')}")
+        print()
+        print(render_report(run, max_rounds=0))
 
 
 if __name__ == "__main__":

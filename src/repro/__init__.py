@@ -19,7 +19,9 @@ including every substrate the paper relies on:
   on trees the paper improves upon;
 * :mod:`repro.lowerbound` — Fekete's ``K(R, D)`` bound and Theorem 2's
   round lower bound, plus executable chain-of-views constructions;
-* :mod:`repro.analysis` — AA property checkers and experiment harnesses.
+* :mod:`repro.analysis` — AA property checkers and experiment harnesses;
+* :mod:`repro.observability` — structured per-round metrics, the JSONL
+  trace format, and offline run reports (see docs/OBSERVABILITY.md).
 
 Quickstart::
 
@@ -49,6 +51,7 @@ from .core import (
     run_tree_aa,
 )
 from .net import run_fault_free, run_protocol
+from .observability import MetricsCollector, export_run, load_run
 from .protocols import RealAAParty
 from .trees import LabeledTree, TreePath, list_construction
 
@@ -71,5 +74,8 @@ __all__ = [
     "run_fault_free",
     "TreeAAOutcome",
     "RealAAOutcome",
+    "MetricsCollector",
+    "export_run",
+    "load_run",
     "__version__",
 ]

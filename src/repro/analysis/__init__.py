@@ -11,6 +11,7 @@ from .metrics import (
     tree_validity,
 )
 from .parallel import (
+    SWEEP_SCHEMA_VERSION,
     SweepCache,
     SweepReport,
     default_cache_dir,
@@ -19,6 +20,7 @@ from .parallel import (
     point_seed,
     register_runner,
     run_grid,
+    write_sweep_jsonl,
 )
 from .stats import Summary, aggregate, success_rate, summarize
 from .sweep import (
@@ -52,6 +54,8 @@ __all__ = [
     "point_seed",
     "register_runner",
     "run_grid",
+    "write_sweep_jsonl",
+    "SWEEP_SCHEMA_VERSION",
     "format_table",
     "print_table",
     "Summary",

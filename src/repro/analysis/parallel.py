@@ -167,6 +167,67 @@ class SweepCache:
         )
 
 
+#: Schema version of the sweep JSONL files written by
+#: :func:`write_sweep_jsonl` (``sweep_header`` / ``point`` /
+#: ``sweep_footer`` records).
+SWEEP_SCHEMA_VERSION = 1
+
+
+def write_sweep_jsonl(
+    path: str,
+    report: "SweepReport",
+    *,
+    runner: str,
+    grid: Sequence[Dict[str, Any]],
+    seeds: Sequence[int],
+) -> int:
+    """Persist a sweep's rows as machine-readable JSONL; returns the record
+    count.
+
+    One ``sweep_header`` record, one ``point`` record per grid point
+    (params + derived seed + result row — the full provenance of a table
+    row), and one ``sweep_footer`` with the engine summary.  Benchmarks
+    write these next to their text tables (``benchmarks/results/*.jsonl``)
+    so downstream analyses never re-parse rendered tables.
+    """
+    records: List[Dict[str, Any]] = [
+        {
+            "type": "sweep_header",
+            "schema_version": SWEEP_SCHEMA_VERSION,
+            "sweep": report.name,
+            "runner": runner,
+            "points": len(report.rows),
+        }
+    ]
+    for index, (params, seed, row) in enumerate(zip(grid, seeds, report.rows)):
+        records.append(
+            {
+                "type": "point",
+                "index": index,
+                "params": params,
+                "seed": seed,
+                "row": row,
+            }
+        )
+    records.append(
+        {
+            "type": "sweep_footer",
+            "points": len(report.rows),
+            "cache_hits": report.cache_hits,
+            "cache_misses": report.cache_misses,
+            "jobs": report.jobs,
+        }
+    )
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "w") as handle:
+        for record in records:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+    os.replace(tmp, path)
+    return len(records)
+
+
 @dataclass
 class SweepReport:
     """Rows plus provenance of one engine invocation."""
@@ -209,6 +270,7 @@ def run_grid(
     base_seed: int = 0,
     chunksize: Optional[int] = None,
     version: Optional[str] = None,
+    jsonl_path: Optional[str] = None,
 ) -> SweepReport:
     """Run every grid point through *runner*, in parallel, with caching.
 
@@ -238,6 +300,11 @@ def run_grid(
     version:
         Cache-key version; defaults to ``repro.__version__`` so releases
         invalidate stale rows.
+    jsonl_path:
+        When given, the finished sweep (params + seeds + rows) is also
+        persisted as machine-readable JSONL at this path via
+        :func:`write_sweep_jsonl` — the per-point record next to whatever
+        table the caller renders.
     """
     if jobs == 0:
         jobs = os.cpu_count() or 1
@@ -277,7 +344,7 @@ def run_grid(
             if cache is not None and keys[index] is not None:
                 cache.put(keys[index], row)
 
-    return SweepReport(
+    report = SweepReport(
         name=name,
         rows=[row for row in rows if row is not None],
         cache_hits=hits,
@@ -285,3 +352,8 @@ def run_grid(
         jobs=jobs,
         elapsed_seconds=time.perf_counter() - started,
     )
+    if jsonl_path is not None:
+        write_sweep_jsonl(
+            jsonl_path, report, runner=runner, grid=grid, seeds=seeds
+        )
+    return report

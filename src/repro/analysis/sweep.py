@@ -67,8 +67,14 @@ def run_tree_point(
     seed: int = 0,
     adversary_factory: Optional[Callable[[], Any]] = None,
     trace_level: TraceLevel = TraceLevel.FULL,
+    observer: Optional[Any] = None,
 ) -> TreeSweepPoint:
-    """Run TreeAA and the iterated-safe-area baseline on the same instance."""
+    """Run TreeAA and the iterated-safe-area baseline on the same instance.
+
+    ``observer`` (e.g. a :class:`~repro.observability.MetricsCollector`)
+    watches the TreeAA execution only; attaching one forces the simulator
+    off the ``AGGREGATE`` fast path for that execution.
+    """
     from ..core.api import run_tree_aa
     from ..baselines.iterative_tree import IterativeTreeAAParty
     from ..net.runner import run_protocol
@@ -79,7 +85,12 @@ def run_tree_point(
 
     adversary = adversary_factory() if adversary_factory is not None else None
     outcome = run_tree_aa(
-        tree, inputs, t, adversary=adversary, trace_level=trace_level
+        tree,
+        inputs,
+        t,
+        adversary=adversary,
+        trace_level=trace_level,
+        observer=observer,
     )
 
     adversary2 = adversary_factory() if adversary_factory is not None else None
@@ -171,14 +182,24 @@ def tree_point_runner(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
     """One TreeAA-vs-baseline grid point, described entirely by data.
 
     ``params``: ``tree`` (CLI tree spec), ``n``, ``t``, optional
-    ``family`` (display name) and ``adversary`` (CLI adversary spec).
-    Payload accounting is skipped (``TraceLevel.AGGREGATE``) — the row
-    only carries rounds and AA verdicts, which are unaffected.
+    ``family`` (display name), ``adversary`` (CLI adversary spec), and
+    ``metrics`` (truthy to attach a
+    :class:`~repro.observability.MetricsCollector` to the TreeAA execution
+    and embed its :meth:`~repro.observability.MetricsCollector.summary`
+    under the row's ``"metrics"`` key).  Without ``metrics`` the collector
+    stays detached and payload accounting is skipped
+    (``TraceLevel.AGGREGATE``) — the fast path, byte-identical to the
+    historical rows, which only carry rounds and AA verdicts.
     """
     from ..cli import parse_tree_spec
 
     tree = parse_tree_spec(params["tree"])
     n, t = int(params["n"]), int(params["t"])
+    collector = None
+    if params.get("metrics"):
+        from ..observability import MetricsCollector
+
+        collector = MetricsCollector(tree=tree)
     point = run_tree_point(
         str(params.get("family", "tree")),
         tree,
@@ -187,8 +208,12 @@ def tree_point_runner(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
         seed=seed,
         adversary_factory=_adversary_factory(params.get("adversary"), t),
         trace_level=TraceLevel.AGGREGATE,
+        observer=collector,
     )
-    return asdict(point)
+    row = asdict(point)
+    if collector is not None:
+        row["metrics"] = collector.summary()
+    return row
 
 
 @register_runner("realaa-point")

@@ -11,6 +11,7 @@ from typing import Any, Iterable, List, Sequence
 
 
 def format_cell(value: Any) -> str:
+    """One table cell: yes/no booleans, sensible float precision."""
     if isinstance(value, bool):
         return "yes" if value else "no"
     if isinstance(value, float):
@@ -50,5 +51,6 @@ def format_table(
 def print_table(
     headers: Sequence[str], rows: Iterable[Sequence[Any]], title: str = ""
 ) -> None:
+    """:func:`format_table`, straight to stdout (with a leading blank line)."""
     print()
     print(format_table(headers, rows, title=title))

@@ -168,6 +168,8 @@ class AsyncTrace:
 
 @dataclass
 class AsyncExecutionResult:
+    """Outcome of one asynchronous execution: outputs, roles, accounting."""
+
     outputs: Dict[PartyId, Any]
     honest: Set[PartyId]
     corrupted: Set[PartyId]

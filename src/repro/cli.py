@@ -7,7 +7,12 @@ Commands
 ``auth-tree-aa`` run the authenticated (t < n/2) TreeAA variant
 ``real-aa``     run RealAA(ε) on real-valued inputs
 ``sweep``       run an experiment grid through the parallel engine
-                (``--jobs N``, ``--cache-dir DIR``, ``--no-cache``)
+                (``--jobs N``, ``--cache-dir DIR``, ``--no-cache``,
+                ``--jsonl FILE`` for machine-readable rows)
+``trace``       record one execution as a JSONL trace (``--out FILE``),
+                with per-round structured metrics
+``report``      summarise a recorded JSONL trace (rounds, messages,
+                convergence)
 ``bounds``      print the paper's round bounds for given parameters
 ``make-tree``   generate a tree and print it (edges / JSON / DOT)
 ``chain-demo``  execute Fekete's one-round chain-of-views construction
@@ -25,6 +30,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import random
 import sys
 from typing import List, Optional, Sequence
@@ -156,6 +162,7 @@ def pick_inputs(tree: LabeledTree, spec: str, n: int) -> List:
 
 
 def cmd_tree_aa(args: argparse.Namespace) -> int:
+    """Run one TreeAA execution and print the verdict table."""
     tree = parse_tree_spec(args.tree)
     inputs = pick_inputs(tree, args.inputs, args.n)
     adversary = make_adversary(args.adversary, args.t)
@@ -186,6 +193,7 @@ def cmd_tree_aa(args: argparse.Namespace) -> int:
 
 
 def cmd_auth_tree_aa(args: argparse.Namespace) -> int:
+    """Run one authenticated (t < n/2) TreeAA execution."""
     from .authenticated import run_auth_tree_aa
 
     tree = parse_tree_spec(args.tree)
@@ -210,6 +218,7 @@ def cmd_auth_tree_aa(args: argparse.Namespace) -> int:
 
 
 def cmd_real_aa(args: argparse.Namespace) -> int:
+    """Run one RealAA(eps) execution on the given real inputs."""
     try:
         inputs = [float(x) for x in args.inputs.split(",")]
     except ValueError as exc:
@@ -321,6 +330,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         cache_dir=args.cache_dir,
         no_cache=args.no_cache,
         base_seed=args.base_seed,
+        jsonl_path=args.jsonl,
     )
     print(
         format_table(
@@ -334,7 +344,86 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return 0 if all(all_ok(row) for row in report.rows) else 1
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Record one protocol execution as a JSONL trace file."""
+    from .observability import MetricsCollector, export_run
+
+    adversary = make_adversary(args.adversary, args.t)
+    if args.kind == "tree-aa":
+        if not args.tree:
+            raise CLIError("--tree is required for tree-aa traces")
+        tree = parse_tree_spec(args.tree)
+        inputs = pick_inputs(tree, args.inputs, args.n)
+        collector = MetricsCollector(tree=tree)
+        outcome = run_tree_aa(
+            tree, inputs, args.t, adversary=adversary, observer=collector
+        )
+        params = {
+            "tree": args.tree,
+            "inputs": args.inputs,
+            "adversary": args.adversary,
+        }
+        verdicts = {
+            "terminated": outcome.terminated,
+            "valid": outcome.valid,
+            "agreement": outcome.agreement,
+            "output_diameter": outcome.output_diameter,
+        }
+        export_inputs: List = inputs
+    else:
+        try:
+            inputs = [float(x) for x in args.inputs.split(",")]
+        except ValueError as exc:
+            raise CLIError(f"malformed inputs: {exc}") from None
+        collector = MetricsCollector()
+        outcome = run_real_aa(
+            inputs,
+            args.t,
+            epsilon=args.epsilon,
+            adversary=adversary,
+            observer=collector,
+        )
+        params = {"epsilon": args.epsilon, "adversary": args.adversary}
+        verdicts = {
+            "terminated": outcome.terminated,
+            "valid": outcome.valid,
+            "agreement": outcome.agreement,
+            "output_spread": outcome.output_spread,
+        }
+        export_inputs = inputs
+    records = export_run(
+        args.out,
+        collector,
+        outcome.execution,
+        protocol=args.kind,
+        params=params,
+        inputs=export_inputs,
+        verdicts=verdicts,
+        t=args.t,
+    )
+    print(
+        f"recorded {collector.rounds_observed} rounds "
+        f"({collector.message_total} messages, {records} records) -> {args.out}"
+    )
+    return 0 if outcome.achieved_aa else 1
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """Render the summary of a recorded JSONL trace."""
+    from .observability import TraceFormatError, load_run, render_report
+
+    try:
+        run = load_run(args.trace)
+    except OSError as exc:
+        raise CLIError(f"cannot read {args.trace!r}: {exc}") from None
+    except TraceFormatError as exc:
+        raise CLIError(str(exc)) from None
+    print(render_report(run, max_rounds=args.rounds))
+    return 0
+
+
 def cmd_bounds(args: argparse.Namespace) -> int:
+    """Print the paper's round bounds for the given D, n, t, eps."""
     d, n, t = args.diameter, args.n, args.t
     rows = [
         ["Theorem 3 upper (RealAA rounds)", theorem3_round_bound(d, args.epsilon)],
@@ -356,6 +445,7 @@ def cmd_bounds(args: argparse.Namespace) -> int:
 
 
 def cmd_make_tree(args: argparse.Namespace) -> int:
+    """Generate a tree and print it as edges, JSON, or DOT."""
     tree = parse_tree_spec(args.tree)
     if args.format == "edges":
         for u, v in tree.edges():
@@ -370,6 +460,7 @@ def cmd_make_tree(args: argparse.Namespace) -> int:
 
 
 def cmd_chain_demo(args: argparse.Namespace) -> int:
+    """Execute Fekete's one-round chain-of-views construction."""
     demo = demonstrate_real(trimmed_mean_rule(args.t), args.n, args.t, 0.0, 1.0)
     rows = [
         [k, " ".join(format(x, "g") for x in view), round(output, 4)]
@@ -393,6 +484,7 @@ def cmd_chain_demo(args: argparse.Namespace) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    """The `python -m repro` argument parser, one subcommand per cmd_*."""
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Round-optimal Byzantine Approximate Agreement on trees",
@@ -454,7 +546,43 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--epsilon", type=float, default=1.0)
     p.add_argument("--adversary", default="burn")
+    p.add_argument(
+        "--jsonl",
+        default=None,
+        help="also persist the sweep rows as machine-readable JSONL",
+    )
     p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser(
+        "trace", help="record one execution as a JSONL trace"
+    )
+    p.add_argument(
+        "--kind", default="tree-aa", choices=["tree-aa", "real-aa"]
+    )
+    p.add_argument("--tree", help="tree spec (tree-aa only)")
+    p.add_argument("--n", type=int, default=7)
+    p.add_argument("--t", type=int, default=2)
+    p.add_argument(
+        "--inputs",
+        default="random:0",
+        help="tree-aa: labels or random[:SEED]; real-aa: comma-separated reals",
+    )
+    p.add_argument("--epsilon", type=float, default=0.5, help="real-aa only")
+    p.add_argument("--adversary", default="burn")
+    p.add_argument("--out", required=True, help="JSONL trace output path")
+    p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser(
+        "report", help="summarise a recorded JSONL trace"
+    )
+    p.add_argument("trace", help="path to a file written by `repro trace`")
+    p.add_argument(
+        "--rounds",
+        type=int,
+        default=None,
+        help="limit the per-round table to the first N rounds",
+    )
+    p.set_defaults(func=cmd_report)
 
     p = sub.add_parser("bounds", help="print the paper's round bounds")
     p.add_argument("--diameter", type=float, required=True)
@@ -477,6 +605,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code (2 = usage error)."""
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
@@ -484,6 +613,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     except CLIError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except BrokenPipeError:
+        # stdout went away (e.g. `repro report ... | head`); exit quietly.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 1
 
 
 if __name__ == "__main__":

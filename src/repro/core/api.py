@@ -105,11 +105,14 @@ def run_tree_aa(
     adversary: Optional["Adversary"] = None,  # noqa: F821 - documented duck type
     root: Optional[Label] = None,
     trace_level: TraceLevel = TraceLevel.FULL,
+    observer: Optional["Observer"] = None,  # noqa: F821 - see repro.net.trace
 ) -> TreeAAOutcome:
     """Run **TreeAA** with ``inputs[pid]`` as party ``pid``'s input vertex.
 
     ``inputs`` must have length ``n``; corrupted parties' entries are the
     inputs their puppets start from (the adversary may ignore them).
+    ``observer`` (e.g. a :class:`~repro.observability.MetricsCollector` or
+    a :class:`~repro.net.TranscriptRecorder`) watches every round.
     """
     n = len(inputs)
     execution = run_protocol(
@@ -118,6 +121,7 @@ def run_tree_aa(
         lambda pid: TreeAAParty(pid, n, t, tree, inputs[pid], root=root),
         adversary=adversary,
         trace_level=trace_level,
+        observer=observer,
     )
     honest_inputs = {pid: inputs[pid] for pid in sorted(execution.honest)}
     honest_outputs = execution.honest_outputs
@@ -139,6 +143,7 @@ def run_path_aa(
     t: int,
     adversary: Optional["Adversary"] = None,  # noqa: F821
     project: bool = False,
+    observer: Optional["Observer"] = None,  # noqa: F821 - see repro.net.trace
 ) -> TreeAAOutcome:
     """Run the Section-4 path protocol (or the Section-5 variant).
 
@@ -156,7 +161,7 @@ def run_path_aa(
         factory = lambda pid: PathAAParty(  # noqa: E731
             pid, n, t, canonical, inputs[pid]
         )
-    execution = run_protocol(n, t, factory, adversary=adversary)
+    execution = run_protocol(n, t, factory, adversary=adversary, observer=observer)
     honest_inputs = {pid: inputs[pid] for pid in sorted(execution.honest)}
     honest_outputs = execution.honest_outputs
     verdicts = _evaluate_tree_outputs(tree, honest_inputs, honest_outputs)
@@ -178,6 +183,7 @@ def run_real_aa(
     iterations: Optional[int] = None,
     adversary: Optional["Adversary"] = None,  # noqa: F821
     trace_level: TraceLevel = TraceLevel.FULL,
+    observer: Optional["Observer"] = None,  # noqa: F821 - see repro.net.trace
 ) -> RealAAOutcome:
     """Run **RealAA(ε)** on real-valued inputs.
 
@@ -202,6 +208,7 @@ def run_real_aa(
         ),
         adversary=adversary,
         trace_level=trace_level,
+        observer=observer,
     )
     honest_inputs = {pid: float(inputs[pid]) for pid in sorted(execution.honest)}
     honest_outputs = execution.honest_outputs

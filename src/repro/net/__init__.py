@@ -22,6 +22,7 @@ from .protocol import (
 from .trace import (
     InvariantMonitor,
     InvariantViolation,
+    MultiObserver,
     Observer,
     RoundRecord,
     TranscriptRecorder,
@@ -48,6 +49,7 @@ __all__ = [
     "run_protocol",
     "run_fault_free",
     "Observer",
+    "MultiObserver",
     "TranscriptRecorder",
     "RoundRecord",
     "InvariantMonitor",

@@ -2,14 +2,24 @@
 
 An :class:`Observer` attached to :class:`~repro.net.network
 .SynchronousNetwork` sees every round after delivery — the honest traffic,
-the Byzantine traffic, and the party objects.  Two concrete observers:
+the Byzantine traffic, and the party objects.  Concrete observers:
 
 * :class:`TranscriptRecorder` — records everything and renders a readable
   transcript (the debugging view of an execution);
 * :class:`InvariantMonitor` — evaluates predicates over the parties after
   every round and fails fast with the round number when one breaks (used
   by tests to pin *when* a protocol invariant would be violated, not just
-  that the final output is wrong).
+  that the final output is wrong);
+* :class:`~repro.observability.collector.MetricsCollector` (in
+  :mod:`repro.observability`) — structured per-round metrics feeding the
+  JSONL trace export;
+* :class:`MultiObserver` — fans one execution out to several observers,
+  so a transcript, an invariant monitor, and a metrics collector can all
+  watch the same run.
+
+Attaching any observer forces the network onto the slow path that
+materialises :class:`~repro.net.messages.Message` objects; detached, the
+:attr:`~repro.net.network.TraceLevel.AGGREGATE` fast path is unaffected.
 """
 
 from __future__ import annotations
@@ -107,6 +117,27 @@ class TranscriptRecorder(Observer):
     @property
     def byzantine_message_total(self) -> int:
         return sum(len(r.byzantine_messages) for r in self.rounds)
+
+
+class MultiObserver(Observer):
+    """Fan one execution's observations out to several observers.
+
+    Observers are notified in the given order; an exception from one (for
+    example an :class:`InvariantViolation`) aborts the round and skips the
+    remaining observers — the fail-fast semantics invariant monitoring
+    wants.
+    """
+
+    def __init__(self, *observers: Observer) -> None:
+        self.observers: Tuple[Observer, ...] = tuple(observers)
+
+    def on_round(
+        self, round_index, honest_messages, byzantine_messages, parties, corrupted
+    ) -> None:
+        for observer in self.observers:
+            observer.on_round(
+                round_index, honest_messages, byzantine_messages, parties, corrupted
+            )
 
 
 class InvariantViolation(AssertionError):

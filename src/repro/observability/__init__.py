@@ -1,0 +1,47 @@
+"""Execution observability: structured metrics, JSONL traces, reporting.
+
+Three layers, each usable on its own:
+
+* :class:`MetricsCollector` — an :class:`~repro.net.trace.Observer` that
+  turns a live execution into per-round :class:`RoundMetrics` (messages,
+  payload units, convex-hull diameter of the honest estimates, value
+  spread, wall clock);
+* :mod:`repro.observability.events` — the versioned JSONL trace format
+  (``run_header`` / ``round`` / ``run_footer``): :func:`export_run`
+  records, :func:`load_run` validates and loads, :func:`diff_runs`
+  compares two recordings field by field;
+* :mod:`repro.observability.report` — :func:`render_report` /
+  :func:`summarize_run` turn a loaded trace into the summary that
+  ``python -m repro report`` prints.
+
+See ``docs/OBSERVABILITY.md`` for the metrics glossary and the recorded-run
+walkthrough.
+"""
+
+from .collector import MetricsCollector, RoundMetrics
+from .events import (
+    NONDETERMINISTIC_FIELDS,
+    RunTrace,
+    SCHEMA_VERSION,
+    SchemaVersionError,
+    TraceFormatError,
+    diff_runs,
+    export_run,
+    load_run,
+)
+from .report import render_report, summarize_run
+
+__all__ = [
+    "MetricsCollector",
+    "RoundMetrics",
+    "SCHEMA_VERSION",
+    "NONDETERMINISTIC_FIELDS",
+    "RunTrace",
+    "TraceFormatError",
+    "SchemaVersionError",
+    "export_run",
+    "load_run",
+    "diff_runs",
+    "render_report",
+    "summarize_run",
+]

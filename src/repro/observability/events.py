@@ -1,0 +1,294 @@
+"""The versioned JSONL trace format: export, load, and diff executions.
+
+One recorded run is a JSON-Lines file with exactly three record types, in
+order:
+
+``run_header``
+    One per file, first line.  Carries ``schema_version``, the protocol
+    name, the network parameters, and (when known) the canonical input
+    tree and the input vector — everything needed to *re-run* the
+    execution.
+``round``
+    One per observed round, ascending ``round`` indices.  The serialised
+    form of :class:`~repro.observability.collector.RoundMetrics`.
+``run_footer``
+    One per file, last line.  Totals, the honest outputs, the final
+    convergence measures, and the AA verdicts when the caller evaluated
+    them.
+
+The format is append-only text so recorded runs can be diffed, grepped,
+and version-controlled; :func:`load_run` validates structure and rejects
+files written by a different (incompatible) schema version with
+:class:`SchemaVersionError`, so readers never silently misinterpret old
+recordings.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, IO, Iterable, Iterator, List, Optional, Sequence, Union
+
+from ..net.network import ExecutionResult
+from ..trees.labeled_tree import LabeledTree
+from ..trees.serialization import tree_from_dict, tree_to_dict
+from .collector import MetricsCollector, RoundMetrics
+
+#: Version of the JSONL trace schema.  Bump on any incompatible change;
+#: :func:`load_run` rejects every other version.
+SCHEMA_VERSION = 1
+
+
+class TraceFormatError(ValueError):
+    """A trace file is structurally invalid (bad JSON, records missing or
+    out of order)."""
+
+
+class SchemaVersionError(TraceFormatError):
+    """A trace file was written by an incompatible schema version."""
+
+    def __init__(self, found: Any) -> None:
+        super().__init__(
+            f"trace schema version {found!r} is not supported "
+            f"(this reader understands version {SCHEMA_VERSION})"
+        )
+        self.found = found
+
+
+@dataclass
+class RunTrace:
+    """A loaded trace: header dict, round dicts, footer dict."""
+
+    header: Dict[str, Any]
+    rounds: List[Dict[str, Any]]
+    footer: Dict[str, Any]
+
+    @property
+    def protocol(self) -> str:
+        return self.header.get("protocol", "?")
+
+    @property
+    def rounds_executed(self) -> int:
+        return self.footer["rounds"]
+
+    @property
+    def message_total(self) -> int:
+        return self.footer["messages"]
+
+    @property
+    def final_hull_diameter(self) -> Optional[int]:
+        return self.footer.get("final_hull_diameter")
+
+    @property
+    def honest_outputs(self) -> Dict[int, Any]:
+        return {pid: output for pid, output in self.footer["honest_outputs"]}
+
+    def tree(self) -> Optional[LabeledTree]:
+        """Rebuild the recorded input tree (``None`` when not recorded)."""
+        data = self.header.get("tree")
+        return None if data is None else tree_from_dict(data)
+
+    def round_series(self, field: str) -> List[Any]:
+        """The per-round values of one metric field, in round order."""
+        return [record.get(field) for record in self.rounds]
+
+
+# ----------------------------------------------------------------------
+# Export
+# ----------------------------------------------------------------------
+
+
+def _header_record(
+    collector: MetricsCollector,
+    result: ExecutionResult,
+    protocol: str,
+    params: Optional[Dict[str, Any]],
+    tree: Optional[LabeledTree],
+    inputs: Optional[Sequence[Any]],
+    t: Optional[int],
+) -> Dict[str, Any]:
+    return {
+        "type": "run_header",
+        "schema_version": SCHEMA_VERSION,
+        "protocol": protocol,
+        "n": len(result.honest) + len(result.corrupted),
+        "t": t,
+        "params": dict(params or {}),
+        "tree": None if tree is None else tree_to_dict(tree),
+        "inputs": None if inputs is None else list(inputs),
+    }
+
+
+def _round_record(metrics: RoundMetrics) -> Dict[str, Any]:
+    record = asdict(metrics)
+    record["corrupted"] = list(record["corrupted"])
+    record["round"] = record.pop("round_index")
+    record["type"] = "round"
+    return record
+
+
+def _footer_record(
+    collector: MetricsCollector,
+    result: ExecutionResult,
+    verdicts: Optional[Dict[str, Any]],
+) -> Dict[str, Any]:
+    outputs = result.honest_outputs
+    spreads: List[float] = [
+        v for v in outputs.values() if isinstance(v, (int, float))
+    ]
+    return {
+        "type": "run_footer",
+        "rounds": collector.rounds_observed,
+        "honest_messages": collector.honest_message_total,
+        "byzantine_messages": collector.byzantine_message_total,
+        "messages": collector.message_total,
+        "payload_units": collector.payload_unit_total,
+        "corrupted": sorted(result.corrupted),
+        "honest_outputs": [[pid, outputs[pid]] for pid in sorted(outputs)],
+        "final_hull_diameter": collector.final_hull_diameter,
+        "final_value_spread": (
+            max(spreads) - min(spreads)
+            if spreads and len(spreads) == len(outputs)
+            else None
+        ),
+        "verdicts": dict(verdicts or {}),
+    }
+
+
+def export_run(
+    destination: Union[str, IO[str]],
+    collector: MetricsCollector,
+    result: ExecutionResult,
+    *,
+    protocol: str,
+    params: Optional[Dict[str, Any]] = None,
+    tree: Optional[LabeledTree] = None,
+    inputs: Optional[Sequence[Any]] = None,
+    verdicts: Optional[Dict[str, Any]] = None,
+    t: Optional[int] = None,
+) -> int:
+    """Write one recorded execution as JSONL; returns the record count.
+
+    ``destination`` is a path or an open text handle.  The collector must
+    have observed the *whole* execution (attach it before ``run()``).
+    """
+    tree = tree if tree is not None else collector.tree
+    records: List[Dict[str, Any]] = [
+        _header_record(collector, result, protocol, params, tree, inputs, t)
+    ]
+    records.extend(_round_record(metrics) for metrics in collector.rounds)
+    records.append(_footer_record(collector, result, verdicts))
+
+    if isinstance(destination, str):
+        with open(destination, "w") as handle:
+            for record in records:
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
+    else:
+        for record in records:
+            destination.write(json.dumps(record, sort_keys=True) + "\n")
+    return len(records)
+
+
+# ----------------------------------------------------------------------
+# Load
+# ----------------------------------------------------------------------
+
+
+def _parse_lines(lines: Iterable[str]) -> Iterator[Dict[str, Any]]:
+    for number, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except ValueError as exc:
+            raise TraceFormatError(f"line {number}: invalid JSON: {exc}") from None
+        if not isinstance(record, dict) or "type" not in record:
+            raise TraceFormatError(f"line {number}: not a typed trace record")
+        yield record
+
+
+def load_run(source: Union[str, IO[str]]) -> RunTrace:
+    """Load and validate one JSONL trace (path or open text handle).
+
+    Raises :class:`SchemaVersionError` for traces written by another
+    schema version and :class:`TraceFormatError` for structurally invalid
+    files (missing header/footer, out-of-order rounds, trailing records).
+    """
+    if isinstance(source, str):
+        with open(source) as handle:
+            records = list(_parse_lines(handle))
+    else:
+        records = list(_parse_lines(source))
+
+    if not records:
+        raise TraceFormatError("empty trace file")
+    header = records[0]
+    if header["type"] != "run_header":
+        raise TraceFormatError(
+            f"first record must be run_header, got {header['type']!r}"
+        )
+    version = header.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise SchemaVersionError(version)
+    if len(records) < 2 or records[-1]["type"] != "run_footer":
+        raise TraceFormatError("last record must be run_footer")
+    footer = records[-1]
+    rounds = records[1:-1]
+    expected = 0
+    for record in rounds:
+        if record["type"] != "round":
+            raise TraceFormatError(
+                f"unexpected {record['type']!r} record between header and footer"
+            )
+        if record.get("round") != expected:
+            raise TraceFormatError(
+                f"round records out of order: expected {expected}, "
+                f"got {record.get('round')!r}"
+            )
+        expected += 1
+    if footer.get("rounds") != len(rounds):
+        raise TraceFormatError(
+            f"footer claims {footer.get('rounds')!r} rounds but the file "
+            f"holds {len(rounds)}"
+        )
+    return RunTrace(header=header, rounds=rounds, footer=footer)
+
+
+# ----------------------------------------------------------------------
+# Diff
+# ----------------------------------------------------------------------
+
+#: Fields excluded from :func:`diff_runs` — wall-clock is the only
+#: non-deterministic per-round field.
+NONDETERMINISTIC_FIELDS = frozenset({"wall_seconds"})
+
+
+def diff_runs(a: RunTrace, b: RunTrace) -> List[str]:
+    """Human-readable differences between two recorded runs.
+
+    Compares headers (parameters), every round's deterministic fields, and
+    the footers; returns one line per difference (empty = equivalent
+    executions).  Used to answer "did this adversary/config change what
+    the protocol *did*?" without eyeballing transcripts.
+    """
+    differences: List[str] = []
+
+    def compare(label: str, left: Dict[str, Any], right: Dict[str, Any]) -> None:
+        keys = sorted(
+            (set(left) | set(right)) - NONDETERMINISTIC_FIELDS - {"type"}
+        )
+        for key in keys:
+            lv, rv = left.get(key), right.get(key)
+            if lv != rv:
+                differences.append(f"{label}.{key}: {lv!r} != {rv!r}")
+
+    compare("header", a.header, b.header)
+    if len(a.rounds) != len(b.rounds):
+        differences.append(
+            f"rounds: {len(a.rounds)} != {len(b.rounds)}"
+        )
+    for left, right in zip(a.rounds, b.rounds):
+        compare(f"round[{left.get('round')}]", left, right)
+    compare("footer", a.footer, b.footer)
+    return differences

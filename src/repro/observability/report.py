@@ -1,0 +1,110 @@
+"""Offline reporting over recorded JSONL traces.
+
+``python -m repro report run.jsonl`` renders what :func:`render_report`
+produces: the run's identity, its aggregate totals, and the per-round
+convergence/communication series — everything needed to check a recorded
+execution against the paper's round and message bounds without re-running
+it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from ..analysis.tables import format_table
+from .events import RunTrace
+
+
+def summarize_run(run: RunTrace) -> Dict[str, Any]:
+    """The headline numbers of a recorded run, as a flat dict.
+
+    Keys: ``protocol``, ``n``, ``t``, ``rounds``, ``honest_messages``,
+    ``byzantine_messages``, ``messages``, ``payload_units``,
+    ``final_hull_diameter``, ``final_value_spread``, ``corrupted``,
+    ``verdicts``.
+    """
+    return {
+        "protocol": run.protocol,
+        "n": run.header.get("n"),
+        "t": run.header.get("t"),
+        "rounds": run.rounds_executed,
+        "honest_messages": run.footer.get("honest_messages"),
+        "byzantine_messages": run.footer.get("byzantine_messages"),
+        "messages": run.message_total,
+        "payload_units": run.footer.get("payload_units"),
+        "final_hull_diameter": run.final_hull_diameter,
+        "final_value_spread": run.footer.get("final_value_spread"),
+        "corrupted": run.footer.get("corrupted", []),
+        "verdicts": run.footer.get("verdicts", {}),
+    }
+
+
+def _fmt(value: Any) -> Any:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:g}"
+    return value
+
+
+def render_report(run: RunTrace, max_rounds: Optional[int] = None) -> str:
+    """A text report of one recorded run (summary + per-round table).
+
+    ``max_rounds`` truncates the per-round table (totals always cover the
+    whole run).  Wall-clock is reported only as a run total — per-round
+    wall times are in the JSONL for profiling but are too noisy to table.
+    """
+    summary = summarize_run(run)
+    wall_total = sum(
+        record.get("wall_seconds") or 0.0 for record in run.rounds
+    )
+    rows: List[List[Any]] = [
+        ["protocol", summary["protocol"]],
+        ["n / t", f"{_fmt(summary['n'])} / {_fmt(summary['t'])}"],
+        ["rounds", summary["rounds"]],
+        ["honest messages", summary["honest_messages"]],
+        ["byzantine messages", summary["byzantine_messages"]],
+        ["messages total", summary["messages"]],
+        ["payload units", summary["payload_units"]],
+        ["final hull diameter", _fmt(summary["final_hull_diameter"])],
+        ["final value spread", _fmt(summary["final_value_spread"])],
+        ["corrupted", summary["corrupted"] or "none"],
+        ["wall clock (s)", f"{wall_total:.3f}"],
+    ]
+    for name, verdict in sorted(summary["verdicts"].items()):
+        rows.append([name, verdict])
+    parts = [format_table(["property", "value"], rows, title="recorded run")]
+
+    shown = run.rounds[: max_rounds if max_rounds is not None else len(run.rounds)]
+    if shown:
+        parts.append("")
+        parts.append(
+            format_table(
+                [
+                    "round",
+                    "honest msgs",
+                    "byz msgs",
+                    "payload units",
+                    "hull diam",
+                    "spread",
+                    "decided",
+                ],
+                [
+                    [
+                        record["round"],
+                        record["honest_messages"],
+                        record["byzantine_messages"],
+                        record["honest_payload_units"]
+                        + record["byzantine_payload_units"],
+                        _fmt(record.get("hull_diameter")),
+                        _fmt(record.get("value_spread")),
+                        record.get("outputs_decided", 0),
+                    ]
+                    for record in shown
+                ],
+                title="per-round metrics",
+            )
+        )
+        if len(shown) < len(run.rounds):
+            parts.append(f"... {len(run.rounds) - len(shown)} more rounds")
+    return "\n".join(parts)

@@ -52,6 +52,7 @@ def tree_to_json(tree: LabeledTree, indent: int = None) -> str:
 
 
 def tree_from_json(text: str) -> LabeledTree:
+    """Inverse of :func:`tree_to_json`."""
     return tree_from_dict(json.loads(text))
 
 

@@ -149,6 +149,60 @@ class TestGridHelpers:
         )
 
 
+class TestSweepJsonl:
+    def test_jsonl_persists_every_point(self, tmp_path):
+        from repro.analysis import SWEEP_SCHEMA_VERSION, point_seed
+
+        path = tmp_path / "sweep.jsonl"
+        report = run_grid(
+            "j", "tree-point", GRID, jobs=1, no_cache=True,
+            jsonl_path=str(path),
+        )
+        records = [
+            json.loads(line) for line in path.read_text().splitlines()
+        ]
+        header, points, footer = records[0], records[1:-1], records[-1]
+        assert header["type"] == "sweep_header"
+        assert header["schema_version"] == SWEEP_SCHEMA_VERSION
+        assert header["sweep"] == "j"
+        assert header["runner"] == "tree-point"
+        assert footer["type"] == "sweep_footer"
+        assert footer["points"] == len(GRID)
+        assert len(points) == len(GRID)
+        for index, (point, params, row) in enumerate(
+            zip(points, GRID, report.rows)
+        ):
+            assert point["type"] == "point"
+            assert point["index"] == index
+            assert point["params"] == params
+            assert point["seed"] == point_seed("j", params)
+            assert point["row"] == row
+
+    def test_no_jsonl_by_default(self, tmp_path):
+        run_grid("j", "tree-point", GRID[:1], jobs=1, no_cache=True)
+        assert list(tmp_path.iterdir()) == []
+
+    def test_metrics_param_embeds_collector_summary(self):
+        params = dict(GRID[0])
+        plain = run_grid("m", "tree-point", [params], jobs=1, no_cache=True)
+        assert "metrics" not in plain.rows[0]
+
+        enriched = run_grid(
+            "m", "tree-point", [{**params, "metrics": True}],
+            jobs=1, no_cache=True,
+        )
+        metrics = enriched.rows[0]["metrics"]
+        assert metrics["rounds"] == enriched.rows[0]["tree_rounds"]
+        assert metrics["messages"] == (
+            metrics["honest_messages"] + metrics["byzantine_messages"]
+        )
+        # the metrics key is the only difference: detached rows untouched
+        stripped = {
+            k: v for k, v in enriched.rows[0].items() if k != "metrics"
+        }
+        assert stripped == plain.rows[0]
+
+
 class TestRealAARunner:
     def test_realaa_point_runner_smoke(self):
         report = run_grid(

@@ -7,6 +7,7 @@ from repro.adversary.realaa_attacks import BurnScheduleAdversary
 from repro.net import (
     InvariantMonitor,
     InvariantViolation,
+    MultiObserver,
     TranscriptRecorder,
     run_protocol,
 )
@@ -114,3 +115,54 @@ class TestInvariantMonitor:
             monitor, adversary=BurnScheduleAdversary([1, 1]), iterations=4
         )
         assert monitor.checked_rounds == 12
+
+
+class TestMultiObserver:
+    def test_fans_out_to_every_observer(self):
+        first = TranscriptRecorder()
+        second = TranscriptRecorder()
+        monitor = InvariantMonitor(
+            {"always": lambda r, parties, corrupted: True}
+        )
+        result = run_with_observer(
+            MultiObserver(first, second, monitor),
+            adversary=BurnScheduleAdversary([1, 1]),
+        )
+        executed = result.trace.rounds_executed
+        assert len(first.rounds) == executed
+        assert len(second.rounds) == executed
+        assert monitor.checked_rounds == executed
+        assert first.byzantine_message_total == second.byzantine_message_total
+
+    def test_observers_called_in_order(self):
+        calls = []
+
+        class Tagger(TranscriptRecorder):
+            def __init__(self, tag):
+                super().__init__()
+                self.tag = tag
+
+            def on_round(self, *args, **kwargs):
+                calls.append(self.tag)
+                super().on_round(*args, **kwargs)
+
+        run_with_observer(
+            MultiObserver(Tagger("a"), Tagger("b")),
+            adversary=SilentAdversary(),
+        )
+        assert calls[:2] == ["a", "b"]
+        assert calls == ["a", "b"] * (len(calls) // 2)
+
+    def test_violation_inside_fan_out_propagates(self):
+        monitor = InvariantMonitor(
+            {"fails-immediately": lambda r, parties, corrupted: False}
+        )
+        with pytest.raises(InvariantViolation):
+            run_with_observer(
+                MultiObserver(TranscriptRecorder(), monitor),
+                adversary=SilentAdversary(),
+            )
+
+    def test_empty_multi_observer_is_a_no_op(self):
+        result = run_with_observer(MultiObserver(), adversary=SilentAdversary())
+        assert result.trace.rounds_executed > 0

@@ -1,0 +1,164 @@
+"""MetricsCollector: per-round metrics vs the simulator's own accounting."""
+
+import pytest
+
+from repro.adversary import SilentAdversary
+from repro.adversary.realaa_attacks import BurnScheduleAdversary
+from repro.core import run_real_aa, run_tree_aa
+from repro.net import TraceLevel
+from repro.observability import MetricsCollector
+from repro.trees import figure_tree, steiner_diameter
+
+N, T = 7, 2
+INPUTS = ["v3", "v6", "v5", "v6", "v3", "v8", "v8"]
+
+
+def figure_run(collector, adversary=None):
+    return run_tree_aa(
+        figure_tree(),
+        INPUTS,
+        t=T,
+        adversary=adversary or BurnScheduleAdversary([1, 1]),
+        observer=collector,
+    )
+
+
+class TestTotalsMatchExecutionTrace:
+    """The collector's aggregates must agree exactly with the simulator's
+    ExecutionTrace counts — they are two measurements of the same run."""
+
+    def test_message_totals(self):
+        collector = MetricsCollector(tree=figure_tree())
+        outcome = figure_run(collector)
+        trace = outcome.execution.trace
+        assert collector.rounds_observed == trace.rounds_executed
+        assert collector.honest_message_total == trace.honest_message_count
+        assert collector.byzantine_message_total == trace.byzantine_message_count
+        assert collector.message_total == trace.message_count
+        assert [r.message_count for r in collector.rounds] == (
+            trace.per_round_messages
+        )
+
+    def test_payload_totals(self):
+        collector = MetricsCollector(tree=figure_tree())
+        outcome = figure_run(collector)
+        assert (
+            collector.payload_unit_total
+            == outcome.execution.trace.payload_unit_count
+        )
+
+    def test_round_indices_are_contiguous(self):
+        collector = MetricsCollector(tree=figure_tree())
+        figure_run(collector)
+        assert [r.round_index for r in collector.rounds] == list(
+            range(collector.rounds_observed)
+        )
+
+    def test_silent_adversary_sends_nothing(self):
+        collector = MetricsCollector(tree=figure_tree())
+        figure_run(collector, adversary=SilentAdversary())
+        assert collector.byzantine_message_total == 0
+        assert all(r.byzantine_payload_units == 0 for r in collector.rounds)
+
+
+class TestHullDiameter:
+    def test_initial_hull_is_the_honest_input_hull(self):
+        tree = figure_tree()
+        collector = MetricsCollector(tree=tree)
+        figure_run(collector)
+        honest_inputs = INPUTS[: N - T]
+        assert collector.rounds[0].hull_diameter == steiner_diameter(
+            tree, honest_inputs
+        )
+
+    def test_final_hull_collapses_on_agreement(self):
+        collector = MetricsCollector(tree=figure_tree())
+        outcome = figure_run(collector)
+        assert outcome.achieved_aa
+        # all honest outputs are identical on this instance -> diameter 0
+        assert collector.final_hull_diameter == 0
+
+    def test_no_tree_means_no_hull(self):
+        collector = MetricsCollector()
+        figure_run(collector)
+        assert all(r.hull_diameter is None for r in collector.rounds)
+        assert collector.final_hull_diameter is None
+
+    def test_custom_estimate_fn(self):
+        tree = figure_tree()
+        collector = MetricsCollector(tree=tree, estimate_fn=lambda party: "v1")
+        figure_run(collector)
+        assert all(r.hull_diameter == 0 for r in collector.rounds)
+
+
+class TestRealAARuns:
+    def test_value_spread_shrinks_to_epsilon(self):
+        collector = MetricsCollector()
+        outcome = run_real_aa(
+            [0.0, 8.0, 4.0, 2.0, 6.0, 0.0, 0.0],
+            t=T,
+            epsilon=0.5,
+            adversary=BurnScheduleAdversary([1, 1]),
+            observer=collector,
+        )
+        assert outcome.achieved_aa
+        spreads = [r.value_spread for r in collector.rounds]
+        assert all(s is not None for s in spreads)
+        assert spreads[0] == 8.0
+        assert spreads[-1] <= 0.5
+        # the honest envelope never widens (Lemma-1-style monotonicity)
+        assert all(a >= b for a, b in zip(spreads, spreads[1:]))
+
+    def test_tree_runs_have_no_value_spread(self):
+        collector = MetricsCollector(tree=figure_tree())
+        figure_run(collector)
+        # TreeAA parties carry vertex state, not a bare real `.value`
+        assert collector.rounds[0].value_spread is None
+
+
+class TestDetachedFastPath:
+    """With no collector attached, the AGGREGATE fast path must produce the
+    exact same outcome — attaching one only adds observation."""
+
+    def test_outcome_identical_with_and_without_collector(self):
+        plain = run_tree_aa(
+            figure_tree(),
+            INPUTS,
+            t=T,
+            adversary=BurnScheduleAdversary([1, 1]),
+            trace_level=TraceLevel.AGGREGATE,
+        )
+        collector = MetricsCollector(tree=figure_tree())
+        observed = figure_run(collector)
+        assert plain.honest_outputs == observed.honest_outputs
+        assert plain.rounds == observed.rounds
+        assert (
+            plain.execution.trace.honest_message_count
+            == observed.execution.trace.honest_message_count
+        )
+
+
+class TestInjectableClock:
+    def test_wall_seconds_uses_injected_clock(self):
+        ticks = iter(range(100))
+        collector = MetricsCollector(
+            tree=figure_tree(), clock=lambda: float(next(ticks))
+        )
+        figure_run(collector)
+        assert all(r.wall_seconds == pytest.approx(1.0) for r in collector.rounds)
+
+
+class TestSummary:
+    def test_summary_is_consistent_and_serialisable(self):
+        import json
+
+        collector = MetricsCollector(tree=figure_tree())
+        figure_run(collector)
+        summary = collector.summary()
+        assert summary["rounds"] == collector.rounds_observed
+        assert summary["messages"] == (
+            summary["honest_messages"] + summary["byzantine_messages"]
+        )
+        assert len(summary["per_round_messages"]) == summary["rounds"]
+        assert summary["final_hull_diameter"] == 0
+        json.dumps(summary)  # must be JSON-serialisable for sweep rows

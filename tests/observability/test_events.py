@@ -1,0 +1,174 @@
+"""The JSONL trace format: export/load round trip, validation, diffing."""
+
+import io
+import json
+
+import pytest
+
+from repro.adversary import SilentAdversary
+from repro.adversary.realaa_attacks import BurnScheduleAdversary
+from repro.core import run_tree_aa
+from repro.observability import (
+    SCHEMA_VERSION,
+    MetricsCollector,
+    SchemaVersionError,
+    TraceFormatError,
+    diff_runs,
+    export_run,
+    load_run,
+)
+from repro.trees import figure_tree
+
+INPUTS = ["v3", "v6", "v5", "v6", "v3", "v8", "v8"]
+
+
+def record_figure_run(adversary=None, **export_kwargs):
+    tree = figure_tree()
+    collector = MetricsCollector(tree=tree)
+    outcome = run_tree_aa(
+        tree,
+        INPUTS,
+        t=2,
+        adversary=adversary or BurnScheduleAdversary([1, 1]),
+        observer=collector,
+    )
+    buffer = io.StringIO()
+    export_kwargs.setdefault("protocol", "tree-aa")
+    export_kwargs.setdefault("inputs", INPUTS)
+    export_kwargs.setdefault("t", 2)
+    export_run(buffer, collector, outcome.execution, **export_kwargs)
+    return outcome, collector, buffer.getvalue()
+
+
+class TestRoundTrip:
+    def test_load_recovers_everything_exported(self):
+        outcome, collector, text = record_figure_run(
+            params={"adversary": "burn"},
+            verdicts={"agreement": True},
+        )
+        run = load_run(io.StringIO(text))
+        assert run.protocol == "tree-aa"
+        assert run.header["schema_version"] == SCHEMA_VERSION
+        assert run.header["n"] == 7
+        assert run.header["t"] == 2
+        assert run.header["params"] == {"adversary": "burn"}
+        assert run.header["inputs"] == INPUTS
+        assert run.rounds_executed == collector.rounds_observed
+        assert run.message_total == collector.message_total
+        assert run.final_hull_diameter == 0
+        assert run.honest_outputs == outcome.honest_outputs
+        assert run.footer["verdicts"] == {"agreement": True}
+
+    def test_tree_round_trips_canonically(self):
+        _, _, text = record_figure_run()
+        run = load_run(io.StringIO(text))
+        assert run.tree() == figure_tree()
+
+    def test_path_destination_and_source(self, tmp_path):
+        tree = figure_tree()
+        collector = MetricsCollector(tree=tree)
+        outcome = run_tree_aa(
+            tree, INPUTS, t=2,
+            adversary=BurnScheduleAdversary([1, 1]),
+            observer=collector,
+        )
+        path = tmp_path / "run.jsonl"
+        count = export_run(
+            str(path), collector, outcome.execution, protocol="tree-aa"
+        )
+        assert count == collector.rounds_observed + 2  # header + footer
+        assert len(path.read_text().splitlines()) == count
+        assert load_run(str(path)).rounds_executed == collector.rounds_observed
+
+    def test_round_series(self):
+        _, collector, text = record_figure_run()
+        run = load_run(io.StringIO(text))
+        assert run.round_series("honest_messages") == [
+            r.honest_messages for r in collector.rounds
+        ]
+
+    def test_every_line_is_sorted_key_json(self):
+        _, _, text = record_figure_run()
+        for line in text.splitlines():
+            record = json.loads(line)
+            assert list(record) == sorted(record)
+
+
+class TestValidation:
+    def make_text(self):
+        return record_figure_run()[2]
+
+    def test_schema_version_rejected(self):
+        lines = self.make_text().splitlines()
+        header = json.loads(lines[0])
+        header["schema_version"] = SCHEMA_VERSION + 1
+        doctored = "\n".join([json.dumps(header)] + lines[1:])
+        with pytest.raises(SchemaVersionError) as info:
+            load_run(io.StringIO(doctored))
+        assert info.value.found == SCHEMA_VERSION + 1
+
+    def test_schema_version_error_is_a_format_error(self):
+        assert issubclass(SchemaVersionError, TraceFormatError)
+
+    def test_empty_file_rejected(self):
+        with pytest.raises(TraceFormatError, match="empty"):
+            load_run(io.StringIO(""))
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(TraceFormatError, match="invalid JSON"):
+            load_run(io.StringIO("{not json\n"))
+
+    def test_missing_header_rejected(self):
+        lines = self.make_text().splitlines()
+        with pytest.raises(TraceFormatError, match="run_header"):
+            load_run(io.StringIO("\n".join(lines[1:])))
+
+    def test_missing_footer_rejected(self):
+        lines = self.make_text().splitlines()
+        with pytest.raises(TraceFormatError, match="run_footer"):
+            load_run(io.StringIO("\n".join(lines[:-1])))
+
+    def test_out_of_order_rounds_rejected(self):
+        lines = self.make_text().splitlines()
+        lines[1], lines[2] = lines[2], lines[1]
+        with pytest.raises(TraceFormatError, match="out of order"):
+            load_run(io.StringIO("\n".join(lines)))
+
+    def test_dropped_round_rejected(self):
+        lines = self.make_text().splitlines()
+        del lines[3]
+        with pytest.raises(TraceFormatError):
+            load_run(io.StringIO("\n".join(lines)))
+
+    def test_untyped_record_rejected(self):
+        with pytest.raises(TraceFormatError, match="typed"):
+            load_run(io.StringIO('{"no_type": 1}\n'))
+
+
+class TestDiff:
+    def test_identical_runs_diff_empty(self):
+        _, _, first = record_figure_run()
+        _, _, second = record_figure_run()
+        differences = diff_runs(
+            load_run(io.StringIO(first)), load_run(io.StringIO(second))
+        )
+        # wall_seconds differs between the two recordings but is ignored
+        assert differences == []
+
+    def test_different_adversary_is_visible(self):
+        _, _, burn = record_figure_run()
+        _, _, silent = record_figure_run(adversary=SilentAdversary())
+        differences = diff_runs(
+            load_run(io.StringIO(burn)), load_run(io.StringIO(silent))
+        )
+        assert differences
+        assert any("byzantine_messages" in d for d in differences)
+
+    def test_round_count_mismatch_reported(self):
+        _, _, text = record_figure_run()
+        lines = text.splitlines()
+        truncated = load_run(io.StringIO(text))
+        truncated.rounds = truncated.rounds[:-1]
+        full = load_run(io.StringIO("\n".join(lines)))
+        differences = diff_runs(full, truncated)
+        assert any(d.startswith("rounds:") for d in differences)

@@ -1,0 +1,106 @@
+"""Offline reports over recorded traces — including the walkthrough numbers."""
+
+import io
+
+from repro.adversary.realaa_attacks import BurnScheduleAdversary
+from repro.core import run_tree_aa
+from repro.observability import (
+    MetricsCollector,
+    export_run,
+    load_run,
+    render_report,
+    summarize_run,
+)
+from repro.trees import figure_tree
+
+#: The exact instance docs/PROTOCOL_WALKTHROUGH.md narrates.
+INPUTS = ["v3", "v6", "v5", "v6", "v3", "v8", "v8"]
+
+
+def walkthrough_run():
+    tree = figure_tree()
+    collector = MetricsCollector(tree=tree)
+    outcome = run_tree_aa(
+        tree,
+        INPUTS,
+        t=2,
+        adversary=BurnScheduleAdversary([1, 1]),
+        observer=collector,
+    )
+    buffer = io.StringIO()
+    export_run(
+        buffer,
+        collector,
+        outcome.execution,
+        protocol="tree-aa",
+        inputs=INPUTS,
+        t=2,
+        verdicts={
+            "terminated": outcome.terminated,
+            "valid": outcome.valid,
+            "agreement": outcome.agreement,
+        },
+    )
+    buffer.seek(0)
+    return outcome, load_run(buffer)
+
+
+class TestWalkthroughNumbers:
+    """The numbers quoted in docs/PROTOCOL_WALKTHROUGH.md must keep
+    regenerating — this is the docs-consistency anchor for that page."""
+
+    def test_rounds_and_outputs(self):
+        outcome, run = walkthrough_run()
+        assert run.rounds_executed == 18
+        assert outcome.achieved_aa
+        assert set(run.honest_outputs.values()) == {"v3"}
+
+    def test_message_and_payload_totals(self):
+        _, run = walkthrough_run()
+        assert run.footer["honest_messages"] == 630
+        assert run.footer["byzantine_messages"] == 248
+        assert run.message_total == 878
+        assert run.footer["payload_units"] == 10230
+        assert run.footer["corrupted"] == [5, 6]
+
+    def test_hull_diameter_series(self):
+        _, run = walkthrough_run()
+        series = run.round_series("hull_diameter")
+        assert series == [3] * 17 + [0]
+        assert run.final_hull_diameter == 0
+
+
+class TestSummarize:
+    def test_summary_fields(self):
+        _, run = walkthrough_run()
+        summary = summarize_run(run)
+        assert summary["protocol"] == "tree-aa"
+        assert summary["n"] == 7 and summary["t"] == 2
+        assert summary["rounds"] == 18
+        assert summary["messages"] == 878
+        assert summary["final_hull_diameter"] == 0
+        assert summary["verdicts"]["agreement"] is True
+
+
+class TestRender:
+    def test_full_report_contents(self):
+        _, run = walkthrough_run()
+        text = render_report(run)
+        assert "recorded run" in text
+        assert "per-round metrics" in text
+        assert "tree-aa" in text
+        assert "878" in text
+        # all 18 rounds tabled, nothing truncated
+        assert "more rounds" not in text
+
+    def test_max_rounds_truncates_table_not_totals(self):
+        _, run = walkthrough_run()
+        text = render_report(run, max_rounds=3)
+        assert "... 15 more rounds" in text
+        assert "878" in text  # totals still cover the whole run
+
+    def test_max_rounds_zero_suppresses_table(self):
+        _, run = walkthrough_run()
+        text = render_report(run, max_rounds=0)
+        assert "per-round metrics" not in text
+        assert "recorded run" in text

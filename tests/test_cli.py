@@ -160,6 +160,76 @@ class TestCommands:
         assert "error" in capsys.readouterr().err
 
 
+class TestTraceAndReport:
+    WALKTHROUGH = [
+        "trace",
+        "--tree", "figure",
+        "--inputs", "v3,v6,v5,v6,v3,v8,v8",
+        "--t", "2",
+    ]
+
+    def test_trace_then_report_round_trips(self, tmp_path, capsys):
+        out = tmp_path / "run.jsonl"
+        code = main(self.WALKTHROUGH + ["--out", str(out)])
+        assert code == 0
+        assert "recorded 18 rounds" in capsys.readouterr().out
+        assert out.exists()
+
+        code = main(["report", str(out)])
+        report = capsys.readouterr().out
+        assert code == 0
+        assert "tree-aa" in report
+        assert "878" in report          # the walkthrough's message total
+        assert "per-round metrics" in report
+
+    def test_report_rounds_flag(self, tmp_path, capsys):
+        out = tmp_path / "run.jsonl"
+        main(self.WALKTHROUGH + ["--out", str(out)])
+        capsys.readouterr()
+        code = main(["report", str(out), "--rounds", "2"])
+        assert code == 0
+        assert "more rounds" in capsys.readouterr().out
+
+    def test_trace_real_aa(self, tmp_path, capsys):
+        out = tmp_path / "real.jsonl"
+        code = main(
+            [
+                "trace", "--kind", "real-aa",
+                "--inputs", "0,4,2,3",
+                "--t", "1",
+                "--epsilon", "0.5",
+                "--out", str(out),
+            ]
+        )
+        assert code == 0
+        capsys.readouterr()
+        code = main(["report", str(out)])
+        assert code == 0
+        assert "real-aa" in capsys.readouterr().out
+
+    def test_trace_tree_aa_requires_tree(self, capsys):
+        code = main(["trace", "--inputs", "v1", "--out", "/dev/null"])
+        assert code == 2
+        assert "--tree" in capsys.readouterr().err
+
+    def test_report_missing_file_is_a_clean_error(self, tmp_path, capsys):
+        code = main(["report", str(tmp_path / "nope.jsonl")])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_report_rejects_foreign_schema_version(self, tmp_path, capsys):
+        out = tmp_path / "run.jsonl"
+        main(self.WALKTHROUGH + ["--out", str(out)])
+        capsys.readouterr()
+        lines = out.read_text().splitlines()
+        header = json.loads(lines[0])
+        header["schema_version"] = 999
+        out.write_text("\n".join([json.dumps(header)] + lines[1:]) + "\n")
+        code = main(["report", str(out)])
+        assert code == 2
+        assert "999" in capsys.readouterr().err
+
+
 class TestAuthenticatedCommand:
     def test_auth_tree_aa_beyond_one_third(self, capsys):
         code = main(

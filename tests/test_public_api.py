@@ -17,6 +17,7 @@ PACKAGES = [
     "repro.baselines",
     "repro.lowerbound",
     "repro.analysis",
+    "repro.observability",
     "repro.asynchrony",
     "repro.authenticated",
 ]

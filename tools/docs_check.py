@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Docs-consistency gate: docstring coverage + executable documentation.
+
+Two checks, both run by CI's ``docs`` job (and runnable locally):
+
+1. **Docstring coverage** — every module, public class, and public
+   module-level function under ``src/repro/`` must carry a docstring.
+   "Public" means the name does not start with ``_``.  Methods are
+   exempt: the protocol-party and adversary interfaces (``duration`` /
+   ``messages_for_round`` / ``receive_round``, ``on_round``,
+   ``byzantine_messages`` / ``transform_outbox``, …) are documented once
+   on their base class, and re-documenting each trivial override would
+   only drown the docstrings that matter.
+
+2. **Executable documentation** — every fenced ````` ```python ````` block
+   in README.md and docs/OBSERVABILITY.md is executed (with ``src/`` on
+   ``sys.path`` and the sweep cache redirected to a throwaway directory),
+   so the documented quickstarts can never silently rot.
+
+Exit status is non-zero on any failure, with one line per offence.
+
+Run:  python tools/docs_check.py
+"""
+
+import ast
+import os
+import re
+import sys
+import tempfile
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(REPO, "src")
+PACKAGE_ROOT = os.path.join(SRC, "repro")
+EXECUTED_DOCS = ["README.md", os.path.join("docs", "OBSERVABILITY.md")]
+
+
+# ----------------------------------------------------------------------
+# Check 1: docstring coverage
+# ----------------------------------------------------------------------
+
+
+def iter_source_files():
+    for dirpath, _dirnames, filenames in os.walk(PACKAGE_ROOT):
+        for filename in sorted(filenames):
+            if filename.endswith(".py"):
+                yield os.path.join(dirpath, filename)
+
+
+def is_public(name):
+    return not name.startswith("_")
+
+
+def missing_docstrings(path):
+    """Yield ``(lineno, description)`` for every undocumented public item."""
+    with open(path) as handle:
+        tree = ast.parse(handle.read(), filename=path)
+    if ast.get_docstring(tree) is None:
+        yield 1, "module docstring missing"
+
+    for child in ast.iter_child_nodes(tree):
+        if isinstance(
+            child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            if is_public(child.name) and ast.get_docstring(child) is None:
+                kind = "class" if isinstance(child, ast.ClassDef) else "function"
+                yield child.lineno, f"{kind} `{child.name}` has no docstring"
+
+
+def check_docstrings():
+    failures = []
+    checked = 0
+    for path in iter_source_files():
+        checked += 1
+        rel = os.path.relpath(path, REPO)
+        for lineno, description in missing_docstrings(path):
+            failures.append(f"{rel}:{lineno}: {description}")
+    print(f"docstring coverage: {checked} files checked", flush=True)
+    return failures
+
+
+# ----------------------------------------------------------------------
+# Check 2: executable documentation
+# ----------------------------------------------------------------------
+
+FENCE = re.compile(r"^```python\s*$(.*?)^```\s*$", re.MULTILINE | re.DOTALL)
+
+
+def python_blocks(path):
+    with open(path) as handle:
+        text = handle.read()
+    for match in FENCE.finditer(text):
+        lineno = text[: match.start()].count("\n") + 1
+        yield lineno, match.group(1)
+
+
+def run_doc_blocks():
+    failures = []
+    sys.path.insert(0, SRC)
+    executed = 0
+    with tempfile.TemporaryDirectory() as tmpdir:
+        os.environ["REPRO_SWEEP_CACHE"] = os.path.join(tmpdir, "cache")
+        for doc in EXECUTED_DOCS:
+            path = os.path.join(REPO, doc)
+            for lineno, block in python_blocks(path):
+                executed += 1
+                try:
+                    code = compile(block, f"{doc}:{lineno}", "exec")
+                    exec(code, {"__name__": "__docs__"})
+                except Exception as exc:  # noqa: BLE001 - report, don't crash
+                    failures.append(
+                        f"{doc}:{lineno}: block raised "
+                        f"{type(exc).__name__}: {exc}"
+                    )
+    print(f"executable docs: {executed} python blocks executed", flush=True)
+    return failures
+
+
+def main():
+    failures = check_docstrings() + run_doc_blocks()
+    for failure in failures:
+        print(failure)
+    if failures:
+        print(f"\ndocs check FAILED: {len(failures)} problem(s)")
+        return 1
+    print("docs check OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
