@@ -12,7 +12,7 @@ alter them, or discard them.
 from __future__ import annotations
 
 import abc
-from typing import Any, Dict, Iterable, Optional, Sequence, Set
+from typing import Dict, Iterable, Optional, Set
 
 from ..net.messages import Inbox, Outbox, PartyId
 from ..net.network import AdversaryView

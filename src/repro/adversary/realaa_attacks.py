@@ -36,7 +36,7 @@ iteration, forever, sustaining the outline's worst-case ``1/2`` factor.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from ..net.messages import Outbox, PartyId

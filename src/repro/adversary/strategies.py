@@ -8,12 +8,12 @@ RealAA live in :mod:`repro.adversary.realaa_attacks`.
 from __future__ import annotations
 
 import random
-from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Set
+from typing import Any, Callable, Dict, Iterable, Optional, Sequence, Set
 
 from ..net.messages import Outbox, PartyId
 from ..net.network import AdversaryView
 from ..net.protocol import ProtocolParty
-from .base import Adversary, PassiveAdversary, PuppetDrivingAdversary
+from .base import Adversary, PuppetDrivingAdversary
 
 
 class SilentAdversary(Adversary):

@@ -7,7 +7,7 @@ that the T3 benchmark compares against Lemma 5.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Optional, Sequence
+from typing import Iterable, List, Sequence
 
 from ..net.network import ExecutionResult
 from ..trees.convex import in_convex_hull

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Mapping, Sequence
+from typing import Callable, Dict, List, Mapping, Sequence
 
 
 @dataclass(frozen=True)

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import asdict, dataclass
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..net.network import TraceLevel
 from ..trees.labeled_tree import Label, LabeledTree

@@ -23,11 +23,14 @@ messages), with no notion of rounds.
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..net.messages import PartyId
 from ..net.network import ByzantineModelError, payload_units
+
+if TYPE_CHECKING:  # runtime import would be circular (adversary imports network)
+    from .adversary import AsyncAdversary
 
 #: Outgoing traffic: a list of (recipient, payload) pairs.
 AsyncOutbox = List[Tuple[PartyId, Any]]
@@ -212,7 +215,7 @@ class AsynchronousNetwork:
         self,
         parties: Dict[PartyId, AsyncParty],
         t: int,
-        adversary: Optional["AsyncAdversary"] = None,  # noqa: F821
+        adversary: Optional[AsyncAdversary] = None,
         scheduler: Optional[Scheduler] = None,
         fairness_window: Optional[int] = None,
         max_steps: int = 200_000,
@@ -342,7 +345,7 @@ def run_async_protocol(
     n: int,
     t: int,
     party_factory: Callable[[PartyId], AsyncParty],
-    adversary: Optional["AsyncAdversary"] = None,  # noqa: F821
+    adversary: Optional[AsyncAdversary] = None,
     scheduler: Optional[Scheduler] = None,
     fairness_window: Optional[int] = None,
     max_steps: int = 200_000,

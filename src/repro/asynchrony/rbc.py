@@ -29,7 +29,7 @@ consume.  :class:`RBCParty` wraps a single instance for direct testing.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+from typing import Any, Callable, Dict, Optional, Set, Tuple
 
 from ..net.messages import PartyId
 from .network import AsyncOutbox, AsyncParty
@@ -197,7 +197,9 @@ class RBCParty(AsyncParty):
         self.rbc = BrachaBroadcast(pid, n, t, self._deliver)
 
     def _deliver(self, origin: PartyId, tag: Any, value: Any) -> None:
-        if origin == self.origin and tag == "test":
+        # "test" is this harness's RBC *session* label (the BrachaBroadcast
+        # multiplexing key), not a wire message type.
+        if origin == self.origin and tag == "test":  # protolint: disable=PL003
             self.output = value
 
     def start(self) -> AsyncOutbox:

@@ -8,7 +8,7 @@ both, and the output is a consistent ⊥.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Optional, Sequence
+from typing import Any, Callable, Optional, Sequence
 
 from ..adversary.base import PuppetDrivingAdversary
 from ..net.messages import Outbox, PartyId

@@ -22,7 +22,7 @@ AA iteration needs; honest relaying is capped at two values per instance
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Set, Tuple
+from typing import Any, Dict, List, Set, Tuple
 
 from ..net.messages import Inbox, Outbox, PartyId
 from ..net.protocol import ProtocolParty
@@ -198,7 +198,9 @@ class DolevStrongParty(ProtocolParty):
     ) -> None:
         super().__init__(pid, n, t)
         self.origin = origin
-        own = value if pid == origin else ("unused", pid)
+        # The sentinel is an input *value* for non-origin parties, not a
+        # wire message; its tuple shape trips the payload heuristic.
+        own = value if pid == origin else ("unused", pid)  # protolint: disable=PL003
         self._engine = ParallelDolevStrong(
             pid, n, t, authority, authority.signer(pid), own
         )

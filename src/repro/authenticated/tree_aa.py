@@ -15,7 +15,7 @@ which is the paper's point.
 
 from __future__ import annotations
 
-from typing import Any, Optional
+from typing import Optional
 
 from ..core.closest_int import closest_int
 from ..core.errors import ValidityViolationError, check_index_in_range

@@ -23,10 +23,10 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Literal, Optional, Set, Tuple
+from typing import List, Literal, Optional, Set
 
 from ..net.messages import Inbox, Outbox, PartyId, broadcast
-from ..net.protocol import ProtocolParty
+from ..net.protocol import ProtocolParty, ProtocolStateError
 from ..protocols.gradecast import GRADE_LOW, ParallelGradecast
 from ..protocols.realaa import is_real
 from ..protocols.rounds import check_resilience
@@ -79,7 +79,8 @@ class IterativeRealAAParty(ProtocolParty):
         if (known_range is None) == (iterations is None):
             raise ValueError("give exactly one of known_range / iterations")
         if iterations is None:
-            assert known_range is not None
+            if known_range is None:  # unreachable: the xor check above
+                raise ProtocolStateError("known_range and iterations both None")
             iterations = halving_iterations(known_range, epsilon)
         if distribution not in ("gradecast", "naive"):
             raise ValueError(f"unknown distribution {distribution!r}")
@@ -119,7 +120,8 @@ class IterativeRealAAParty(ProtocolParty):
                 validate_value=is_real,
             )
             return self._engine.value_messages()
-        assert self._engine is not None
+        if self._engine is None:
+            raise ProtocolStateError("gradecast engine missing outside phase 0")
         if phase == 1:
             return self._engine.echo_messages()
         return self._engine.support_messages()
@@ -132,7 +134,8 @@ class IterativeRealAAParty(ProtocolParty):
             accepted = self._accept_naive(iteration, inbox)
             self._update(iteration, accepted)
             return
-        assert self._engine is not None
+        if self._engine is None:
+            raise ProtocolStateError("receiving a round before sending one")
         if phase == 0:
             self._engine.receive_values(inbox)
         elif phase == 1:
@@ -156,7 +159,8 @@ class IterativeRealAAParty(ProtocolParty):
         return accepted
 
     def _accept_gradecast(self, iteration: int) -> List[float]:
-        assert self._engine is not None
+        if self._engine is None:
+            raise ProtocolStateError("grading an iteration that never started")
         accepted: List[float] = []
         newly_bad: List[PartyId] = []
         for origin, (value, confidence) in self._engine.grade_all().items():

@@ -17,10 +17,10 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Optional, Set
+from typing import List, Optional
 
 from ..net.messages import Inbox, Outbox, PartyId
-from ..net.protocol import ProtocolParty
+from ..net.protocol import ProtocolParty, ProtocolStateError
 from ..protocols.gradecast import GRADE_LOW, ParallelGradecast
 from ..protocols.rounds import ROUNDS_PER_ITERATION, check_resilience
 from ..trees.labeled_tree import Label, LabeledTree
@@ -97,7 +97,8 @@ class IterativeTreeAAParty(ProtocolParty):
                 validate_value=self._validate,
             )
             return self._engine.value_messages()
-        assert self._engine is not None
+        if self._engine is None:
+            raise ProtocolStateError("gradecast engine missing outside phase 0")
         if phase == 1:
             return self._engine.echo_messages()
         return self._engine.support_messages()
@@ -115,7 +116,8 @@ class IterativeTreeAAParty(ProtocolParty):
             self._finish_iteration(iteration)
 
     def _finish_iteration(self, iteration: int) -> None:
-        assert self._engine is not None
+        if self._engine is None:
+            raise ProtocolStateError("finishing an iteration that never started")
         accepted: List[Label] = []
         for origin, (value, confidence) in self._engine.grade_all().items():
             if confidence >= GRADE_LOW:

@@ -14,6 +14,8 @@ Commands
 ``report``      summarise a recorded JSONL trace (rounds, messages,
                 convergence)
 ``bounds``      print the paper's round bounds for given parameters
+``lint``        run the protocol-invariant linter (rules PL001-PL004;
+                same engine and flags as ``tools/protolint.py``)
 ``make-tree``   generate a tree and print it (edges / JSON / DOT)
 ``chain-demo``  execute Fekete's one-round chain-of-views construction
 
@@ -42,11 +44,7 @@ from .adversary import (
     RandomNoiseAdversary,
     SilentAdversary,
 )
-from .adversary.realaa_attacks import (
-    AsymmetricTrustAdversary,
-    BurnScheduleAdversary,
-    even_burn_schedule,
-)
+from .adversary.realaa_attacks import AsymmetricTrustAdversary, BurnScheduleAdversary
 from .analysis import format_table
 from .core import run_real_aa, run_tree_aa
 from .lowerbound import (
@@ -459,6 +457,17 @@ def cmd_make_tree(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    """Run the protocol-invariant linter (shared with tools/protolint.py).
+
+    Exit codes follow the linter's contract: 0 clean, 1 findings,
+    2 usage error.
+    """
+    from .statics.cli import run as lint_run
+
+    return lint_run(args.lint_args, prog="repro lint")
+
+
 def cmd_chain_demo(args: argparse.Namespace) -> int:
     """Execute Fekete's one-round chain-of-views construction."""
     demo = demonstrate_real(trimmed_mean_rule(args.t), args.n, args.t, 0.0, 1.0)
@@ -596,6 +605,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--format", default="edges", choices=["edges", "json", "dot"])
     p.set_defaults(func=cmd_make_tree)
 
+    p = sub.add_parser(
+        "lint",
+        help="run the protocol-invariant linter (PL001-PL004)",
+        add_help=False,
+    )
+    p.add_argument(
+        "lint_args",
+        nargs=argparse.REMAINDER,
+        help="arguments forwarded to the linter (see `repro lint --help`)",
+    )
+    p.set_defaults(func=cmd_lint)
+
     p = sub.add_parser("chain-demo", help="Fekete's chain of views, executed")
     p.add_argument("--n", type=int, default=7)
     p.add_argument("--t", type=int, default=2)
@@ -606,8 +627,16 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code (2 = usage error)."""
+    arglist = list(argv) if argv is not None else sys.argv[1:]
+    # `lint` forwards its flags verbatim to the shared linter CLI;
+    # argparse.REMAINDER cannot capture leading optionals, so dispatch
+    # before the main parser sees them.
+    if arglist and arglist[0] == "lint":
+        from .statics.cli import run as lint_run
+
+        return lint_run(arglist[1:], prog="repro lint")
     parser = build_parser()
-    args = parser.parse_args(argv)
+    args = parser.parse_args(arglist)
     try:
         return args.func(args)
     except CLIError as exc:

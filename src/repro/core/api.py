@@ -9,11 +9,11 @@ outputs.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Sequence, Set
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence
 
 from ..net.messages import PartyId
 from ..net.network import ExecutionResult, TraceLevel
-from ..net.runner import run_protocol
+from ..net.runner import PartyFactory, run_protocol
 from ..protocols.realaa import RealAAParty
 from ..trees.convex import in_convex_hull
 from ..trees.labeled_tree import Label, LabeledTree
@@ -21,6 +21,10 @@ from ..trees.paths import TreePath, distance
 from .path_aa import PathAAParty
 from .projection_aa import KnownPathAAParty
 from .tree_aa import TreeAAParty
+
+if TYPE_CHECKING:
+    from ..adversary.base import Adversary
+    from ..net.trace import Observer
 
 
 @dataclass
@@ -102,10 +106,10 @@ def run_tree_aa(
     tree: LabeledTree,
     inputs: Sequence[Label],
     t: int,
-    adversary: Optional["Adversary"] = None,  # noqa: F821 - documented duck type
+    adversary: Optional[Adversary] = None,
     root: Optional[Label] = None,
     trace_level: TraceLevel = TraceLevel.FULL,
-    observer: Optional["Observer"] = None,  # noqa: F821 - see repro.net.trace
+    observer: Optional[Observer] = None,
 ) -> TreeAAOutcome:
     """Run **TreeAA** with ``inputs[pid]`` as party ``pid``'s input vertex.
 
@@ -141,9 +145,9 @@ def run_path_aa(
     path: TreePath,
     inputs: Sequence[Label],
     t: int,
-    adversary: Optional["Adversary"] = None,  # noqa: F821
+    adversary: Optional[Adversary] = None,
     project: bool = False,
-    observer: Optional["Observer"] = None,  # noqa: F821 - see repro.net.trace
+    observer: Optional[Observer] = None,
 ) -> TreeAAOutcome:
     """Run the Section-4 path protocol (or the Section-5 variant).
 
@@ -153,6 +157,7 @@ def run_path_aa(
     """
     n = len(inputs)
     canonical = path.canonical()
+    factory: PartyFactory
     if project:
         factory = lambda pid: KnownPathAAParty(  # noqa: E731
             pid, n, t, tree, canonical, inputs[pid]
@@ -181,9 +186,9 @@ def run_real_aa(
     epsilon: float,
     known_range: Optional[float] = None,
     iterations: Optional[int] = None,
-    adversary: Optional["Adversary"] = None,  # noqa: F821
+    adversary: Optional[Adversary] = None,
     trace_level: TraceLevel = TraceLevel.FULL,
-    observer: Optional["Observer"] = None,  # noqa: F821 - see repro.net.trace
+    observer: Optional[Observer] = None,
 ) -> RealAAOutcome:
     """Run **RealAA(ε)** on real-valued inputs.
 
@@ -223,7 +228,7 @@ def run_real_aa(
     spread = (max(outs) - min(outs)) if terminated else float("inf")
     measured: Optional[int] = None
     locals_: List[int] = []
-    for pid in execution.honest:
+    for pid in sorted(execution.honest):
         party = execution.parties[pid]
         if isinstance(party, RealAAParty):
             if party.local_termination_iteration is None:

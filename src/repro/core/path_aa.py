@@ -13,7 +13,6 @@ differs).
 
 from __future__ import annotations
 
-from typing import Optional
 
 from ..net.messages import PartyId
 from ..protocols.realaa import RealAAParty

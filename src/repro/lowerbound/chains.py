@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Any, Callable, List, Sequence, Tuple
+from typing import Any, Callable, List, Tuple
 
 from ..trees.labeled_tree import Label, LabeledTree
 from ..trees.paths import diameter_path, distance

@@ -10,9 +10,43 @@ delivered :class:`Message` is stamped by the network, never by the
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, Iterable, List, Mapping, Tuple
+from typing import Any, Dict, FrozenSet, Iterable, Mapping
 
 PartyId = int
+
+#: The declared wire-message types of the whole codebase, keyed by the tag
+#: string every tagged payload tuple starts with.  This registry is the
+#: source of truth for the PL003 handler-exhaustiveness lint
+#: (:mod:`repro.statics.rules.handlers`): a protocol module may only
+#: construct or match payload tags declared here, and every tag it sends it
+#: must also handle.  New protocol variants add their tags (and handlers)
+#: here first.
+MESSAGE_TYPES: Mapping[str, str] = {
+    "val": (
+        "value distribution: gradecast round 1 "
+        "(RealAA appends its accusation list); also the per-iteration "
+        "RBC session tag of the asynchronous iterated-AA baseline"
+    ),
+    "echo": (
+        "gradecast round-2 echo vector {origin: value}; also Bracha RBC's "
+        "echo message in the asynchronous substrate"
+    ),
+    "sup": "gradecast round-3 support vector {origin: value}",
+    "nval": "naive 1-round value distribution (ablation A2 baseline)",
+    "dsmsg": "Dolev-Strong relay envelope: (tag, session, round, items)",
+    "ds": (
+        "Dolev-Strong signature preimage (never delivered as a payload on "
+        "its own; only signed and verified inside 'dsmsg' items)"
+    ),
+    "init": "Bracha reliable-broadcast init (asynchronous substrate)",
+    "ready": "Bracha reliable-broadcast ready (asynchronous substrate)",
+    "report": "asynchronous iterated-AA progress report (iteration, origins)",
+}
+
+#: Declared types that are *not* wire envelopes and therefore need no
+#: receive-side handler: signature preimages are constructed and verified,
+#: never dispatched on.
+HANDLER_EXEMPT_TYPES: FrozenSet[str] = frozenset({"ds"})
 
 #: Round-r outgoing traffic of one party: recipient → payload.
 Outbox = Dict[PartyId, Any]

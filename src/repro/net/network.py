@@ -19,10 +19,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import IntEnum
-from typing import Any, Dict, List, Mapping, Optional, Set
+from typing import TYPE_CHECKING, Any, Dict, List, Mapping, Optional, Set
 
-from .messages import Inbox, Message, Outbox, PartyId, deliver
+from .messages import Message, Outbox, PartyId, deliver
 from .protocol import ProtocolParty
+
+if TYPE_CHECKING:  # runtime import would be circular (adversary imports net)
+    from ..adversary.base import Adversary
+    from .trace import Observer
 
 
 class ByzantineModelError(RuntimeError):
@@ -176,8 +180,8 @@ class SynchronousNetwork:
         self,
         parties: Dict[PartyId, ProtocolParty],
         t: int,
-        adversary: Optional["Adversary"] = None,  # noqa: F821 - documented duck type
-        observer: Optional["Observer"] = None,  # noqa: F821 - see repro.net.trace
+        adversary: Optional[Adversary] = None,
+        observer: Optional[Observer] = None,
         trace_level: TraceLevel = TraceLevel.FULL,
     ) -> None:
         n = len(parties)
@@ -213,14 +217,14 @@ class SynchronousNetwork:
                 f"adversary requested {len(self.corrupted) + len(new)} "
                 f"corruptions but the budget is t={self.t}"
             )
-        for pid in new:
+        for pid in sorted(new):
             if not 0 <= pid < self.n:
                 raise ByzantineModelError(f"cannot corrupt unknown party {pid}")
             self.corrupted.add(pid)
             self.trace.corruption_rounds[pid] = round_index
         if self.adversary is not None:
             self.adversary.on_corrupted(
-                {pid: self.parties[pid] for pid in new}
+                {pid: self.parties[pid] for pid in sorted(new)}
             )
 
     def run(self, max_rounds: Optional[int] = None) -> ExecutionResult:
@@ -268,7 +272,7 @@ class SynchronousNetwork:
             )
             newly = set(self.adversary.adapt_corruptions(view))
             self._register_corruptions(newly, round_index)
-            for pid in newly:
+            for pid in sorted(newly):
                 # A party corrupted in round r no longer speaks honestly in r.
                 honest_out.pop(pid, None)
             view.corrupted = set(self.corrupted)

@@ -9,11 +9,15 @@ to drive.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Optional
 
 from .messages import PartyId
 from .network import ExecutionResult, SynchronousNetwork, TraceLevel
 from .protocol import ProtocolParty
+
+if TYPE_CHECKING:  # runtime import would be circular (adversary imports net)
+    from ..adversary.base import Adversary
+    from .trace import Observer
 
 PartyFactory = Callable[[PartyId], ProtocolParty]
 
@@ -22,9 +26,9 @@ def run_protocol(
     n: int,
     t: int,
     party_factory: PartyFactory,
-    adversary: Optional["Adversary"] = None,  # noqa: F821 - documented duck type
+    adversary: Optional[Adversary] = None,
     max_rounds: Optional[int] = None,
-    observer: Optional["Observer"] = None,  # noqa: F821 - see repro.net.trace
+    observer: Optional[Observer] = None,
     trace_level: TraceLevel = TraceLevel.FULL,
 ) -> ExecutionResult:
     """Build ``n`` parties, wire them to the adversary, and run to completion.

@@ -24,7 +24,7 @@ materialises :class:`~repro.net.messages.Message` objects; detached, the
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from .messages import Message, Outbox, PartyId
@@ -76,7 +76,12 @@ class TranscriptRecorder(Observer):
         return payload
 
     def on_round(
-        self, round_index, honest_messages, byzantine_messages, parties, corrupted
+        self,
+        round_index: int,
+        honest_messages: Mapping[PartyId, Outbox],
+        byzantine_messages: Sequence[Message],
+        parties: Mapping[PartyId, Any],
+        corrupted: Sequence[PartyId],
     ) -> None:
         self.rounds.append(
             RoundRecord(
@@ -132,7 +137,12 @@ class MultiObserver(Observer):
         self.observers: Tuple[Observer, ...] = tuple(observers)
 
     def on_round(
-        self, round_index, honest_messages, byzantine_messages, parties, corrupted
+        self,
+        round_index: int,
+        honest_messages: Mapping[PartyId, Outbox],
+        byzantine_messages: Sequence[Message],
+        parties: Mapping[PartyId, Any],
+        corrupted: Sequence[PartyId],
     ) -> None:
         for observer in self.observers:
             observer.on_round(
@@ -164,7 +174,12 @@ class InvariantMonitor(Observer):
         self.checked_rounds = 0
 
     def on_round(
-        self, round_index, honest_messages, byzantine_messages, parties, corrupted
+        self,
+        round_index: int,
+        honest_messages: Mapping[PartyId, Outbox],
+        byzantine_messages: Sequence[Message],
+        parties: Mapping[PartyId, Any],
+        corrupted: Sequence[PartyId],
     ) -> None:
         self.checked_rounds += 1
         for name, predicate in self.invariants.items():

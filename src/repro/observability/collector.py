@@ -32,6 +32,7 @@ from typing import (
 
 from ..net.messages import Message, Outbox, PartyId
 from ..net.network import payload_units
+from ..net.protocol import ProtocolStateError
 from ..net.trace import Observer
 from ..trees.convex import steiner_diameter
 from ..trees.labeled_tree import Label, LabeledTree
@@ -115,7 +116,8 @@ class MetricsCollector(Observer):
     def _estimate(self, party: Any) -> Optional[Label]:
         if self._estimate_fn is not None:
             return self._estimate_fn(party)
-        assert self.tree is not None  # only called when a tree was supplied
+        if self.tree is None:  # only reachable when a tree was supplied
+            raise ProtocolStateError("estimate requested without tree/estimate_fn")
         output = getattr(party, "output", None)
         if output is not None and output in self.tree:
             return output

@@ -31,7 +31,7 @@ direct unit testing of the three guarantees.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Hashable, Optional, Tuple
+from typing import Any, Callable, Dict, Optional, Tuple
 
 from ..net.messages import Inbox, Outbox, PartyId, broadcast
 from ..net.protocol import ProtocolParty
@@ -100,7 +100,7 @@ class ParallelGradecast:
         t: int,
         iteration: int,
         own_value: Any,
-        validate_value=None,
+        validate_value: Optional[Callable[[Any], bool]] = None,
     ) -> None:
         check_resilience(n, t)
         self.pid = pid

@@ -29,12 +29,12 @@ already ≤ ε — the measured round complexity reported by the benchmarks.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..net.messages import Inbox, Outbox, PartyId
-from ..net.protocol import ProtocolParty
-from .gradecast import BOTTOM, GRADE_LOW, ParallelGradecast
+from ..net.protocol import ProtocolParty, ProtocolStateError
+from .gradecast import GRADE_LOW, ParallelGradecast
 from .rounds import ROUNDS_PER_ITERATION, check_resilience, realaa_iterations
 
 
@@ -110,7 +110,8 @@ class RealAAParty(ProtocolParty):
         if (known_range is None) == (iterations is None):
             raise ValueError("give exactly one of known_range / iterations")
         if iterations is None:
-            assert known_range is not None
+            if known_range is None:  # unreachable: the xor check above
+                raise ProtocolStateError("known_range and iterations both None")
             iterations = realaa_iterations(known_range, epsilon, n, t)
         if iterations < 1:
             raise ValueError("iterations must be >= 1")
@@ -158,7 +159,8 @@ class RealAAParty(ProtocolParty):
                 return self._engine.value_messages()
             payload = ("val", iteration, self.value, tuple(sorted(self.bad)))
             return {recipient: payload for recipient in range(self.n)}
-        assert self._engine is not None
+        if self._engine is None:
+            raise ProtocolStateError("gradecast engine missing outside phase 0")
         if phase == 1:
             return self._engine.echo_messages()
         return self._engine.support_messages()
@@ -205,7 +207,8 @@ class RealAAParty(ProtocolParty):
                     self._accusers.setdefault(origin, set()).add(sender)
 
     def _finish_iteration(self, iteration: int) -> None:
-        assert self._engine is not None
+        if self._engine is None:
+            raise ProtocolStateError("finishing an iteration that never started")
         grades = self._engine.grade_all()
         accepted: Dict[PartyId, float] = {}
         newly_detected: List[PartyId] = []
@@ -217,7 +220,11 @@ class RealAAParty(ProtocolParty):
             self.bad.update(newly_detected)
         for origin, (value, confidence) in grades.items():
             if confidence >= GRADE_LOW and origin not in self.bad:
-                assert is_real(value)
+                if not is_real(value):
+                    raise ProtocolStateError(
+                        "gradecast graded a non-real value despite "
+                        "validate_value=is_real"
+                    )
                 accepted[origin] = float(value)
             if confidence <= GRADE_LOW:
                 # Confidence ≤ 1 proves the sender Byzantine: an honest
@@ -259,7 +266,7 @@ class RealAAParty(ProtocolParty):
         if iteration + 1 == self.iterations:
             self.output = self._final_output()
 
-    def _final_output(self):
+    def _final_output(self) -> Any:
         """Hook: derive the protocol output from the final real value.
 
         ``RealAA`` itself outputs the value; the path/tree reductions of

@@ -23,6 +23,7 @@ ranges the benchmarks sweep, which benchmark T2 verifies explicitly.
 from __future__ import annotations
 
 import math
+from typing import Iterable
 
 #: Remark 3 (Theorem 1 of [7]): each RealAA iteration takes three rounds.
 ROUNDS_PER_ITERATION = 3
@@ -57,7 +58,7 @@ def lemma5_factor(n: int, t: int, iterations: int) -> float:
     return base ** iterations
 
 
-def schedule_factor(n: int, t: int, schedule) -> float:
+def schedule_factor(n: int, t: int, schedule: Iterable[int]) -> float:
     """The shrink factor ``∏ t_i / (n − 2t)`` of a concrete burn schedule."""
     check_resilience(n, t)
     schedule = list(schedule)
@@ -71,7 +72,7 @@ def schedule_factor(n: int, t: int, schedule) -> float:
     return factor
 
 
-def adjusted_schedule_factor(n: int, t: int, schedule) -> float:
+def adjusted_schedule_factor(n: int, t: int, schedule: Iterable[int]) -> float:
     """The shrink factor of a burn schedule against *this* implementation.
 
     RealAA here drops detected (BAD) senders from the accepted multiset, so

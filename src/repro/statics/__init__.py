@@ -1,0 +1,52 @@
+"""Protocol-invariant static analysis for the simulator (``protolint``).
+
+A small, dependency-free lint engine that parses ``src/repro`` with
+:mod:`ast` and checks the invariants the paper's correctness arguments
+lean on: protocol-layer determinism (PL001), guard discipline (PL002),
+message-handler exhaustiveness (PL003), and observer purity (PL004).
+
+Two front ends share this engine: ``tools/protolint.py`` (standalone,
+used by CI) and the ``repro lint`` subcommand.  See
+``docs/STATIC_ANALYSIS.md`` for the rule catalog, suppression syntax and
+the baseline-ratchet workflow.
+"""
+
+from .engine import (
+    LintConfig,
+    LintResult,
+    ModuleContext,
+    finding_tuples,
+    lint_contexts,
+    lint_paths,
+    lint_source,
+    parse_module,
+)
+from .findings import (
+    SCHEMA_VERSION,
+    BaselineFormatError,
+    Finding,
+    apply_baseline,
+    load_baseline,
+    render_baseline,
+)
+from .rules import RULES, Rule, make_rules
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "BaselineFormatError",
+    "Finding",
+    "LintConfig",
+    "LintResult",
+    "ModuleContext",
+    "RULES",
+    "Rule",
+    "apply_baseline",
+    "finding_tuples",
+    "lint_contexts",
+    "lint_paths",
+    "lint_source",
+    "load_baseline",
+    "make_rules",
+    "parse_module",
+    "render_baseline",
+]

@@ -1,0 +1,172 @@
+"""Shared command-line front end for the protocol-invariant linter.
+
+Both entry points — the standalone ``tools/protolint.py`` script that CI
+runs and the ``repro lint`` subcommand — are thin shims over
+:func:`run` here, so flags, output formats and exit codes cannot drift
+apart.
+
+Exit codes (documented contract, relied on by CI and tests):
+
+* ``0`` — clean: no findings outside the baseline
+* ``1`` — findings: at least one new finding was reported
+* ``2`` — usage error: bad flags, unknown rule id, malformed baseline
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import List, Optional, Sequence, TextIO
+
+from .discovery import source_root
+from .engine import lint_paths
+from .findings import (
+    SCHEMA_VERSION,
+    BaselineFormatError,
+    apply_baseline,
+    load_baseline,
+    render_baseline,
+)
+
+#: Exit status when the tree is clean.
+EXIT_CLEAN = 0
+#: Exit status when new findings were reported.
+EXIT_FINDINGS = 1
+#: Exit status for usage errors (bad flags, unknown rules, bad baseline).
+EXIT_USAGE = 2
+
+
+def default_baseline_path() -> str:
+    """The committed baseline location: ``tools/protolint_baseline.json``."""
+    repo_root = os.path.dirname(source_root())
+    return os.path.join(repo_root, "tools", "protolint_baseline.json")
+
+
+def build_parser(prog: str = "protolint") -> argparse.ArgumentParser:
+    """The argument parser shared by ``tools/protolint.py`` and ``repro lint``."""
+    parser = argparse.ArgumentParser(
+        prog=prog,
+        description=(
+            "Protocol-invariant linter for src/repro (rules PL001-PL004; "
+            "see docs/STATIC_ANALYSIS.md)"
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: the repro package)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit findings as a JSON document instead of text",
+    )
+    parser.add_argument(
+        "--rules",
+        default=None,
+        metavar="IDS",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help=(
+            "baseline file of tolerated findings "
+            "(default: tools/protolint_baseline.json when it exists)"
+        ),
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file, report every finding",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        default=None,
+        metavar="FILE",
+        help="write the current findings as a baseline file and exit 0",
+    )
+    return parser
+
+
+def run(
+    argv: Optional[Sequence[str]] = None,
+    prog: str = "protolint",
+    stdout: Optional[TextIO] = None,
+    stderr: Optional[TextIO] = None,
+) -> int:
+    """Run the linter CLI; returns the process exit code (0/1/2)."""
+    out = stdout if stdout is not None else sys.stdout
+    err = stderr if stderr is not None else sys.stderr
+    parser = build_parser(prog)
+    try:
+        args = parser.parse_args(list(argv) if argv is not None else None)
+    except SystemExit as exc:
+        code = exc.code if isinstance(exc.code, int) else EXIT_USAGE
+        return EXIT_USAGE if code not in (0,) else 0
+
+    rule_ids: Optional[List[str]] = None
+    if args.rules is not None:
+        rule_ids = [token.strip() for token in args.rules.split(",") if token.strip()]
+        if not rule_ids:
+            print(f"{prog}: --rules given but no rule ids parsed", file=err)
+            return EXIT_USAGE
+
+    try:
+        result = lint_paths(paths=args.paths or None, rule_ids=rule_ids)
+    except KeyError as exc:
+        print(f"{prog}: {exc.args[0]}", file=err)
+        return EXIT_USAGE
+    except OSError as exc:
+        print(f"{prog}: {exc}", file=err)
+        return EXIT_USAGE
+
+    if args.write_baseline:
+        with open(args.write_baseline, "w", encoding="utf-8") as handle:
+            handle.write(render_baseline(result.findings))
+        print(
+            f"{prog}: wrote baseline with {len(result.findings)} entr"
+            f"{'y' if len(result.findings) == 1 else 'ies'} to "
+            f"{args.write_baseline} (edit the justifications before committing)",
+            file=out,
+        )
+        return EXIT_CLEAN
+
+    absorbed = 0
+    findings = result.findings
+    baseline_path = args.baseline
+    if baseline_path is None and not args.no_baseline:
+        candidate = default_baseline_path()
+        if os.path.exists(candidate):
+            baseline_path = candidate
+    if baseline_path is not None and not args.no_baseline:
+        try:
+            allowance = load_baseline(baseline_path)
+        except (OSError, BaselineFormatError) as exc:
+            print(f"{prog}: {exc}", file=err)
+            return EXIT_USAGE
+        findings, absorbed = apply_baseline(findings, allowance)
+
+    if args.json:
+        document = {
+            "version": SCHEMA_VERSION,
+            "checked_files": result.checked_files,
+            "suppressed": result.suppressed,
+            "baselined": absorbed,
+            "findings": [finding.to_dict() for finding in findings],
+        }
+        print(json.dumps(document, indent=2), file=out)
+    else:
+        for finding in findings:
+            print(finding.render(), file=out)
+        plural = "" if len(findings) == 1 else "s"
+        print(
+            f"{prog}: {len(findings)} finding{plural} in "
+            f"{result.checked_files} file(s) "
+            f"({result.suppressed} suppressed, {absorbed} baselined)",
+            file=out,
+        )
+    return EXIT_FINDINGS if findings else EXIT_CLEAN

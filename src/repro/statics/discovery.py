@@ -1,0 +1,65 @@
+"""Deterministic source-module discovery, shared by every dev gate.
+
+Both the protocol-invariant linter (:mod:`repro.statics`) and the docs
+gate (``tools/docs_check.py``) need to walk ``src/repro`` and agree —
+exactly — on which files exist.  Before this module each tool carried its
+own ``os.walk`` loop, and a new package silently skipped by one of them
+would never fail a gate.  Factoring the walk here makes "which modules do
+the gates see" a single answerable question.
+
+The walk is deterministic (directories and filenames visited in sorted
+order), skips ``__pycache__`` and hidden directories, and yields absolute
+paths.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterator, List
+
+
+def package_root() -> str:
+    """The absolute path of the installed/checked-out ``repro`` package."""
+    return os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def source_root() -> str:
+    """The directory containing the ``repro`` package (the ``src`` dir)."""
+    return os.path.dirname(package_root())
+
+
+def iter_source_files(root: str) -> Iterator[str]:
+    """Yield every ``.py`` file under *root* in deterministic order.
+
+    ``__pycache__`` and dot-directories are skipped; directories and files
+    are visited sorted so that two tools walking the same tree always see
+    the same sequence.
+    """
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = sorted(
+            d for d in dirnames if d != "__pycache__" and not d.startswith(".")
+        )
+        for filename in sorted(filenames):
+            if filename.endswith(".py"):
+                yield os.path.join(dirpath, filename)
+
+
+def list_source_files(root: str) -> List[str]:
+    """:func:`iter_source_files` as a list (convenience for tools)."""
+    return list(iter_source_files(root))
+
+
+def module_name(path: str, src_root: str) -> str:
+    """The dotted module name of *path* relative to *src_root*.
+
+    ``src/repro/core/api.py`` → ``repro.core.api``;
+    package ``__init__.py`` files map to the package itself
+    (``src/repro/net/__init__.py`` → ``repro.net``).
+    """
+    relative = os.path.relpath(os.path.abspath(path), os.path.abspath(src_root))
+    parts = relative.replace(os.sep, "/").split("/")
+    if parts[-1] == "__init__.py":
+        parts = parts[:-1]
+    else:
+        parts[-1] = parts[-1][: -len(".py")]
+    return ".".join(parts)

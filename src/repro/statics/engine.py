@@ -1,0 +1,209 @@
+"""The protocol-invariant lint engine.
+
+Parses each discovered module once, hands the AST to every registered
+rule (:mod:`repro.statics.rules`), filters findings through inline
+``# protolint: disable=PLxxx`` suppressions, and returns structured
+:class:`~repro.statics.findings.Finding` objects.  The CLI layers
+(``tools/protolint.py`` and ``repro lint``) add baseline subtraction and
+output formatting on top.
+
+Suppression comments are same-line, flake8-style::
+
+    risky_line()  # protolint: disable=PL001
+    other_line()  # protolint: disable=PL001,PL004
+    anything()    # protolint: disable=all
+
+A suppression silences only findings reported *on that line*.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .discovery import iter_source_files, module_name, source_root
+from .findings import Finding
+
+_SUPPRESS = re.compile(r"#\s*protolint:\s*disable=([A-Za-z0-9_,\s]+)")
+
+
+@dataclass
+class ModuleContext:
+    """Everything a rule needs to know about one parsed module."""
+
+    path: str  #: absolute filesystem path
+    rel_path: str  #: repo-relative posix path, used in findings
+    module: str  #: dotted module name, e.g. ``"repro.core.api"``
+    tree: ast.Module  #: the parsed AST
+    lines: List[str] = field(default_factory=list)  #: source lines (1-based - 1)
+
+    def suppressed_rules(self, line: int) -> Set[str]:
+        """The rule ids suppressed on 1-based *line* (``{"all"}`` wildcard)."""
+        if not 1 <= line <= len(self.lines):
+            return set()
+        match = _SUPPRESS.search(self.lines[line - 1])
+        if match is None:
+            return set()
+        return {token.strip() for token in match.group(1).split(",") if token.strip()}
+
+
+@dataclass
+class LintConfig:
+    """Cross-module inputs the rules need.
+
+    ``declared_tags`` / ``handler_exempt_tags`` feed PL003; when ``None``
+    the engine extracts them from ``repro/net/messages.py`` (see
+    :func:`repro.statics.rules.handlers.extract_message_types`).
+    """
+
+    declared_tags: Optional[Dict[str, str]] = None
+    handler_exempt_tags: Optional[Set[str]] = None
+
+
+@dataclass
+class LintResult:
+    """The outcome of one engine run (before baseline subtraction)."""
+
+    findings: List[Finding]
+    checked_files: int
+    suppressed: int
+
+
+def parse_module(
+    path: str, rel_path: str, module: str, source: Optional[str] = None
+) -> ModuleContext:
+    """Parse one file into a :class:`ModuleContext`.
+
+    A syntax error becomes a context with an empty AST; the engine turns
+    it into a finding rather than crashing the whole run.
+    """
+    if source is None:
+        with open(path, encoding="utf-8") as handle:
+            source = handle.read()
+    tree = ast.parse(source, filename=path)
+    return ModuleContext(
+        path=path,
+        rel_path=rel_path,
+        module=module,
+        tree=tree,
+        lines=source.splitlines(),
+    )
+
+
+def _build_rules(rule_ids: Optional[Sequence[str]], config: LintConfig) -> List[object]:
+    from .rules import make_rules
+
+    return make_rules(rule_ids, config)
+
+
+def _resolve_config(config: Optional[LintConfig], src_root: str) -> LintConfig:
+    from .rules.handlers import extract_message_types
+
+    config = config or LintConfig()
+    if config.declared_tags is None or config.handler_exempt_tags is None:
+        messages_path = os.path.join(src_root, "repro", "net", "messages.py")
+        declared, exempt = extract_message_types(messages_path)
+        if config.declared_tags is None:
+            config.declared_tags = declared
+        if config.handler_exempt_tags is None:
+            config.handler_exempt_tags = exempt
+    return config
+
+
+def lint_contexts(
+    contexts: Iterable[ModuleContext],
+    rule_ids: Optional[Sequence[str]] = None,
+    config: Optional[LintConfig] = None,
+) -> LintResult:
+    """Run the rules over already-parsed module contexts."""
+    config = config or LintConfig()
+    if config.declared_tags is None:
+        config.declared_tags = {}
+    if config.handler_exempt_tags is None:
+        config.handler_exempt_tags = set()
+    rules = _build_rules(rule_ids, config)
+    raw: List[Finding] = []
+    contexts = list(contexts)
+    for ctx in contexts:
+        for rule in rules:
+            raw.extend(rule.check(ctx))
+    for rule in rules:
+        raw.extend(rule.finalize())
+    kept: List[Finding] = []
+    suppressed = 0
+    by_path = {ctx.rel_path: ctx for ctx in contexts}
+    for finding in sorted(set(raw)):
+        ctx = by_path.get(finding.path)
+        if ctx is not None:
+            silenced = ctx.suppressed_rules(finding.line)
+            if finding.rule in silenced or "all" in silenced:
+                suppressed += 1
+                continue
+        kept.append(finding)
+    return LintResult(
+        findings=kept, checked_files=len(contexts), suppressed=suppressed
+    )
+
+
+def lint_paths(
+    paths: Optional[Sequence[str]] = None,
+    src_root: Optional[str] = None,
+    rule_ids: Optional[Sequence[str]] = None,
+    config: Optional[LintConfig] = None,
+) -> LintResult:
+    """Lint files or directory trees (default: the whole ``repro`` package).
+
+    *paths* may mix files and directories; directories are walked with the
+    shared deterministic discovery.  Findings carry repo-relative paths.
+    """
+    src = os.path.abspath(src_root) if src_root else source_root()
+    repo = os.path.dirname(src)
+    if not paths:
+        paths = [os.path.join(src, "repro")]
+    files: List[str] = []
+    for path in paths:
+        path = os.path.abspath(path)
+        if os.path.isdir(path):
+            files.extend(iter_source_files(path))
+        else:
+            files.append(path)
+    config = _resolve_config(config, src)
+    contexts: List[ModuleContext] = []
+    syntax_findings: List[Finding] = []
+    for path in files:
+        rel = os.path.relpath(path, repo).replace(os.sep, "/")
+        try:
+            contexts.append(parse_module(path, rel, module_name(path, src)))
+        except SyntaxError as exc:
+            syntax_findings.append(
+                Finding(
+                    path=rel,
+                    line=exc.lineno or 1,
+                    rule="PL000",
+                    message=f"syntax error: {exc.msg}",
+                )
+            )
+    result = lint_contexts(contexts, rule_ids=rule_ids, config=config)
+    result.findings = sorted(set(result.findings) | set(syntax_findings))
+    result.checked_files += len(syntax_findings)
+    return result
+
+
+def lint_source(
+    source: str,
+    module: str = "repro.core.snippet",
+    rel_path: str = "snippet.py",
+    rule_ids: Optional[Sequence[str]] = None,
+    config: Optional[LintConfig] = None,
+) -> List[Finding]:
+    """Lint a source string as if it were the given module (for tests/docs)."""
+    ctx = parse_module("<memory>", rel_path, module, source=source)
+    return lint_contexts([ctx], rule_ids=rule_ids, config=config).findings
+
+
+def finding_tuples(findings: Iterable[Finding]) -> List[Tuple[str, int, str, str]]:
+    """``(path, line, rule, message)`` tuples — a convenience for tests."""
+    return [(f.path, f.line, f.rule, f.message) for f in findings]

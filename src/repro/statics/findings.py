@@ -1,0 +1,133 @@
+"""Findings and the baseline ratchet for the protocol-invariant linter.
+
+A :class:`Finding` is one structured lint result — file, line, rule id,
+message.  A *baseline* is a committed JSON file listing findings that are
+deliberately tolerated (each with a human justification); the linter
+subtracts the baseline from its results, so pre-existing debt can be
+ratcheted down without blocking CI, while any *new* finding fails the
+gate.
+
+Baseline entries match findings by ``(rule, path, message)`` — not by
+line number, so unrelated edits that shift code around do not invalidate
+the baseline.  Matching is multiset-style: an entry with ``"count": 2``
+absorbs at most two identical findings.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Tuple
+
+#: Version tag of the baseline / ``--json`` schema.
+SCHEMA_VERSION = 1
+
+
+class BaselineFormatError(ValueError):
+    """A baseline file did not match the documented schema."""
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One structured lint finding."""
+
+    path: str  #: repo-relative posix path of the offending file
+    line: int  #: 1-based line number
+    rule: str  #: rule id, e.g. ``"PL001"``
+    message: str  #: human-readable description (line-number free)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable form (the ``--json`` row schema)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+    def key(self) -> Tuple[str, str, str]:
+        """The line-independent identity used for baseline matching."""
+        return (self.rule, self.path, self.message)
+
+    def render(self) -> str:
+        """The one-line human-readable form."""
+        return f"{self.path}:{self.line}: {self.rule} {self.message}"
+
+
+def load_baseline(path: str) -> Dict[Tuple[str, str, str], int]:
+    """Parse a baseline file into ``finding-key -> tolerated count``.
+
+    Raises :class:`BaselineFormatError` on schema violations — a malformed
+    baseline must fail the gate loudly, not silently tolerate everything.
+    """
+    with open(path, encoding="utf-8") as handle:
+        try:
+            data = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise BaselineFormatError(f"{path}: not valid JSON: {exc}") from None
+    if not isinstance(data, dict) or data.get("version") != SCHEMA_VERSION:
+        raise BaselineFormatError(
+            f"{path}: expected an object with version={SCHEMA_VERSION}"
+        )
+    entries = data.get("entries")
+    if not isinstance(entries, list):
+        raise BaselineFormatError(f"{path}: 'entries' must be a list")
+    allowance: Dict[Tuple[str, str, str], int] = {}
+    for index, entry in enumerate(entries):
+        if not isinstance(entry, dict):
+            raise BaselineFormatError(f"{path}: entry {index} is not an object")
+        for field in ("rule", "path", "message", "justification"):
+            if not isinstance(entry.get(field), str) or not entry[field].strip():
+                raise BaselineFormatError(
+                    f"{path}: entry {index} needs a non-empty {field!r} "
+                    "(every baselined finding must be justified)"
+                )
+        count = entry.get("count", 1)
+        if not isinstance(count, int) or count < 1:
+            raise BaselineFormatError(
+                f"{path}: entry {index} has a non-positive count"
+            )
+        key = (entry["rule"], entry["path"], entry["message"])
+        allowance[key] = allowance.get(key, 0) + count
+    return allowance
+
+
+def apply_baseline(
+    findings: Iterable[Finding], allowance: Dict[Tuple[str, str, str], int]
+) -> Tuple[List[Finding], int]:
+    """Subtract baselined findings; returns ``(new_findings, absorbed)``."""
+    remaining = dict(allowance)
+    fresh: List[Finding] = []
+    absorbed = 0
+    for finding in sorted(findings):
+        key = finding.key()
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+            absorbed += 1
+        else:
+            fresh.append(finding)
+    return fresh, absorbed
+
+
+def render_baseline(findings: Iterable[Finding]) -> str:
+    """A baseline document tolerating exactly *findings* (as JSON text).
+
+    Justifications are stamped ``"TODO: justify"`` — the committed file is
+    expected to be edited by a human before review.
+    """
+    counts: Dict[Tuple[str, str, str], int] = {}
+    for finding in sorted(findings):
+        counts[finding.key()] = counts.get(finding.key(), 0) + 1
+    entries = [
+        {
+            "rule": rule,
+            "path": path,
+            "message": message,
+            "count": count,
+            "justification": "TODO: justify",
+        }
+        for (rule, path, message), count in sorted(counts.items())
+    ]
+    return json.dumps(
+        {"version": SCHEMA_VERSION, "entries": entries}, indent=2, sort_keys=False
+    ) + "\n"

@@ -1,0 +1,117 @@
+"""The pluggable rule set of the protocol-invariant linter.
+
+Each rule is a class with a ``rule_id`` (``PLxxx``), a per-module
+:meth:`~Rule.check` pass and an optional cross-module
+:meth:`~Rule.finalize` pass.  The shipped catalog (see
+``docs/STATIC_ANALYSIS.md`` for rationale):
+
+========  ==============================================================
+PL001     determinism — protocol-layer modules must not reach for
+          ambient nondeterminism (``random.*``, clocks, ``uuid``,
+          ``os.urandom``) or iterate bare sets in order-sensitive
+          positions
+PL002     guard discipline — no bare ``assert`` in ``src/repro``
+          (``python -O`` strips them); raise
+          ``ValidityViolationError`` / ``ProtocolStateError`` instead
+PL003     handler exhaustiveness — payload tags must be declared in
+          ``repro.net.messages.MESSAGE_TYPES`` and every tag a protocol
+          module sends it must also handle
+PL004     observer purity — ``on_round`` observers read simulator state,
+          never mutate it
+========  ==============================================================
+"""
+
+from __future__ import annotations
+
+import abc
+import ast
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Sequence, Type
+
+from ..findings import Finding
+
+if TYPE_CHECKING:  # circular at runtime (engine imports rules)
+    from ..engine import LintConfig, ModuleContext
+
+
+class Rule(abc.ABC):
+    """One lint rule: a per-module pass plus an optional cross-module pass."""
+
+    rule_id: str = "PL000"
+    title: str = ""
+
+    def __init__(self, config: "LintConfig") -> None:
+        self.config = config
+
+    @abc.abstractmethod
+    def check(self, ctx: "ModuleContext") -> Iterator[Finding]:
+        """Yield findings for one module."""
+
+    def finalize(self) -> Iterator[Finding]:
+        """Yield cross-module findings after every module was checked."""
+        return iter(())
+
+    def finding(self, ctx: "ModuleContext", node: ast.AST, message: str) -> Finding:
+        """Construct a finding anchored at *node*."""
+        return Finding(
+            path=ctx.rel_path,
+            line=getattr(node, "lineno", 1),
+            rule=self.rule_id,
+            message=message,
+        )
+
+
+def root_name(node: ast.AST) -> Optional[str]:
+    """The base ``Name`` id of an attribute/subscript/call chain.
+
+    ``parties[pid].receive_round`` → ``"parties"``; chains rooted in a
+    call result or literal have no root name and return ``None``.
+    """
+    while True:
+        if isinstance(node, ast.Name):
+            return node.id
+        if isinstance(node, (ast.Attribute, ast.Subscript, ast.Starred)):
+            node = node.value
+        elif isinstance(node, ast.Call):
+            node = node.func
+        else:
+            return None
+
+
+def in_packages(module: str, packages: Sequence[str]) -> bool:
+    """Whether dotted *module* lives in one of the ``repro.<pkg>`` packages."""
+    for package in packages:
+        prefix = f"repro.{package}"
+        if module == prefix or module.startswith(prefix + "."):
+            return True
+    return False
+
+
+def make_rules(
+    rule_ids: Optional[Sequence[str]], config: "LintConfig"
+) -> List[Rule]:
+    """Instantiate the selected rules (all of them when *rule_ids* is None)."""
+    selected: List[Rule] = []
+    unknown = set(rule_ids or ()) - set(RULES)
+    if unknown:
+        raise KeyError(
+            f"unknown rule id(s): {', '.join(sorted(unknown))} "
+            f"(available: {', '.join(sorted(RULES))})"
+        )
+    for rule_id, rule_class in sorted(RULES.items()):
+        if rule_ids is None or rule_id in rule_ids:
+            selected.append(rule_class(config))
+    return selected
+
+
+from .determinism import DeterminismRule  # noqa: E402
+from .guards import GuardDisciplineRule  # noqa: E402
+from .handlers import HandlerExhaustivenessRule  # noqa: E402
+from .observers import ObserverPurityRule  # noqa: E402
+
+#: The shipped rule catalog, keyed by rule id.
+RULES: Dict[str, Type[Rule]] = {
+    DeterminismRule.rule_id: DeterminismRule,
+    GuardDisciplineRule.rule_id: GuardDisciplineRule,
+    HandlerExhaustivenessRule.rule_id: HandlerExhaustivenessRule,
+    ObserverPurityRule.rule_id: ObserverPurityRule,
+}

@@ -1,0 +1,283 @@
+"""PL001 — protocol-layer determinism.
+
+The correctness arguments this repo reproduces (Lemma 4 path agreement,
+the chain-of-views lower bounds, and the replayable JSONL traces) all
+assume a protocol round is a *deterministic* function of
+``(state, received messages)``.  This rule statically bans the two ways
+that silently breaks in Python:
+
+* **ambient nondeterminism** — calls into ``random`` module-level
+  functions, any ``time`` function, ``os.urandom``, ``uuid``,
+  ``secrets``, or wall-clock ``datetime`` constructors.  Constructing a
+  seeded ``random.Random(seed)`` instance is whitelisted: seeded
+  generators injected through adversary/runner parameters are the
+  sanctioned randomness path.
+* **bare-set iteration** — ``for``-loops and comprehensions that iterate
+  a value statically known to be a ``set``/``frozenset`` without a
+  ``sorted(...)`` wrapper.  Set iteration order is salted per process, so
+  any order that escapes into messages, outputs, or recorded state breaks
+  replayability.  Iterations consumed directly by an order-insensitive
+  reducer (``max``, ``min``, ``sum``, ``any``, ``all``, ``len``, ``set``,
+  ``frozenset``, ``sorted``) are exempt.
+
+Scope: the protocol-layer packages ``repro.core``, ``repro.protocols``,
+``repro.net``, and ``repro.trees``.  Analysis/observability layers may
+legitimately read clocks and draw seeds; the protocol layer may not.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Optional, Set, Tuple
+
+from ..findings import Finding
+from . import Rule, in_packages
+
+#: Packages whose rounds must be deterministic functions of their inputs.
+PROTOCOL_PACKAGES: Tuple[str, ...] = ("core", "protocols", "net", "trees")
+
+#: Modules whose module-level functions are ambient nondeterminism.
+BANNED_MODULES = {"random", "uuid", "secrets", "time"}
+
+#: ``random`` attributes that are fine: seeded-generator construction.
+RANDOM_WHITELIST = {"Random"}
+
+#: Attribute names on ``datetime``/``date`` objects that read wall clocks.
+WALLCLOCK_CTORS = {"now", "today", "utcnow"}
+
+#: Reducers whose result does not depend on iteration order.
+ORDER_INSENSITIVE = {
+    "max", "min", "sum", "any", "all", "len", "set", "frozenset", "sorted",
+}
+
+#: Attribute names known (from the simulator's data model) to hold sets.
+KNOWN_SET_ATTRIBUTES = {"honest", "corrupted", "bad"}
+
+_SET_ANNOTATIONS = {"Set", "set", "FrozenSet", "frozenset", "MutableSet", "AbstractSet"}
+
+
+def _annotation_is_set(annotation: Optional[ast.expr]) -> bool:
+    if annotation is None:
+        return False
+    node = annotation
+    if isinstance(node, ast.Subscript):
+        node = node.value
+    if isinstance(node, ast.Attribute):
+        return node.attr in _SET_ANNOTATIONS
+    if isinstance(node, ast.Name):
+        return node.id in _SET_ANNOTATIONS
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        text = node.value.split("[", 1)[0].strip()
+        return text.rsplit(".", 1)[-1] in _SET_ANNOTATIONS
+    return False
+
+
+class _ModuleFacts(ast.NodeVisitor):
+    """Collect module-wide typing facts for the set-iteration check."""
+
+    def __init__(self) -> None:
+        self.set_attributes: Set[str] = set(KNOWN_SET_ATTRIBUTES)
+        self.set_returning: Set[str] = set()
+        self.module_aliases: Dict[str, str] = {}
+        self.from_imports: Dict[str, Tuple[str, str]] = {}
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            self.module_aliases[alias.asname or alias.name.split(".")[0]] = (
+                alias.name.split(".")[0]
+            )
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module is None:
+            return
+        for alias in node.names:
+            self.from_imports[alias.asname or alias.name] = (
+                node.module, alias.name
+            )
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        target = node.target
+        if _annotation_is_set(node.annotation):
+            if isinstance(target, ast.Name):
+                self.set_attributes.add(target.id)
+            elif isinstance(target, ast.Attribute):
+                self.set_attributes.add(target.attr)
+        self.generic_visit(node)
+
+    def _visit_function(self, node: ast.AST) -> None:
+        if _annotation_is_set(getattr(node, "returns", None)):
+            self.set_returning.add(node.name)  # type: ignore[attr-defined]
+        self.generic_visit(node)
+
+    visit_FunctionDef = _visit_function
+    visit_AsyncFunctionDef = _visit_function
+
+
+class DeterminismRule(Rule):
+    """PL001: no ambient nondeterminism or bare-set iteration order escape."""
+
+    rule_id = "PL001"
+    title = "protocol-layer determinism"
+
+    def check(self, ctx: "ModuleContext") -> Iterator[Finding]:  # noqa: F821
+        if not in_packages(ctx.module, PROTOCOL_PACKAGES):
+            return
+        facts = _ModuleFacts()
+        facts.visit(ctx.tree)
+        yield from self._check_imports(ctx, facts)
+        yield from self._check_calls(ctx, facts)
+        yield from self._check_set_iteration(ctx, facts)
+
+    # -- ambient nondeterminism -----------------------------------------
+
+    def _check_imports(
+        self, ctx: "ModuleContext", facts: _ModuleFacts  # noqa: F821
+    ) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ImportFrom) or node.module is None:
+                continue
+            top = node.module.split(".")[0]
+            for alias in node.names:
+                banned = (
+                    (top == "random" and alias.name not in RANDOM_WHITELIST)
+                    or top in ("time", "uuid", "secrets")
+                    or (top == "os" and alias.name == "urandom")
+                )
+                if banned:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"nondeterministic import `from {node.module} import "
+                        f"{alias.name}` in a protocol-layer module; inject a "
+                        "seeded random.Random (or pass values in) instead",
+                    )
+
+    def _check_calls(
+        self, ctx: "ModuleContext", facts: _ModuleFacts  # noqa: F821
+    ) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name):
+                base = facts.module_aliases.get(node.value.id)
+                if base == "random" and node.attr not in RANDOM_WHITELIST:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"`random.{node.attr}` uses ambient randomness; "
+                        "construct a seeded random.Random and pass it in",
+                    )
+                elif base in ("time", "uuid", "secrets"):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"`{base}.{node.attr}` is nondeterministic; protocol "
+                        "rounds must be functions of (state, messages) only",
+                    )
+                elif base == "os" and node.attr == "urandom":
+                    yield self.finding(
+                        ctx, node, "`os.urandom` is nondeterministic"
+                    )
+                elif base == "datetime" and node.attr in WALLCLOCK_CTORS:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"`datetime.{node.attr}` reads the wall clock",
+                    )
+                elif (
+                    node.value.id in facts.from_imports
+                    and facts.from_imports[node.value.id][0] == "datetime"
+                    and node.attr in WALLCLOCK_CTORS
+                ):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"`{node.value.id}.{node.attr}` reads the wall clock",
+                    )
+            elif isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+                origin = facts.from_imports.get(node.func.id)
+                if origin is not None and origin[0].split(".")[0] in BANNED_MODULES:
+                    if not (origin[0] == "random" and origin[1] in RANDOM_WHITELIST):
+                        yield self.finding(
+                            ctx,
+                            node,
+                            f"call to `{node.func.id}` (from {origin[0]}) is "
+                            "nondeterministic in a protocol-layer module",
+                        )
+
+    # -- bare-set iteration ----------------------------------------------
+
+    def _check_set_iteration(
+        self, ctx: "ModuleContext", facts: _ModuleFacts  # noqa: F821
+    ) -> Iterator[Finding]:
+        exempt: Set[int] = set()
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+                if node.func.id in ORDER_INSENSITIVE:
+                    for arg in node.args:
+                        if isinstance(
+                            arg, (ast.GeneratorExp, ast.ListComp, ast.SetComp)
+                        ):
+                            exempt.add(id(arg))
+
+        for scope in ast.walk(ctx.tree):
+            if not isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            set_locals: Set[str] = set()
+            for arg in list(scope.args.args) + list(scope.args.kwonlyargs):
+                if _annotation_is_set(arg.annotation):
+                    set_locals.add(arg.arg)
+            for stmt in ast.walk(scope):
+                if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                    target = stmt.targets[0]
+                    if isinstance(target, ast.Name) and self._is_set_expr(
+                        stmt.value, facts, set_locals
+                    ):
+                        set_locals.add(target.id)
+                elif isinstance(stmt, ast.AnnAssign) and isinstance(
+                    stmt.target, ast.Name
+                ):
+                    if _annotation_is_set(stmt.annotation):
+                        set_locals.add(stmt.target.id)
+            for stmt in ast.walk(scope):
+                iters = []
+                if isinstance(stmt, (ast.For, ast.AsyncFor)):
+                    iters.append(stmt.iter)
+                elif isinstance(
+                    stmt, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+                ):
+                    if id(stmt) in exempt:
+                        continue
+                    iters.extend(gen.iter for gen in stmt.generators)
+                for it in iters:
+                    if self._is_set_expr(it, facts, set_locals):
+                        yield self.finding(
+                            ctx,
+                            it,
+                            "iteration over a bare set; wrap in sorted(...) so "
+                            "no salted set order escapes into messages, "
+                            "outputs, or recorded state",
+                        )
+
+    def _is_set_expr(
+        self, node: ast.expr, facts: _ModuleFacts, set_locals: Set[str]
+    ) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Name):
+            return node.id in set_locals
+        if isinstance(node, ast.Attribute):
+            return node.attr in facts.set_attributes
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name) and func.id in ("set", "frozenset"):
+                return True
+            name = func.attr if isinstance(func, ast.Attribute) else (
+                func.id if isinstance(func, ast.Name) else None
+            )
+            return name in facts.set_returning
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.Sub, ast.BitOr, ast.BitAnd, ast.BitXor)
+        ):
+            return self._is_set_expr(node.left, facts, set_locals) or (
+                self._is_set_expr(node.right, facts, set_locals)
+            )
+        return False

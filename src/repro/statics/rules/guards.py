@@ -1,0 +1,48 @@
+"""PL002 — guard discipline.
+
+The simulator ships two exception types for a reason:
+``repro.core.errors.ValidityViolationError`` marks a *model* violation
+(an input or adversary behaviour outside the paper's assumptions) and
+``repro.net.protocol.ProtocolStateError`` marks an *internal* state
+machine violation.  A bare ``assert`` is neither: ``python -O`` strips it
+wholesale, so a guard written as an assert is a guard that silently
+disappears in optimised runs — the exact runs a performance sweep uses.
+
+This rule flags every ``assert`` statement in ``src/repro``.  Guards
+should raise one of the two exception types; genuinely impossible
+conditions should be rewritten so the type-checker can see them (or, as
+a last resort, suppressed inline with a justification).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..findings import Finding
+from . import Rule
+
+
+class GuardDisciplineRule(Rule):
+    """PL002: no bare ``assert`` for model/validity checks."""
+
+    rule_id = "PL002"
+    title = "guard discipline"
+
+    def check(self, ctx: "ModuleContext") -> Iterator[Finding]:  # noqa: F821
+        if not ctx.module.startswith("repro"):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Assert):
+                detail = ""
+                if isinstance(node.msg, ast.Constant) and isinstance(
+                    node.msg.value, str
+                ):
+                    detail = f" ({node.msg.value!r})"
+                yield self.finding(
+                    ctx,
+                    node,
+                    "bare `assert` is stripped under `python -O`; raise "
+                    "ValidityViolationError (model violation) or "
+                    f"ProtocolStateError (internal invariant) instead{detail}",
+                )

@@ -1,0 +1,308 @@
+"""PL003 — handler exhaustiveness.
+
+Messages in this simulator are plain tuples whose head is a short
+string tag (``("val", iteration, value)``).  The tag inventory is
+declared in :data:`repro.net.messages.MESSAGE_TYPES`; that registry is
+the contract between senders and receivers.  This rule checks the
+contract statically, per protocol module:
+
+* every tag the module *sends* (a tuple literal with a tag-shaped string
+  head) must also be *handled* there (compared against a payload head or
+  passed to a payload-parsing helper) — peers run the same code, so a
+  sent-but-unhandled tag is a message the protocol mails itself and then
+  drops on the floor;
+* every tag sent or handled must be declared in ``MESSAGE_TYPES``;
+* (cross-module) every declared tag must be handled by at least one
+  checked module — a dead declaration means the registry and the code
+  have drifted apart.
+
+Tags in :data:`repro.net.messages.HANDLER_EXEMPT_TYPES` (signature
+preimages such as ``"ds"``, which ride *inside* other messages) are
+exempt from the handler checks.  Adversary modules (``repro.adversary``
+package, or modules named like ``adversary``/``attacks``) forge messages
+without handling them, so they are checked for declaredness only.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from ..findings import Finding
+from . import Rule, in_packages
+
+#: Packages whose modules must handle every tag they send.
+SYMMETRY_PACKAGES: Tuple[str, ...] = (
+    "protocols", "baselines", "asynchrony", "authenticated",
+)
+
+#: Packages additionally checked for tag declaredness only.
+DECLARED_ONLY_PACKAGES: Tuple[str, ...] = ("adversary",)
+
+#: Module basename fragments that mark adversarial (send-only) code.
+_ADVERSARY_HINTS = ("adversar", "attack", "chaos", "strategies")
+
+#: The grammar of a message tag: short, lowercase, identifier-like.
+TAG_RE = re.compile(r"^[a-z][a-z0-9_]{1,15}$")
+
+#: Variable names conventionally bound to a payload head.
+_HEAD_NAMES = {"kind", "tag"}
+
+
+def extract_message_types(path: str) -> Tuple[Dict[str, str], Set[str]]:
+    """Parse ``MESSAGE_TYPES`` / ``HANDLER_EXEMPT_TYPES`` out of *path*.
+
+    Reads the registry straight from the AST of ``repro/net/messages.py``
+    so the linter never has to import simulator code.  Raises
+    :class:`ValueError` if the registry is missing or not a literal —
+    the registry being machine-readable is part of the contract.
+    """
+    with open(path, encoding="utf-8") as handle:
+        tree = ast.parse(handle.read(), filename=path)
+    declared: Optional[Dict[str, str]] = None
+    exempt: Optional[Set[str]] = None
+    for node in tree.body:
+        target: Optional[ast.expr] = None
+        value: Optional[ast.expr] = None
+        if isinstance(node, ast.AnnAssign) and node.value is not None:
+            target, value = node.target, node.value
+        elif isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target, value = node.targets[0], node.value
+        if not isinstance(target, ast.Name) or value is None:
+            continue
+        if target.id == "MESSAGE_TYPES":
+            if not isinstance(value, ast.Dict):
+                raise ValueError(f"{path}: MESSAGE_TYPES must be a dict literal")
+            declared = {}
+            for key, val in zip(value.keys, value.values):
+                if (
+                    isinstance(key, ast.Constant)
+                    and isinstance(key.value, str)
+                    and isinstance(val, ast.Constant)
+                    and isinstance(val.value, str)
+                ):
+                    declared[key.value] = val.value
+                else:
+                    raise ValueError(
+                        f"{path}: MESSAGE_TYPES entries must be str: str literals"
+                    )
+        elif target.id == "HANDLER_EXEMPT_TYPES":
+            exempt = set()
+            elements: List[ast.expr] = []
+            if isinstance(value, ast.Call) and value.args:
+                inner = value.args[0]
+                if isinstance(inner, (ast.Set, ast.Tuple, ast.List)):
+                    elements = list(inner.elts)
+            elif isinstance(value, (ast.Set, ast.Tuple, ast.List)):
+                elements = list(value.elts)
+            for element in elements:
+                if isinstance(element, ast.Constant) and isinstance(
+                    element.value, str
+                ):
+                    exempt.add(element.value)
+    if declared is None:
+        raise ValueError(f"{path}: no MESSAGE_TYPES dict literal found")
+    return declared, exempt or set()
+
+
+def _is_adversary_module(module: str) -> bool:
+    basename = module.rsplit(".", 1)[-1]
+    return any(hint in basename for hint in _ADVERSARY_HINTS)
+
+
+def _is_head_expr(node: ast.expr) -> bool:
+    """Whether *node* reads a payload head: ``payload[0]`` or ``kind``."""
+    if isinstance(node, ast.Subscript):
+        index = node.slice
+        if isinstance(index, ast.Constant) and index.value == 0:
+            return True
+        return False
+    if isinstance(node, ast.Name):
+        return node.id in _HEAD_NAMES
+    return False
+
+
+class HandlerExhaustivenessRule(Rule):
+    """PL003: sent tags are handled; sent/handled tags are declared."""
+
+    rule_id = "PL003"
+    title = "handler exhaustiveness"
+
+    def __init__(self, config: "LintConfig") -> None:  # noqa: F821
+        super().__init__(config)
+        self._handled_anywhere: Set[str] = set()
+        self._registry_anchor: Optional[Tuple[str, int]] = None
+
+    # -- per-module pass -------------------------------------------------
+
+    def check(self, ctx: "ModuleContext") -> Iterator[Finding]:  # noqa: F821
+        declared = self.config.declared_tags or {}
+        exempt = self.config.handler_exempt_tags or set()
+        if ctx.module == "repro.net.messages":
+            self._note_registry(ctx)
+            return
+        symmetric = in_packages(ctx.module, SYMMETRY_PACKAGES) and not (
+            _is_adversary_module(ctx.module)
+        )
+        declared_only = in_packages(
+            ctx.module, SYMMETRY_PACKAGES + DECLARED_ONLY_PACKAGES
+        )
+        if not declared_only:
+            return
+        sent = self._collect_sent(ctx)
+        handled = self._collect_handled(ctx)
+        self._handled_anywhere.update(tag for tag, _ in handled)
+        for tag, node in sorted(sent, key=lambda item: (item[0], item[1].lineno)):
+            if tag not in declared:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"message tag {tag!r} is sent but not declared in "
+                    "repro.net.messages.MESSAGE_TYPES",
+                )
+        for tag, node in sorted(handled, key=lambda item: (item[0], item[1].lineno)):
+            if tag not in declared:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"handler references tag {tag!r} which is not declared "
+                    "in repro.net.messages.MESSAGE_TYPES",
+                )
+        if symmetric:
+            handled_tags = {tag for tag, _ in handled}
+            for tag, node in sorted(
+                sent, key=lambda item: (item[0], item[1].lineno)
+            ):
+                if tag in exempt or tag in handled_tags:
+                    continue
+                handled_tags.add(tag)  # report each unhandled tag once
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"message tag {tag!r} is sent by this module but never "
+                    "handled here; peers running this code will drop it",
+                )
+
+    # -- cross-module pass -----------------------------------------------
+
+    def finalize(self) -> Iterator[Finding]:
+        if self._registry_anchor is None:
+            return  # partial run: the registry module was not checked
+        declared = self.config.declared_tags or {}
+        exempt = self.config.handler_exempt_tags or set()
+        rel_path, line = self._registry_anchor
+        for tag in sorted(declared):
+            if tag in exempt or tag in self._handled_anywhere:
+                continue
+            yield Finding(
+                path=rel_path,
+                line=line,
+                rule=self.rule_id,
+                message=(
+                    f"declared message tag {tag!r} is handled by no checked "
+                    "module; remove the declaration or add a handler"
+                ),
+            )
+
+    # -- collection helpers ----------------------------------------------
+
+    def _note_registry(self, ctx: "ModuleContext") -> None:  # noqa: F821
+        line = 1
+        for node in ctx.tree.body:
+            target = None
+            if isinstance(node, ast.AnnAssign):
+                target = node.target
+            elif isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+            if isinstance(target, ast.Name) and target.id == "MESSAGE_TYPES":
+                line = node.lineno
+                break
+        self._registry_anchor = (ctx.rel_path, line)
+
+    def _collect_sent(
+        self, ctx: "ModuleContext"  # noqa: F821
+    ) -> List[Tuple[str, ast.AST]]:
+        # Tuples that are membership-test comparators (`x in ("up", "down")`)
+        # are option lists, not payloads; skip them.
+        comparators: Set[int] = set()
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Compare):
+                for comparator in node.comparators:
+                    comparators.add(id(comparator))
+        sent: List[Tuple[str, ast.AST]] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Tuple) or not node.elts:
+                continue
+            if id(node) in comparators:
+                continue
+            # An all-string tuple of length >= 2 is an enum/option tuple
+            # (payloads carry data after the tag head).
+            if len(node.elts) >= 2 and all(
+                isinstance(e, ast.Constant) and isinstance(e.value, str)
+                for e in node.elts
+            ):
+                continue
+            head = node.elts[0]
+            if (
+                isinstance(head, ast.Constant)
+                and isinstance(head.value, str)
+                and TAG_RE.match(head.value)
+            ):
+                sent.append((head.value, node))
+        return sent
+
+    def _collect_handled(
+        self, ctx: "ModuleContext"  # noqa: F821
+    ) -> List[Tuple[str, ast.AST]]:
+        handled: List[Tuple[str, ast.AST]] = []
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Compare):
+                handled.extend(self._handled_in_compare(node))
+            elif isinstance(node, ast.Call):
+                handled.extend(self._handled_in_call(node))
+        return handled
+
+    def _handled_in_compare(self, node: ast.Compare) -> List[Tuple[str, ast.AST]]:
+        out: List[Tuple[str, ast.AST]] = []
+        operands = [node.left] + list(node.comparators)
+        has_head = any(_is_head_expr(op) for op in operands)
+        if not has_head:
+            return out
+        for op, comparator in zip(node.ops, node.comparators):
+            if isinstance(op, (ast.Eq, ast.NotEq)):
+                for candidate in (node.left, comparator):
+                    if (
+                        isinstance(candidate, ast.Constant)
+                        and isinstance(candidate.value, str)
+                        and TAG_RE.match(candidate.value)
+                    ):
+                        out.append((candidate.value, node))
+            elif isinstance(op, (ast.In, ast.NotIn)) and isinstance(
+                comparator, (ast.Tuple, ast.List, ast.Set)
+            ):
+                for element in comparator.elts:
+                    if (
+                        isinstance(element, ast.Constant)
+                        and isinstance(element.value, str)
+                        and TAG_RE.match(element.value)
+                    ):
+                        out.append((element.value, node))
+        return out
+
+    def _handled_in_call(self, node: ast.Call) -> List[Tuple[str, ast.AST]]:
+        """Payload-parsing helper calls: ``_clean_vector(payload, "echo", ...)``."""
+        takes_payload = any(
+            isinstance(arg, ast.Name) and arg.id == "payload" for arg in node.args
+        )
+        if not takes_payload:
+            return []
+        out: List[Tuple[str, ast.AST]] = []
+        for arg in node.args:
+            if (
+                isinstance(arg, ast.Constant)
+                and isinstance(arg.value, str)
+                and TAG_RE.match(arg.value)
+            ):
+                out.append((arg.value, node))
+        return out

@@ -1,0 +1,133 @@
+"""PL004 — observer purity.
+
+Observability hooks (`on_round` observers wired into the synchronous
+network) exist to *watch* an execution: record transcripts, check
+invariants, export metrics.  The moment a hook mutates simulator state —
+rewrites a party's field, drains an inbox, or drives a party's round
+methods — the observed run diverges from the unobserved one, and every
+recorded trace becomes unreproducible evidence.
+
+This rule inspects every class that defines an ``on_round`` method.  In
+each method of such a class it flags:
+
+* assignments / augmented assignments / deletions whose target is rooted
+  in a non-``self`` parameter (the simulator state handed to the hook);
+* calls to known container mutators (``append``, ``add``, ``update``,
+  ``pop``, ``clear``, …) on receivers rooted in a parameter;
+* calls to the protocol-driving methods ``receive_round`` /
+  ``messages_for_round`` on parameter-rooted objects — an observer must
+  not advance the protocol.
+
+Mutating ``self`` (the observer's own records) is fine; that is what the
+hooks are for.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from ..findings import Finding
+from . import Rule, root_name
+
+#: Container methods that mutate their receiver in place.
+MUTATOR_METHODS = {
+    "append", "add", "update", "pop", "popitem", "clear", "remove",
+    "discard", "extend", "insert", "setdefault", "sort", "reverse",
+}
+
+#: Protocol-driving methods an observer must never call on watched state.
+DRIVER_METHODS = {"receive_round", "messages_for_round"}
+
+
+class ObserverPurityRule(Rule):
+    """PL004: ``on_round`` observers read simulator state, never mutate it."""
+
+    rule_id = "PL004"
+    title = "observer purity"
+
+    def check(self, ctx: "ModuleContext") -> Iterator[Finding]:  # noqa: F821
+        if not ctx.module.startswith("repro"):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            methods = [
+                item
+                for item in node.body
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+            ]
+            if not any(method.name == "on_round" for method in methods):
+                continue
+            for method in methods:
+                yield from self._check_method(ctx, method)
+
+    def _check_method(
+        self,
+        ctx: "ModuleContext",  # noqa: F821
+        method: ast.AST,
+    ) -> Iterator[Finding]:
+        args = method.args
+        params: Set[str] = {
+            arg.arg
+            for arg in (
+                list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+            )
+        }
+        for vararg in (args.vararg, args.kwarg):
+            if vararg is not None:
+                params.add(vararg.arg)
+        params.discard("self")
+        if not params:
+            return
+        for node in ast.walk(method):
+            if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    # A bare-Name rebind is a new local, not a mutation;
+                    # attribute/subscript targets write through the param.
+                    if isinstance(target, (ast.Attribute, ast.Subscript)):
+                        root = root_name(target)
+                        if root in params:
+                            yield self.finding(
+                                ctx,
+                                node,
+                                f"observer method {method.name!r} writes to "
+                                f"simulator state reachable from parameter "
+                                f"{root!r}; observers must only read",
+                            )
+            elif isinstance(node, ast.Delete):
+                for target in node.targets:
+                    root = root_name(target)
+                    if root in params:
+                        yield self.finding(
+                            ctx,
+                            node,
+                            f"observer method {method.name!r} deletes simulator "
+                            f"state reachable from parameter {root!r}",
+                        )
+            elif isinstance(node, ast.Call) and isinstance(
+                node.func, ast.Attribute
+            ):
+                root = root_name(node.func.value)
+                if root not in params:
+                    continue
+                if node.func.attr in MUTATOR_METHODS:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"observer method {method.name!r} calls mutator "
+                        f"`.{node.func.attr}(...)` on state reachable from "
+                        f"parameter {root!r}; observers must only read",
+                    )
+                elif node.func.attr in DRIVER_METHODS:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"observer method {method.name!r} drives the protocol "
+                        f"via `.{node.func.attr}(...)` on parameter {root!r}",
+                    )

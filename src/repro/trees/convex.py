@@ -62,7 +62,7 @@ def hull_is_path(tree: LabeledTree, anchors: Iterable[Label]) -> bool:
     """Whether ``⟨anchors⟩`` induces a path (every hull vertex has ≤ 2 hull
     neighbors)."""
     hull = convex_hull(tree, anchors)
-    for v in hull:
+    for v in sorted(hull):
         if sum(1 for n in tree.neighbors(v) if n in hull) > 2:
             return False
     return True

@@ -21,7 +21,7 @@ from __future__ import annotations
 import random
 from typing import List, Optional, Sequence, Tuple
 
-from .labeled_tree import Label, LabeledTree
+from .labeled_tree import LabeledTree
 
 
 def _labels(count: int, prefix: str = "v") -> List[str]:

@@ -12,7 +12,7 @@ with validation.  Algorithms that need a *rooted* view of the tree live in
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, List, Sequence, Tuple
+from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, List, Tuple
 
 Label = Hashable
 

@@ -11,7 +11,7 @@ Implements the notation of Section 2 of the paper:
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Sequence, Tuple
 
 from .labeled_tree import Label, LabeledTree
 
@@ -111,15 +111,21 @@ class TreePath:
         return self.reversed()
 
 
-def _bfs_parents(tree: LabeledTree, source: Label) -> Dict[Label, Optional[Label]]:
-    """BFS parent pointers from *source* over the whole tree."""
+def _bfs_parents(tree: LabeledTree, source: Label) -> Dict[Label, Label]:
+    """BFS parent pointers from *source* over the whole tree.
+
+    *source* itself has no entry, so every stored parent is a real vertex
+    and callers walking parent chains toward *source* need no None checks.
+    """
     tree.require_vertex(source)
-    parents: Dict[Label, Optional[Label]] = {source: None}
+    seen = {source}
+    parents: Dict[Label, Label] = {}
     queue = deque([source])
     while queue:
         current = queue.popleft()
         for neighbor in tree.neighbors(current):
-            if neighbor not in parents:
+            if neighbor not in seen:
+                seen.add(neighbor)
                 parents[neighbor] = current
                 queue.append(neighbor)
     return parents
@@ -134,9 +140,7 @@ def path_between(tree: LabeledTree, u: Label, v: Label) -> TreePath:
     parents = _bfs_parents(tree, u)
     chain: List[Label] = [v]
     while chain[-1] != u:
-        parent = parents[chain[-1]]
-        assert parent is not None
-        chain.append(parent)
+        chain.append(parents[chain[-1]])
     chain.reverse()
     return TreePath(chain)
 

@@ -9,7 +9,7 @@ this characterisation).
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, Iterable, Optional
+from typing import Dict, Iterable
 
 from .labeled_tree import Label, LabeledTree
 from .paths import TreePath

@@ -23,11 +23,11 @@ test suite.
 from __future__ import annotations
 
 from itertools import combinations
-from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
 
 from .convex import convex_hull
 from .labeled_tree import Label, LabeledTree
-from .paths import TreePath, diameter_path, path_between
+from .paths import TreePath, diameter_path
 
 
 def component_value_counts(

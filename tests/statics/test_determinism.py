@@ -1,0 +1,214 @@
+"""PL001 — protocol-layer determinism rule."""
+
+import textwrap
+
+from repro.statics import lint_source
+
+
+def pl001(source: str, module: str = "repro.core.snippet"):
+    findings = lint_source(textwrap.dedent(source), module=module, rule_ids=["PL001"])
+    assert all(f.rule == "PL001" for f in findings)
+    return findings
+
+
+class TestAmbientNondeterminism:
+    def test_random_module_call_flagged(self):
+        findings = pl001(
+            """
+            import random
+
+            def pick():
+                return random.random()
+            """
+        )
+        assert len(findings) == 1
+        assert "random.random" in findings[0].message
+
+    def test_seeded_random_constructor_allowed(self):
+        assert not pl001(
+            """
+            import random
+
+            def make_rng(seed):
+                return random.Random(seed)
+            """
+        )
+
+    def test_from_import_of_random_function_flagged(self):
+        findings = pl001(
+            """
+            from random import randint
+
+            def roll():
+                return randint(1, 6)
+            """
+        )
+        # The import itself and the call are both reported.
+        assert len(findings) == 2
+        assert any("from random import randint" in f.message for f in findings)
+
+    def test_from_import_of_seeded_random_allowed(self):
+        assert not pl001(
+            """
+            from random import Random
+
+            def make_rng(seed):
+                return Random(seed)
+            """
+        )
+
+    def test_time_and_uuid_flagged(self):
+        findings = pl001(
+            """
+            import time
+            import uuid
+
+            def stamp():
+                return time.time(), uuid.uuid4()
+            """
+        )
+        messages = " ".join(f.message for f in findings)
+        assert "time.time" in messages
+        assert "uuid.uuid4" in messages
+
+    def test_os_urandom_flagged(self):
+        findings = pl001(
+            """
+            import os
+
+            def entropy():
+                return os.urandom(8)
+            """
+        )
+        assert len(findings) == 1
+        assert "os.urandom" in findings[0].message
+
+    def test_wall_clock_datetime_flagged(self):
+        findings = pl001(
+            """
+            from datetime import datetime
+
+            def when():
+                return datetime.now()
+            """
+        )
+        assert len(findings) == 1
+        assert "wall clock" in findings[0].message
+
+    def test_non_protocol_module_out_of_scope(self):
+        source = """
+        import random
+
+        def pick():
+            return random.random()
+        """
+        assert not pl001(source, module="repro.analysis.snippet")
+        assert not pl001(source, module="repro.observability.snippet")
+
+
+class TestSetIterationOrder:
+    def test_for_loop_over_set_local_flagged(self):
+        findings = pl001(
+            """
+            def walk():
+                members = {1, 2, 3}
+                for m in members:
+                    yield m
+            """
+        )
+        assert len(findings) == 1
+        assert "bare set" in findings[0].message
+
+    def test_sorted_iteration_allowed(self):
+        assert not pl001(
+            """
+            def walk():
+                members = {1, 2, 3}
+                for m in sorted(members):
+                    yield m
+            """
+        )
+
+    def test_known_set_attribute_flagged(self):
+        findings = pl001(
+            """
+            def drain(execution):
+                return [p for p in execution.honest]
+            """
+        )
+        assert len(findings) == 1
+
+    def test_order_insensitive_reducer_exempt(self):
+        assert not pl001(
+            """
+            def total(execution):
+                return sum(p for p in execution.honest)
+            """
+        )
+
+    def test_annotated_parameter_flagged(self):
+        findings = pl001(
+            """
+            from typing import Set
+
+            def walk(members: Set[int]):
+                for m in members:
+                    yield m
+            """
+        )
+        assert len(findings) == 1
+
+    def test_set_algebra_flagged(self):
+        findings = pl001(
+            """
+            def diff():
+                a = {1, 2}
+                b = {2, 3}
+                for x in a - b:
+                    yield x
+            """
+        )
+        assert len(findings) == 1
+
+    def test_list_iteration_not_flagged(self):
+        assert not pl001(
+            """
+            def walk():
+                members = [1, 2, 3]
+                for m in members:
+                    yield m
+            """
+        )
+
+
+class TestSuppression:
+    def test_same_line_disable_silences(self):
+        assert not pl001(
+            """
+            import random
+
+            def pick():
+                return random.random()  # protolint: disable=PL001
+            """
+        )
+
+    def test_disable_all_silences(self):
+        assert not pl001(
+            """
+            def walk():
+                members = {1, 2}
+                for m in members:  # protolint: disable=all
+                    yield m
+            """
+        )
+
+    def test_disable_other_rule_does_not_silence(self):
+        findings = pl001(
+            """
+            import random
+
+            def pick():
+                return random.random()  # protolint: disable=PL002
+            """
+        )
+        assert len(findings) == 1

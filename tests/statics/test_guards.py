@@ -1,0 +1,72 @@
+"""PL002 — guard discipline (no bare assert in shipped simulator code)."""
+
+import textwrap
+
+from repro.statics import lint_source
+
+
+def pl002(source: str, module: str = "repro.protocols.snippet"):
+    findings = lint_source(textwrap.dedent(source), module=module, rule_ids=["PL002"])
+    assert all(f.rule == "PL002" for f in findings)
+    return findings
+
+
+class TestBareAssert:
+    def test_assert_flagged(self):
+        findings = pl002(
+            """
+            def check(x):
+                assert x >= 0
+            """
+        )
+        assert len(findings) == 1
+        assert "python -O" in findings[0].message
+
+    def test_assert_message_included_in_finding(self):
+        findings = pl002(
+            """
+            def check(engine):
+                assert engine is not None, "engine missing"
+            """
+        )
+        assert len(findings) == 1
+        assert "engine missing" in findings[0].message
+
+    def test_raise_based_guard_clean(self):
+        assert not pl002(
+            """
+            from repro.net.protocol import ProtocolStateError
+
+            def check(engine):
+                if engine is None:
+                    raise ProtocolStateError("engine missing")
+            """
+        )
+
+    def test_every_assert_reported(self):
+        findings = pl002(
+            """
+            def check(x, y):
+                assert x
+                assert y
+            """
+        )
+        assert len(findings) == 2
+        assert findings[0].line != findings[1].line
+
+    def test_suppression(self):
+        assert not pl002(
+            """
+            def check(x):
+                assert x >= 0  # protolint: disable=PL002
+            """
+        )
+
+    def test_applies_across_repro_packages(self):
+        # Unlike PL001, guard discipline covers every shipped package.
+        for module in (
+            "repro.analysis.snippet",
+            "repro.observability.snippet",
+            "repro.trees.snippet",
+        ):
+            assert len(pl002("assert True\n", module=module)) == 1

@@ -1,0 +1,251 @@
+"""PL003 — handler exhaustiveness against the message-type registry."""
+
+import os
+import textwrap
+
+import pytest
+
+from repro.statics import LintConfig, lint_contexts, lint_source, parse_module
+from repro.statics.discovery import source_root
+from repro.statics.rules.handlers import extract_message_types
+
+CONFIG_TAGS = {
+    "val": "test value message",
+    "echo": "test echo message",
+    "ds": "signature preimage",
+}
+EXEMPT = {"ds"}
+
+
+def pl003(source: str, module: str = "repro.protocols.snippet"):
+    config = LintConfig(declared_tags=dict(CONFIG_TAGS), handler_exempt_tags=set(EXEMPT))
+    findings = lint_source(
+        textwrap.dedent(source), module=module, rule_ids=["PL003"], config=config
+    )
+    assert all(f.rule == "PL003" for f in findings)
+    return findings
+
+
+class TestDeclaredness:
+    def test_sent_undeclared_tag_flagged(self):
+        findings = pl003(
+            """
+            def send(n):
+                return {r: ("mystery", 1) for r in range(n)}
+            """
+        )
+        # Both facets fire: the tag is undeclared AND the module never
+        # handles what it sends.
+        assert len(findings) == 2
+        assert all("'mystery'" in f.message for f in findings)
+        assert any("not declared" in f.message for f in findings)
+        assert any("never handled" in f.message for f in findings)
+
+    def test_handled_undeclared_tag_flagged(self):
+        findings = pl003(
+            """
+            def handle(payload):
+                if payload[0] == "mystery":
+                    return payload[1]
+            """
+        )
+        assert len(findings) == 1
+        assert "handler references tag 'mystery'" in findings[0].message
+
+    def test_declared_send_and_handle_clean(self):
+        assert not pl003(
+            """
+            def send(value, n):
+                return {r: ("val", value) for r in range(n)}
+
+            def handle(payload):
+                if payload[0] == "val":
+                    return payload[1]
+            """
+        )
+
+
+class TestSymmetry:
+    def test_sent_but_unhandled_flagged_once(self):
+        findings = pl003(
+            """
+            def send_a(value, n):
+                return {r: ("val", value) for r in range(n)}
+
+            def send_b(value, n):
+                return {r: ("val", value, 2) for r in range(n)}
+            """
+        )
+        assert len(findings) == 1
+        assert "never handled" in findings[0].message
+
+    def test_exempt_tag_skips_symmetry(self):
+        assert not pl003(
+            """
+            def sign(session, origin, value):
+                return ("ds", session, origin, value)
+            """
+        )
+
+    def test_membership_handling_counts(self):
+        assert not pl003(
+            """
+            def send(value, n):
+                return {r: ("val", value) for r in range(n)}
+
+            def handle(payload):
+                kind = payload[0]
+                if kind in ("val", "echo"):
+                    return payload[1]
+            """
+        )
+
+    def test_payload_helper_call_counts(self):
+        assert not pl003(
+            """
+            def handle(payload, n):
+                return clean(payload, "echo", n)
+
+            def send(vector, n):
+                return {r: ("echo", vector) for r in range(n)}
+            """
+        )
+
+    def test_adversary_module_declaredness_only(self):
+        # Adversaries forge messages without handling them: sending a
+        # declared tag is fine, an undeclared one is still flagged.
+        src = """
+        def forge(n):
+            return [(r, ("val", 0.0)) for r in range(n)]
+        """
+        assert not pl003(src, module="repro.adversary.snippet")
+        bad = """
+        def forge(n):
+            return [(r, ("junkjunk", 0.0)) for r in range(n)]
+        """
+        findings = pl003(bad, module="repro.adversary.snippet")
+        assert len(findings) == 1
+        assert "not declared" in findings[0].message
+
+    def test_out_of_scope_package_ignored(self):
+        assert not pl003(
+            """
+            def helper(n):
+                return ("whatever", n)
+            """,
+            module="repro.analysis.snippet",
+        )
+
+
+class TestFalsePositiveGuards:
+    def test_enum_tuple_not_a_send(self):
+        assert not pl003(
+            """
+            BEHAVIOURS = ("faithful", "silent", "noisy")
+            """
+        )
+
+    def test_membership_comparator_not_a_send(self):
+        assert not pl003(
+            """
+            def check(direction):
+                if direction not in ("up", "down"):
+                    raise ValueError(direction)
+            """
+        )
+
+    def test_non_tag_shaped_head_ignored(self):
+        assert not pl003(
+            """
+            def pair():
+                return ("A Long Sentence Head!", 1)
+            """
+        )
+
+    def test_suppression(self):
+        assert not pl003(
+            """
+            def send(n):
+                return {r: ("mystery", 1) for r in range(n)}  # protolint: disable=PL003
+            """
+        )
+
+
+class TestRegistryExtraction:
+    def test_real_registry_parses(self):
+        path = os.path.join(source_root(), "repro", "net", "messages.py")
+        declared, exempt = extract_message_types(path)
+        assert "val" in declared
+        assert "echo" in declared
+        assert exempt <= set(declared)
+
+    def test_missing_registry_raises(self, tmp_path):
+        stub = tmp_path / "messages.py"
+        stub.write_text("X = 1\n")
+        with pytest.raises(ValueError):
+            extract_message_types(str(stub))
+
+    def test_non_literal_registry_raises(self, tmp_path):
+        stub = tmp_path / "messages.py"
+        stub.write_text("MESSAGE_TYPES = dict(val='v')\n")
+        with pytest.raises(ValueError):
+            extract_message_types(str(stub))
+
+
+class TestDeadDeclarations:
+    def _contexts(self, declared_body: str, protocol_body: str):
+        registry = parse_module(
+            "<memory>",
+            "src/repro/net/messages.py",
+            "repro.net.messages",
+            source=textwrap.dedent(declared_body),
+        )
+        protocol = parse_module(
+            "<memory>",
+            "src/repro/protocols/snippet.py",
+            "repro.protocols.snippet",
+            source=textwrap.dedent(protocol_body),
+        )
+        return [registry, protocol]
+
+    def test_declared_never_handled_reported_at_registry(self):
+        contexts = self._contexts(
+            """
+            MESSAGE_TYPES = {"val": "value", "ghost": "never used"}
+            """,
+            """
+            def handle(payload):
+                if payload[0] == "val":
+                    return payload[1]
+            """,
+        )
+        config = LintConfig(
+            declared_tags={"val": "value", "ghost": "never used"},
+            handler_exempt_tags=set(),
+        )
+        result = lint_contexts(contexts, rule_ids=["PL003"], config=config)
+        assert len(result.findings) == 1
+        finding = result.findings[0]
+        assert finding.path == "src/repro/net/messages.py"
+        assert "'ghost'" in finding.message
+
+    def test_no_dead_check_without_registry_context(self):
+        # A partial run (linting one file) must not claim every other tag
+        # is dead just because its handlers were not in scope.
+        config = LintConfig(
+            declared_tags={"val": "value", "ghost": "never used"},
+            handler_exempt_tags=set(),
+        )
+        findings = lint_source(
+            textwrap.dedent(
+                """
+                def handle(payload):
+                    if payload[0] == "val":
+                        return payload[1]
+                """
+            ),
+            module="repro.protocols.snippet",
+            rule_ids=["PL003"],
+            config=config,
+        )
+        assert not findings

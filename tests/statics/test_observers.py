@@ -1,0 +1,127 @@
+"""PL004 — observer purity (on_round hooks read, never mutate)."""
+
+import textwrap
+
+from repro.statics import lint_source
+
+
+def pl004(source: str, module: str = "repro.observability.snippet"):
+    findings = lint_source(textwrap.dedent(source), module=module, rule_ids=["PL004"])
+    assert all(f.rule == "PL004" for f in findings)
+    return findings
+
+
+class TestMutationDetection:
+    def test_attribute_write_through_parameter_flagged(self):
+        findings = pl004(
+            """
+            class Meddler:
+                def on_round(self, round_index, honest, byz, parties, corrupted):
+                    parties[0].value = 42.0
+            """
+        )
+        assert len(findings) == 1
+        assert "writes to" in findings[0].message
+
+    def test_mutator_call_on_parameter_flagged(self):
+        findings = pl004(
+            """
+            class Meddler:
+                def on_round(self, round_index, honest, byz, parties, corrupted):
+                    parties[0].bad.add(3)
+            """
+        )
+        assert len(findings) == 1
+        assert ".add(" in findings[0].message
+
+    def test_driving_the_protocol_flagged(self):
+        findings = pl004(
+            """
+            class Meddler:
+                def on_round(self, round_index, honest, byz, parties, corrupted):
+                    parties[0].receive_round(round_index, {})
+            """
+        )
+        assert len(findings) == 1
+        assert "drives the protocol" in findings[0].message
+
+    def test_delete_flagged(self):
+        findings = pl004(
+            """
+            class Meddler:
+                def on_round(self, round_index, honest, byz, parties, corrupted):
+                    del parties[0]
+            """
+        )
+        assert len(findings) == 1
+        assert "deletes" in findings[0].message
+
+    def test_helper_methods_also_checked(self):
+        # Mutations hidden behind a helper of the same observer class still
+        # touch simulator state.
+        findings = pl004(
+            """
+            class Meddler:
+                def on_round(self, round_index, honest, byz, parties, corrupted):
+                    self._tweak(parties)
+
+                def _tweak(self, parties):
+                    parties[0].value = 0.0
+            """
+        )
+        assert len(findings) == 1
+
+
+class TestPureObservers:
+    def test_reading_and_recording_clean(self):
+        assert not pl004(
+            """
+            class Recorder:
+                def __init__(self):
+                    self.rows = []
+
+                def on_round(self, round_index, honest, byz, parties, corrupted):
+                    values = [parties[p].value for p in sorted(honest)]
+                    self.rows.append((round_index, values))
+            """
+        )
+
+    def test_self_mutation_is_fine(self):
+        assert not pl004(
+            """
+            class Counter:
+                def __init__(self):
+                    self.seen = set()
+
+                def on_round(self, round_index, honest, byz, parties, corrupted):
+                    self.seen.add(round_index)
+            """
+        )
+
+    def test_local_rebind_is_fine(self):
+        assert not pl004(
+            """
+            class Recorder:
+                def on_round(self, round_index, honest, byz, parties, corrupted):
+                    honest = sorted(honest)
+                    return honest
+            """
+        )
+
+    def test_classes_without_on_round_ignored(self):
+        assert not pl004(
+            """
+            class NotAnObserver:
+                def poke(self, parties):
+                    parties[0].value = 1.0
+            """
+        )
+
+    def test_suppression(self):
+        assert not pl004(
+            """
+            class Meddler:
+                def on_round(self, round_index, honest, byz, parties, corrupted):
+                    parties[0].value = 42.0  # protolint: disable=PL004
+            """
+        )

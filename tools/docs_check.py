@@ -13,9 +13,10 @@ Two checks, both run by CI's ``docs`` job (and runnable locally):
    only drown the docstrings that matter.
 
 2. **Executable documentation** — every fenced ````` ```python ````` block
-   in README.md and docs/OBSERVABILITY.md is executed (with ``src/`` on
-   ``sys.path`` and the sweep cache redirected to a throwaway directory),
-   so the documented quickstarts can never silently rot.
+   in README.md, docs/OBSERVABILITY.md and docs/STATIC_ANALYSIS.md is
+   executed (with ``src/`` on ``sys.path`` and the sweep cache redirected
+   to a throwaway directory), so the documented quickstarts can never
+   silently rot.
 
 Exit status is non-zero on any failure, with one line per offence.
 
@@ -31,19 +32,22 @@ import tempfile
 REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 SRC = os.path.join(REPO, "src")
 PACKAGE_ROOT = os.path.join(SRC, "repro")
-EXECUTED_DOCS = ["README.md", os.path.join("docs", "OBSERVABILITY.md")]
+EXECUTED_DOCS = [
+    "README.md",
+    os.path.join("docs", "OBSERVABILITY.md"),
+    os.path.join("docs", "STATIC_ANALYSIS.md"),
+]
+
+sys.path.insert(0, SRC)
+
+# The same deterministic source-tree walk the protocol-invariant linter
+# uses, so the two gates can never disagree about which files exist.
+from repro.statics.discovery import iter_source_files  # noqa: E402
 
 
 # ----------------------------------------------------------------------
 # Check 1: docstring coverage
 # ----------------------------------------------------------------------
-
-
-def iter_source_files():
-    for dirpath, _dirnames, filenames in os.walk(PACKAGE_ROOT):
-        for filename in sorted(filenames):
-            if filename.endswith(".py"):
-                yield os.path.join(dirpath, filename)
 
 
 def is_public(name):
@@ -69,7 +73,7 @@ def missing_docstrings(path):
 def check_docstrings():
     failures = []
     checked = 0
-    for path in iter_source_files():
+    for path in iter_source_files(PACKAGE_ROOT):
         checked += 1
         rel = os.path.relpath(path, REPO)
         for lineno, description in missing_docstrings(path):
@@ -95,7 +99,6 @@ def python_blocks(path):
 
 def run_doc_blocks():
     failures = []
-    sys.path.insert(0, SRC)
     executed = 0
     with tempfile.TemporaryDirectory() as tmpdir:
         os.environ["REPRO_SWEEP_CACHE"] = os.path.join(tmpdir, "cache")

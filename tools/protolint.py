@@ -1,0 +1,21 @@
+#!/usr/bin/env python
+"""Standalone entry point for the protocol-invariant linter.
+
+This is the front end CI runs (``python tools/protolint.py --json``); it
+is a thin shim over :mod:`repro.statics.cli`, the same engine behind the
+``repro lint`` subcommand.  Exit codes: 0 clean, 1 findings, 2 usage
+error.  See docs/STATIC_ANALYSIS.md for the rule catalog.
+"""
+
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+)
+
+from repro.statics.cli import run  # noqa: E402
+
+
+if __name__ == "__main__":
+    sys.exit(run(prog="protolint"))
