@@ -1,7 +1,7 @@
 """Byzantine adversary strategies for the synchronous network."""
 
 from .base import Adversary, NoAdversary, PassiveAdversary, PuppetDrivingAdversary
-from .chaos import ChaosAdversary
+from .chaos import ChaosAdversary, ChaosLogEntry
 from .strategies import (
     AdaptiveCrashAdversary,
     ConsistentLiarAdversary,
@@ -23,4 +23,5 @@ __all__ = [
     "EchoAdversary",
     "AdaptiveCrashAdversary",
     "ChaosAdversary",
+    "ChaosLogEntry",
 ]

@@ -15,11 +15,14 @@ it complements the targeted attacks in
 from __future__ import annotations
 
 import random
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..net.messages import Outbox, PartyId
 from ..net.network import AdversaryView
 from .base import PuppetDrivingAdversary
+
+#: One chaos decision: (round, corrupted pid, behaviour name).
+ChaosLogEntry = Tuple[int, PartyId, str]
 
 
 class ChaosAdversary(PuppetDrivingAdversary):
@@ -32,6 +35,16 @@ class ChaosAdversary(PuppetDrivingAdversary):
     weights:
         Optional mapping from behaviour name (``faithful``, ``silent``,
         ``stale``, ``junk``, ``mirror``) to relative weight.
+    script:
+        Optional replay script: ``(round, pid, behaviour)`` triples, the
+        exact format of :attr:`log`.  When given, behaviour choices come
+        from the script instead of the weighted draw — any ``(round,
+        pid)`` pair absent from the script behaves faithfully — which is
+        what lets the shrinker truncate a recorded chaos log and check
+        whether a shorter script still reproduces a violation.  Payload-
+        level draws (junk selection, mirror sampling) still come from the
+        seeded generator, so a scripted adversary is as deterministic as
+        a free-running one.
     """
 
     BEHAVIOURS = ("faithful", "silent", "stale", "junk", "mirror")
@@ -56,6 +69,7 @@ class ChaosAdversary(PuppetDrivingAdversary):
         seed: int = 0,
         weights: Optional[Dict[str, float]] = None,
         corrupt: Optional[Sequence[PartyId]] = None,
+        script: Optional[Iterable[ChaosLogEntry]] = None,
     ) -> None:
         super().__init__(corrupt)
         self._rng = random.Random(seed)
@@ -64,30 +78,53 @@ class ChaosAdversary(PuppetDrivingAdversary):
         self._weights = [max(0.0, weights.get(name, 1.0)) for name in self._names]
         if not any(self._weights):
             raise ValueError("at least one behaviour needs positive weight")
+        self._script: Optional[Dict[Tuple[int, PartyId], str]] = None
+        if script is not None:
+            self._script = {}
+            for round_index, party, behaviour in script:
+                if behaviour not in self.BEHAVIOURS:
+                    raise ValueError(f"unknown scripted behaviour {behaviour!r}")
+                self._script[(round_index, party)] = behaviour
         self._stale: Dict[PartyId, Outbox] = {}
         #: (round, pid, behaviour) log, for debugging reproductions.
-        self.log: List = []
+        self.log: List[ChaosLogEntry] = []
 
     def transform_outbox(
         self, pid: PartyId, view: AdversaryView, faithful: Outbox
     ) -> Outbox:
-        behaviour = self._rng.choices(self._names, weights=self._weights)[0]
+        if self._script is not None:
+            behaviour = self._script.get((view.round_index, pid), "faithful")
+        else:
+            behaviour = self._rng.choices(self._names, weights=self._weights)[0]
         self.log.append((view.round_index, pid, behaviour))
+        # Snapshot what the party *would* have sent every round, whatever
+        # behaviour was drawn: "stale" then always replays the previous
+        # round's faithful outbox rather than degenerating into "silent"
+        # whenever no faithful round happened to precede it.
+        previous = self._stale.get(pid)
+        self._stale[pid] = dict(faithful)
         if behaviour == "faithful":
-            self._stale[pid] = dict(faithful)
             return faithful
         if behaviour == "silent":
             return {}
         if behaviour == "stale":
-            return dict(self._stale.get(pid, {}))
+            return dict(previous) if previous is not None else dict(faithful)
         if behaviour == "junk":
             return {
                 recipient: self._rng.choice(self._JUNK)
                 for recipient in range(view.n)
                 if self._rng.random() < 0.7
             }
-        # mirror: replay some honest party's current payload to everyone
-        for sender in sorted(view.honest_messages):
-            for payload in view.honest_messages[sender].values():
-                return {recipient: payload for recipient in range(view.n)}
-        return {}
+        # mirror: replay a seeded-random honest party's payload to everyone
+        candidates = [
+            sender
+            for sender in sorted(view.honest_messages)
+            if view.honest_messages[sender]
+        ]
+        if not candidates:
+            return {}
+        sender = self._rng.choice(candidates)
+        outbox = view.honest_messages[sender]
+        recipient_key = self._rng.choice(sorted(outbox, key=repr))
+        payload = outbox[recipient_key]
+        return {recipient: payload for recipient in range(view.n)}

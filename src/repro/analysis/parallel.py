@@ -59,9 +59,10 @@ def get_runner(name: str) -> PointRunner:
     """Resolve a runner by registry name or ``module:function`` path."""
     if name not in _RUNNERS:
         # The built-in runners are registered as a side effect of
-        # importing the sweep module — make sure that happened (worker
-        # processes import this module first).
+        # importing their defining modules — make sure that happened
+        # (worker processes import this module first).
         importlib.import_module("repro.analysis.sweep")
+        importlib.import_module("repro.resilience.campaign")
     if name in _RUNNERS:
         return _RUNNERS[name]
     if ":" in name:

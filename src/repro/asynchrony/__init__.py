@@ -32,6 +32,7 @@ from .network import (
     Scheduler,
     ScriptedScheduler,
     SplitScheduler,
+    StallDiagnosis,
     run_async_protocol,
 )
 from .rbc import BrachaBroadcast, RBCParty
@@ -42,6 +43,7 @@ __all__ = [
     "AsynchronousNetwork",
     "AsyncExecutionResult",
     "AsyncTrace",
+    "StallDiagnosis",
     "run_async_protocol",
     "Scheduler",
     "FIFOScheduler",

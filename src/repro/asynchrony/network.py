@@ -26,6 +26,7 @@ import abc
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
+from ..net.faults import FaultInjector, FaultPlan
 from ..net.messages import PartyId
 from ..net.network import ByzantineModelError, payload_units
 
@@ -167,6 +168,55 @@ class AsyncTrace:
     byzantine_message_count: int = 0
     honest_payload_units: int = 0
     forced_fair_deliveries: int = 0
+    #: Honest messages altered by an attached :class:`~repro.net.faults
+    #: .FaultPlan` (all stay 0 on model-clean executions).
+    faults_dropped: int = 0
+    faults_duplicated: int = 0
+    faults_corrupted: int = 0
+
+
+@dataclass
+class StallDiagnosis:
+    """Structured post-mortem of an execution that did not complete.
+
+    Attached to :class:`AsyncExecutionResult` whenever some honest party
+    never produced an output — whether the step budget ran out or the
+    pending pool simply drained (e.g. honest traffic dropped by a fault
+    plan).  ``completed=False`` alone says *that* a run stalled; this
+    object says *where*: which parties are stuck and whose traffic is
+    still in flight.
+    """
+
+    #: Delivery steps executed when the run gave up.
+    steps: int
+    #: Step budget the run was configured with.
+    max_steps: int
+    #: Messages still pending, total and broken down by endpoint.
+    pending_total: int
+    pending_by_sender: Dict[PartyId, int]
+    pending_by_recipient: Dict[PartyId, int]
+    #: Age (in steps) of the oldest pending message, ``None`` if none.
+    oldest_pending_age: Optional[int]
+    #: Per-honest-party finished flags, and the stuck subset.
+    finished: Dict[PartyId, bool]
+    unfinished: List[PartyId]
+
+    @property
+    def budget_exhausted(self) -> bool:
+        """Whether the stall was the step limit (vs. a drained queue)."""
+        return self.steps >= self.max_steps
+
+    def summary(self) -> str:
+        """One human-readable line for logs and campaign reports."""
+        cause = (
+            "step budget exhausted" if self.budget_exhausted
+            else "pending queue drained"
+        )
+        return (
+            f"stalled after {self.steps} steps ({cause}): "
+            f"{len(self.unfinished)} honest unfinished "
+            f"{self.unfinished}, {self.pending_total} pending"
+        )
 
 
 @dataclass
@@ -180,6 +230,8 @@ class AsyncExecutionResult:
     parties: Dict[PartyId, AsyncParty]
     #: Whether every honest party finished before the step limit.
     completed: bool
+    #: ``None`` when completed; otherwise a structured stall post-mortem.
+    stall: Optional[StallDiagnosis] = None
 
     @property
     def honest_outputs(self) -> Dict[PartyId, Any]:
@@ -209,6 +261,13 @@ class AsynchronousNetwork:
     max_steps:
         Hard safety limit; exceeding it marks the run incomplete rather
         than looping forever.
+    fault_plan:
+        An optional :class:`~repro.net.faults.FaultPlan` applied to
+        honest traffic as it is *enqueued* (the plan's round window is
+        interpreted over delivery steps at send time).  Dropping honest
+        messages breaks eventual delivery — the reason the plan requires
+        ``allow_model_violations=True`` — and typically surfaces as a
+        stall, which the returned :class:`StallDiagnosis` explains.
     """
 
     def __init__(
@@ -219,6 +278,7 @@ class AsynchronousNetwork:
         scheduler: Optional[Scheduler] = None,
         fairness_window: Optional[int] = None,
         max_steps: int = 200_000,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         n = len(parties)
         if sorted(parties) != list(range(n)):
@@ -236,6 +296,9 @@ class AsynchronousNetwork:
         self.trace = AsyncTrace()
         self.corrupted: Set[PartyId] = set()
         self._seq = 0
+        self.fault_injector: Optional[FaultInjector] = (
+            FaultInjector(fault_plan) if fault_plan is not None else None
+        )
         if adversary is not None:
             self.corrupted = set(adversary.initial_corruptions(n, t))
             if len(self.corrupted) > t:
@@ -259,15 +322,22 @@ class AsynchronousNetwork:
         for recipient, payload in outbox:
             if not 0 <= recipient < self.n:
                 continue
-            self.pending.append(
-                AsyncMessage(sender, recipient, payload, self.trace.steps, self._seq)
-            )
-            self._seq += 1
             if honest:
+                # Sent accounting happens before the fault plan: the
+                # trace answers "what was emitted", the fault counters
+                # answer "what the channel did to it".
                 self.trace.honest_message_count += 1
                 self.trace.honest_payload_units += payload_units(payload)
             else:
                 self.trace.byzantine_message_count += 1
+            copies = [payload]
+            if honest and self.fault_injector is not None:
+                copies = self.fault_injector.transmit(self.trace.steps, payload)
+            for copy in copies:
+                self.pending.append(
+                    AsyncMessage(sender, recipient, copy, self.trace.steps, self._seq)
+                )
+                self._seq += 1
 
     def _enqueue_byzantine(self, injections) -> None:
         for sender, recipient, payload in injections:
@@ -303,14 +373,47 @@ class AsynchronousNetwork:
                         self.adversary.on_step(message, self)
                     )
 
+        if self.fault_injector is not None:
+            self.trace.faults_dropped = self.fault_injector.dropped
+            self.trace.faults_duplicated = self.fault_injector.duplicated
+            self.trace.faults_corrupted = self.fault_injector.corrupted
         outputs = {pid: self.parties[pid].output for pid in range(self.n)}
+        completed = self._all_honest_finished()
         return AsyncExecutionResult(
             outputs=outputs,
             honest=self._honest(),
             corrupted=set(self.corrupted),
             trace=self.trace,
             parties=self.parties,
-            completed=self._all_honest_finished(),
+            completed=completed,
+            stall=None if completed else self._diagnose_stall(),
+        )
+
+    def _diagnose_stall(self) -> StallDiagnosis:
+        """Explain an incomplete run: who is stuck, what is still in flight."""
+        by_sender: Dict[PartyId, int] = {}
+        by_recipient: Dict[PartyId, int] = {}
+        oldest: Optional[int] = None
+        for message in self.pending:
+            by_sender[message.sender] = by_sender.get(message.sender, 0) + 1
+            by_recipient[message.recipient] = (
+                by_recipient.get(message.recipient, 0) + 1
+            )
+            age = self.trace.steps - message.step
+            if oldest is None or age > oldest:
+                oldest = age
+        finished = {
+            pid: self.parties[pid].finished for pid in sorted(self._honest())
+        }
+        return StallDiagnosis(
+            steps=self.trace.steps,
+            max_steps=self.max_steps,
+            pending_total=len(self.pending),
+            pending_by_sender=by_sender,
+            pending_by_recipient=by_recipient,
+            oldest_pending_age=oldest,
+            finished=finished,
+            unfinished=[pid for pid, done in finished.items() if not done],
         )
 
     def _all_honest_finished(self) -> bool:
@@ -349,6 +452,7 @@ def run_async_protocol(
     scheduler: Optional[Scheduler] = None,
     fairness_window: Optional[int] = None,
     max_steps: int = 200_000,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> AsyncExecutionResult:
     """Build parties, wire the adversary and scheduler, run to completion."""
     parties = {pid: party_factory(pid) for pid in range(n)}
@@ -359,5 +463,6 @@ def run_async_protocol(
         scheduler=scheduler,
         fairness_window=fairness_window,
         max_steps=max_steps,
+        fault_plan=fault_plan,
     )
     return network.run()

@@ -16,6 +16,11 @@ Commands
 ``bounds``      print the paper's round bounds for given parameters
 ``lint``        run the protocol-invariant linter (rules PL001-PL004;
                 same engine and flags as ``tools/protolint.py``)
+``campaign``    run a seeded fault-injection campaign with invariant
+                oracles (``--count``, ``--seed``, degradation knobs)
+``shrink``      delta-debug a violating scenario JSON to a minimal
+                reproduction (``repro campaign --save-violations`` or a
+                corpus file supplies the input)
 ``make-tree``   generate a tree and print it (edges / JSON / DOT)
 ``chain-demo``  execute Fekete's one-round chain-of-views construction
 
@@ -468,6 +473,128 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return lint_run(args.lint_args, prog="repro lint")
 
 
+def cmd_campaign(args: argparse.Namespace) -> int:
+    """Run a seeded resilience campaign and summarise the verdicts.
+
+    Exit code 0 when every scenario satisfies every oracle, 1 otherwise —
+    so a clean campaign doubles as a CI gate.
+    """
+    import json as json_module
+
+    from .resilience import CampaignConfig, run_campaign
+
+    overrides = {}
+    if args.protocols:
+        overrides["protocols"] = tuple(args.protocols.split(","))
+    if args.adversaries:
+        overrides["adversaries"] = tuple(args.adversaries.split(","))
+    try:
+        config = CampaignConfig(
+            count=args.count,
+            seed=args.seed,
+            corruption_ratio=args.corruption_ratio,
+            max_fault_probability=args.fault_probability,
+            allow_model_violations=args.allow_model_violations,
+            epsilon=args.epsilon,
+            **overrides,
+        )
+    except ValueError as exc:
+        raise CLIError(str(exc)) from None
+    try:
+        report = run_campaign(
+            config,
+            jobs=args.jobs,
+            cache_dir=args.cache_dir,
+            no_cache=args.no_cache,
+            jsonl_path=args.jsonl,
+        )
+    except ValueError as exc:
+        # e.g. a typo'd --protocols/--adversaries name surfacing as a
+        # ScenarioError during generation
+        raise CLIError(str(exc)) from None
+    print(report.summary())
+    if report.violating_rows:
+        print()
+        rows = [
+            [
+                row["protocol"],
+                row["adversary"],
+                f"n={row['n']},t={row['t']},|F|={row['n_corrupt']}",
+                ",".join(row["violated"]),
+            ]
+            for row in report.violating_rows[: args.show]
+        ]
+        print(
+            format_table(
+                ["protocol", "adversary", "parameters", "violated oracles"],
+                rows,
+                title=f"violating scenarios (first {len(rows)})",
+            )
+        )
+    if args.save_violations:
+        os.makedirs(args.save_violations, exist_ok=True)
+        for index, row in enumerate(report.violating_rows):
+            path = os.path.join(
+                args.save_violations, f"violation-{index:04d}.json"
+            )
+            with open(path, "w") as handle:
+                json_module.dump(row["scenario"], handle, indent=2, sort_keys=True)
+                handle.write("\n")
+        print(
+            f"\nsaved {len(report.violating_rows)} violating scenarios "
+            f"to {args.save_violations}/"
+        )
+    return 0 if report.ok else 1
+
+
+def cmd_shrink(args: argparse.Namespace) -> int:
+    """Delta-debug a violating scenario JSON to a minimal reproduction."""
+    import json as json_module
+
+    from .resilience import (
+        NotViolatingError,
+        ReproCase,
+        Scenario,
+        ScenarioError,
+        save_case,
+        shrink,
+        shrink_report,
+    )
+
+    try:
+        with open(args.scenario) as handle:
+            payload = json_module.load(handle)
+    except (OSError, ValueError) as exc:
+        raise CLIError(f"cannot read {args.scenario!r}: {exc}") from None
+    # Accept both bare scenarios and full corpus cases.
+    if "scenario" in payload and "protocol" not in payload:
+        payload = payload["scenario"]
+    try:
+        scenario = Scenario.from_dict(payload)
+    except (KeyError, ScenarioError, TypeError, ValueError) as exc:
+        raise CLIError(f"malformed scenario: {exc}") from None
+    try:
+        result = shrink(scenario, max_checks=args.max_checks)
+    except NotViolatingError as exc:
+        raise CLIError(str(exc)) from None
+    print(shrink_report(result))
+    if args.out:
+        case = ReproCase(
+            name=os.path.splitext(os.path.basename(args.out))[0],
+            description=args.description,
+            scenario=result.minimal,
+            expected_violations=result.minimal_violations,
+        )
+        path = save_case(case, os.path.dirname(os.path.abspath(args.out)))
+        print(f"\nminimal reproduction saved to {path}")
+    else:
+        print()
+        print(
+            json_module.dumps(result.minimal.to_dict(), indent=2, sort_keys=True)
+        )
+    return 0
+
+
 def cmd_chain_demo(args: argparse.Namespace) -> int:
     """Execute Fekete's one-round chain-of-views construction."""
     demo = demonstrate_real(trimmed_mean_rule(args.t), args.n, args.t, 0.0, 1.0)
@@ -616,6 +743,88 @@ def build_parser() -> argparse.ArgumentParser:
         help="arguments forwarded to the linter (see `repro lint --help`)",
     )
     p.set_defaults(func=cmd_lint)
+
+    p = sub.add_parser(
+        "campaign",
+        help="run a seeded fault-injection campaign with invariant oracles",
+    )
+    p.add_argument("--count", type=int, default=200, help="scenarios to generate")
+    p.add_argument("--seed", type=int, default=0, help="campaign master seed")
+    p.add_argument("--jobs", type=int, default=1, help="worker processes (0 = all cores)")
+    p.add_argument("--cache-dir", default=None, help="result cache directory")
+    p.add_argument(
+        "--no-cache", action="store_true", help="disable the result cache"
+    )
+    p.add_argument("--epsilon", type=float, default=0.5)
+    p.add_argument(
+        "--protocols",
+        default=None,
+        help="comma-separated protocol subset (default: all three)",
+    )
+    p.add_argument(
+        "--adversaries",
+        default=None,
+        help="comma-separated adversary kinds (default: all)",
+    )
+    p.add_argument(
+        "--corruption-ratio",
+        type=float,
+        default=None,
+        help="|F|/n for every scenario (past 1/3 = degradation mode)",
+    )
+    p.add_argument(
+        "--fault-probability",
+        type=float,
+        default=0.0,
+        help="cap for sampled drop/duplicate/corrupt probabilities",
+    )
+    p.add_argument(
+        "--allow-model-violations",
+        action="store_true",
+        help="required with --fault-probability: fault plans break the "
+        "Byzantine model on purpose",
+    )
+    p.add_argument(
+        "--show", type=int, default=10, help="violating scenarios to print"
+    )
+    p.add_argument(
+        "--save-violations",
+        default=None,
+        metavar="DIR",
+        help="write violating scenarios as JSON files (inputs for `repro shrink`)",
+    )
+    p.add_argument(
+        "--jsonl",
+        default=None,
+        help="also persist every scenario row as machine-readable JSONL",
+    )
+    p.set_defaults(func=cmd_campaign)
+
+    p = sub.add_parser(
+        "shrink",
+        help="delta-debug a violating scenario JSON to a minimal reproduction",
+    )
+    p.add_argument(
+        "scenario",
+        help="scenario JSON (from `repro campaign --save-violations` or a corpus case)",
+    )
+    p.add_argument(
+        "--out",
+        default=None,
+        help="write the minimal reproduction as a corpus case JSON",
+    )
+    p.add_argument(
+        "--description",
+        default="shrunk by `repro shrink`",
+        help="description stored in the corpus case",
+    )
+    p.add_argument(
+        "--max-checks",
+        type=int,
+        default=400,
+        help="execution budget for the shrinker",
+    )
+    p.set_defaults(func=cmd_shrink)
 
     p = sub.add_parser("chain-demo", help="Fekete's chain of views, executed")
     p.add_argument("--n", type=int, default=7)

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence
 
+from ..net.faults import FaultPlan
 from ..net.messages import PartyId
 from ..net.network import ExecutionResult, TraceLevel
 from ..net.runner import PartyFactory, run_protocol
@@ -110,6 +111,8 @@ def run_tree_aa(
     root: Optional[Label] = None,
     trace_level: TraceLevel = TraceLevel.FULL,
     observer: Optional[Observer] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    t_assumed: Optional[int] = None,
 ) -> TreeAAOutcome:
     """Run **TreeAA** with ``inputs[pid]`` as party ``pid``'s input vertex.
 
@@ -117,15 +120,24 @@ def run_tree_aa(
     inputs their puppets start from (the adversary may ignore them).
     ``observer`` (e.g. a :class:`~repro.observability.MetricsCollector` or
     a :class:`~repro.net.TranscriptRecorder`) watches every round.
+
+    ``fault_plan`` and ``t_assumed`` are the resilience-lab hooks:
+    ``fault_plan`` injects honest-message faults (gated by
+    ``allow_model_violations=True``); ``t_assumed`` lets the parties run
+    with a *smaller* tolerance than the network's corruption budget ``t``
+    — the way degradation experiments cross the ``t < n/3`` threshold
+    while the protocol logic stays at its designed operating point.
     """
     n = len(inputs)
+    party_t = t if t_assumed is None else t_assumed
     execution = run_protocol(
         n,
         t,
-        lambda pid: TreeAAParty(pid, n, t, tree, inputs[pid], root=root),
+        lambda pid: TreeAAParty(pid, n, party_t, tree, inputs[pid], root=root),
         adversary=adversary,
         trace_level=trace_level,
         observer=observer,
+        fault_plan=fault_plan,
     )
     honest_inputs = {pid: inputs[pid] for pid in sorted(execution.honest)}
     honest_outputs = execution.honest_outputs
@@ -189,23 +201,32 @@ def run_real_aa(
     adversary: Optional[Adversary] = None,
     trace_level: TraceLevel = TraceLevel.FULL,
     observer: Optional[Observer] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    t_assumed: Optional[int] = None,
 ) -> RealAAOutcome:
     """Run **RealAA(ε)** on real-valued inputs.
 
     ``known_range`` (or an explicit ``iterations`` count) fixes the public
     round budget; it defaults to the actual spread of ``inputs`` — fine for
     experiments, where the input range is chosen by the experimenter.
+
+    ``fault_plan`` and ``t_assumed`` serve the resilience lab: the former
+    injects honest-message faults (behind ``allow_model_violations=True``),
+    the latter runs the parties at a smaller assumed tolerance than the
+    network's budget ``t`` so degradation sweeps can exceed ``t < n/3``
+    without touching protocol-layer guards.
     """
     n = len(inputs)
     if known_range is None and iterations is None:
         known_range = max(inputs) - min(inputs) if n else 0.0
+    party_t = t if t_assumed is None else t_assumed
     execution = run_protocol(
         n,
         t,
         lambda pid: RealAAParty(
             pid,
             n,
-            t,
+            party_t,
             inputs[pid],
             epsilon=epsilon,
             known_range=known_range,
@@ -214,6 +235,7 @@ def run_real_aa(
         adversary=adversary,
         trace_level=trace_level,
         observer=observer,
+        fault_plan=fault_plan,
     )
     honest_inputs = {pid: float(inputs[pid]) for pid in sorted(execution.honest)}
     honest_outputs = execution.honest_outputs

@@ -4,6 +4,7 @@ Lockstep rounds, authenticated channels, and a rushing full-information
 adversary hook.  See :mod:`repro.net.network` for the execution semantics.
 """
 
+from .faults import CORRUPTION_MENU, FaultInjector, FaultModelError, FaultPlan
 from .messages import Inbox, Message, Outbox, PartyId, broadcast, deliver
 from .network import (
     AdversaryView,
@@ -46,6 +47,10 @@ __all__ = [
     "ExecutionTrace",
     "TraceLevel",
     "ByzantineModelError",
+    "FaultPlan",
+    "FaultInjector",
+    "FaultModelError",
+    "CORRUPTION_MENU",
     "run_protocol",
     "run_fault_free",
     "Observer",

@@ -1,0 +1,191 @@
+"""Fault injection for *honest* traffic — deliberately outside the model.
+
+The model of Section 2 guarantees reliable same-round delivery between
+honest parties; every correctness lemma of the paper assumes it.  This
+module exists to *break* that assumption on purpose: a
+:class:`FaultPlan` attached to a :class:`~repro.net.network
+.SynchronousNetwork` (or :class:`~repro.asynchrony.network
+.AsynchronousNetwork`) drops, duplicates, or corrupts honest messages at
+delivery time, so the resilience lab (:mod:`repro.resilience`) can
+*measure* graceful degradation — output spread and success rate as a
+function of loss rate — instead of only observing that guarantees are
+stated for the fault-free channel.
+
+Because a non-trivial plan is a model violation by construction, building
+one requires the explicit ``allow_model_violations=True`` gate; forgetting
+it raises :class:`FaultModelError`.  Experiments that hold the paper's
+guarantees to account can therefore never inject faults by accident.
+
+Determinism: a plan carries a seed, and the injector draws from its own
+``random.Random`` — the sanctioned randomness path of the protocol layer
+(PL001) — so every faulty execution replays bit-identically from its
+scenario description.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+
+class FaultModelError(RuntimeError):
+    """A fault plan would violate the network model without the explicit
+    ``allow_model_violations=True`` acknowledgement."""
+
+
+#: Replacement payloads used by the ``corrupt`` fault: near-miss protocol
+#: shapes and raw junk, the same menu philosophy as the noise adversaries.
+CORRUPTION_MENU = (
+    None,
+    -1,
+    float("nan"),
+    "corrupted",
+    ("val",),
+    ("echo", 0, "not-a-dict"),
+    ("init", ("val", -1), "trailing"),
+    {"corrupted": True},
+)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A declarative description of honest-message faults.
+
+    Parameters
+    ----------
+    drop / duplicate / corrupt:
+        Independent per-message probabilities in ``[0, 1]``.  ``drop``
+        removes the message entirely; ``corrupt`` replaces its payload
+        with junk from :data:`CORRUPTION_MENU`; ``duplicate`` delivers a
+        second (possibly corrupted) copy — in the synchronous network the
+        copy arrives one round *late*, modelling at-least-once delivery,
+        and in the asynchronous network it is simply enqueued twice.
+    seed:
+        Seeds the injector's private generator; identical plans replay
+        identical fault sequences.
+    first_round / last_round:
+        Inclusive round window in which the plan is active (``last_round
+        = None`` means forever).  The asynchronous network interprets the
+        window over delivery *steps* at send time.
+    allow_model_violations:
+        Must be ``True`` for any plan with a positive fault probability;
+        this is the consent gate that keeps model-violating runs explicit.
+    """
+
+    drop: float = 0.0
+    duplicate: float = 0.0
+    corrupt: float = 0.0
+    seed: int = 0
+    first_round: int = 0
+    last_round: Optional[int] = None
+    allow_model_violations: bool = False
+
+    def __post_init__(self) -> None:
+        for name in ("drop", "duplicate", "corrupt"):
+            probability = getattr(self, name)
+            if not 0.0 <= probability <= 1.0:
+                raise ValueError(f"{name} probability must be in [0, 1]")
+        if self.first_round < 0:
+            raise ValueError("first_round must be non-negative")
+        if self.last_round is not None and self.last_round < self.first_round:
+            raise ValueError("last_round must be >= first_round")
+        if self.is_faulty and not self.allow_model_violations:
+            raise FaultModelError(
+                "this plan drops/duplicates/corrupts honest messages, which "
+                "violates the reliable-delivery model; pass "
+                "allow_model_violations=True to acknowledge"
+            )
+
+    @property
+    def is_faulty(self) -> bool:
+        """Whether the plan can alter any message at all."""
+        return self.drop > 0 or self.duplicate > 0 or self.corrupt > 0
+
+    def active_in(self, round_index: int) -> bool:
+        """Whether the plan applies to messages of *round_index*."""
+        if round_index < self.first_round:
+            return False
+        return self.last_round is None or round_index <= self.last_round
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable form (scenario files, campaign reports)."""
+        return {
+            "drop": self.drop,
+            "duplicate": self.duplicate,
+            "corrupt": self.corrupt,
+            "seed": self.seed,
+            "first_round": self.first_round,
+            "last_round": self.last_round,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FaultPlan":
+        """Rebuild a plan from :meth:`to_dict` output.
+
+        A deserialised non-trivial plan is gated exactly like a literal
+        one: the *file* never grants consent, the caller does.
+        """
+        plan_fields = {
+            "drop": float(data.get("drop", 0.0)),
+            "duplicate": float(data.get("duplicate", 0.0)),
+            "corrupt": float(data.get("corrupt", 0.0)),
+            "seed": int(data.get("seed", 0)),
+            "first_round": int(data.get("first_round", 0)),
+            "last_round": (
+                None
+                if data.get("last_round") is None
+                else int(data["last_round"])
+            ),
+        }
+        faulty = (
+            plan_fields["drop"] > 0
+            or plan_fields["duplicate"] > 0
+            or plan_fields["corrupt"] > 0
+        )
+        return cls(allow_model_violations=faulty, **plan_fields)
+
+
+class FaultInjector:
+    """The runtime half of a :class:`FaultPlan`: seeded draws plus counters.
+
+    One injector serves one execution; the network constructs it from the
+    plan so that re-running the same scenario replays the same faults.
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self._rng = random.Random(plan.seed)
+        self.dropped = 0
+        self.duplicated = 0
+        self.corrupted = 0
+
+    @property
+    def total_faults(self) -> int:
+        """All fault events injected so far."""
+        return self.dropped + self.duplicated + self.corrupted
+
+    def transmit(self, round_index: int, payload: Any) -> List[Any]:
+        """The delivered copies of one honest message: ``[]`` (dropped),
+        ``[payload]`` (clean or corrupted), or two copies (duplicated)."""
+        plan = self.plan
+        if not plan.is_faulty or not plan.active_in(round_index):
+            return [payload]
+        if plan.drop > 0 and self._rng.random() < plan.drop:
+            self.dropped += 1
+            return []
+        if plan.corrupt > 0 and self._rng.random() < plan.corrupt:
+            self.corrupted += 1
+            payload = self._rng.choice(CORRUPTION_MENU)
+        if plan.duplicate > 0 and self._rng.random() < plan.duplicate:
+            self.duplicated += 1
+            return [payload, payload]
+        return [payload]
+
+    def counts(self) -> Dict[str, int]:
+        """Fault-event counters as a plain dict (reports, traces)."""
+        return {
+            "dropped": self.dropped,
+            "duplicated": self.duplicated,
+            "corrupted": self.corrupted,
+        }

@@ -19,8 +19,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import IntEnum
-from typing import TYPE_CHECKING, Any, Dict, List, Mapping, Optional, Set
+from typing import TYPE_CHECKING, Any, Dict, List, Mapping, Optional, Set, Tuple
 
+from .faults import FaultInjector, FaultPlan
 from .messages import Message, Outbox, PartyId, deliver
 from .protocol import ProtocolParty
 
@@ -125,6 +126,11 @@ class ExecutionTrace:
     #: Messages sent in each round (honest + Byzantine).
     per_round_messages: List[int] = field(default_factory=list)
     corruption_rounds: Dict[PartyId, int] = field(default_factory=dict)
+    #: Honest messages altered by an attached :class:`~repro.net.faults
+    #: .FaultPlan` (all stay 0 on model-clean executions).
+    faults_dropped: int = 0
+    faults_duplicated: int = 0
+    faults_corrupted: int = 0
 
     @property
     def message_count(self) -> int:
@@ -174,6 +180,15 @@ class SynchronousNetwork:
         ``AGGREGATE`` keeps exact message counts but skips per-message
         object construction and payload-unit accounting — measurably
         faster on the sweep hot path.
+    fault_plan:
+        An optional :class:`~repro.net.faults.FaultPlan` applied to
+        *honest* traffic at delivery time (drops, late duplicates,
+        payload corruption).  Any plan that can actually alter a message
+        requires ``allow_model_violations=True`` — it breaks the
+        reliable-delivery guarantee the paper's lemmas assume, and exists
+        so the resilience lab can measure degradation beyond the model.
+        The adversary still sees the traffic as *sent* (rushing is a
+        property of the adversary, not of the lossy channel).
     """
 
     def __init__(
@@ -183,6 +198,7 @@ class SynchronousNetwork:
         adversary: Optional[Adversary] = None,
         observer: Optional[Observer] = None,
         trace_level: TraceLevel = TraceLevel.FULL,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         n = len(parties)
         if sorted(parties) != list(range(n)):
@@ -192,6 +208,13 @@ class SynchronousNetwork:
         self.parties = parties
         self.adversary = adversary
         self.observer = observer
+        self.fault_injector: Optional[FaultInjector] = (
+            FaultInjector(fault_plan) if fault_plan is not None else None
+        )
+        #: Late duplicates scheduled by the fault plan: recipient →
+        #: sender → payload, delivered (one round after the original)
+        #: unless a fresh message from the same sender supersedes them.
+        self._carryover: Dict[PartyId, Dict[PartyId, Any]] = {}
         self.corrupted: Set[PartyId] = set()
         self.trace = ExecutionTrace(level=TraceLevel(trace_level))
         if adversary is not None:
@@ -236,6 +259,10 @@ class SynchronousNetwork:
             total = min(total, max_rounds)
         for round_index in range(total):
             self._run_round(round_index)
+        if self.fault_injector is not None:
+            self.trace.faults_dropped = self.fault_injector.dropped
+            self.trace.faults_duplicated = self.fault_injector.duplicated
+            self.trace.faults_corrupted = self.fault_injector.corrupted
         outputs = {pid: self.parties[pid].output for pid in range(self.n)}
         return ExecutionResult(
             outputs=outputs,
@@ -247,6 +274,27 @@ class SynchronousNetwork:
 
     def _honest(self) -> Set[PartyId]:
         return set(range(self.n)) - self.corrupted
+
+    def _apply_faults(
+        self, round_index: int, honest_out: Dict[PartyId, Outbox]
+    ) -> Tuple[Dict[PartyId, Outbox], Dict[PartyId, Dict[PartyId, Any]]]:
+        """Fault-filtered honest traffic plus next round's late duplicates."""
+        injector = self.fault_injector
+        if injector is None:  # pragma: no cover - callers gate on the field
+            return honest_out, {}
+        delivered: Dict[PartyId, Outbox] = {}
+        carry: Dict[PartyId, Dict[PartyId, Any]] = {}
+        for sender in sorted(honest_out):
+            kept: Outbox = {}
+            for recipient, payload in honest_out[sender].items():
+                copies = injector.transmit(round_index, payload)
+                if not copies:
+                    continue
+                kept[recipient] = copies[0]
+                if len(copies) > 1:
+                    carry.setdefault(recipient, {})[sender] = copies[1]
+            delivered[sender] = kept
+        return delivered, carry
 
     def _run_round(self, round_index: int) -> None:
         # 1. Honest parties commit their round-r messages first.
@@ -296,6 +344,17 @@ class SynchronousNetwork:
                 byzantine_out[sender] = dict(outbox)
                 byzantine_sent += len(outbox)
 
+        # 2b. The (gated) fault plan mangles honest traffic at delivery
+        # time.  Accounting below stays on the *sent* traffic: the trace
+        # answers "what did honest parties emit", the fault counters
+        # answer "what did the channel do to it".
+        delivered_out = honest_out
+        next_carry: Dict[PartyId, Dict[PartyId, Any]] = {}
+        if self.fault_injector is not None:
+            delivered_out, next_carry = self._apply_faults(
+                round_index, honest_out
+            )
+
         # 3. Deliver everything at once; honest parties process their inbox.
         honest_sent = sum(len(outbox) for outbox in honest_out.values())
         self.trace.honest_message_count += honest_sent
@@ -314,7 +373,7 @@ class SynchronousNetwork:
             ]
             all_messages = byzantine_messages + [
                 Message(sender, recipient, round_index, payload)
-                for sender, outbox in honest_out.items()
+                for sender, outbox in delivered_out.items()
                 for recipient, payload in outbox.items()
             ]
             if full:
@@ -337,10 +396,18 @@ class SynchronousNetwork:
             for sender, outbox in byzantine_out.items():
                 for recipient, payload in outbox.items():
                     inboxes[recipient][sender] = payload
-            for sender, outbox in honest_out.items():
+            for sender, outbox in delivered_out.items():
                 for recipient, payload in outbox.items():
                     if 0 <= recipient < self.n:
                         inboxes[recipient][sender] = payload
+        if self._carryover:
+            # Late duplicates from the previous round; a fresh message
+            # from the same sender supersedes its stale copy.
+            for recipient, stale in self._carryover.items():
+                inbox = inboxes[recipient]
+                for sender, payload in stale.items():
+                    inbox.setdefault(sender, payload)
+        self._carryover = next_carry
         if self.adversary is not None and self.corrupted:
             self.adversary.observe_delivery(
                 round_index,

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Callable, Optional
 
+from .faults import FaultPlan
 from .messages import PartyId
 from .network import ExecutionResult, SynchronousNetwork, TraceLevel
 from .protocol import ProtocolParty
@@ -30,6 +31,7 @@ def run_protocol(
     max_rounds: Optional[int] = None,
     observer: Optional[Observer] = None,
     trace_level: TraceLevel = TraceLevel.FULL,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> ExecutionResult:
     """Build ``n`` parties, wire them to the adversary, and run to completion.
 
@@ -37,11 +39,18 @@ def run_protocol(
     ``honest_outputs`` are what AA's Termination / Validity / Agreement
     properties quantify over.  ``trace_level`` selects between full
     payload accounting and the aggregate-counts fast path (see
-    :class:`~repro.net.network.TraceLevel`).
+    :class:`~repro.net.network.TraceLevel`).  ``fault_plan`` (gated by
+    ``allow_model_violations=True``) injects honest-message faults for
+    degradation experiments.
     """
     parties = {pid: party_factory(pid) for pid in range(n)}
     network = SynchronousNetwork(
-        parties, t, adversary, observer=observer, trace_level=trace_level
+        parties,
+        t,
+        adversary,
+        observer=observer,
+        trace_level=trace_level,
+        fault_plan=fault_plan,
     )
     return network.run(max_rounds=max_rounds)
 

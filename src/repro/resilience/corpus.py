@@ -1,0 +1,129 @@
+"""Regression corpus: minimal reproductions saved as JSON, replayed in CI.
+
+Every scenario the shrinker minimises (and every interesting hand-written
+case) can be frozen as a :class:`ReproCase` file under ``tests/corpus/``.
+A corpus case records the scenario *and* the violations it is expected to
+produce — including the empty set, for regression cases that must stay
+clean.  The tier-1 test suite replays every case and asserts the recorded
+verdict reproduces exactly, so a behaviour change in any layer the
+scenario touches (protocols, network, adversaries, fault injection)
+surfaces as a corpus diff.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import Iterable, List, Tuple
+
+from .oracles import evaluate, violated_oracles
+from .scenario import Scenario, ScenarioResult, execute_scenario
+
+#: Corpus file schema version (bump on incompatible format changes).
+CORPUS_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class ReproCase:
+    """One corpus entry: a scenario plus its expected oracle verdict."""
+
+    #: Unique, filename-friendly identifier.
+    name: str
+    #: Why this case exists (what regression it guards against).
+    description: str
+    scenario: Scenario
+    #: Sorted oracle names the replay must produce (empty = must be clean).
+    expected_violations: Tuple[str, ...] = ()
+
+    def to_dict(self) -> dict:
+        """The JSON form stored on disk."""
+        return {
+            "schema_version": CORPUS_SCHEMA_VERSION,
+            "name": self.name,
+            "description": self.description,
+            "scenario": self.scenario.to_dict(),
+            "expected_violations": list(self.expected_violations),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ReproCase":
+        """Rebuild a case from its :meth:`to_dict` form."""
+        return cls(
+            name=str(payload["name"]),
+            description=str(payload.get("description", "")),
+            scenario=Scenario.from_dict(payload["scenario"]),
+            expected_violations=tuple(
+                sorted(payload.get("expected_violations", ()))
+            ),
+        )
+
+
+def save_case(case: ReproCase, directory: str) -> str:
+    """Write one case as ``<directory>/<name>.json``; returns the path."""
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"{case.name}.json")
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "w") as handle:
+        json.dump(case.to_dict(), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    os.replace(tmp, path)
+    return path
+
+
+def load_case(path: str) -> ReproCase:
+    """Read one corpus file."""
+    with open(path) as handle:
+        return ReproCase.from_dict(json.load(handle))
+
+
+def iter_corpus(directory: str) -> List[ReproCase]:
+    """Every ``*.json`` case in a corpus directory, sorted by filename."""
+    if not os.path.isdir(directory):
+        return []
+    cases: List[ReproCase] = []
+    for filename in sorted(os.listdir(directory)):
+        if filename.endswith(".json"):
+            cases.append(load_case(os.path.join(directory, filename)))
+    return cases
+
+
+def replay(case: ReproCase) -> Tuple[Tuple[str, ...], ScenarioResult]:
+    """Execute a case; return (violated oracle names, full result)."""
+    result = execute_scenario(case.scenario)
+    return tuple(violated_oracles(evaluate(result))), result
+
+
+def verify(case: ReproCase) -> bool:
+    """Whether the replayed verdict matches the recorded one exactly."""
+    found, _ = replay(case)
+    return tuple(sorted(found)) == tuple(sorted(case.expected_violations))
+
+
+def case_from_scenario(
+    name: str,
+    description: str,
+    scenario: Scenario,
+) -> ReproCase:
+    """Freeze a scenario with its *current* verdict as the expectation."""
+    result = execute_scenario(scenario)
+    return ReproCase(
+        name=name,
+        description=description,
+        scenario=scenario,
+        expected_violations=tuple(violated_oracles(evaluate(result))),
+    )
+
+
+def verify_corpus(directory: str) -> List[str]:
+    """Names of corpus cases whose replay no longer matches (empty = good)."""
+    failures: List[str] = []
+    for case in iter_corpus(directory):
+        if not verify(case):
+            failures.append(case.name)
+    return failures
+
+
+def save_cases(cases: Iterable[ReproCase], directory: str) -> List[str]:
+    """Save several cases; returns the written paths."""
+    return [save_case(case, directory) for case in cases]

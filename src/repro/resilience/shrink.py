@@ -1,0 +1,276 @@
+"""Counterexample shrinking: delta-debug a violating scenario to a minimum.
+
+Given a scenario that trips at least one invariant oracle, :func:`shrink`
+greedily applies size-reducing edits — fewer corrupted parties, fewer
+parties overall, a smaller tree, a weaker fault plan, a shorter chaos
+script — re-executing after each edit and keeping it only while the
+failure *persists* (the candidate must still violate at least one oracle
+the original violated).  Passes repeat to a fixpoint, ddmin-style: every
+accepted edit strictly decreases :meth:`~repro.resilience.scenario
+.Scenario.cost`, so termination is structural, with ``max_checks`` as a
+belt-and-braces budget on top.
+
+Chaos scenarios get one extra trick: the first violating execution's
+behaviour log is captured into an explicit replay script, after which
+shrinking operates on the *script* — the scenario stops depending on the
+free-running RNG stream and becomes a line-by-line minimal reproduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterator, Optional, Tuple
+
+from .oracles import evaluate, violated_oracles
+from .scenario import Scenario, execute_scenario
+
+
+@dataclass
+class ShrinkResult:
+    """The outcome of one shrink run."""
+
+    original: Scenario
+    minimal: Scenario
+    #: Oracle names the original scenario violated.
+    original_violations: Tuple[str, ...]
+    #: Oracle names the minimal scenario violates.
+    minimal_violations: Tuple[str, ...]
+    #: Accepted reductions.
+    steps: int
+    #: Scenario executions spent (including rejected candidates).
+    checks: int
+
+    @property
+    def reduced(self) -> bool:
+        """Whether any reduction was accepted."""
+        return self.steps > 0
+
+
+class NotViolatingError(ValueError):
+    """:func:`shrink` was handed a scenario that violates nothing."""
+
+
+def check_violations(scenario: Scenario) -> Tuple[str, ...]:
+    """Execute a scenario and return the violated oracle names (sorted)."""
+    return tuple(violated_oracles(evaluate(execute_scenario(scenario))))
+
+
+def _remap_inputs(scenario: Scenario, n: int) -> Tuple[object, ...]:
+    """Truncate the input vector to the first ``n`` parties."""
+    return tuple(scenario.inputs[:n])
+
+
+def _corrupt_candidates(scenario: Scenario) -> Iterator[Scenario]:
+    """Drop one corrupted id at a time (ddmin over the corrupted set)."""
+    for victim in scenario.corrupt:
+        yield replace(
+            scenario,
+            corrupt=tuple(pid for pid in scenario.corrupt if pid != victim),
+        )
+
+
+def _party_candidates(scenario: Scenario) -> Iterator[Scenario]:
+    """Drop the highest-id party (inputs truncated, corrupt set filtered)."""
+    n = scenario.n - 1
+    if n < 2:
+        return
+    yield replace(
+        scenario,
+        n=n,
+        inputs=_remap_inputs(scenario, n),
+        corrupt=tuple(pid for pid in scenario.corrupt if pid < n),
+        t=min(scenario.t, max(0, (n - 1) // 3)),
+    )
+
+
+def _shrink_tree_spec(spec: str) -> Optional[str]:
+    """A strictly smaller tree spec of the same family, or ``None``."""
+    parts = spec.split(":")
+    family = parts[0]
+    if family in ("path", "star") and len(parts) >= 2:
+        size = int(parts[1])
+        if size > 2:
+            return f"{family}:{max(2, size // 2)}"
+        return None
+    if family == "random" and len(parts) >= 2:
+        size = int(parts[1])
+        seed = parts[2] if len(parts) > 2 else "0"
+        if size > 2:
+            return f"random:{max(2, size // 2)}:{seed}"
+        return None
+    if family == "caterpillar" and len(parts) >= 2 and "x" in parts[1]:
+        spine, legs = (int(x) for x in parts[1].split("x"))
+        if legs > 1:
+            return f"caterpillar:{spine}x{legs - 1}"
+        if spine > 2:
+            return f"caterpillar:{max(2, spine // 2)}x{legs}"
+        return None
+    return None
+
+
+def _tree_candidates(scenario: Scenario) -> Iterator[Scenario]:
+    """Shrink the tree spec (inputs are indices — they remap via modulo)."""
+    if scenario.tree is None:
+        return
+    smaller = _shrink_tree_spec(scenario.tree)
+    if smaller is not None:
+        yield replace(scenario, tree=smaller)
+
+
+def _fault_plan_candidates(scenario: Scenario) -> Iterator[Scenario]:
+    """Weaken the fault plan: drop it, zero a channel, shorten its window."""
+    plan = scenario.fault_plan
+    if plan is None:
+        return
+    yield replace(scenario, fault_plan=None)
+    for key in ("drop", "duplicate", "corrupt"):
+        if float(plan.get(key, 0.0)) > 0.0:
+            weakened = dict(plan)
+            weakened[key] = 0.0
+            yield replace(scenario, fault_plan=weakened)
+    last = plan.get("last_round")
+    if last is None:
+        bounded = dict(plan)
+        bounded["last_round"] = 8
+        yield replace(scenario, fault_plan=bounded)
+    elif int(last) > 0:
+        bounded = dict(plan)
+        bounded["last_round"] = int(last) // 2
+        yield replace(scenario, fault_plan=bounded)
+
+
+def _script_candidates(scenario: Scenario) -> Iterator[Scenario]:
+    """ddmin over the chaos script: halves first, then single entries."""
+    script = scenario.chaos_script
+    if not script:
+        return
+    half = len(script) // 2
+    if half:
+        yield replace(scenario, chaos_script=script[:half])
+        yield replace(scenario, chaos_script=script[half:])
+    for index in range(len(script)):
+        yield replace(
+            scenario,
+            chaos_script=script[:index] + script[index + 1 :],
+        )
+
+
+_PASSES = (
+    _corrupt_candidates,
+    _party_candidates,
+    _tree_candidates,
+    _fault_plan_candidates,
+    _script_candidates,
+)
+
+
+def _capture_chaos_script(scenario: Scenario) -> Optional[Scenario]:
+    """Pin a free-running chaos adversary to its recorded behaviour log.
+
+    Returns the scripted scenario if it still reproduces a violation,
+    else ``None`` (an adaptive failure the replay cannot capture).
+    """
+    if not scenario.adversary.startswith("chaos"):
+        return None
+    if scenario.chaos_script is not None:
+        return None
+    result = execute_scenario(scenario)
+    if not evaluate(result):
+        return None
+    scripted = replace(
+        scenario,
+        chaos_script=tuple(
+            (int(r), int(p), str(b)) for r, p, b in result.chaos_log
+        ),
+    )
+    return scripted
+
+
+def shrink(scenario: Scenario, max_checks: int = 400) -> ShrinkResult:
+    """Minimise a violating scenario while preserving its failure.
+
+    Raises :class:`NotViolatingError` if the input scenario passes every
+    oracle (there is nothing to shrink).  The preserved property is a
+    non-empty intersection with the original's violated oracle set — the
+    minimal scenario fails *in the same way*, not merely somehow.
+    """
+    checks = 0
+
+    def violating(candidate: Scenario, against: Tuple[str, ...]) -> Optional[Tuple[str, ...]]:
+        nonlocal checks
+        checks += 1
+        found = check_violations(candidate)
+        if set(found) & set(against):
+            return found
+        return None
+
+    original_violations = check_violations(scenario)
+    checks += 1
+    if not original_violations:
+        raise NotViolatingError(
+            "scenario violates no oracle; nothing to shrink"
+        )
+
+    current = scenario
+    current_violations = original_violations
+    steps = 0
+
+    scripted = _capture_chaos_script(current)
+    if scripted is not None:
+        found = violating(scripted, original_violations)
+        if found is not None:
+            current, current_violations = scripted, found
+            # Scripting adds entries, so it is not a "reduction" — but it
+            # unlocks the script-truncation pass below.
+
+    improved = True
+    while improved and checks < max_checks:
+        improved = False
+        for make_candidates in _PASSES:
+            for candidate in make_candidates(current):
+                if checks >= max_checks:
+                    break
+                if candidate.cost() >= current.cost():
+                    continue
+                found = violating(candidate, original_violations)
+                if found is not None:
+                    current, current_violations = candidate, found
+                    steps += 1
+                    improved = True
+                    break  # restart this pass from the smaller scenario
+            if improved:
+                break  # restart the pass cascade from the top
+
+    return ShrinkResult(
+        original=scenario,
+        minimal=current,
+        original_violations=original_violations,
+        minimal_violations=current_violations,
+        steps=steps,
+        checks=checks,
+    )
+
+
+def shrink_report(result: ShrinkResult) -> str:
+    """A human-readable before/after digest of one shrink run."""
+    before, after = result.original, result.minimal
+    lines = [
+        f"shrunk in {result.steps} reductions ({result.checks} executions):",
+        f"  parties: {before.n} -> {after.n}",
+        f"  corrupted: {len(before.corrupt)} -> {len(after.corrupt)}",
+    ]
+    if before.tree is not None:
+        lines.append(f"  tree: {before.tree} -> {after.tree}")
+    if after.chaos_script is not None:
+        lines.append(
+            f"  chaos script: {len(after.chaos_script)} scripted actions"
+        )
+    if before.fault_plan is not None:
+        lines.append(
+            f"  fault plan: {before.fault_plan} -> {after.fault_plan}"
+        )
+    lines.append(
+        f"  violations: {list(result.original_violations)} -> "
+        f"{list(result.minimal_violations)}"
+    )
+    return "\n".join(lines)

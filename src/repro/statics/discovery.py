@@ -49,6 +49,26 @@ def list_source_files(root: str) -> List[str]:
     return list(iter_source_files(root))
 
 
+def repro_packages() -> List[str]:
+    """The top-level subpackages of ``repro``, sorted.
+
+    This is the authoritative answer to "which packages exist for the
+    gates to cover".  The coverage meta-tests
+    (``tests/statics/test_discovery.py``) diff this list against what
+    each gate actually walks, so adding a package (as the resilience lab
+    did) cannot silently escape protolint, mypy, or the docs gate.
+    """
+    root = package_root()
+    return sorted(
+        entry
+        for entry in os.listdir(root)
+        if os.path.isdir(os.path.join(root, entry))
+        and entry != "__pycache__"
+        and not entry.startswith(".")
+        and os.path.isfile(os.path.join(root, entry, "__init__.py"))
+    )
+
+
 def module_name(path: str, src_root: str) -> str:
     """The dotted module name of *path* relative to *src_root*.
 

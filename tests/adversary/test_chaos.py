@@ -8,7 +8,7 @@ from hypothesis import strategies as st
 
 from repro.adversary import ChaosAdversary
 from repro.core import run_real_aa, run_tree_aa
-from repro.net import run_protocol
+from repro.net import TranscriptRecorder, run_protocol
 from repro.protocols import RealAAParty
 from repro.trees import random_tree
 
@@ -59,6 +59,132 @@ class TestConstruction:
             return outcome.honest_outputs
 
         assert run(9) == run(9)
+
+
+def _byzantine_messages_by_round(recorder, pid):
+    """Map round index -> list of Byzantine messages ``pid`` sent."""
+    return {
+        record.round_index: [
+            message
+            for message in record.byzantine_messages
+            if message.sender == pid
+        ]
+        for record in recorder.rounds
+    }
+
+
+class TestStaleSnapshotting:
+    def _run_with(self, adversary):
+        n, t = 7, 2
+        inputs = [0.0, 5.0, 2.0, 1.0, 3.0, 0.0, 0.0]
+        recorder = TranscriptRecorder()
+        result = run_protocol(
+            n,
+            t,
+            lambda pid: RealAAParty(pid, n, t, inputs[pid], iterations=3),
+            adversary=adversary,
+            observer=recorder,
+        )
+        return result, recorder
+
+    def test_stale_in_round_zero_is_not_silent(self):
+        # Force "stale" every round for every corrupted party.  With the
+        # old snapshot-on-faithful-only logic there is never a snapshot,
+        # so the corrupted parties would go silent forever; with per-round
+        # snapshotting, round 0 stale falls back to the faithful outbox.
+        adversary = ChaosAdversary(
+            seed=0,
+            weights={"stale": 1.0, **{n: 0.0 for n in ("faithful", "silent", "junk", "mirror")}},
+        )
+        result, recorder = self._run_with(adversary)
+        assert all(entry[2] == "stale" for entry in adversary.log)
+        for pid in result.corrupted:
+            sent = _byzantine_messages_by_round(recorder, pid)
+            assert sent[0], (
+                f"corrupted party {pid} sent nothing in round 0 under 'stale'"
+            )
+
+    def test_stale_replays_previous_round_after_any_behaviour(self):
+        # silent in round 0, stale in round 1: the stale replay must be
+        # round 0's faithful outbox, not empty.
+        script = []
+        for pid in (5, 6):
+            script.append((0, pid, "silent"))
+            script.append((1, pid, "stale"))
+        adversary = ChaosAdversary(seed=0, corrupt=[5, 6], script=script)
+        _, recorder = self._run_with(adversary)
+        for pid in (5, 6):
+            sent = _byzantine_messages_by_round(recorder, pid)
+            assert not sent[0]
+            assert sent[1]
+
+
+class TestScriptReplay:
+    def test_script_overrides_weighted_draw(self):
+        n, t = 7, 2
+        inputs = [0.0, 5.0, 2.0, 1.0, 3.0, 0.0, 0.0]
+        script = [(0, 5, "silent"), (1, 6, "junk")]
+        adversary = ChaosAdversary(seed=3, corrupt=[5, 6], script=script)
+        run_protocol(
+            n,
+            t,
+            lambda pid: RealAAParty(pid, n, t, inputs[pid], iterations=3),
+            adversary=adversary,
+        )
+        scripted = {(r, p): b for r, p, b in script}
+        for round_index, pid, behaviour in adversary.log:
+            assert behaviour == scripted.get((round_index, pid), "faithful")
+
+    def test_replaying_own_log_reproduces_behaviours(self):
+        def run(adversary):
+            outcome = run_real_aa(
+                [0.0, 5.0, 2.0, 1.0, 3.0, 0.0, 0.0],
+                t=2,
+                epsilon=0.5,
+                known_range=5.0,
+                adversary=adversary,
+            )
+            return outcome.honest_outputs, list(adversary.log)
+
+        free = ChaosAdversary(seed=11)
+        free_outputs, free_log = run(free)
+        replay = ChaosAdversary(seed=11, script=free_log)
+        replay_outputs, replay_log = run(replay)
+        assert replay_log == free_log
+        assert replay_outputs == free_outputs
+
+    def test_unknown_scripted_behaviour_rejected(self):
+        with pytest.raises(ValueError):
+            ChaosAdversary(script=[(0, 5, "explode")])
+
+
+class TestMirrorSampling:
+    def test_mirror_varies_with_seed(self):
+        # With the old always-lowest-id-first-payload mirror, every seed
+        # produced identical mirrored traffic; the seeded sampler should
+        # produce at least two distinct round-0 mirror payload sets
+        # across a handful of seeds.
+        n, t = 7, 2
+        inputs = [0.0, 5.0, 2.0, 1.0, 3.0, 0.25, 4.75]
+        mirror_only = {"mirror": 1.0, **{b: 0.0 for b in ("faithful", "silent", "stale", "junk")}}
+        seen = set()
+        for seed in range(8):
+            adversary = ChaosAdversary(seed=seed, weights=mirror_only, corrupt=[5, 6])
+            recorder = TranscriptRecorder()
+            run_protocol(
+                n,
+                t,
+                lambda pid: RealAAParty(pid, n, t, inputs[pid], iterations=2),
+                adversary=adversary,
+                observer=recorder,
+            )
+            sent = _byzantine_messages_by_round(recorder, 5)
+            payloads = tuple(
+                repr(message.payload)
+                for message in sorted(sent[0], key=lambda m: m.recipient)
+            )
+            seen.add(payloads)
+        assert len(seen) >= 2
 
 
 class TestProtocolsSurviveChaos:

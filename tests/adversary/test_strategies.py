@@ -99,6 +99,48 @@ class TestCrash:
         with pytest.raises(ValueError):
             CrashAdversary(crash_round=-1)
 
+    def test_partial_to_zero_is_clean_crash(self):
+        # partial_to=0: nobody gets the crash-round messages, so all honest
+        # views agree (the crasher is simply absent from round 1 on).
+        result = run_protocol(
+            4,
+            1,
+            lambda pid: RecorderParty(pid, 4, 1, rounds=3),
+            adversary=CrashAdversary(crash_round=1, partial_to=0),
+        )
+        crash_views = [3 in result.outputs[pid][1] for pid in sorted(result.honest)]
+        assert crash_views == [False, False, False]
+
+    def test_partial_to_n_is_crash_after_send(self):
+        # partial_to=n: everyone gets the crash-round messages — the party
+        # crashes *after* completing its sends, again leaving consistent
+        # honest views; silence starts in the following round.
+        result = run_protocol(
+            4,
+            1,
+            lambda pid: RecorderParty(pid, 4, 1, rounds=3),
+            adversary=CrashAdversary(crash_round=1, partial_to=4),
+        )
+        crash_views = [3 in result.outputs[pid][1] for pid in sorted(result.honest)]
+        assert crash_views == [True, True, True]
+        assert all(3 not in result.outputs[pid][2] for pid in result.honest)
+
+    def test_strict_subset_diverges_honest_views(self):
+        # 0 < partial_to < n is the interesting case: honest parties below
+        # the cutoff heard from the crasher in the crash round, the others
+        # did not — the inconsistent-views scenario crash tolerance is
+        # really about.
+        result = run_protocol(
+            5,
+            1,
+            lambda pid: RecorderParty(pid, 5, 1, rounds=3),
+            adversary=CrashAdversary(crash_round=1, partial_to=2),
+        )
+        got = {pid: 4 in result.outputs[pid][1] for pid in sorted(result.honest)}
+        assert got == {0: True, 1: True, 2: False, 3: False}
+        # before the crash round everyone heard from the crasher
+        assert all(4 in result.outputs[pid][0] for pid in result.honest)
+
     def test_realaa_survives_crash(self):
         outcome = run_real_aa(
             [0.0, 5.0, 10.0, 3.0, 7.0, 1.0, 9.0],

@@ -142,6 +142,72 @@ class TestSchedulers:
             )
 
 
+class TestStallDiagnosis:
+    def test_completed_run_has_no_stall(self):
+        n = 4
+        result = run_async_protocol(
+            n, 0, lambda pid: PingCollector(pid, n, 0, quorum=n)
+        )
+        assert result.completed
+        assert result.stall is None
+
+    def test_drained_queue_stall_is_diagnosed(self):
+        n = 4
+        result = run_async_protocol(
+            n,
+            0,
+            lambda pid: PingCollector(pid, n, 0, quorum=n + 1),  # unreachable
+        )
+        assert not result.completed
+        stall = result.stall
+        assert stall is not None
+        assert not stall.budget_exhausted
+        assert stall.pending_total == 0
+        assert stall.unfinished == list(range(n))
+        assert stall.finished == {pid: False for pid in range(n)}
+        assert "pending queue drained" in stall.summary()
+
+    def test_step_limit_exhaustion_under_split_scheduler(self):
+        # A split scheduler plus a step budget too small for the full
+        # n*n ping exchange: the run must stop at the budget with traffic
+        # still in flight, and say so.
+        n = 6
+        max_steps = 10
+        result = run_async_protocol(
+            n,
+            0,
+            lambda pid: PingCollector(pid, n, 0, quorum=n),
+            scheduler=SplitScheduler(group_a=[0, 1, 2]),
+            max_steps=max_steps,
+        )
+        assert not result.completed
+        stall = result.stall
+        assert stall is not None
+        assert stall.budget_exhausted
+        assert stall.steps == max_steps
+        assert stall.max_steps == max_steps
+        assert stall.pending_total > 0
+        assert stall.pending_total == sum(stall.pending_by_sender.values())
+        assert stall.pending_total == sum(stall.pending_by_recipient.values())
+        assert stall.oldest_pending_age is not None
+        assert stall.unfinished, "some honest party must be unfinished"
+        assert "step budget exhausted" in stall.summary()
+
+    def test_pending_breakdowns_name_real_parties(self):
+        n = 5
+        result = run_async_protocol(
+            n,
+            0,
+            lambda pid: PingCollector(pid, n, 0, quorum=n),
+            scheduler=SplitScheduler(group_a=[0, 1]),
+            max_steps=7,
+        )
+        stall = result.stall
+        assert stall is not None
+        for endpoint in (*stall.pending_by_sender, *stall.pending_by_recipient):
+            assert 0 <= endpoint < n
+
+
 class TestAdversaryModel:
     def test_cannot_speak_for_honest(self):
         class Forger(AsyncAdversary):

@@ -1,0 +1,1 @@
+"""Tests for the resilience lab (scenarios, oracles, campaigns, shrinking)."""

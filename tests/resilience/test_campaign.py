@@ -1,0 +1,158 @@
+"""Campaign engine: deterministic generation, execution, reporting.
+
+The flagship acceptance test runs a 200-scenario seeded campaign across
+every adversary kind and every scheduler and requires *zero* invariant
+violations — the resilience lab's statement that the simulator's guards
+hold everywhere in the sampled space, not just on the handwritten tests.
+"""
+
+import json
+
+import pytest
+
+from repro.resilience import (
+    CampaignConfig,
+    Scenario,
+    generate_scenarios,
+    resilience_point_runner,
+    run_campaign,
+)
+
+#: Seed of the flagship regression campaign (also replayed by CI).
+FLAGSHIP_SEED = 42
+
+
+class TestConfigValidation:
+    def test_count_must_be_positive(self):
+        with pytest.raises(ValueError, match="count"):
+            CampaignConfig(count=0)
+
+    def test_party_range_must_be_sane(self):
+        with pytest.raises(ValueError, match="min_n"):
+            CampaignConfig(min_n=6, max_n=4)
+
+    def test_fault_plans_need_the_explicit_gate(self):
+        with pytest.raises(ValueError, match="allow_model_violations"):
+            CampaignConfig(max_fault_probability=0.2)
+        CampaignConfig(max_fault_probability=0.2, allow_model_violations=True)
+
+
+class TestGeneration:
+    def test_generation_is_deterministic(self):
+        config = CampaignConfig(count=40, seed=7)
+        assert generate_scenarios(config) == generate_scenarios(config)
+
+    def test_different_seeds_differ(self):
+        a = generate_scenarios(CampaignConfig(count=40, seed=1))
+        b = generate_scenarios(CampaignConfig(count=40, seed=2))
+        assert a != b
+
+    def test_scenarios_are_valid_and_json_serialisable(self):
+        for scenario in generate_scenarios(CampaignConfig(count=60, seed=3)):
+            payload = json.loads(json.dumps(scenario.to_dict()))
+            assert Scenario.from_dict(payload) == scenario
+
+    def test_legal_configs_keep_corruption_legal(self):
+        for scenario in generate_scenarios(CampaignConfig(count=60, seed=4)):
+            assert scenario.n > 3 * scenario.t
+            assert len(scenario.corrupt) <= scenario.t
+
+    def test_corruption_ratio_crosses_the_threshold(self):
+        config = CampaignConfig(
+            count=60, seed=5, corruption_ratio=0.45,
+            adversaries=("silent",), protocols=("real-aa",),
+        )
+        scenarios = generate_scenarios(config)
+        # Parties keep a legal assumed t; the adversary's set exceeds it.
+        assert all(s.n > 3 * s.t for s in scenarios)
+        assert any(3 * len(s.corrupt) >= s.n for s in scenarios)
+
+    def test_flagship_campaign_covers_every_adversary_and_scheduler(self):
+        scenarios = generate_scenarios(
+            CampaignConfig(count=200, seed=FLAGSHIP_SEED)
+        )
+        adversaries = {s.adversary.split(":")[0] for s in scenarios}
+        schedulers = {
+            s.scheduler.split(":")[0] for s in scenarios if s.scheduler
+        }
+        protocols = {s.protocol for s in scenarios}
+        assert adversaries == {"none", "passive", "silent", "noise", "crash", "chaos"}
+        assert schedulers == {"fifo", "random", "split", "delay"}
+        assert protocols == {"real-aa", "tree-aa", "async-real-aa"}
+
+
+class TestPointRunner:
+    def test_row_is_self_contained_and_json(self):
+        scenario = Scenario(
+            protocol="real-aa", n=4, t=1, inputs=(0.0, 1.0, 2.0, 3.0),
+            adversary="silent", corrupt=(2,),
+        )
+        row = resilience_point_runner({"scenario": scenario.to_dict()}, 999)
+        json.dumps(row)  # must be serialisable for the sweep cache
+        assert row["ok"] is True
+        assert row["violated"] == []
+        assert Scenario.from_dict(row["scenario"]) == scenario
+
+    def test_engine_seed_is_ignored(self):
+        scenario = Scenario(
+            protocol="real-aa", n=4, t=1, inputs=(0.0, 1.0, 2.0, 3.0),
+            adversary="noise:3", corrupt=(2,), seed=5,
+        )
+        params = {"scenario": scenario.to_dict()}
+        assert resilience_point_runner(params, 1) == resilience_point_runner(
+            params, 2
+        )
+
+    def test_violating_row_reports_the_oracles(self):
+        scenario = Scenario(
+            protocol="real-aa", n=7, t=2, epsilon=0.5,
+            inputs=(0.0, 5.0, 10.0, 5.0, 0.0, 5.0, 10.0),
+            adversary="silent", corrupt=(1, 3, 5),
+        )
+        row = resilience_point_runner({"scenario": scenario.to_dict()}, 0)
+        assert row["ok"] is False
+        assert row["violated"] == ["agreement"]
+        assert row["violations"][0]["oracle"] == "agreement"
+
+
+class TestCampaignRuns:
+    def test_small_campaign_is_deterministic(self, tmp_path):
+        config = CampaignConfig(count=12, seed=9)
+        first = run_campaign(config, no_cache=True)
+        second = run_campaign(config, no_cache=True)
+        assert first.rows == second.rows
+
+    def test_campaign_report_digests(self):
+        config = CampaignConfig(
+            count=10, seed=5, corruption_ratio=0.45,
+            adversaries=("silent",), protocols=("real-aa",),
+        )
+        report = run_campaign(config, no_cache=True)
+        assert not report.ok
+        assert report.violations_by_oracle().get("agreement", 0) > 0
+        assert set(report.violations_by_adversary()) == {"silent"}
+        pairs = report.violating_scenarios()
+        assert pairs and all(violations for _, violations in pairs)
+        assert "violating" in report.summary()
+
+    def test_campaign_jsonl_sibling(self, tmp_path):
+        path = tmp_path / "campaign.jsonl"
+        config = CampaignConfig(count=4, seed=11)
+        run_campaign(config, no_cache=True, jsonl_path=str(path))
+        records = [
+            json.loads(line) for line in path.read_text().splitlines()
+        ]
+        assert records[0]["type"] == "sweep_header"
+        assert sum(1 for r in records if r["type"] == "point") == 4
+
+    def test_flagship_campaign_is_clean(self):
+        # The acceptance criterion: >= 200 seeded scenarios spanning all
+        # adversaries and schedulers, zero violations under legal guards.
+        config = CampaignConfig(count=200, seed=FLAGSHIP_SEED)
+        report = run_campaign(config, jobs=2, no_cache=True)
+        assert len(report.rows) == 200
+        failing = [
+            (row["scenario"], row["violated"])
+            for row in report.violating_rows
+        ]
+        assert report.ok, f"violating scenarios: {failing[:3]}"

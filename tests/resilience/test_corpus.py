@@ -1,0 +1,116 @@
+"""Regression corpus: format round-trips and the tier-1 replay gate.
+
+Every JSON case under ``tests/corpus/`` replays through the scenario
+interpreter and must reproduce its recorded oracle verdict *exactly* —
+violating cases must keep violating the same way (the shrunken
+reproductions stay alive), clean cases must stay clean (the guards keep
+holding).  A failure here means some layer the scenario touches changed
+behaviour; regenerate or fix, but never delete silently.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.resilience import (
+    CORPUS_SCHEMA_VERSION,
+    ReproCase,
+    Scenario,
+    case_from_scenario,
+    iter_corpus,
+    load_case,
+    replay,
+    save_case,
+    verify,
+    verify_corpus,
+)
+
+CORPUS_DIR = os.path.join(os.path.dirname(os.path.dirname(__file__)), "corpus")
+
+CORPUS_CASES = iter_corpus(CORPUS_DIR)
+
+
+class TestCaseFormat:
+    def test_round_trip(self, tmp_path):
+        case = ReproCase(
+            name="round-trip",
+            description="format check",
+            scenario=Scenario(
+                protocol="real-aa", n=4, t=1, inputs=(0.0, 1.0, 2.0, 3.0),
+                adversary="silent", corrupt=(2,),
+            ),
+            expected_violations=(),
+        )
+        path = save_case(case, str(tmp_path))
+        assert load_case(path) == case
+        with open(path) as handle:
+            payload = json.load(handle)
+        assert payload["schema_version"] == CORPUS_SCHEMA_VERSION
+
+    def test_case_from_scenario_freezes_current_verdict(self):
+        clean = Scenario(
+            protocol="real-aa", n=4, t=1, inputs=(0.0, 1.0, 2.0, 3.0),
+        )
+        case = case_from_scenario("clean", "freeze check", clean)
+        assert case.expected_violations == ()
+        assert verify(case)
+
+    def test_verify_detects_a_wrong_expectation(self):
+        clean = Scenario(
+            protocol="real-aa", n=4, t=1, inputs=(0.0, 1.0, 2.0, 3.0),
+        )
+        wrong = ReproCase(
+            name="wrong", description="", scenario=clean,
+            expected_violations=("agreement",),
+        )
+        assert not verify(wrong)
+
+    def test_verify_corpus_lists_failures(self, tmp_path):
+        clean = Scenario(
+            protocol="real-aa", n=4, t=1, inputs=(0.0, 1.0, 2.0, 3.0),
+        )
+        save_case(
+            ReproCase("good", "", clean, ()), str(tmp_path)
+        )
+        save_case(
+            ReproCase("bad", "", clean, ("validity",)), str(tmp_path)
+        )
+        assert verify_corpus(str(tmp_path)) == ["bad"]
+
+    def test_missing_directory_is_an_empty_corpus(self, tmp_path):
+        assert iter_corpus(str(tmp_path / "nope")) == []
+
+
+class TestShippedCorpus:
+    def test_corpus_is_not_empty(self):
+        assert len(CORPUS_CASES) >= 5
+
+    def test_corpus_has_both_violating_and_clean_cases(self):
+        verdicts = {bool(case.expected_violations) for case in CORPUS_CASES}
+        assert verdicts == {True, False}
+
+    def test_names_match_filenames_and_are_unique(self):
+        names = [case.name for case in CORPUS_CASES]
+        assert len(set(names)) == len(names)
+        on_disk = sorted(
+            name[: -len(".json")]
+            for name in os.listdir(CORPUS_DIR)
+            if name.endswith(".json")
+        )
+        assert sorted(names) == on_disk
+
+    def test_every_case_has_a_description(self):
+        for case in CORPUS_CASES:
+            assert case.description, case.name
+
+    @pytest.mark.parametrize(
+        "case", CORPUS_CASES, ids=[case.name for case in CORPUS_CASES]
+    )
+    def test_replay_reproduces_recorded_verdict(self, case):
+        found, result = replay(case)
+        assert tuple(sorted(found)) == tuple(sorted(case.expected_violations)), (
+            f"corpus case {case.name!r} no longer reproduces: expected "
+            f"{case.expected_violations}, replayed {found} "
+            f"(error={result.error!r})"
+        )

@@ -36,6 +36,7 @@ EXECUTED_DOCS = [
     "README.md",
     os.path.join("docs", "OBSERVABILITY.md"),
     os.path.join("docs", "STATIC_ANALYSIS.md"),
+    os.path.join("docs", "RESILIENCE.md"),
 ]
 
 sys.path.insert(0, SRC)
