@@ -12,11 +12,14 @@ alter them, or discard them.
 from __future__ import annotations
 
 import abc
-from typing import Dict, Iterable, Optional, Set
+from typing import TYPE_CHECKING, Dict, FrozenSet, Iterable, Optional, Set
 
 from ..net.messages import Inbox, Outbox, PartyId
 from ..net.network import AdversaryView
 from ..net.protocol import ProtocolParty
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..engine.spec import BatchAdversarySpec
 
 
 class Adversary(abc.ABC):
@@ -65,6 +68,29 @@ class Adversary(abc.ABC):
     ) -> None:
         """See what the corrupted parties received this round."""
 
+    # -- batch backend --------------------------------------------------
+
+    def batch_spec(self) -> "BatchAdversarySpec":
+        """Declarative description of this strategy for ``backend="batch"``.
+
+        Strategies the batch engine can replay exactly override this to
+        return a :class:`repro.engine.spec.BatchAdversarySpec`; everything
+        else refuses here, preserving the batch backend's contract that
+        unsupported features fail loudly instead of silently diverging.
+        """
+        from ..engine.errors import UnsupportedBackendError
+
+        raise UnsupportedBackendError(
+            f"{type(self).__name__} cannot be replayed by the batch "
+            "backend; use backend='reference'"
+        )
+
+    def _requested_frozen(self) -> Optional[FrozenSet[PartyId]]:
+        """The explicitly requested corruption set (``None`` = default)."""
+        if self._requested is None:
+            return None
+        return frozenset(self._requested)
+
 
 class NoAdversary(Adversary):
     """Corrupts nothing and sends nothing: a fault-free execution."""
@@ -74,6 +100,14 @@ class NoAdversary(Adversary):
 
     def byzantine_messages(self, view: AdversaryView) -> Dict[PartyId, Outbox]:
         return {}
+
+    def batch_spec(self) -> "BatchAdversarySpec":
+        """Fault-free, whatever corruption set was requested."""
+        if type(self) is not NoAdversary:
+            return super().batch_spec()
+        from ..engine.spec import KIND_NONE, BatchAdversarySpec
+
+        return BatchAdversarySpec(kind=KIND_NONE, corrupted=frozenset())
 
 
 class PuppetDrivingAdversary(Adversary):
@@ -124,3 +158,13 @@ class PassiveAdversary(PuppetDrivingAdversary):
     guarantees must hold, and outputs usually coincide with the fault-free
     run) and as the base class for strategies that deviate selectively.
     """
+
+    def batch_spec(self) -> "BatchAdversarySpec":
+        """Faithful broadcasts every round: the passive batch kind."""
+        if type(self) is not PassiveAdversary:
+            return super().batch_spec()
+        from ..engine.spec import KIND_PASSIVE, BatchAdversarySpec
+
+        return BatchAdversarySpec(
+            kind=KIND_PASSIVE, corrupted=self._requested_frozen()
+        )

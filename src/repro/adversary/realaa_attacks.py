@@ -37,12 +37,25 @@ iteration, forever, sustaining the outline's worst-case ``1/2`` factor.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    FrozenSet,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from ..net.messages import Outbox, PartyId
 from ..net.network import AdversaryView
 from ..protocols.realaa import is_real
 from .base import Adversary, PuppetDrivingAdversary
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..engine.spec import BatchAdversarySpec
 
 
 def even_burn_schedule(t: int, iterations: int) -> List[int]:
@@ -267,6 +280,22 @@ class SplitBroadcastAdversary(PuppetDrivingAdversary):
                 outbox[recipient] = ("nval", tag, value)
             out[pid] = outbox
         return out
+
+    def batch_spec(self) -> "BatchAdversarySpec":
+        """Passive against the gradecast protocols the batch engine runs.
+
+        The split sniffer only matches the naive baseline's ``("nval", …)``
+        payloads; RealAA/PathAA/TreeAA traffic never does, so against every
+        batch-executable protocol this strategy degenerates to faithfully
+        driven puppets — exactly the passive kind.
+        """
+        if type(self) is not SplitBroadcastAdversary:
+            return super().batch_spec()
+        from ..engine.spec import KIND_PASSIVE, BatchAdversarySpec
+
+        return BatchAdversarySpec(
+            kind=KIND_PASSIVE, corrupted=self._requested_frozen()
+        )
 
 
 class AsymmetricTrustAdversary(Adversary):

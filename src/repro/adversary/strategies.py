@@ -8,12 +8,24 @@ RealAA live in :mod:`repro.adversary.realaa_attacks`.
 from __future__ import annotations
 
 import random
-from typing import Any, Callable, Dict, Iterable, Optional, Sequence, Set
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    Optional,
+    Sequence,
+    Set,
+)
 
 from ..net.messages import Outbox, PartyId
 from ..net.network import AdversaryView
 from ..net.protocol import ProtocolParty
 from .base import Adversary, PuppetDrivingAdversary
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..engine.spec import BatchAdversarySpec
 
 
 class SilentAdversary(Adversary):
@@ -25,6 +37,16 @@ class SilentAdversary(Adversary):
 
     def byzantine_messages(self, view: AdversaryView) -> Dict[PartyId, Outbox]:
         return {pid: {} for pid in view.corrupted}
+
+    def batch_spec(self) -> "BatchAdversarySpec":
+        """Permanent omission: the silent batch kind."""
+        if type(self) is not SilentAdversary:
+            return super().batch_spec()
+        from ..engine.spec import KIND_SILENT, BatchAdversarySpec
+
+        return BatchAdversarySpec(
+            kind=KIND_SILENT, corrupted=self._requested_frozen()
+        )
 
 
 class CrashAdversary(PuppetDrivingAdversary):
@@ -60,6 +82,19 @@ class CrashAdversary(PuppetDrivingAdversary):
                 if recipient < self.partial_to
             }
         return {}
+
+    def batch_spec(self) -> "BatchAdversarySpec":
+        """Faithful-until-crash with a deterministic mid-send recipient cut."""
+        if type(self) is not CrashAdversary:
+            return super().batch_spec()
+        from ..engine.spec import KIND_CRASH, BatchAdversarySpec
+
+        return BatchAdversarySpec(
+            kind=KIND_CRASH,
+            corrupted=self._requested_frozen(),
+            crash_round=self.crash_round,
+            partial_to=self.partial_to,
+        )
 
 
 class ConsistentLiarAdversary(PuppetDrivingAdversary):

@@ -34,7 +34,10 @@ def summarize(values: Sequence[float]) -> Summary:
     if not data:
         raise ValueError("cannot summarize an empty sequence")
     count = len(data)
-    mean = math.fsum(data) / count
+    # The division can round the exact mean just outside [min, max] (e.g.
+    # three identical tiny values); clamp so the summary invariant
+    # ``minimum <= mean <= maximum`` holds exactly.
+    mean = min(max(math.fsum(data) / count, min(data)), max(data))
     if count > 1:
         variance = math.fsum((x - mean) ** 2 for x in data) / (count - 1)
     else:

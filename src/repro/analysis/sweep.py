@@ -68,12 +68,17 @@ def run_tree_point(
     adversary_factory: Optional[Callable[[], Any]] = None,
     trace_level: TraceLevel = TraceLevel.FULL,
     observer: Optional[Any] = None,
+    backend: str = "reference",
 ) -> TreeSweepPoint:
     """Run TreeAA and the iterated-safe-area baseline on the same instance.
 
     ``observer`` (e.g. a :class:`~repro.observability.MetricsCollector`)
     watches the TreeAA execution only; attaching one forces the simulator
     off the ``AGGREGATE`` fast path for that execution.
+
+    ``backend`` selects the engine for the *TreeAA* execution (see
+    :func:`repro.core.api.run_tree_aa`); the iterated-safe-area baseline
+    has no batch implementation and always runs on the reference engine.
     """
     from ..core.api import run_tree_aa
     from ..baselines.iterative_tree import IterativeTreeAAParty
@@ -91,6 +96,7 @@ def run_tree_point(
         adversary=adversary,
         trace_level=trace_level,
         observer=observer,
+        backend=backend,
     )
 
     adversary2 = adversary_factory() if adversary_factory is not None else None
@@ -126,6 +132,7 @@ def measured_realaa_rounds(
     adversary_factory: Optional[Callable[[], Any]] = None,
     seed: int = 0,
     trace_level: TraceLevel = TraceLevel.FULL,
+    backend: str = "reference",
 ) -> Tuple[int, Optional[int], bool]:
     """(budgeted rounds, measured rounds, AA achieved) for one RealAA run.
 
@@ -145,6 +152,7 @@ def measured_realaa_rounds(
         known_range=float(spread),
         adversary=adversary,
         trace_level=trace_level,
+        backend=backend,
     )
     return outcome.rounds, outcome.measured_rounds, outcome.achieved_aa
 
@@ -209,6 +217,7 @@ def tree_point_runner(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
         adversary_factory=_adversary_factory(params.get("adversary"), t),
         trace_level=TraceLevel.AGGREGATE,
         observer=collector,
+        backend=str(params.get("backend", "reference")),
     )
     row = asdict(point)
     if collector is not None:
@@ -245,6 +254,7 @@ def realaa_point_runner(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
         adversary_factory=factory,
         seed=seed,
         trace_level=TraceLevel.AGGREGATE,
+        backend=str(params.get("backend", "reference")),
     )
     return {
         "n": n,

@@ -325,16 +325,25 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         ]
         all_ok = lambda r: r["ok"]  # noqa: E731
 
-    report = run_grid(
-        f"cli-{args.kind}",
-        runner,
-        grid,
-        jobs=args.jobs,
-        cache_dir=args.cache_dir,
-        no_cache=args.no_cache,
-        base_seed=args.base_seed,
-        jsonl_path=args.jsonl,
-    )
+    from .engine import UnsupportedBackendError
+
+    try:
+        report = run_grid(
+            f"cli-{args.kind}",
+            runner,
+            grid,
+            jobs=args.jobs,
+            cache_dir=args.cache_dir,
+            no_cache=args.no_cache,
+            base_seed=args.base_seed,
+            jsonl_path=args.jsonl,
+            backend=args.backend,
+        )
+    except UnsupportedBackendError as exc:
+        # e.g. --backend batch with an equivocating adversary spec: the
+        # refusal is part of the contract, but the CLI surfaces it as a
+        # clean error, not a traceback.
+        raise CLIError(str(exc)) from None
     print(
         format_table(
             headers,
@@ -686,6 +695,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--jsonl",
         default=None,
         help="also persist the sweep rows as machine-readable JSONL",
+    )
+    p.add_argument(
+        "--backend",
+        default="reference",
+        choices=["reference", "batch"],
+        help="execution engine (batch = vectorized large-n engine)",
     )
     p.set_defaults(func=cmd_sweep)
 

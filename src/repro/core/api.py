@@ -103,6 +103,23 @@ def _evaluate_tree_outputs(
     }
 
 
+def _select_backend(backend: str) -> Any:
+    """Resolve *backend* to an engine object, or ``None`` for the reference.
+
+    The batch engine is imported lazily so that the NumPy stack is only
+    loaded when a caller actually opts into ``backend="batch"``.
+    """
+    if backend == "reference":
+        return None
+    if backend != "batch":
+        raise ValueError(
+            f"unknown backend {backend!r} (choose 'reference' or 'batch')"
+        )
+    from ..engine.backend import BatchSynchronousEngine
+
+    return BatchSynchronousEngine()
+
+
 def run_tree_aa(
     tree: LabeledTree,
     inputs: Sequence[Label],
@@ -113,6 +130,7 @@ def run_tree_aa(
     observer: Optional[Observer] = None,
     fault_plan: Optional[FaultPlan] = None,
     t_assumed: Optional[int] = None,
+    backend: str = "reference",
 ) -> TreeAAOutcome:
     """Run **TreeAA** with ``inputs[pid]`` as party ``pid``'s input vertex.
 
@@ -127,7 +145,27 @@ def run_tree_aa(
     with a *smaller* tolerance than the network's corruption budget ``t``
     — the way degradation experiments cross the ``t < n/3`` threshold
     while the protocol logic stays at its designed operating point.
+
+    ``backend`` selects the execution engine: ``"reference"`` (default)
+    drives per-party state machines through the synchronous network;
+    ``"batch"`` runs the observationally equivalent vectorized engine
+    (:mod:`repro.engine`), which raises
+    :class:`~repro.engine.errors.UnsupportedBackendError` for features it
+    cannot replay (observers, fault plans, equivocating adversaries).
     """
+    engine = _select_backend(backend)
+    if engine is not None:
+        return engine.run_tree_aa(
+            tree,
+            inputs,
+            t,
+            adversary=adversary,
+            root=root,
+            trace_level=trace_level,
+            observer=observer,
+            fault_plan=fault_plan,
+            t_assumed=t_assumed,
+        )
     n = len(inputs)
     party_t = t if t_assumed is None else t_assumed
     execution = run_protocol(
@@ -160,13 +198,26 @@ def run_path_aa(
     adversary: Optional[Adversary] = None,
     project: bool = False,
     observer: Optional[Observer] = None,
+    backend: str = "reference",
 ) -> TreeAAOutcome:
     """Run the Section-4 path protocol (or the Section-5 variant).
 
     With ``project=False`` every input must lie on *path* (Section 4).
     With ``project=True`` inputs may be arbitrary tree vertices, projected
-    onto the commonly known *path* first (Section 5).
+    onto the commonly known *path* first (Section 5).  ``backend`` selects
+    the engine as in :func:`run_tree_aa`.
     """
+    engine = _select_backend(backend)
+    if engine is not None:
+        return engine.run_path_aa(
+            tree,
+            path,
+            inputs,
+            t,
+            adversary=adversary,
+            project=project,
+            observer=observer,
+        )
     n = len(inputs)
     canonical = path.canonical()
     factory: PartyFactory
@@ -203,6 +254,7 @@ def run_real_aa(
     observer: Optional[Observer] = None,
     fault_plan: Optional[FaultPlan] = None,
     t_assumed: Optional[int] = None,
+    backend: str = "reference",
 ) -> RealAAOutcome:
     """Run **RealAA(ε)** on real-valued inputs.
 
@@ -214,8 +266,23 @@ def run_real_aa(
     injects honest-message faults (behind ``allow_model_violations=True``),
     the latter runs the parties at a smaller assumed tolerance than the
     network's budget ``t`` so degradation sweeps can exceed ``t < n/3``
-    without touching protocol-layer guards.
+    without touching protocol-layer guards.  ``backend`` selects the
+    engine as in :func:`run_tree_aa`.
     """
+    engine = _select_backend(backend)
+    if engine is not None:
+        return engine.run_real_aa(
+            inputs,
+            t,
+            epsilon,
+            known_range=known_range,
+            iterations=iterations,
+            adversary=adversary,
+            trace_level=trace_level,
+            observer=observer,
+            fault_plan=fault_plan,
+            t_assumed=t_assumed,
+        )
     n = len(inputs)
     if known_range is None and iterations is None:
         known_range = max(inputs) - min(inputs) if n else 0.0

@@ -1,0 +1,59 @@
+"""Batched (vectorized) execution backend for large-``n`` experiments.
+
+``repro.engine`` reruns the protocols of :mod:`repro.core` as NumPy array
+operations over party *classes* instead of per-party message objects,
+which turns the reference engine's Θ(n³)-messages round loop into a
+handful of Θ(n) array updates.  The contract is strict observational
+equivalence: for every supported configuration the batch backend must be
+indistinguishable from ``backend="reference"`` (outputs, verdicts, trace
+counters, per-party diagnostics, and error behaviour); anything it cannot
+replicate raises :class:`UnsupportedBackendError` instead of diverging.
+
+The error and spec modules are NumPy-free and imported eagerly so that
+adversary hooks and the resilience lab can reference them cheaply; the
+NumPy-backed engine itself loads lazily on first attribute access.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .errors import UnsupportedBackendError
+from .spec import (
+    KIND_CRASH,
+    KIND_NONE,
+    KIND_PASSIVE,
+    KIND_SILENT,
+    BatchAdversarySpec,
+    resolve_batch_spec,
+)
+
+__all__ = [
+    "BatchAdversarySpec",
+    "BatchExecution",
+    "BatchSynchronousEngine",
+    "KIND_CRASH",
+    "KIND_NONE",
+    "KIND_PASSIVE",
+    "KIND_SILENT",
+    "UnsupportedBackendError",
+    "resolve_batch_spec",
+]
+
+_LAZY_BACKEND = {
+    "BatchSynchronousEngine": "backend",
+    "BatchExecution": "kernel",
+}
+
+
+def __getattr__(name: str) -> Any:
+    """Load the NumPy-backed engine classes on first use (PEP 562)."""
+    module_name = _LAZY_BACKEND.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    module = importlib.import_module(f".{module_name}", __name__)
+    value = getattr(module, name)
+    globals()[name] = value
+    return value

@@ -1,0 +1,18 @@
+"""Error types of the batched execution backend.
+
+Kept free of third-party imports so that modules which only need to
+*mention* the batch backend (adversary hooks, the resilience lab) can do
+so without pulling in NumPy.
+"""
+
+from __future__ import annotations
+
+
+class UnsupportedBackendError(RuntimeError):
+    """A requested feature cannot be replayed by the batch backend.
+
+    The batched engine reproduces the reference simulator bit-for-bit for
+    the features it supports; anything it cannot express (chaos scripts,
+    fault plans, observers, equivocating adversaries) refuses loudly with
+    this error instead of silently diverging.
+    """

@@ -1,0 +1,83 @@
+"""Declarative adversary descriptions for the batch backend.
+
+The reference simulator drives adversaries as objects that inspect and
+rewrite per-message dicts.  The batch engine cannot afford per-message
+Python objects, so each supported strategy instead *describes itself* as a
+:class:`BatchAdversarySpec` via :meth:`repro.adversary.base.Adversary
+.batch_spec` — a narrow, array-friendly contract.  Every supported kind
+shares one crucial property: corrupted parties never equivocate.  Each
+party (honest or corrupted) either broadcasts its faithful protocol
+message to a deterministic recipient set or stays silent, which is what
+lets the kernel collapse parties into classes
+(:mod:`repro.engine.kernel`).
+
+This module is NumPy-free on purpose: adversary modules import it lazily
+to build their specs, and must not drag the array stack into executions
+that never use it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, FrozenSet, Optional
+
+from .errors import UnsupportedBackendError
+
+#: No adversary at all (also what :class:`~repro.adversary.base.NoAdversary`
+#: reduces to): nothing is corrupted, every party is honest.
+KIND_NONE = "none"
+#: Corrupted parties never send anything (omission at round 0).
+KIND_SILENT = "silent"
+#: Corrupted parties follow the protocol to the letter.
+KIND_PASSIVE = "passive"
+#: Faithful until ``crash_round``; mid-send crash in that round (only
+#: recipients with ids below ``partial_to`` still served); silent after.
+KIND_CRASH = "crash"
+
+_KINDS = (KIND_NONE, KIND_SILENT, KIND_PASSIVE, KIND_CRASH)
+
+
+@dataclass(frozen=True)
+class BatchAdversarySpec:
+    """Everything the batch kernel needs to replay a supported adversary.
+
+    ``corrupted`` is the explicitly requested corrupt set, or ``None`` for
+    the reference default (the last ``t`` ids, resolved once ``n`` and the
+    network budget are known).  ``crash_round`` / ``partial_to`` only
+    matter for :data:`KIND_CRASH` and mirror
+    :class:`~repro.adversary.strategies.CrashAdversary` exactly.
+    """
+
+    kind: str = KIND_NONE
+    corrupted: Optional[FrozenSet[int]] = None
+    crash_round: int = 0
+    partial_to: int = 0
+
+    def __post_init__(self) -> None:
+        """Reject kinds the kernel does not implement (a harness bug)."""
+        if self.kind not in _KINDS:
+            raise ValueError(f"unknown batch adversary kind {self.kind!r}")
+
+
+def resolve_batch_spec(adversary: Optional[Any]) -> Optional[BatchAdversarySpec]:
+    """The :class:`BatchAdversarySpec` of *adversary* (``None`` = fault-free).
+
+    Raises :class:`~repro.engine.errors.UnsupportedBackendError` when the
+    strategy declares no batch equivalent — the refusal contract of the
+    backend: unsupported features fail loudly, never silently diverge.
+    """
+    if adversary is None:
+        return None
+    hook = getattr(adversary, "batch_spec", None)
+    if hook is None:
+        raise UnsupportedBackendError(
+            f"{type(adversary).__name__} declares no batch_spec(); "
+            "use backend='reference'"
+        )
+    spec = hook()
+    if not isinstance(spec, BatchAdversarySpec):
+        raise UnsupportedBackendError(
+            f"{type(adversary).__name__}.batch_spec() returned "
+            f"{type(spec).__name__}, expected BatchAdversarySpec"
+        )
+    return spec

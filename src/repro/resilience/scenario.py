@@ -22,6 +22,7 @@ import traceback
 from dataclasses import dataclass, field, replace
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from ..engine.errors import UnsupportedBackendError
 from ..net.faults import FaultPlan
 from ..net.messages import PartyId
 
@@ -348,7 +349,9 @@ def _capture_error(exc: BaseException) -> str:
     return f"{type(exc).__name__}: {exc}{location}"
 
 
-def _execute_real_aa(scenario: Scenario, result: ScenarioResult) -> None:
+def _execute_real_aa(
+    scenario: Scenario, result: ScenarioResult, backend: str = "reference"
+) -> None:
     """Run a synchronous RealAA scenario into ``result``."""
     from ..core.api import run_real_aa
     from ..protocols.rounds import realaa_duration
@@ -363,6 +366,7 @@ def _execute_real_aa(scenario: Scenario, result: ScenarioResult) -> None:
         adversary=adversary,
         fault_plan=_fault_plan_of(scenario),
         t_assumed=scenario.assumed_t,
+        backend=backend,
     )
     result.honest_inputs = dict(outcome.honest_inputs)
     result.honest_outputs = dict(outcome.honest_outputs)
@@ -376,7 +380,9 @@ def _execute_real_aa(scenario: Scenario, result: ScenarioResult) -> None:
     _collect_sync_extras(result, outcome.execution, adversary)
 
 
-def _execute_tree_aa(scenario: Scenario, result: ScenarioResult) -> None:
+def _execute_tree_aa(
+    scenario: Scenario, result: ScenarioResult, backend: str = "reference"
+) -> None:
     """Run a synchronous TreeAA scenario into ``result``."""
     from ..cli import parse_tree_spec
     from ..core.api import run_tree_aa
@@ -395,6 +401,7 @@ def _execute_tree_aa(scenario: Scenario, result: ScenarioResult) -> None:
         adversary=adversary,
         fault_plan=_fault_plan_of(scenario),
         t_assumed=scenario.assumed_t,
+        backend=backend,
     )
     result.honest_inputs = dict(outcome.honest_inputs)
     result.honest_outputs = dict(outcome.honest_outputs)
@@ -403,9 +410,17 @@ def _execute_tree_aa(scenario: Scenario, result: ScenarioResult) -> None:
     _collect_sync_extras(result, outcome.execution, adversary)
 
 
-def _execute_async_real_aa(scenario: Scenario, result: ScenarioResult) -> None:
+def _execute_async_real_aa(
+    scenario: Scenario, result: ScenarioResult, backend: str = "reference"
+) -> None:
     """Run an asynchronous iterated RealAA scenario into ``result``."""
     from ..asynchrony import AsyncRealAAParty, run_async_protocol
+
+    if backend != "reference":
+        raise UnsupportedBackendError(
+            "async-real-aa scenarios have no batch equivalent; "
+            "use backend='reference'"
+        )
 
     adversary = build_adversary(scenario)
     known_range = scenario.effective_known_range
@@ -456,11 +471,16 @@ def _collect_sync_extras(
         result.chaos_log = [tuple(entry) for entry in log]
 
 
-def execute_scenario(scenario: Scenario) -> ScenarioResult:
+def execute_scenario(
+    scenario: Scenario, backend: str = "reference"
+) -> ScenarioResult:
     """Interpret a scenario; capture any unhandled exception as data.
 
     The only exceptions that escape are :class:`ScenarioError` (malformed
-    data — a bug in the caller, not an execution outcome).
+    data — a bug in the caller, not an execution outcome) and
+    :class:`~repro.engine.errors.UnsupportedBackendError` (the chosen
+    *backend* cannot replay this scenario at all — a dispatch problem,
+    not an execution outcome).
     """
     result = ScenarioResult(scenario=scenario)
     runners = {
@@ -469,8 +489,8 @@ def execute_scenario(scenario: Scenario) -> ScenarioResult:
         "async-real-aa": _execute_async_real_aa,
     }
     try:
-        runners[scenario.protocol](scenario, result)
-    except ScenarioError:
+        runners[scenario.protocol](scenario, result, backend=backend)
+    except (ScenarioError, UnsupportedBackendError):
         raise
     except Exception as exc:  # noqa: BLE001 - captured for the oracle
         result.error = _capture_error(exc)

@@ -12,7 +12,7 @@ from repro.net import TranscriptRecorder, run_protocol
 from repro.protocols import RealAAParty
 from repro.trees import random_tree
 
-from ..conftest import trees_with_vertex_choices
+from ..strategies import trees_with_vertex_choices
 
 
 class TestConstruction:

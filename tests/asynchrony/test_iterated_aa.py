@@ -22,7 +22,7 @@ from repro.asynchrony import (
 )
 from repro.trees import figure_tree, path_tree, random_tree, star_tree
 
-from ..conftest import trees_with_vertex_choices
+from ..strategies import trees_with_vertex_choices
 
 
 def run_real(inputs, t, epsilon=0.5, adversary=None, scheduler=None, **kwargs):

@@ -25,7 +25,7 @@ from repro.authenticated import (
 from repro.net import run_protocol
 from repro.trees import LabeledTree, figure_tree, path_tree, random_tree
 
-from ..conftest import trees_with_vertex_choices
+from ..strategies import trees_with_vertex_choices
 
 
 class TestThreshold:

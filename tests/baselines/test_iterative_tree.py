@@ -27,7 +27,7 @@ from repro.trees import (
     star_tree,
 )
 
-from ..conftest import trees_with_vertex_choices
+from ..strategies import trees_with_vertex_choices
 
 
 def run_baseline(tree, inputs, t, adversary=None, iterations=None):

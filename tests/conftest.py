@@ -1,59 +1,44 @@
-"""Shared fixtures and hypothesis strategies for the test suite."""
+"""Shared fixtures and Hypothesis settings profiles for the test suite.
+
+The reusable Hypothesis strategies live in :mod:`tests.strategies`; this
+module only configures the execution environment.  Two settings profiles
+are registered:
+
+* ``dev`` (default) — small and fast, for the local red/green loop;
+* ``ci`` — derandomized with more examples, so shrink-heavy property
+  tests neither flake nor depend on ambient Hypothesis defaults.
+
+Select via ``HYPOTHESIS_PROFILE=ci`` (the CI workflow does).
+"""
 
 from __future__ import annotations
 
-import random
+import os
 
 import pytest
 from hypothesis import HealthCheck, settings
-from hypothesis import strategies as st
 
-from repro.trees import LabeledTree, figure_tree, tree_from_pruefer
+from repro.trees import LabeledTree, figure_tree
 
 # Protocol executions are comparatively slow for hypothesis's defaults;
-# register a profile that keeps property tests meaningful but bounded.
+# both profiles keep property tests meaningful but bounded.
 settings.register_profile(
-    "repro",
+    "dev",
     max_examples=25,
     deadline=None,
     suppress_health_check=[HealthCheck.too_slow],
 )
-settings.load_profile("repro")
+settings.register_profile(
+    "ci",
+    max_examples=60,
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
 
 @pytest.fixture
 def fig_tree() -> LabeledTree:
     """The 8-vertex tree of Figures 3/4 of the paper."""
     return figure_tree()
-
-
-@st.composite
-def small_trees(draw, min_vertices: int = 1, max_vertices: int = 12):
-    """Uniform-ish random labeled trees via Prüfer sequences."""
-    n = draw(st.integers(min_value=min_vertices, max_value=max_vertices))
-    if n == 1:
-        return LabeledTree(vertices=["v00"])
-    if n == 2:
-        return LabeledTree(edges=[("v00", "v01")])
-    sequence = draw(
-        st.lists(
-            st.integers(min_value=0, max_value=n - 1),
-            min_size=n - 2,
-            max_size=n - 2,
-        )
-    )
-    return tree_from_pruefer(sequence)
-
-
-@st.composite
-def trees_with_vertex_choices(draw, n_choices: int, min_vertices: int = 2):
-    """A random tree plus *n_choices* (not necessarily distinct) vertices."""
-    tree = draw(small_trees(min_vertices=min_vertices))
-    indices = draw(
-        st.lists(
-            st.integers(min_value=0, max_value=tree.n_vertices - 1),
-            min_size=n_choices,
-            max_size=n_choices,
-        )
-    )
-    return tree, [tree.vertices[i] for i in indices]

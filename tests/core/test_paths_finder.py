@@ -24,7 +24,7 @@ from repro.trees import (
     random_tree,
 )
 
-from ..conftest import trees_with_vertex_choices
+from ..strategies import trees_with_vertex_choices
 
 
 def run_paths_finder(tree, inputs, t, adversary=None):

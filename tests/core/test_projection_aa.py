@@ -17,7 +17,7 @@ from repro.trees import (
     random_tree,
 )
 
-from ..conftest import trees_with_vertex_choices
+from ..strategies import trees_with_vertex_choices
 
 
 class TestConstruction:

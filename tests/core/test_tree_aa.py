@@ -34,7 +34,7 @@ from repro.trees import (
     star_tree,
 )
 
-from ..conftest import trees_with_vertex_choices
+from ..strategies import trees_with_vertex_choices
 
 ADVERSARIES = {
     "none": lambda t: None,

@@ -1,0 +1,8 @@
+"""Differential conformance suite for the batch execution backend.
+
+Every test in this package compares :mod:`repro.engine`'s vectorized
+backend against the reference message-passing simulator — identical
+outputs, traces, verdicts, and error behaviour for every supported
+configuration, and a loud :class:`~repro.engine.UnsupportedBackendError`
+for every unsupported one.
+"""

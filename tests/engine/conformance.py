@@ -1,0 +1,71 @@
+"""Shared helpers for the backend conformance tests.
+
+The heart of the suite is :func:`differential_check`: run the same
+protocol call on the reference simulator and the batch engine and demand
+*identical* observable behaviour — outputs, honest/corrupted partitions,
+the full execution trace, AA verdicts, and (for error paths) the
+exception type and message.  Any divergence is rendered with both sides'
+summaries so a failing case is diagnosable from the pytest output alone.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Tuple
+
+
+def trace_summary(trace: Any) -> Tuple[Any, ...]:
+    """Every counter the trace exposes, as a comparable tuple."""
+    return (
+        trace.rounds_executed,
+        trace.honest_message_count,
+        trace.byzantine_message_count,
+        trace.honest_payload_units,
+        trace.byzantine_payload_units,
+        tuple(trace.per_round_messages),
+        tuple(sorted(trace.corruption_rounds.items())),
+    )
+
+
+def outcome_summary(outcome: Any) -> Dict[str, Any]:
+    """The full observable state of a protocol outcome, for equality."""
+    summary: Dict[str, Any] = {
+        "outputs": outcome.execution.outputs,
+        "honest": outcome.execution.honest,
+        "corrupted": outcome.execution.corrupted,
+        "trace": trace_summary(outcome.execution.trace),
+        "terminated": outcome.terminated,
+        "valid": outcome.valid,
+        "agreement": outcome.agreement,
+        "rounds": outcome.rounds,
+    }
+    for field in ("output_spread", "measured_rounds", "output_diameter"):
+        if hasattr(outcome, field):
+            summary[field] = getattr(outcome, field)
+    return summary
+
+
+def run_one(
+    call: Callable[..., Any], kwargs: Dict[str, Any], backend: str
+) -> Tuple[str, Any]:
+    """``("ok", summary)`` or ``("error", type name, message)``.
+
+    Exceptions are part of the conformance contract: both backends must
+    reject an illegal configuration with the *same* error.
+    """
+    try:
+        outcome = call(**kwargs, backend=backend)
+    except Exception as error:  # noqa: BLE001 - the type is the assertion
+        return ("error", type(error).__name__, str(error))
+    return ("ok", outcome_summary(outcome))
+
+
+def differential_check(call: Callable[..., Any], **kwargs: Any) -> Tuple[str, Any]:
+    """Assert reference and batch behave identically; return the verdict."""
+    reference = run_one(call, kwargs, "reference")
+    batch = run_one(call, kwargs, "batch")
+    assert reference == batch, (
+        f"backend divergence for {call.__name__}:\n"
+        f"  reference: {reference!r}\n"
+        f"  batch:     {batch!r}"
+    )
+    return reference

@@ -1,0 +1,178 @@
+"""Backend selection, refusal behaviour, and sweep-cache identity.
+
+The batch engine's contract has three edges worth pinning beyond the
+differential properties:
+
+* ``backend=`` is a closed enum — typos raise ``ValueError`` before any
+  execution starts;
+* every feature the vectorized engine cannot express (observers, fault
+  plans, equivocating adversaries) raises the typed
+  :class:`~repro.engine.UnsupportedBackendError` instead of silently
+  running wrong;
+* a sweep row computed by one engine is never served from the result
+  cache to the other (the regression this PR's cache-key fix guards).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversary.base import Adversary, NoAdversary
+from repro.adversary.chaos import ChaosAdversary
+from repro.adversary.realaa_attacks import BurnScheduleAdversary
+from repro.analysis.parallel import SweepCache, run_grid
+from repro.core.api import run_path_aa, run_real_aa, run_tree_aa
+from repro.engine import (
+    BatchAdversarySpec,
+    UnsupportedBackendError,
+    resolve_batch_spec,
+)
+from repro.net.faults import FaultPlan
+from repro.observability import MetricsCollector
+from repro.trees.labeled_tree import LabeledTree
+from repro.trees.paths import diameter_path
+
+pytest.importorskip("numpy")
+
+INPUTS = [0.0, 1.0, 2.0, 3.0, 4.0]
+
+
+def small_tree() -> LabeledTree:
+    return LabeledTree.from_parent_map({"b": "a", "c": "a", "d": "b"})
+
+
+class TestBackendSelection:
+    @pytest.mark.parametrize("backend", ["Batch", "numpy", "", "ref"])
+    def test_unknown_backend_is_a_value_error(self, backend):
+        with pytest.raises(ValueError, match="unknown backend"):
+            run_real_aa(INPUTS, 1, epsilon=1.0, backend=backend)
+
+    def test_unknown_backend_rejected_by_every_entry_point(self):
+        tree = small_tree()
+        with pytest.raises(ValueError, match="unknown backend"):
+            run_tree_aa(tree, ["a"] * 4, 1, backend="turbo")
+        with pytest.raises(ValueError, match="unknown backend"):
+            run_path_aa(
+                tree, diameter_path(tree), ["c", "c", "d", "d"], 1, backend="turbo"
+            )
+
+    def test_reference_is_the_default(self):
+        reference = run_real_aa(INPUTS, 1, epsilon=1.0)
+        explicit = run_real_aa(INPUTS, 1, epsilon=1.0, backend="reference")
+        assert reference.execution.outputs == explicit.execution.outputs
+
+
+class TestUnsupportedFeatures:
+    def test_equivocating_adversary_refuses(self):
+        with pytest.raises(UnsupportedBackendError, match="BurnScheduleAdversary"):
+            run_real_aa(
+                INPUTS,
+                1,
+                epsilon=1.0,
+                adversary=BurnScheduleAdversary([1]),
+                backend="batch",
+            )
+
+    def test_chaos_adversary_refuses(self):
+        with pytest.raises(UnsupportedBackendError, match="ChaosAdversary"):
+            run_real_aa(
+                INPUTS,
+                1,
+                epsilon=1.0,
+                adversary=ChaosAdversary(seed=7),
+                backend="batch",
+            )
+
+    def test_observer_refuses(self):
+        with pytest.raises(UnsupportedBackendError, match="observer"):
+            run_real_aa(
+                INPUTS,
+                1,
+                epsilon=1.0,
+                observer=MetricsCollector(),
+                backend="batch",
+            )
+
+    def test_fault_plan_refuses(self):
+        with pytest.raises(UnsupportedBackendError, match="fault plan"):
+            run_real_aa(
+                INPUTS,
+                1,
+                epsilon=1.0,
+                fault_plan=FaultPlan(),
+                backend="batch",
+            )
+
+    def test_unknown_adversary_has_no_spec(self):
+        class Custom(Adversary):
+            def byzantine_messages(self, view):
+                return {}
+
+        with pytest.raises(UnsupportedBackendError, match="Custom"):
+            resolve_batch_spec(Custom())
+
+    def test_subclass_does_not_inherit_the_parent_spec(self):
+        # A subclass may override behaviour arbitrarily; only exact types
+        # the engine knows get replayed.
+        class Widened(NoAdversary):
+            pass
+
+        with pytest.raises(UnsupportedBackendError, match="Widened"):
+            resolve_batch_spec(Widened(None))
+
+    def test_supported_adversary_resolves(self):
+        # NoAdversary never actually corrupts anyone (its
+        # initial_corruptions is empty even when a set was requested), and
+        # its spec says exactly that.
+        spec = resolve_batch_spec(NoAdversary({1, 2}))
+        assert isinstance(spec, BatchAdversarySpec)
+        assert spec.kind == "none"
+        assert spec.corrupted == frozenset()
+
+
+class TestSweepCacheBackendIdentity:
+    GRID = [{"n": 5, "t": 1, "spread": 8.0, "epsilon": 1.0, "seed": 3}]
+
+    def test_key_records_the_backend(self):
+        reference = SweepCache.key("s", "realaa-point", self.GRID[0], 3, "v")
+        batch = SweepCache.key(
+            "s", "realaa-point", self.GRID[0], 3, "v", backend="batch"
+        )
+        assert reference["backend"] == "reference"
+        assert batch["backend"] == "batch"
+        assert {k: v for k, v in reference.items() if k != "backend"} == {
+            k: v for k, v in batch.items() if k != "backend"
+        }
+
+    def test_cached_reference_row_not_served_to_batch(self, tmp_path):
+        cache_dir = str(tmp_path)
+        first = run_grid(
+            "cache-identity", "realaa-point", self.GRID, cache_dir=cache_dir
+        )
+        assert (first.cache_hits, first.cache_misses) == (0, 1)
+
+        # Same grid on the batch backend: the reference row must NOT hit.
+        batch = run_grid(
+            "cache-identity",
+            "realaa-point",
+            self.GRID,
+            cache_dir=cache_dir,
+            backend="batch",
+        )
+        assert (batch.cache_hits, batch.cache_misses) == (0, 1)
+        assert batch.rows == first.rows  # the engines agree; the cache rows differ
+
+        # Re-running each backend now hits its own row.
+        assert run_grid(
+            "cache-identity", "realaa-point", self.GRID, cache_dir=cache_dir
+        ).cache_hits == 1
+        assert (
+            run_grid(
+                "cache-identity",
+                "realaa-point",
+                self.GRID,
+                cache_dir=cache_dir,
+                backend="batch",
+            ).cache_hits
+            == 1
+        )

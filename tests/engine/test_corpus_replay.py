@@ -1,0 +1,85 @@
+"""Replay the regression corpus on the batch backend.
+
+Every case under ``tests/corpus/`` is classified here as either
+*batch-supported* (its scenario replays on the batch engine and must
+reproduce the reference execution — outputs, rounds, and oracle verdict
+— exactly) or *expected-unsupported* (its scenario uses a feature the
+batch engine deliberately refuses, and the refusal must be the typed
+:class:`~repro.engine.UnsupportedBackendError`, not a silent wrong
+answer).  A new corpus case lands in neither set and fails
+``test_every_case_is_classified`` until someone decides which behaviour
+it gets.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.engine import UnsupportedBackendError
+from repro.resilience import iter_corpus
+from repro.resilience.oracles import evaluate, violated_oracles
+from repro.resilience.scenario import execute_scenario
+
+pytest.importorskip("numpy")
+
+CORPUS_DIR = os.path.join(
+    os.path.dirname(os.path.dirname(__file__)), "corpus"
+)
+CORPUS_CASES = {case.name: case for case in iter_corpus(CORPUS_DIR)}
+
+#: Cases whose scenario the batch engine replays bit-identically.
+BATCH_SUPPORTED = (
+    "crash-partial-broadcast-agreement",
+    "faultplan-duplicate-storm",
+    "legal-silent-stays-clean",
+    "silent-over-threshold-agreement",
+    "tree-silent-over-threshold",
+)
+
+#: Cases exercising features outside the batch engine's scope (chaos
+#: scripts, asynchronous delivery) — replay must refuse, loudly.
+EXPECTED_UNSUPPORTED = (
+    "async-split-noise-stays-clean",
+    "chaos-scripted-agreement",
+)
+
+
+def test_every_case_is_classified():
+    classified = set(BATCH_SUPPORTED) | set(EXPECTED_UNSUPPORTED)
+    assert set(CORPUS_CASES) == classified
+    assert not set(BATCH_SUPPORTED) & set(EXPECTED_UNSUPPORTED)
+
+
+@pytest.mark.parametrize("name", BATCH_SUPPORTED)
+def test_supported_case_replays_identically(name):
+    case = CORPUS_CASES[name]
+    reference = execute_scenario(case.scenario)
+    batch = execute_scenario(case.scenario, backend="batch")
+    assert batch.honest_inputs == reference.honest_inputs
+    assert batch.honest_outputs == reference.honest_outputs
+    assert batch.rounds == reference.rounds
+    assert batch.round_limit == reference.round_limit
+    assert batch.completed == reference.completed
+    assert batch.error == reference.error
+    assert batch.fault_counts == reference.fault_counts
+    assert violated_oracles(evaluate(batch)) == violated_oracles(
+        evaluate(reference)
+    )
+
+
+@pytest.mark.parametrize("name", BATCH_SUPPORTED)
+def test_supported_case_verdict_matches_recording(name):
+    case = CORPUS_CASES[name]
+    result = execute_scenario(case.scenario, backend="batch")
+    assert tuple(violated_oracles(evaluate(result))) == tuple(
+        sorted(case.expected_violations)
+    )
+
+
+@pytest.mark.parametrize("name", EXPECTED_UNSUPPORTED)
+def test_unsupported_case_refuses_loudly(name):
+    case = CORPUS_CASES[name]
+    with pytest.raises(UnsupportedBackendError):
+        execute_scenario(case.scenario, backend="batch")

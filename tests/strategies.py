@@ -1,0 +1,120 @@
+"""Shared Hypothesis strategies for the whole test suite.
+
+Promoted out of ``conftest.py`` so that every test package (``trees``,
+``authenticated``, ``engine``, …) draws trees, corruption sets, adversary
+choices, and backend choices from one place instead of rolling its own.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set, Tuple
+
+from hypothesis import strategies as st
+
+from repro.trees import LabeledTree, tree_from_pruefer
+
+#: The execution backends every differential property test compares.
+BACKENDS: Tuple[str, ...] = ("reference", "batch")
+
+
+@st.composite
+def small_trees(draw, min_vertices: int = 1, max_vertices: int = 12):
+    """Uniform-ish random labeled trees via Prüfer sequences."""
+    n = draw(st.integers(min_value=min_vertices, max_value=max_vertices))
+    if n == 1:
+        return LabeledTree(vertices=["v00"])
+    if n == 2:
+        return LabeledTree(edges=[("v00", "v01")])
+    sequence = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=n - 1),
+            min_size=n - 2,
+            max_size=n - 2,
+        )
+    )
+    return tree_from_pruefer(sequence)
+
+
+@st.composite
+def trees_with_vertex_choices(draw, n_choices: int, min_vertices: int = 2):
+    """A random tree plus *n_choices* (not necessarily distinct) vertices."""
+    tree = draw(small_trees(min_vertices=min_vertices))
+    indices = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=tree.n_vertices - 1),
+            min_size=n_choices,
+            max_size=n_choices,
+        )
+    )
+    return tree, [tree.vertices[i] for i in indices]
+
+
+@st.composite
+def corruption_sets(
+    draw, n: int, max_size: Optional[int] = None
+) -> Optional[Set[int]]:
+    """``None`` (the adversary's default choice) or an explicit corrupt set.
+
+    Explicit sets are drawn from ``0..n-1`` with at most *max_size*
+    members (default ``n``); the empty set is a legal, meaningful draw
+    (an adversary holding no parties at all).
+    """
+    if draw(st.booleans()):
+        return None
+    bound = n if max_size is None else min(max_size, n)
+    return draw(
+        st.sets(st.integers(min_value=0, max_value=max(0, n - 1)), max_size=bound)
+        if n
+        else st.just(set())
+    )
+
+
+@st.composite
+def batch_supported_adversaries(draw, n: int, t: int):
+    """An adversary instance the batch backend can replay (or ``None``).
+
+    Covers the full supported matrix: fault-free, :class:`NoAdversary`,
+    silent, passive, and partial-broadcast crashes at varying rounds —
+    each over both default and explicit corruption sets.
+    """
+    from repro.adversary.base import NoAdversary, PassiveAdversary
+    from repro.adversary.strategies import CrashAdversary, SilentAdversary
+
+    kind = draw(
+        st.sampled_from(["none", "no-adversary", "silent", "passive", "crash"])
+    )
+    if kind == "none":
+        return None
+    corrupt = draw(corruption_sets(n, max_size=max(t, 1)))
+    if kind == "no-adversary":
+        return NoAdversary(corrupt)
+    if kind == "silent":
+        return SilentAdversary(corrupt)
+    if kind == "passive":
+        return PassiveAdversary(corrupt)
+    crash_round = draw(st.integers(min_value=0, max_value=30))
+    partial_to = draw(st.integers(min_value=0, max_value=n))
+    return CrashAdversary(crash_round, partial_to=partial_to, corrupt=corrupt)
+
+
+def backends() -> st.SearchStrategy[str]:
+    """One of the two execution backends (:data:`BACKENDS`)."""
+    return st.sampled_from(BACKENDS)
+
+
+@st.composite
+def real_inputs(draw, n: int, magnitude: float = 16.0) -> List[float]:
+    """``n`` finite real inputs bounded by *magnitude* in absolute value."""
+    return draw(
+        st.lists(
+            st.floats(
+                min_value=-magnitude,
+                max_value=magnitude,
+                allow_nan=False,
+                allow_infinity=False,
+                width=32,
+            ),
+            min_size=n,
+            max_size=n,
+        )
+    )

@@ -121,6 +121,33 @@ class TestCommands:
         assert code == 2
         assert "error" in capsys.readouterr().err
 
+    def test_sweep_batch_backend(self, capsys):
+        code = main(
+            [
+                "sweep",
+                "--kind",
+                "real-aa",
+                "--adversary",
+                "silent",
+                "--backend",
+                "batch",
+                "--no-cache",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "4 points" in out
+
+    def test_sweep_batch_backend_unsupported_adversary(self, capsys):
+        # The default sweep adversary ("burn") equivocates; the batch
+        # engine's refusal must surface as a CLI error, not a traceback.
+        code = main(
+            ["sweep", "--kind", "real-aa", "--backend", "batch", "--no-cache"]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "error" in err and "batch backend" in err
+
     def test_bounds(self, capsys):
         code = main(["bounds", "--diameter", "1000", "--n", "13", "--t", "4"])
         out = capsys.readouterr().out

@@ -12,7 +12,7 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from .conftest import small_trees, trees_with_vertex_choices
+from .strategies import small_trees, trees_with_vertex_choices
 
 
 class TestSafeAreaImplementations:

@@ -17,7 +17,7 @@ from repro.trees import (
     steiner_diameter,
 )
 
-from ..conftest import small_trees, trees_with_vertex_choices
+from ..strategies import small_trees, trees_with_vertex_choices
 
 
 def figure1_tree() -> LabeledTree:

@@ -12,7 +12,7 @@ from repro.trees import (
     star_tree,
 )
 
-from ..conftest import small_trees
+from ..strategies import small_trees
 
 
 class TestFigure3:

@@ -6,7 +6,7 @@ from hypothesis import strategies as st
 
 from repro.trees import LabeledTree, NotATreeError
 
-from ..conftest import small_trees
+from ..strategies import small_trees
 
 
 class TestConstruction:

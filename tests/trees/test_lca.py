@@ -13,7 +13,7 @@ from repro.trees import (
     path_tree,
 )
 
-from ..conftest import small_trees
+from ..strategies import small_trees
 
 
 def brute_force_lca(rooted: RootedTree, u, v):

@@ -16,7 +16,7 @@ from repro.trees import (
     projection_distance,
 )
 
-from ..conftest import small_trees, trees_with_vertex_choices
+from ..strategies import small_trees, trees_with_vertex_choices
 
 
 def figure2_tree():

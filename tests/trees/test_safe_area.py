@@ -18,7 +18,7 @@ from repro.trees import (
     star_tree,
 )
 
-from ..conftest import small_trees, trees_with_vertex_choices
+from ..strategies import small_trees, trees_with_vertex_choices
 
 
 class TestComponentCounts:

@@ -15,7 +15,7 @@ from repro.trees import (
     tree_to_json,
 )
 
-from ..conftest import small_trees
+from ..strategies import small_trees
 
 
 class TestJsonRoundTrip:
