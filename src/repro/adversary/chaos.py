@@ -72,6 +72,7 @@ class ChaosAdversary(PuppetDrivingAdversary):
         script: Optional[Iterable[ChaosLogEntry]] = None,
     ) -> None:
         super().__init__(corrupt)
+        self._seed = seed
         self._rng = random.Random(seed)
         weights = weights or {}
         self._names = list(self.BEHAVIOURS)
@@ -88,6 +89,42 @@ class ChaosAdversary(PuppetDrivingAdversary):
         self._stale: Dict[PartyId, Outbox] = {}
         #: (round, pid, behaviour) log, for debugging reproductions.
         self.log: List[ChaosLogEntry] = []
+
+    def batch_spec(self):
+        """Replay parameters for the dense batch engine.
+
+        The spec carries the constructor arguments, not the live state:
+        the dense engine rebuilds a fresh :class:`ChaosAdversary` from
+        them and replays the behaviour stream from the seed, exactly as a
+        fresh reference run would.  Subclasses may override behaviour
+        methods, so only the exact class is claimed.
+        """
+        if type(self) is not ChaosAdversary:
+            return super().batch_spec()
+        from ..engine.spec import KIND_CHAOS, BatchAdversarySpec
+
+        weights = tuple(zip(self._names, self._weights))
+        script = (
+            None
+            if self._script is None
+            else tuple(
+                (round_index, pid, behaviour)
+                for (round_index, pid), behaviour in sorted(
+                    self._script.items()
+                )
+            )
+        )
+        # The params pairs are constructor arguments, not wire payloads;
+        # PL003's tag heuristic cannot tell the difference.
+        return BatchAdversarySpec(
+            kind=KIND_CHAOS,
+            corrupted=self._requested_frozen(),
+            params=(
+                ("seed", self._seed),  # protolint: disable=PL003
+                ("weights", weights),  # protolint: disable=PL003
+                ("script", script),  # protolint: disable=PL003
+            ),
+        )
 
     def transform_outbox(
         self, pid: PartyId, view: AdversaryView, faithful: Outbox

@@ -195,6 +195,31 @@ class BurnScheduleAdversary(PuppetDrivingAdversary):
 
     # ------------------------------------------------------------------
 
+    def batch_spec(self) -> "BatchAdversarySpec":
+        """Replay parameters for the dense batch engine.
+
+        The burn attack is deterministic but *stateful* (global iteration
+        counter, burnt set), so — as with chaos — the spec carries the
+        constructor arguments and the dense engine replays a fresh
+        instance.  Subclasses may override the planning methods, so only
+        the exact class is claimed.
+        """
+        if type(self) is not BurnScheduleAdversary:
+            return super().batch_spec()
+        from ..engine.spec import KIND_BURN, BatchAdversarySpec
+
+        # The params pairs are constructor arguments, not wire payloads;
+        # PL003's tag heuristic cannot tell the difference.
+        return BatchAdversarySpec(
+            kind=KIND_BURN,
+            corrupted=self._requested_frozen(),
+            params=(
+                ("schedule", tuple(self.schedule)),  # protolint: disable=PL003
+                ("direction", self.direction),  # protolint: disable=PL003
+                ("reuse_burners", self.reuse_burners),  # protolint: disable=PL003
+            ),
+        )
+
     def byzantine_messages(self, view: AdversaryView) -> Dict[PartyId, Outbox]:
         sniffed = self._sniff(view)
         if sniffed is None:

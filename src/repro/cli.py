@@ -403,16 +403,19 @@ def cmd_trace(args: argparse.Namespace) -> int:
             "output_spread": outcome.output_spread,
         }
         export_inputs = inputs
-    records = export_run(
-        args.out,
-        collector,
-        outcome.execution,
-        protocol=args.kind,
-        params=params,
-        inputs=export_inputs,
-        verdicts=verdicts,
-        t=args.t,
-    )
+    try:
+        records = export_run(
+            args.out,
+            collector,
+            outcome.execution,
+            protocol=args.kind,
+            params=params,
+            inputs=export_inputs,
+            verdicts=verdicts,
+            t=args.t,
+        )
+    except OSError as exc:
+        raise CLIError(f"cannot write {args.out!r}: {exc}") from None
     print(
         f"recorded {collector.rounds_observed} rounds "
         f"({collector.message_total} messages, {records} records) -> {args.out}"

@@ -82,19 +82,22 @@ def _evaluate_tree_outputs(
     terminated = all(
         output is not None and output in tree for output in honest_outputs.values()
     )
-    anchors = list(honest_inputs.values())
+    # Hull membership and pairwise distance depend only on the *distinct*
+    # labels involved, so dedupe before the tree walks: honest outputs
+    # cluster on a handful of vertices even at n = 100,000, and the naive
+    # per-party loops were the quadratic term in large-n verdicts.
+    anchors = sorted(set(honest_inputs.values()))
+    distinct = sorted(set(honest_outputs.values())) if terminated else []
     valid = terminated and all(
-        in_convex_hull(tree, output, anchors) for output in honest_outputs.values()
+        in_convex_hull(tree, output, anchors) for output in distinct
     )
-    out_list = list(honest_outputs.values())
     output_diameter = 0
-    if terminated and out_list:
-        for i in range(len(out_list)):
-            for j in range(i + 1, len(out_list)):
-                if out_list[i] != out_list[j]:
-                    output_diameter = max(
-                        output_diameter, distance(tree, out_list[i], out_list[j])
-                    )
+    if terminated and distinct:
+        for i in range(len(distinct)):
+            for j in range(i + 1, len(distinct)):
+                output_diameter = max(
+                    output_diameter, distance(tree, distinct[i], distinct[j])
+                )
     return {
         "terminated": terminated,
         "valid": valid,
@@ -149,9 +152,12 @@ def run_tree_aa(
     ``backend`` selects the execution engine: ``"reference"`` (default)
     drives per-party state machines through the synchronous network;
     ``"batch"`` runs the observationally equivalent vectorized engine
-    (:mod:`repro.engine`), which raises
-    :class:`~repro.engine.errors.UnsupportedBackendError` for features it
-    cannot replay (observers, fault plans, equivocating adversaries).
+    (:mod:`repro.engine`).  The batch engine replays metrics observers
+    (a plain :class:`~repro.observability.MetricsCollector`), fault
+    plans and the equivocating chaos/burn adversaries, and raises
+    :class:`~repro.engine.errors.UnsupportedBackendError` for features
+    it cannot replay (transcript recorders and other observers, custom
+    ``estimate_fn``, adaptive adversaries).
     """
     engine = _select_backend(backend)
     if engine is not None:
@@ -198,14 +204,18 @@ def run_path_aa(
     adversary: Optional[Adversary] = None,
     project: bool = False,
     observer: Optional[Observer] = None,
+    trace_level: TraceLevel = TraceLevel.FULL,
+    fault_plan: Optional[FaultPlan] = None,
+    t_assumed: Optional[int] = None,
     backend: str = "reference",
 ) -> TreeAAOutcome:
     """Run the Section-4 path protocol (or the Section-5 variant).
 
     With ``project=False`` every input must lie on *path* (Section 4).
     With ``project=True`` inputs may be arbitrary tree vertices, projected
-    onto the commonly known *path* first (Section 5).  ``backend`` selects
-    the engine as in :func:`run_tree_aa`.
+    onto the commonly known *path* first (Section 5).  ``fault_plan`` and
+    ``t_assumed`` are the same resilience-lab hooks as in
+    :func:`run_tree_aa`; ``backend`` selects the engine as there.
     """
     engine = _select_backend(backend)
     if engine is not None:
@@ -217,19 +227,31 @@ def run_path_aa(
             adversary=adversary,
             project=project,
             observer=observer,
+            trace_level=trace_level,
+            fault_plan=fault_plan,
+            t_assumed=t_assumed,
         )
     n = len(inputs)
+    party_t = t if t_assumed is None else t_assumed
     canonical = path.canonical()
     factory: PartyFactory
     if project:
         factory = lambda pid: KnownPathAAParty(  # noqa: E731
-            pid, n, t, tree, canonical, inputs[pid]
+            pid, n, party_t, tree, canonical, inputs[pid]
         )
     else:
         factory = lambda pid: PathAAParty(  # noqa: E731
-            pid, n, t, canonical, inputs[pid]
+            pid, n, party_t, canonical, inputs[pid]
         )
-    execution = run_protocol(n, t, factory, adversary=adversary, observer=observer)
+    execution = run_protocol(
+        n,
+        t,
+        factory,
+        adversary=adversary,
+        trace_level=trace_level,
+        observer=observer,
+        fault_plan=fault_plan,
+    )
     honest_inputs = {pid: inputs[pid] for pid in sorted(execution.honest)}
     honest_outputs = execution.honest_outputs
     verdicts = _evaluate_tree_outputs(tree, honest_inputs, honest_outputs)

@@ -1,12 +1,16 @@
 """Batched (vectorized) execution backend for large-``n`` experiments.
 
 ``repro.engine`` reruns the protocols of :mod:`repro.core` as NumPy array
-operations over party *classes* instead of per-party message objects,
-which turns the reference engine's Θ(n³)-messages round loop into a
-handful of Θ(n) array updates.  The contract is strict observational
-equivalence: for every supported configuration the batch backend must be
-indistinguishable from ``backend="reference"`` (outputs, verdicts, trace
-counters, per-party diagnostics, and error behaviour); anything it cannot
+operations instead of per-party message objects.  Two engines share the
+work: the class-collapse kernel (:class:`BatchExecution`) turns the
+reference engine's Θ(n³)-messages round loop into a handful of Θ(n)
+array updates for non-equivocating adversaries, and the dense per-party
+engine (:class:`DenseExecution`) replays fault plans and the
+equivocating chaos/burn adversaries with ``(n, n)`` array state.  The
+contract is strict observational equivalence: for every supported
+configuration the batch backend must be indistinguishable from
+``backend="reference"`` (outputs, verdicts, trace counters, metrics
+rows, per-party diagnostics, and error behaviour); anything it cannot
 replicate raises :class:`UnsupportedBackendError` instead of diverging.
 
 The error and spec modules are NumPy-free and imported eagerly so that
@@ -20,6 +24,9 @@ from typing import Any
 
 from .errors import UnsupportedBackendError
 from .spec import (
+    CLASS_KINDS,
+    KIND_BURN,
+    KIND_CHAOS,
     KIND_CRASH,
     KIND_NONE,
     KIND_PASSIVE,
@@ -31,7 +38,12 @@ from .spec import (
 __all__ = [
     "BatchAdversarySpec",
     "BatchExecution",
+    "BatchMetrics",
     "BatchSynchronousEngine",
+    "CLASS_KINDS",
+    "DenseExecution",
+    "KIND_BURN",
+    "KIND_CHAOS",
     "KIND_CRASH",
     "KIND_NONE",
     "KIND_PASSIVE",
@@ -43,6 +55,8 @@ __all__ = [
 _LAZY_BACKEND = {
     "BatchSynchronousEngine": "backend",
     "BatchExecution": "kernel",
+    "DenseExecution": "dense",
+    "BatchMetrics": "metrics",
 }
 
 

@@ -32,11 +32,14 @@ import numpy as np
 from ..core.api import RealAAOutcome, TreeAAOutcome, _evaluate_tree_outputs
 from ..core.closest_int import closest_int
 from ..core.errors import ValidityViolationError, check_index_in_range
-from ..core.tree_aa import projection_phase_iterations
+from ..core.path_aa import PathAAParty
+from ..core.projection_aa import KnownPathAAParty
+from ..core.tree_aa import TreeAAParty, projection_phase_iterations
 from ..net.messages import Inbox, Outbox, PartyId
 from ..net.network import ExecutionResult, TraceLevel
 from ..net.protocol import ProtocolParty, ProtocolStateError
-from ..protocols.realaa import IterationRecord, is_real
+from ..observability.collector import MetricsCollector
+from ..protocols.realaa import IterationRecord, RealAAParty, is_real
 from ..protocols.rounds import (
     ROUNDS_PER_ITERATION,
     check_resilience,
@@ -46,14 +49,20 @@ from ..trees.euler import EulerList, list_construction
 from ..trees.labeled_tree import Label, LabeledTree
 from ..trees.paths import TreePath, diameter
 from ..trees.projection import project_onto_path
+from .dense import DenseExecution
 from .errors import UnsupportedBackendError
 from .kernel import BatchExecution, RealAAPhaseResult
-from .spec import resolve_batch_spec
+from .metrics import BatchMetrics
+from .spec import CLASS_KINDS, BatchAdversarySpec, resolve_batch_spec
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from typing import Callable, Union
+
     from ..adversary.base import Adversary
     from ..net.faults import FaultPlan
     from ..net.trace import Observer
+
+    AnyExecution = Union[BatchExecution, DenseExecution]
 
 
 class BatchPartyView(ProtocolParty):
@@ -203,18 +212,123 @@ class BatchTreeAAView(BatchPartyView):
         return output if isinstance(output, TreePath) else None
 
 
-def _require_plain_execution(
-    observer: Optional["Observer"], fault_plan: Optional["FaultPlan"]
-) -> None:
-    """Refuse execution features the batch kernel cannot replay."""
-    if observer is not None:
+def _resolve_collector(
+    observer: Optional["Observer"],
+) -> Optional[MetricsCollector]:
+    """*observer* as a replayable collector (``None`` when absent).
+
+    The batch engines reproduce :class:`~repro.observability.collector
+    .MetricsCollector` rows from their round reductions
+    (:class:`~repro.engine.metrics.BatchMetrics`); any other observer —
+    transcript recorders, invariant monitors, multiplexers, collector
+    *subclasses* (which may override ``on_round``) — needs the
+    materialised per-message traffic only the reference engine produces.
+    """
+    if observer is None:
+        return None
+    if type(observer) is not MetricsCollector:
         raise UnsupportedBackendError(
-            "observers require per-message execution; use backend='reference'"
+            f"observer {type(observer).__name__} requires per-message "
+            "execution (only a plain MetricsCollector can be replayed "
+            "from batch reductions); use backend='reference'"
         )
+    if observer._estimate_fn is not None:
+        raise UnsupportedBackendError(
+            "a custom estimate_fn reads live party objects every round; "
+            "use backend='reference'"
+        )
+    return observer
+
+
+def _needs_dense(
+    spec: Optional[BatchAdversarySpec], fault_plan: Optional["FaultPlan"]
+) -> bool:
+    """Whether this configuration needs the dense per-party engine.
+
+    Fault plans and equivocating adversary kinds break the class-collapse
+    invariant (:mod:`repro.engine.dense`); everything else stays on the
+    fast class kernel.
+    """
     if fault_plan is not None:
-        raise UnsupportedBackendError(
-            "fault plans require per-message execution; use backend='reference'"
+        return True
+    return spec is not None and spec.kind not in CLASS_KINDS
+
+
+def _make_execution(
+    n: int,
+    t: int,
+    party_t: int,
+    spec: Optional[BatchAdversarySpec],
+    trace_level: TraceLevel,
+    fault_plan: Optional["FaultPlan"],
+    party_factory: "Callable[[int], Any]",
+) -> "AnyExecution":
+    """The right batch engine for this configuration (see _needs_dense)."""
+    if _needs_dense(spec, fault_plan):
+        return DenseExecution(
+            n,
+            t,
+            party_t,
+            spec,
+            trace_level,
+            fault_plan=fault_plan,
+            party_factory=party_factory,
         )
+    return BatchExecution(n, t, party_t, spec, trace_level)
+
+
+def _attach_metrics(
+    execution: "AnyExecution",
+    collector: Optional[MetricsCollector],
+    total_rounds: int,
+    track_value_spread: bool,
+    honest_estimates: Optional[List[Any]] = None,
+) -> None:
+    """Wire a :class:`BatchMetrics` sink onto *execution* (if observed)."""
+    if collector is None:
+        return
+    execution.metrics = BatchMetrics(
+        collector,
+        n=execution.n,
+        corrupted=sorted(execution.corrupted),
+        total_rounds=total_rounds,
+        track_value_spread=track_value_spread,
+        honest_estimates=honest_estimates,
+    )
+
+
+def _finish_metrics(
+    execution: "AnyExecution",
+    honest_outputs: Optional[List[Any]] = None,
+) -> None:
+    """Patch the final row's hull and flush pending rows (run succeeded)."""
+    if execution.metrics is not None:
+        execution.metrics.finalize(honest_outputs)
+        execution.metrics.flush()
+
+
+def _finish_dense(
+    execution: "AnyExecution",
+    adversary: Optional["Adversary"],
+    outputs: Dict[PartyId, Any],
+    parties: Dict[int, Any],
+) -> None:
+    """Dense-mode epilogue: puppet results + success-path bookkeeping.
+
+    The dense engine drove *real* puppet objects; surface them (and their
+    outputs) in the result exactly like the reference engine does, copy
+    the fault counters onto the trace and mirror the replay clone's
+    diagnostics onto the caller's adversary instance.
+    """
+    if not isinstance(execution, DenseExecution):
+        return
+    for pid in sorted(execution.corrupted):
+        party = execution.party_objects.get(pid)
+        if party is not None:
+            outputs[pid] = party.output
+            parties[pid] = party
+    execution.finalize_trace()
+    execution.copy_diagnostics(adversary)
 
 
 def _realaa_shared_checks(
@@ -308,7 +422,13 @@ class BatchSynchronousEngine:
         t_assumed: Optional[int] = None,
     ) -> RealAAOutcome:
         """Batched :func:`repro.core.api.run_real_aa` (same signature)."""
-        _require_plain_execution(observer, fault_plan)
+        collector = _resolve_collector(observer)
+        if collector is not None and collector.tree is not None:
+            raise UnsupportedBackendError(
+                "MetricsCollector with a tree watches vertex estimates, "
+                "which RealAA parties do not expose the same way under "
+                "batch execution; use backend='reference'"
+            )
         spec = resolve_batch_spec(adversary)
         n = len(inputs)
         if known_range is None and iterations is None:
@@ -324,8 +444,25 @@ class BatchSynchronousEngine:
                     raise ValueError(
                         f"input must be a finite real, got {inputs[pid]!r}"
                     )
-        execution = BatchExecution(n, t, party_t, spec, trace_level)
+        execution = _make_execution(
+            n,
+            t,
+            party_t,
+            spec,
+            trace_level,
+            fault_plan,
+            lambda pid: RealAAParty(
+                pid,
+                n,
+                party_t,
+                inputs[pid],
+                epsilon=epsilon,
+                known_range=known_range,
+                iterations=iterations,
+            ),
+        )
         duration = 0 if its is None else ROUNDS_PER_ITERATION * its
+        _attach_metrics(execution, collector, duration, True)
         views: Dict[int, BatchRealAAView] = {
             pid: BatchRealAAView(
                 pid,
@@ -349,12 +486,15 @@ class BatchSynchronousEngine:
             for pid in _active_pids(phase):
                 outputs[pid] = float(phase.values[pid])
                 views[pid].output = outputs[pid]
+        _finish_metrics(execution)
+        parties: Dict[int, Any] = dict(views)
+        _finish_dense(execution, adversary, outputs, parties)
         result = ExecutionResult(
             outputs=outputs,
             honest=execution.honest_set,
             corrupted=set(execution.corrupted),
             trace=execution.trace,
-            parties=dict(views),
+            parties=parties,
         )
         honest_inputs = {
             pid: float(inputs[pid]) for pid in sorted(execution.honest_set)
@@ -403,11 +543,15 @@ class BatchSynchronousEngine:
         adversary: Optional["Adversary"] = None,
         project: bool = False,
         observer: Optional["Observer"] = None,
+        trace_level: TraceLevel = TraceLevel.FULL,
+        fault_plan: Optional["FaultPlan"] = None,
+        t_assumed: Optional[int] = None,
     ) -> TreeAAOutcome:
         """Batched :func:`repro.core.api.run_path_aa` (same signature)."""
-        _require_plain_execution(observer, None)
+        collector = _resolve_collector(observer)
         spec = resolve_batch_spec(adversary)
         n = len(inputs)
+        party_t = t if t_assumed is None else t_assumed
         canonical = path.canonical()
         positions: List[float] = []
         projections: Dict[int, Label] = {}
@@ -422,16 +566,34 @@ class BatchSynchronousEngine:
                 position = canonical.position_of(inputs[pid])
             if pid == 0:
                 its = _realaa_shared_checks(
-                    n, t, float(position), 1.0, float(canonical.length), None
+                    n, party_t, float(position), 1.0, float(canonical.length), None
                 )
             positions.append(float(position))
-        execution = BatchExecution(n, t, t, spec, TraceLevel.FULL)
+        if project:
+            factory = lambda pid: KnownPathAAParty(  # noqa: E731
+                pid, n, party_t, tree, canonical, inputs[pid]
+            )
+        else:
+            factory = lambda pid: PathAAParty(  # noqa: E731
+                pid, n, party_t, canonical, inputs[pid]
+            )
+        execution = _make_execution(
+            n, t, party_t, spec, trace_level, fault_plan, factory
+        )
         duration = 0 if its is None else ROUNDS_PER_ITERATION * its
+        honest_sorted = sorted(execution.honest_set)
+        _attach_metrics(
+            execution,
+            collector,
+            duration,
+            True,
+            honest_estimates=[inputs[pid] for pid in honest_sorted],
+        )
         views: Dict[int, BatchRealAAView] = {
             pid: BatchPathAAView(
                 pid,
                 n,
-                t,
+                party_t,
                 duration,
                 positions[pid],
                 its if its is not None else 0,
@@ -462,12 +624,17 @@ class BatchSynchronousEngine:
                 vertex = canonical[index]
                 outputs[pid] = vertex
                 views[pid].output = vertex
+        _finish_metrics(
+            execution, [outputs[pid] for pid in honest_sorted]
+        )
+        parties: Dict[int, Any] = dict(views)
+        _finish_dense(execution, adversary, outputs, parties)
         result = ExecutionResult(
             outputs=outputs,
             honest=execution.honest_set,
             corrupted=set(execution.corrupted),
             trace=execution.trace,
-            parties=dict(views),
+            parties=parties,
         )
         honest_inputs = {
             pid: inputs[pid] for pid in sorted(execution.honest_set)
@@ -498,12 +665,13 @@ class BatchSynchronousEngine:
         t_assumed: Optional[int] = None,
     ) -> TreeAAOutcome:
         """Batched :func:`repro.core.api.run_tree_aa` (same signature)."""
-        _require_plain_execution(observer, fault_plan)
+        collector = _resolve_collector(observer)
         spec = resolve_batch_spec(adversary)
         n = len(inputs)
         party_t = t if t_assumed is None else t_assumed
         outputs: Dict[PartyId, Any] = {pid: None for pid in range(n)}
         views: Dict[int, ProtocolParty] = {}
+        duration = 0
         if n:
             # Party 0's constructor order: shared guards, own vertex, then
             # the public phase parameters (which may reject a bad root).
@@ -522,9 +690,30 @@ class BatchSynchronousEngine:
                     tree, n, party_t, root_resolved
                 )
                 euler = list_construction(tree, root_resolved)
+                duration = ROUNDS_PER_ITERATION * (
+                    phase1_iterations + phase2_iterations
+                )
             for pid in range(1, n):
                 tree.require_vertex(inputs[pid])
-        execution = BatchExecution(n, t, party_t, spec, trace_level)
+        execution = _make_execution(
+            n,
+            t,
+            party_t,
+            spec,
+            trace_level,
+            fault_plan,
+            lambda pid: TreeAAParty(
+                pid, n, party_t, tree, inputs[pid], root=root
+            ),
+        )
+        honest_sorted = sorted(execution.honest_set)
+        _attach_metrics(
+            execution,
+            collector,
+            duration,
+            False,
+            honest_estimates=[inputs[pid] for pid in honest_sorted],
+        )
         if n and trivial:
             # Trivial input space: 0 rounds, every party outputs its input
             # (set at construction, so even silent puppets carry it).
@@ -537,8 +726,6 @@ class BatchSynchronousEngine:
                 outputs[pid] = inputs[pid]
         elif n:
             phase1_rounds = ROUNDS_PER_ITERATION * phase1_iterations
-            phase2_rounds = ROUNDS_PER_ITERATION * phase2_iterations
-            duration = phase1_rounds + phase2_rounds
             values1 = [
                 float(euler.first_occurrence(inputs[pid])) for pid in range(n)
             ]
@@ -576,12 +763,17 @@ class BatchSynchronousEngine:
                     finder_views,
                     outputs,
                 )
+        _finish_metrics(
+            execution, [outputs[pid] for pid in honest_sorted]
+        )
+        parties: Dict[int, Any] = dict(views)
+        _finish_dense(execution, adversary, outputs, parties)
         result = ExecutionResult(
             outputs=outputs,
             honest=execution.honest_set,
             corrupted=set(execution.corrupted),
             trace=execution.trace,
-            parties=views,
+            parties=parties,
         )
         honest_inputs = {
             pid: inputs[pid] for pid in sorted(execution.honest_set)
@@ -599,7 +791,7 @@ class BatchSynchronousEngine:
 
     def _run_tree_phases(
         self,
-        execution: BatchExecution,
+        execution: "AnyExecution",
         tree: LabeledTree,
         inputs: Sequence[Label],
         euler: EulerList,
@@ -673,6 +865,11 @@ class BatchSynchronousEngine:
             except ValidityViolationError:
                 dead[pid] = True
         execution.retire_dead(dead)
+        if execution.metrics is not None:
+            # Phase 1's final metrics row was held back: in the reference
+            # a validity violation raises during that round's receives,
+            # before the observer fires.  The boundary passed — flush it.
+            execution.metrics.flush()
 
         values2 = np.zeros(n, dtype=np.float64)
         for pid, position in positions.items():

@@ -149,6 +149,9 @@ class BatchExecution:
         self.party_t = party_t
         self.spec = spec
         self.trace = ExecutionTrace(level=TraceLevel(trace_level))
+        #: Optional :class:`~repro.engine.metrics.BatchMetrics` sink; when
+        #: set, every round emits a reference-identical metrics row.
+        self.metrics = None
         self.corrupted = set()
         self._round = 0
         self._register_corruptions()
@@ -310,38 +313,46 @@ class BatchExecution:
         self,
         scopes: Dict[int, Optional[str]],
         units_for: Callable[[int], int],
-    ) -> None:
+    ) -> Tuple[int, int, int, int]:
         """Reference-exact trace accounting for the current round.
 
         Honest senders broadcast to all ``n`` recipients; Byzantine sends
         are counted per actually-addressed message (the reference counts
-        ``len(outbox)``).  Payload units accumulate only at
-        :attr:`~repro.net.network.TraceLevel.FULL`, honest units on the
+        ``len(outbox)``).  Payload units accumulate in the trace only at
+        :attr:`~repro.net.network.TraceLevel.FULL` but are still computed
+        when a metrics sink is attached (the reference collector counts
+        them itself, regardless of trace level) — honest units on the
         *sent* traffic and Byzantine units per addressed message, exactly
         like ``SynchronousNetwork._run_round``.
+
+        Returns ``(honest_sent, byzantine_sent, honest_units,
+        byzantine_units)`` for the metrics row of this round.
         """
         honest_sent = 0
         byzantine_sent = 0
+        honest_units = 0
+        byzantine_units = 0
         full = self.trace.level is TraceLevel.FULL
+        count_units = full or self.metrics is not None
         for index, scope in scopes.items():
             cls = self.classes[index]
             if cls.corrupt:
                 targets = self._scope_size(scope)
                 byzantine_sent += cls.size * targets
-                if full and targets:
-                    self.trace.byzantine_payload_units += (
-                        cls.size * targets * units_for(index)
-                    )
+                if count_units and targets:
+                    byzantine_units += cls.size * targets * units_for(index)
             else:
                 honest_sent += cls.size * self.n
-                if full:
-                    self.trace.honest_payload_units += (
-                        cls.size * self.n * units_for(index)
-                    )
+                if count_units:
+                    honest_units += cls.size * self.n * units_for(index)
+        if full:
+            self.trace.honest_payload_units += honest_units
+            self.trace.byzantine_payload_units += byzantine_units
         self.trace.honest_message_count += honest_sent
         self.trace.byzantine_message_count += byzantine_sent
         self.trace.per_round_messages.append(honest_sent + byzantine_sent)
         self.trace.rounds_executed = self._round + 1
+        return honest_sent, byzantine_sent, honest_units, byzantine_units
 
     # -- the RealAA phase kernel ----------------------------------------
 
@@ -386,9 +397,11 @@ class BatchExecution:
                 index: self._delivery_scope(self.classes[index], self._round)
                 for index in active
             }
-            self._account_round(
+            stats = self._account_round(
                 scopes, lambda index: 3 + int(bad[index].sum())
             )
+            if self.metrics is not None:
+                self.metrics.emit(self._round, *stats, values=values)
             received: Dict[int, np.ndarray] = {}
             for rc in active:
                 vec = np.zeros(n, dtype=bool)
@@ -409,9 +422,11 @@ class BatchExecution:
                 index: self._delivery_scope(self.classes[index], self._round)
                 for index in active
             }
-            self._account_round(
+            stats = self._account_round(
                 scopes, lambda index: 2 + 2 * int(received[index].sum())
             )
+            if self.metrics is not None:
+                self.metrics.emit(self._round, *stats, values=values)
             supports: Dict[int, np.ndarray] = {}
             for rc in active:
                 echo_count = np.zeros(n, dtype=np.int64)
@@ -426,9 +441,10 @@ class BatchExecution:
                 index: self._delivery_scope(self.classes[index], self._round)
                 for index in active
             }
-            self._account_round(
+            stats = self._account_round(
                 scopes, lambda index: 2 + 2 * int(supports[index].sum())
             )
+            finish_round = self._round
             support_count: Dict[int, np.ndarray] = {}
             for rc in active:
                 count = np.zeros(n, dtype=np.int64)
@@ -452,6 +468,17 @@ class BatchExecution:
                     records[rc],
                 )
             snapshots.append(values.copy())
+            if self.metrics is not None:
+                # The reference observer fires after the receives, i.e.
+                # after the iteration finish updated the values.  The
+                # phase-final row stays pending until the backend's
+                # boundary checks pass (a raise suppresses it).
+                self.metrics.emit(
+                    finish_round,
+                    *stats,
+                    values=values,
+                    hold=iteration == iterations - 1,
+                )
 
         outcomes = {
             index: ClassPhaseOutcome(

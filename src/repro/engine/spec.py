@@ -4,12 +4,15 @@ The reference simulator drives adversaries as objects that inspect and
 rewrite per-message dicts.  The batch engine cannot afford per-message
 Python objects, so each supported strategy instead *describes itself* as a
 :class:`BatchAdversarySpec` via :meth:`repro.adversary.base.Adversary
-.batch_spec` — a narrow, array-friendly contract.  Every supported kind
-shares one crucial property: corrupted parties never equivocate.  Each
-party (honest or corrupted) either broadcasts its faithful protocol
-message to a deterministic recipient set or stays silent, which is what
-lets the kernel collapse parties into classes
-(:mod:`repro.engine.kernel`).
+.batch_spec` — a narrow, array-friendly contract.  The kinds in
+:data:`CLASS_KINDS` share one crucial property: corrupted parties never
+equivocate, so each party (honest or corrupted) either broadcasts its
+faithful protocol message to a deterministic recipient set or stays
+silent, which is what lets the kernel collapse parties into classes
+(:mod:`repro.engine.kernel`).  The equivocating kinds (chaos, burn)
+carry their constructor parameters instead; the dense engine
+(:mod:`repro.engine.dense`) rebuilds the adversary from them and replays
+it organically against puppet party objects.
 
 This module is NumPy-free on purpose: adversary modules import it lazily
 to build their specs, and must not drag the array stack into executions
@@ -19,7 +22,7 @@ that never use it.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, FrozenSet, Optional
+from typing import Any, FrozenSet, Optional, Tuple
 
 from .errors import UnsupportedBackendError
 
@@ -33,8 +36,23 @@ KIND_PASSIVE = "passive"
 #: Faithful until ``crash_round``; mid-send crash in that round (only
 #: recipients with ids below ``partial_to`` still served); silent after.
 KIND_CRASH = "crash"
+#: Seeded per-round behaviour sampling (or a fixed script) per corrupted
+#: party — :class:`~repro.adversary.chaos.ChaosAdversary` replayed
+#: deterministically.  ``params`` carries ``seed`` / ``weights`` /
+#: ``script``.  Dense-engine only: chaos payloads equivocate (stale /
+#: junk / mirror), which breaks the class-collapse invariant.
+KIND_CHAOS = "chaos"
+#: The RealAA burn attack — equivocating value plants per iteration
+#: (:class:`~repro.adversary.realaa_attacks.BurnScheduleAdversary`).
+#: ``params`` carries ``schedule`` / ``direction`` / ``reuse_burners``.
+#: Dense-engine only, for the same reason as :data:`KIND_CHAOS`.
+KIND_BURN = "burn"
 
-_KINDS = (KIND_NONE, KIND_SILENT, KIND_PASSIVE, KIND_CRASH)
+_KINDS = (KIND_NONE, KIND_SILENT, KIND_PASSIVE, KIND_CRASH, KIND_CHAOS, KIND_BURN)
+
+#: Kinds whose parties never equivocate — replayable by the class-collapse
+#: kernel.  The remaining kinds route to the dense per-party engine.
+CLASS_KINDS = frozenset((KIND_NONE, KIND_SILENT, KIND_PASSIVE, KIND_CRASH))
 
 
 @dataclass(frozen=True)
@@ -46,12 +64,25 @@ class BatchAdversarySpec:
     network budget are known).  ``crash_round`` / ``partial_to`` only
     matter for :data:`KIND_CRASH` and mirror
     :class:`~repro.adversary.strategies.CrashAdversary` exactly.
+
+    ``params`` is the kind-specific constructor payload for the dense
+    kinds (:data:`KIND_CHAOS` / :data:`KIND_BURN`), stored as a tuple of
+    ``(name, value)`` pairs so the spec stays hashable and this module
+    stays NumPy-free.  The dense engine reconstructs a *fresh* adversary
+    instance from these parameters — replaying the strategy's RNG draws
+    from the seed instead of sharing the caller's (already consumed)
+    instance state.
     """
 
     kind: str = KIND_NONE
     corrupted: Optional[FrozenSet[int]] = None
     crash_round: int = 0
     partial_to: int = 0
+    params: Optional[Tuple[Tuple[str, Any], ...]] = None
+
+    def param_dict(self) -> dict:
+        """``params`` as a plain dict (empty when no params were given)."""
+        return dict(self.params) if self.params else {}
 
     def __post_init__(self) -> None:
         """Reject kinds the kernel does not implement (a harness bug)."""

@@ -193,6 +193,25 @@ def export_run(
 # Load
 # ----------------------------------------------------------------------
 
+#: Fields every ``round`` record must carry — the report renderer and the
+#: differ index them unconditionally, so a hand-edited or truncated file
+#: must fail here, at load time, with one clear line.
+_ROUND_FIELDS = (
+    "honest_messages",
+    "byzantine_messages",
+    "honest_payload_units",
+    "byzantine_payload_units",
+)
+
+#: Fields every ``run_footer`` record must carry (same contract).
+_FOOTER_FIELDS = (
+    "rounds",
+    "messages",
+    "honest_messages",
+    "byzantine_messages",
+    "honest_outputs",
+)
+
 
 def _parse_lines(lines: Iterable[str]) -> Iterator[Dict[str, Any]]:
     for number, line in enumerate(lines, start=1):
@@ -222,7 +241,10 @@ def load_run(source: Union[str, IO[str]]) -> RunTrace:
         records = list(_parse_lines(source))
 
     if not records:
-        raise TraceFormatError("empty trace file")
+        raise TraceFormatError(
+            "empty trace file (no records at all — truncated or never "
+            "written?)"
+        )
     header = records[0]
     if header["type"] != "run_header":
         raise TraceFormatError(
@@ -232,7 +254,9 @@ def load_run(source: Union[str, IO[str]]) -> RunTrace:
     if version != SCHEMA_VERSION:
         raise SchemaVersionError(version)
     if len(records) < 2 or records[-1]["type"] != "run_footer":
-        raise TraceFormatError("last record must be run_footer")
+        raise TraceFormatError(
+            "last record must be run_footer (file truncated mid-run?)"
+        )
     footer = records[-1]
     rounds = records[1:-1]
     expected = 0
@@ -246,11 +270,26 @@ def load_run(source: Union[str, IO[str]]) -> RunTrace:
                 f"round records out of order: expected {expected}, "
                 f"got {record.get('round')!r}"
             )
+        for field in _ROUND_FIELDS:
+            if field not in record:
+                raise TraceFormatError(
+                    f"round {expected} record is missing {field!r}"
+                )
         expected += 1
     if footer.get("rounds") != len(rounds):
         raise TraceFormatError(
             f"footer claims {footer.get('rounds')!r} rounds but the file "
             f"holds {len(rounds)}"
+        )
+    for field in _FOOTER_FIELDS:
+        if field not in footer:
+            raise TraceFormatError(f"run_footer is missing {field!r}")
+    outputs = footer["honest_outputs"]
+    if not isinstance(outputs, list) or not all(
+        isinstance(pair, list) and len(pair) == 2 for pair in outputs
+    ):
+        raise TraceFormatError(
+            "run_footer honest_outputs must be a list of [pid, output] pairs"
         )
     return RunTrace(header=header, rounds=rounds, footer=footer)
 

@@ -23,7 +23,8 @@ ranges the benchmarks sweep, which benchmark T2 verifies explicitly.
 from __future__ import annotations
 
 import math
-from typing import Iterable
+from functools import lru_cache
+from typing import Any, Dict, Iterable, List
 
 #: Remark 3 (Theorem 1 of [7]): each RealAA iteration takes three rounds.
 ROUNDS_PER_ITERATION = 3
@@ -102,6 +103,121 @@ def adjusted_schedule_factor(n: int, t: int, schedule: Iterable[int]) -> float:
     return factor
 
 
+class _BurnFactorTable:
+    """Bottom-up burn-schedule DP for one ``(n, t)``, shared across ``R``.
+
+    ``layers[r][b]`` is the best shrink factor an adversary achieves with
+    ``r`` iterations left and ``b`` budget remaining, having already burned
+    ``t − b`` senders — the budget determines the burn count, so the state
+    space is ``(r, b)``, not the ``(r, b, burned)`` of the naive recursion.
+    Substituting ``q = b − t_i`` (the budget left *after* the round), the
+    step denominator ``n − 2t − burned − t_i`` becomes ``(n − 3t) + q``:
+
+        layers[r][b] = max over q in [r−1, b−1] of
+                       min(1, (b − q) / (n − 3t + q)) · layers[r−1][q]
+
+    Each layer is built once and reused by every ``R`` the iteration-count
+    search probes; large-``t`` layers are vectorised with NumPy when it is
+    importable (the arithmetic is identical operation for operation, so the
+    two paths produce bit-equal factors).
+    """
+
+    #: Budgets up to this size stay on the dependency-free Python loop.
+    NUMPY_THRESHOLD = 256
+
+    def __init__(self, n: int, t: int) -> None:
+        check_resilience(n, t)
+        self.n = n
+        self.t = t
+        self.d = n - 3 * t  # >= 1 whenever t < n/3
+        # full[1] has a closed form: a single burn is maximised by the
+        # whole budget at once (the step shrinks in q), so
+        # full[1][b] = min(1, b / d) — the q = 0 term, bit for bit.
+        self.full: List[List[float]] = [
+            [1.0] * (t + 1),
+            [min(1.0, b / self.d) for b in range(t + 1)],
+        ]
+        self.tops: Dict[int, float] = {1: self.full[1][t]}
+
+    def factor(self, iterations: int) -> float:
+        """``worst_burn_factor(n, t, iterations)`` — 0 beyond ``R = t``."""
+        if iterations < 1:
+            raise ValueError("iterations must be >= 1")
+        if iterations > self.t:
+            return 0.0
+        if iterations not in self.tops:
+            # The top cell of layer R reads the *full* layer R−1, which
+            # reads the full layer below it, and so on: the iteration
+            # search pays O(t²) only once per full layer, and the single
+            # O(t) top row for the R it is probing.
+            while len(self.full) < iterations:
+                self.full.append(self._layer(len(self.full)))
+            self.tops[iterations] = self._row(iterations, self.t)
+        return self.tops[iterations]
+
+    def _numpy(self) -> Any:
+        if self.t > self.NUMPY_THRESHOLD:
+            try:
+                import numpy
+
+                return numpy
+            except ImportError:  # pragma: no cover - numpy ships in CI
+                return None
+        return None
+
+    def _layer(self, rounds: int) -> List[float]:
+        """The full layer *rounds* (budgets ``0 … t``) from the one below."""
+        np = self._numpy()
+        if np is None:
+            layer = [0.0] * (self.t + 1)
+            for b in range(rounds, self.t + 1):
+                layer[b] = self._row(rounds, b)
+            return layer
+        size = self.t + 1
+        previous = np.asarray(self.full[rounds - 1], dtype=np.float64)
+        q = np.arange(size, dtype=np.float64)
+        den = np.arange(self.d, self.d + size, dtype=np.float64)
+        buffer = np.empty(size, dtype=np.float64)
+        layer = np.zeros(size, dtype=np.float64)
+        for b in range(rounds, size):
+            row = buffer[:b]
+            np.subtract(float(b), q[:b], out=row)
+            np.minimum(row, den[:b], out=row)
+            np.divide(row, den[:b], out=row)
+            np.multiply(row, previous[:b], out=row)
+            layer[b] = row.max()
+        return [float(value) for value in layer]
+
+    def _row(self, rounds: int, b: int) -> float:
+        """``layers[rounds][b]`` from the full layer ``rounds − 1``."""
+        previous = self.full[rounds - 1]
+        np = self._numpy()
+        if np is None:
+            top = 0.0
+            for q in range(rounds - 1, b):
+                step = min(1.0, (b - q) / (self.d + q))
+                top = max(top, step * previous[q])
+            return top
+        if b <= rounds - 1:
+            return 0.0
+        # min(b − q, d + q) / (d + q) equals min(1, (b − q)/(d + q))
+        # exactly: the quotient is the identical IEEE division below the
+        # cap, and d/d = 1.0 at or above it.  q < rounds − 1 carries
+        # previous[q] == 0.0 and loses the max on its own.
+        q = np.arange(b, dtype=np.float64)
+        den = np.arange(self.d, self.d + b, dtype=np.float64)
+        row = np.subtract(float(b), q)
+        np.minimum(row, den, out=row)
+        np.divide(row, den, out=row)
+        np.multiply(row, np.asarray(previous[:b], dtype=np.float64), out=row)
+        return float(row.max())
+
+
+@lru_cache(maxsize=8)
+def _burn_table(n: int, t: int) -> _BurnFactorTable:
+    return _BurnFactorTable(n, t)
+
+
 def worst_burn_factor(n: int, t: int, iterations: int) -> float:
     """The provable worst-case shrink factor after ``R`` iterations.
 
@@ -118,30 +234,16 @@ def worst_burn_factor(n: int, t: int, iterations: int) -> float:
       multiset has shrunk by the ``B + t_i`` dropped senders), capped at 1.
 
     The worst case over R iterations is therefore a maximisation over
-    all-positive integer schedules ``t_1 + … + t_R ≤ t`` — computed here by
-    dynamic programming — and exactly 0 for ``R > t``.
+    all-positive integer schedules ``t_1 + … + t_R ≤ t`` — computed by the
+    shared bottom-up dynamic program of :class:`_BurnFactorTable` — and
+    exactly 0 for ``R > t``.
     """
     check_resilience(n, t)
     if iterations < 1:
         raise ValueError("iterations must be >= 1")
-    if iterations > t:
+    if t == 0 or iterations > t:
         return 0.0
-
-    from functools import lru_cache
-
-    @lru_cache(maxsize=None)
-    def best(rounds_left: int, budget: int, burned: int) -> float:
-        if rounds_left == 0:
-            return 1.0
-        reserve = rounds_left - 1  # every later round needs >= 1 burn
-        top = 0.0
-        for t_i in range(1, budget - reserve + 1):
-            denominator = n - 2 * t - burned - t_i
-            step = 1.0 if denominator < 1 else min(1.0, t_i / denominator)
-            top = max(top, step * best(rounds_left - 1, budget - t_i, burned + t_i))
-        return top
-
-    return best(iterations, t, 0)
+    return _burn_table(n, t).factor(iterations)
 
 
 def realaa_iterations(known_range: float, epsilon: float, n: int, t: int) -> int:
@@ -166,7 +268,10 @@ def realaa_iterations(known_range: float, epsilon: float, n: int, t: int) -> int
     if known_range < 0:
         raise ValueError("known_range must be non-negative")
     iterations = 1
-    while known_range * worst_burn_factor(n, t, iterations) > epsilon:
+    if t == 0:
+        return iterations
+    table = _burn_table(n, t)
+    while known_range * table.factor(iterations) > epsilon:
         iterations += 1
     return iterations
 

@@ -22,9 +22,11 @@ from .engine import (
     parse_module,
 )
 from .findings import (
+    PLACEHOLDER_JUSTIFICATION,
     SCHEMA_VERSION,
     BaselineFormatError,
     Finding,
+    PlaceholderJustificationError,
     apply_baseline,
     load_baseline,
     render_baseline,
@@ -32,12 +34,14 @@ from .findings import (
 from .rules import RULES, Rule, make_rules
 
 __all__ = [
+    "PLACEHOLDER_JUSTIFICATION",
     "SCHEMA_VERSION",
     "BaselineFormatError",
     "Finding",
     "LintConfig",
     "LintResult",
     "ModuleContext",
+    "PlaceholderJustificationError",
     "RULES",
     "Rule",
     "apply_baseline",

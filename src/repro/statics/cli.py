@@ -25,6 +25,7 @@ from .engine import lint_paths
 from .findings import (
     SCHEMA_VERSION,
     BaselineFormatError,
+    PlaceholderJustificationError,
     apply_baseline,
     load_baseline,
     render_baseline,
@@ -89,6 +90,15 @@ def build_parser(prog: str = "protolint") -> argparse.ArgumentParser:
         metavar="FILE",
         help="write the current findings as a baseline file and exit 0",
     )
+    parser.add_argument(
+        "--allow-todo-justify",
+        action="store_true",
+        help=(
+            "tolerate baseline entries still stamped 'TODO: justify' "
+            "(warns instead of failing; the committed baseline should "
+            "carry real justifications)"
+        ),
+    )
     return parser
 
 
@@ -145,6 +155,12 @@ def run(
     if baseline_path is not None and not args.no_baseline:
         try:
             allowance = load_baseline(baseline_path)
+        except PlaceholderJustificationError as exc:
+            if not args.allow_todo_justify:
+                print(f"{prog}: {exc}", file=err)
+                return EXIT_USAGE
+            print(f"{prog}: warning: {exc}", file=err)
+            allowance = exc.allowance
         except (OSError, BaselineFormatError) as exc:
             print(f"{prog}: {exc}", file=err)
             return EXIT_USAGE

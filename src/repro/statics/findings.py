@@ -22,9 +22,27 @@ from typing import Any, Dict, Iterable, List, Tuple
 #: Version tag of the baseline / ``--json`` schema.
 SCHEMA_VERSION = 1
 
+#: The justification ``--write-baseline`` stamps on every entry.  A
+#: committed baseline must not still carry it: the whole point of the
+#: ratchet is that every tolerated finding has a *human* justification.
+PLACEHOLDER_JUSTIFICATION = "TODO: justify"
+
 
 class BaselineFormatError(ValueError):
     """A baseline file did not match the documented schema."""
+
+
+class PlaceholderJustificationError(BaselineFormatError):
+    """A baseline entry still carries the writer's ``TODO: justify`` stamp.
+
+    The parsed allowance is attached so a caller that deliberately
+    tolerates placeholders (``--allow-todo-justify``) can warn and
+    continue without re-parsing the file.
+    """
+
+    def __init__(self, message: str, allowance: Dict[Tuple[str, str, str], int]):
+        super().__init__(message)
+        self.allowance = allowance
 
 
 @dataclass(frozen=True, order=True)
@@ -73,6 +91,7 @@ def load_baseline(path: str) -> Dict[Tuple[str, str, str], int]:
     if not isinstance(entries, list):
         raise BaselineFormatError(f"{path}: 'entries' must be a list")
     allowance: Dict[Tuple[str, str, str], int] = {}
+    placeholders: List[str] = []
     for index, entry in enumerate(entries):
         if not isinstance(entry, dict):
             raise BaselineFormatError(f"{path}: entry {index} is not an object")
@@ -87,8 +106,19 @@ def load_baseline(path: str) -> Dict[Tuple[str, str, str], int]:
             raise BaselineFormatError(
                 f"{path}: entry {index} has a non-positive count"
             )
+        if entry["justification"].strip() == PLACEHOLDER_JUSTIFICATION:
+            placeholders.append(f"{entry['rule']} {entry['path']}")
         key = (entry["rule"], entry["path"], entry["message"])
         allowance[key] = allowance.get(key, 0) + count
+    if placeholders:
+        plural = "y" if len(placeholders) == 1 else "ies"
+        raise PlaceholderJustificationError(
+            f"{path}: {len(placeholders)} baseline entr{plural} still "
+            f"stamped {PLACEHOLDER_JUSTIFICATION!r} "
+            f"({', '.join(placeholders)}); write real justifications, or "
+            "pass --allow-todo-justify to tolerate them temporarily",
+            allowance,
+        )
     return allowance
 
 
@@ -112,8 +142,10 @@ def apply_baseline(
 def render_baseline(findings: Iterable[Finding]) -> str:
     """A baseline document tolerating exactly *findings* (as JSON text).
 
-    Justifications are stamped ``"TODO: justify"`` — the committed file is
-    expected to be edited by a human before review.
+    Justifications are stamped :data:`PLACEHOLDER_JUSTIFICATION` — the
+    committed file must be edited by a human before review: the gate
+    refuses a baseline that still carries the stamp (unless the run
+    opted into ``--allow-todo-justify``).
     """
     counts: Dict[Tuple[str, str, str], int] = {}
     for finding in sorted(findings):
@@ -124,7 +156,7 @@ def render_baseline(findings: Iterable[Finding]) -> str:
             "path": path,
             "message": message,
             "count": count,
-            "justification": "TODO: justify",
+            "justification": PLACEHOLDER_JUSTIFICATION,
         }
         for (rule, path, message), count in sorted(counts.items())
     ]

@@ -4,6 +4,8 @@ import pytest
 
 from repro.adversary import Adversary, SilentAdversary
 from repro.core import run_path_aa, run_real_aa, run_tree_aa
+from repro.net.faults import FaultPlan
+from repro.net.network import TraceLevel
 from repro.trees import TreePath, figure_tree, path_tree
 
 
@@ -54,6 +56,72 @@ class TestRunPathAA:
             tree, spine, ["v6", "v5", "v1", "v2"], t=1, project=True
         )
         assert outcome.terminated
+
+
+class TestRunPathAAResilienceHooks:
+    """Regression: ``run_path_aa`` threads the resilience-lab hooks.
+
+    The reference route used to lack ``fault_plan`` / ``trace_level`` /
+    ``t_assumed`` entirely, and the batch route silently dropped the
+    fault plan and hardcoded the trace level — so a degradation sweep
+    over PathAA ran clean while claiming to inject faults.  Both routes
+    must accept the hooks and agree on their effect.
+    """
+
+    TREE = figure_tree()
+    SPINE = TreePath(["v1", "v2", "v5"])
+    INPUTS = ["v1", "v5", "v1", "v2", "v5"]
+
+    def _run(self, backend, plan):
+        return run_path_aa(
+            self.TREE,
+            self.SPINE,
+            self.INPUTS,
+            t=2,
+            trace_level=TraceLevel.FULL,
+            fault_plan=plan,
+            t_assumed=1,
+            backend=backend,
+        )
+
+    def test_hooks_accepted_and_backends_agree(self):
+        plans = {
+            backend: FaultPlan(
+                drop=0.3, duplicate=0.2, seed=11, allow_model_violations=True
+            )
+            for backend in ("reference", "batch")
+        }
+        outcomes = {b: self._run(b, plans[b]) for b in plans}
+        reference, batch = outcomes["reference"], outcomes["batch"]
+        ref_trace, bat_trace = reference.execution.trace, batch.execution.trace
+        # The plan actually reached the network on both routes...
+        assert ref_trace.faults_dropped + ref_trace.faults_duplicated > 0
+        # ...and the routes agree on everything observable.
+        assert batch.honest_outputs == reference.honest_outputs
+        assert bat_trace.faults_dropped == ref_trace.faults_dropped
+        assert bat_trace.faults_duplicated == ref_trace.faults_duplicated
+        assert bat_trace.faults_corrupted == ref_trace.faults_corrupted
+        assert bat_trace.rounds_executed == ref_trace.rounds_executed
+
+    def test_t_assumed_changes_the_party_tolerance(self):
+        # With n = 5 parties a tolerance of t = 2 is over the n/3 bound
+        # the parties enforce; t_assumed = 1 is how degradation sweeps
+        # cross it.  Omitting t_assumed must therefore raise on both
+        # routes, and supplying it must succeed on both.
+        for backend in ("reference", "batch"):
+            with pytest.raises(ValueError):
+                run_path_aa(
+                    self.TREE, self.SPINE, self.INPUTS, t=2, backend=backend
+                )
+            outcome = run_path_aa(
+                self.TREE,
+                self.SPINE,
+                self.INPUTS,
+                t=2,
+                t_assumed=1,
+                backend=backend,
+            )
+            assert outcome.terminated
 
 
 class TestRunRealAA:

@@ -21,9 +21,22 @@ def trace_summary(trace: Any) -> Tuple[Any, ...]:
         trace.byzantine_message_count,
         trace.honest_payload_units,
         trace.byzantine_payload_units,
+        trace.faults_dropped,
+        trace.faults_duplicated,
+        trace.faults_corrupted,
         tuple(trace.per_round_messages),
         tuple(sorted(trace.corruption_rounds.items())),
     )
+
+
+def metric_rows(collector: Any) -> list:
+    """A collector's rows as dicts, minus the nondeterministic wall clock."""
+    rows = []
+    for row in collector.rounds:
+        as_dict = dict(row.__dict__)
+        as_dict.pop("wall_seconds")
+        rows.append(as_dict)
+    return rows
 
 
 def outcome_summary(outcome: Any) -> Dict[str, Any]:
@@ -59,13 +72,39 @@ def run_one(
     return ("ok", outcome_summary(outcome))
 
 
-def differential_check(call: Callable[..., Any], **kwargs: Any) -> Tuple[str, Any]:
-    """Assert reference and batch behave identically; return the verdict."""
-    reference = run_one(call, kwargs, "reference")
-    batch = run_one(call, kwargs, "batch")
+def differential_check(
+    call: Callable[..., Any],
+    observer_factory: Any = None,
+    **kwargs: Any,
+) -> Tuple[str, Any]:
+    """Assert reference and batch behave identically; return the verdict.
+
+    ``observer_factory`` (when given) builds one fresh observer *per
+    backend* — a shared instance would accumulate both runs' rows — and
+    the two collectors' metric rows are compared exactly, excluding only
+    the wall-clock column.
+    """
+    observers: Dict[str, Any] = {}
+
+    def run(backend: str) -> Tuple[str, Any]:
+        run_kwargs = dict(kwargs)
+        if observer_factory is not None:
+            observers[backend] = run_kwargs["observer"] = observer_factory()
+        return run_one(call, run_kwargs, backend)
+
+    reference = run("reference")
+    batch = run("batch")
     assert reference == batch, (
         f"backend divergence for {call.__name__}:\n"
         f"  reference: {reference!r}\n"
         f"  batch:     {batch!r}"
     )
+    if observer_factory is not None:
+        reference_rows = metric_rows(observers["reference"])
+        batch_rows = metric_rows(observers["batch"])
+        assert reference_rows == batch_rows, (
+            f"metrics divergence for {call.__name__}:\n"
+            f"  reference: {reference_rows!r}\n"
+            f"  batch:     {batch_rows!r}"
+        )
     return reference

@@ -5,10 +5,12 @@ differential properties:
 
 * ``backend=`` is a closed enum — typos raise ``ValueError`` before any
   execution starts;
-* every feature the vectorized engine cannot express (observers, fault
-  plans, equivocating adversaries) raises the typed
-  :class:`~repro.engine.UnsupportedBackendError` instead of silently
-  running wrong;
+* the features the engine *does* replay — metrics collectors, fault
+  plans, and the equivocating chaos/burn adversaries — match the
+  reference byte for byte, while everything it cannot express
+  (transcript recorders, custom ``estimate_fn``, adversary subclasses)
+  raises the typed :class:`~repro.engine.UnsupportedBackendError`
+  instead of silently running wrong;
 * a sweep row computed by one engine is never served from the result
   cache to the other (the regression this PR's cache-key fix guards).
 """
@@ -28,6 +30,7 @@ from repro.engine import (
     resolve_batch_spec,
 )
 from repro.net.faults import FaultPlan
+from repro.net.trace import TranscriptRecorder
 from repro.observability import MetricsCollector
 from repro.trees.labeled_tree import LabeledTree
 from repro.trees.paths import diameter_path
@@ -39,6 +42,16 @@ INPUTS = [0.0, 1.0, 2.0, 3.0, 4.0]
 
 def small_tree() -> LabeledTree:
     return LabeledTree.from_parent_map({"b": "a", "c": "a", "d": "b"})
+
+
+def metric_rows(collector: MetricsCollector):
+    """Collector rows as dicts, minus the nondeterministic wall clock."""
+    rows = []
+    for row in collector.rounds:
+        as_dict = dict(row.__dict__)
+        as_dict.pop("wall_seconds")
+        rows.append(as_dict)
+    return rows
 
 
 class TestBackendSelection:
@@ -62,46 +75,137 @@ class TestBackendSelection:
         assert reference.execution.outputs == explicit.execution.outputs
 
 
+class TestReplayedFeatures:
+    """Features the batch backend used to refuse and now replays.
+
+    Each test is a miniature differential check: the lifted feature must
+    produce reference-identical observable state, not merely run.  The
+    broad sweeps live in ``test_conformance.py``; these pin the specific
+    configurations whose refusals this PR removed.
+    """
+
+    def test_equivocating_adversary_replays(self):
+        results = {
+            backend: run_real_aa(
+                INPUTS,
+                1,
+                epsilon=1.0,
+                adversary=BurnScheduleAdversary([1, 1], direction="alternate"),
+                backend=backend,
+            )
+            for backend in ("reference", "batch")
+        }
+        assert (
+            results["batch"].honest_outputs == results["reference"].honest_outputs
+        )
+        assert results["batch"].rounds == results["reference"].rounds
+
+    def test_chaos_adversary_replays_with_log_parity(self):
+        adversaries = {b: ChaosAdversary(seed=7) for b in ("reference", "batch")}
+        results = {
+            backend: run_real_aa(
+                INPUTS,
+                1,
+                epsilon=1.0,
+                adversary=adversaries[backend],
+                backend=backend,
+            )
+            for backend in ("reference", "batch")
+        }
+        assert (
+            results["batch"].honest_outputs == results["reference"].honest_outputs
+        )
+        # The caller's adversary object carries the behaviour log either way.
+        assert adversaries["batch"].log == adversaries["reference"].log
+
+    def test_metrics_collector_replays(self):
+        collectors = {b: MetricsCollector() for b in ("reference", "batch")}
+        for backend, collector in collectors.items():
+            run_real_aa(
+                INPUTS, 1, epsilon=1.0, observer=collector, backend=backend
+            )
+        assert metric_rows(collectors["batch"]) == metric_rows(
+            collectors["reference"]
+        )
+
+    def test_fault_plan_replays(self):
+        plans = {
+            b: FaultPlan(
+                drop=0.2,
+                duplicate=0.15,
+                corrupt=0.15,
+                seed=5,
+                allow_model_violations=True,
+            )
+            for b in ("reference", "batch")
+        }
+        results = {
+            backend: run_real_aa(
+                INPUTS, 1, epsilon=1.0, fault_plan=plans[backend], backend=backend
+            )
+            for backend in ("reference", "batch")
+        }
+        assert (
+            results["batch"].honest_outputs == results["reference"].honest_outputs
+        )
+        ref_trace = results["reference"].execution.trace
+        bat_trace = results["batch"].execution.trace
+        assert bat_trace.faults_dropped == ref_trace.faults_dropped
+        assert bat_trace.faults_duplicated == ref_trace.faults_duplicated
+        assert bat_trace.faults_corrupted == ref_trace.faults_corrupted
+
+
 class TestUnsupportedFeatures:
-    def test_equivocating_adversary_refuses(self):
-        with pytest.raises(UnsupportedBackendError, match="BurnScheduleAdversary"):
+    def test_transcript_recorder_refuses(self):
+        with pytest.raises(UnsupportedBackendError, match="TranscriptRecorder"):
             run_real_aa(
                 INPUTS,
                 1,
                 epsilon=1.0,
-                adversary=BurnScheduleAdversary([1]),
+                observer=TranscriptRecorder(),
                 backend="batch",
             )
 
-    def test_chaos_adversary_refuses(self):
-        with pytest.raises(UnsupportedBackendError, match="ChaosAdversary"):
+    def test_collector_subclass_refuses(self):
+        # A subclass may override row bookkeeping; only the exact class
+        # is known to be reproducible from batch reductions.
+        class Widened(MetricsCollector):
+            pass
+
+        with pytest.raises(UnsupportedBackendError, match="Widened"):
             run_real_aa(
-                INPUTS,
-                1,
-                epsilon=1.0,
-                adversary=ChaosAdversary(seed=7),
-                backend="batch",
+                INPUTS, 1, epsilon=1.0, observer=Widened(), backend="batch"
             )
 
-    def test_observer_refuses(self):
-        with pytest.raises(UnsupportedBackendError, match="observer"):
+    def test_custom_estimate_fn_refuses(self):
+        collector = MetricsCollector(estimate_fn=lambda party: None)
+        with pytest.raises(UnsupportedBackendError, match="estimate_fn"):
             run_real_aa(
-                INPUTS,
-                1,
-                epsilon=1.0,
-                observer=MetricsCollector(),
-                backend="batch",
+                INPUTS, 1, epsilon=1.0, observer=collector, backend="batch"
             )
 
-    def test_fault_plan_refuses(self):
-        with pytest.raises(UnsupportedBackendError, match="fault plan"):
+    def test_tree_collector_refuses_on_real_aa(self):
+        # Vertex-estimate watching is replayable for the tree protocols
+        # but not for RealAA, whose parties expose float estimates.
+        collector = MetricsCollector(tree=small_tree())
+        with pytest.raises(UnsupportedBackendError, match="tree"):
             run_real_aa(
-                INPUTS,
-                1,
-                epsilon=1.0,
-                fault_plan=FaultPlan(),
-                backend="batch",
+                INPUTS, 1, epsilon=1.0, observer=collector, backend="batch"
             )
+
+    def test_chaos_subclass_refuses(self):
+        class Nastier(ChaosAdversary):
+            pass
+
+        with pytest.raises(UnsupportedBackendError, match="Nastier"):
+            resolve_batch_spec(Nastier(seed=1))
+
+    def test_burn_subclass_refuses(self):
+        class Hotter(BurnScheduleAdversary):
+            pass
+
+        with pytest.raises(UnsupportedBackendError, match="Hotter"):
+            resolve_batch_spec(Hotter([1]))
 
     def test_unknown_adversary_has_no_spec(self):
         class Custom(Adversary):

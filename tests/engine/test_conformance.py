@@ -2,13 +2,18 @@
 
 Two layers of generation feed :func:`~tests.engine.conformance.differential_check`:
 
-* Hypothesis properties drawing trees, inputs, and supported adversaries
-  from :mod:`tests.strategies` — these shrink, so a divergence arrives
+* Hypothesis properties drawing trees, inputs, supported adversaries
+  (including the equivocating chaos/burn streams), and fault plans from
+  :mod:`tests.strategies` — these shrink, so a divergence arrives
   minimised;
 * a deterministic seeded sweep of 240 mixed configurations across all
-  three protocols (RealAA / PathAA / TreeAA), guaranteeing the
-  ``>= 200 generated cases`` coverage floor regardless of the active
-  Hypothesis profile.
+  three protocols (RealAA / PathAA / TreeAA) with fault plans and
+  metrics collectors in the mix, guaranteeing the ``>= 200 generated
+  cases`` coverage floor regardless of the active Hypothesis profile.
+
+Metrics conformance is exact: whenever a case attaches collectors, both
+backends' per-round rows must match field for field (only the wall-clock
+column is excluded).
 """
 
 from __future__ import annotations
@@ -19,12 +24,21 @@ import pytest
 from hypothesis import given, strategies as st
 
 from repro.adversary.base import NoAdversary, PassiveAdversary
+from repro.adversary.chaos import ChaosAdversary
+from repro.adversary.realaa_attacks import BurnScheduleAdversary
 from repro.adversary.strategies import CrashAdversary, SilentAdversary
 from repro.core.api import run_path_aa, run_real_aa, run_tree_aa
+from repro.net.faults import FaultPlan
+from repro.observability import MetricsCollector
 from repro.trees.generators import random_tree
 from repro.trees.paths import diameter_path
 
-from ..strategies import batch_supported_adversaries, real_inputs, small_trees
+from ..strategies import (
+    batch_supported_adversaries,
+    fault_plans,
+    real_inputs,
+    small_trees,
+)
 from .conformance import differential_check
 
 pytest.importorskip("numpy")
@@ -32,33 +46,53 @@ pytest.importorskip("numpy")
 
 @st.composite
 def real_aa_cases(draw):
-    """(inputs, t, epsilon, adversary) for a RealAA differential run."""
+    """(inputs, t, epsilon, adversary, plan) for a RealAA differential run."""
     n = draw(st.integers(min_value=1, max_value=10))
     t = draw(st.integers(min_value=0, max_value=3))
     inputs = draw(real_inputs(n))
     epsilon = draw(st.sampled_from([0.25, 0.5, 1.0, 2.0]))
     adversary = draw(batch_supported_adversaries(n, t))
-    return inputs, t, epsilon, adversary
+    plan = draw(fault_plans())
+    return inputs, t, epsilon, adversary, plan
 
 
 class TestRealAAConformance:
     @given(real_aa_cases())
     def test_identical_behaviour(self, case):
-        inputs, t, epsilon, adversary = case
-        differential_check(
-            run_real_aa, inputs=inputs, t=t, epsilon=epsilon, adversary=adversary
-        )
-
-    @given(real_aa_cases(), st.integers(min_value=0, max_value=3))
-    def test_identical_behaviour_with_t_assumed(self, case, t_assumed):
-        inputs, t, epsilon, adversary = case
+        inputs, t, epsilon, adversary, plan = case
         differential_check(
             run_real_aa,
             inputs=inputs,
             t=t,
             epsilon=epsilon,
             adversary=adversary,
+            fault_plan=plan,
+        )
+
+    @given(real_aa_cases(), st.integers(min_value=0, max_value=3))
+    def test_identical_behaviour_with_t_assumed(self, case, t_assumed):
+        inputs, t, epsilon, adversary, plan = case
+        differential_check(
+            run_real_aa,
+            inputs=inputs,
+            t=t,
+            epsilon=epsilon,
+            adversary=adversary,
+            fault_plan=plan,
             t_assumed=t_assumed,
+        )
+
+    @given(real_aa_cases())
+    def test_identical_metrics_rows(self, case):
+        inputs, t, epsilon, adversary, plan = case
+        differential_check(
+            run_real_aa,
+            observer_factory=MetricsCollector,
+            inputs=inputs,
+            t=t,
+            epsilon=epsilon,
+            adversary=adversary,
+            fault_plan=plan,
         )
 
 
@@ -85,6 +119,19 @@ class TestTreeAAConformance:
         tree, inputs, t, adversary = case
         differential_check(
             run_tree_aa, tree=tree, inputs=inputs, t=t, adversary=adversary
+        )
+
+    @given(tree_aa_cases(), fault_plans())
+    def test_identical_metrics_rows_with_faults(self, case, plan):
+        tree, inputs, t, adversary = case
+        differential_check(
+            run_tree_aa,
+            observer_factory=lambda: MetricsCollector(tree=tree),
+            tree=tree,
+            inputs=inputs,
+            t=t,
+            adversary=adversary,
+            fault_plan=plan,
         )
 
 
@@ -115,7 +162,9 @@ def _seeded_adversary(rng: random.Random, n: int, t: int):
     corrupt = None
     if n and rng.random() < 0.5:
         corrupt = set(rng.sample(range(n), rng.randint(0, min(n, t + 1))))
-    kind = rng.choice(["none", "no-adversary", "silent", "passive", "crash"])
+    kind = rng.choice(
+        ["none", "no-adversary", "silent", "passive", "crash", "chaos", "burn"]
+    )
     if kind == "none":
         return None
     if kind == "no-adversary":
@@ -124,8 +173,38 @@ def _seeded_adversary(rng: random.Random, n: int, t: int):
         return SilentAdversary(corrupt)
     if kind == "passive":
         return PassiveAdversary(corrupt)
+    if kind == "chaos":
+        weights = None
+        if rng.random() < 0.5:
+            weights = {
+                name: rng.uniform(0.1, 3.0) for name in ChaosAdversary.BEHAVIOURS
+            }
+        return ChaosAdversary(
+            seed=rng.randint(0, 2**20), weights=weights, corrupt=corrupt
+        )
+    if kind == "burn":
+        schedule = [rng.randint(0, 2) for _ in range(rng.randint(1, 3))]
+        return BurnScheduleAdversary(
+            schedule,
+            corrupt=corrupt,
+            direction=rng.choice(["up", "down", "alternate"]),
+            reuse_burners=rng.random() < 0.5,
+        )
     return CrashAdversary(
         rng.randint(0, 12), partial_to=rng.randint(0, n), corrupt=corrupt
+    )
+
+
+def _seeded_fault_plan(rng: random.Random):
+    """``None`` most of the time, otherwise a seeded moderate-rate plan."""
+    if rng.random() < 0.6:
+        return None
+    return FaultPlan(
+        drop=rng.choice([0.0, 0.1, 0.25]),
+        duplicate=rng.choice([0.0, 0.1, 0.2]),
+        corrupt=rng.choice([0.0, 0.1, 0.2]),
+        seed=rng.randint(0, 2**20),
+        allow_model_violations=True,
     )
 
 
@@ -144,28 +223,37 @@ def test_seeded_differential_case(seed):
     n = rng.randint(1, 12)
     t = rng.randint(0, 4)
     adversary = _seeded_adversary(rng, n, t)
+    plan = _seeded_fault_plan(rng)
+    with_metrics = rng.random() < 0.5
     protocol = rng.choice(["real", "tree", "path", "projected-path"])
     t_assumed = rng.choice([None, None, rng.randint(0, 3)])
     if protocol == "real":
         inputs = [round(rng.uniform(-5.0, 5.0), 3) for _ in range(n)]
         differential_check(
             run_real_aa,
+            observer_factory=MetricsCollector if with_metrics else None,
             inputs=inputs,
             t=t,
             epsilon=rng.choice([0.25, 0.5, 1.0]),
             adversary=adversary,
+            fault_plan=plan,
             t_assumed=t_assumed,
         )
         return
     tree = random_tree(rng.randint(1, 9), seed=seed)
+    observer_factory = (
+        (lambda: MetricsCollector(tree=tree)) if with_metrics else None
+    )
     inputs = [rng.choice(tree.vertices) for _ in range(n)]
     if protocol == "tree":
         differential_check(
             run_tree_aa,
+            observer_factory=observer_factory,
             tree=tree,
             inputs=inputs,
             t=t,
             adversary=adversary,
+            fault_plan=plan,
             t_assumed=t_assumed,
         )
         return
@@ -174,10 +262,13 @@ def test_seeded_differential_case(seed):
         inputs = [rng.choice(list(path.vertices)) for _ in range(n)]
     differential_check(
         run_path_aa,
+        observer_factory=observer_factory,
         tree=tree,
         path=path,
         inputs=inputs,
         t=t,
         adversary=adversary,
+        fault_plan=plan,
+        t_assumed=t_assumed,
         project=(protocol == "projected-path"),
     )

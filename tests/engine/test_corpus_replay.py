@@ -31,6 +31,7 @@ CORPUS_CASES = {case.name: case for case in iter_corpus(CORPUS_DIR)}
 
 #: Cases whose scenario the batch engine replays bit-identically.
 BATCH_SUPPORTED = (
+    "chaos-scripted-agreement",
     "crash-partial-broadcast-agreement",
     "faultplan-duplicate-storm",
     "legal-silent-stays-clean",
@@ -38,11 +39,10 @@ BATCH_SUPPORTED = (
     "tree-silent-over-threshold",
 )
 
-#: Cases exercising features outside the batch engine's scope (chaos
-#: scripts, asynchronous delivery) — replay must refuse, loudly.
+#: Cases exercising features outside the batch engine's scope
+#: (asynchronous delivery) — replay must refuse, loudly.
 EXPECTED_UNSUPPORTED = (
     "async-split-noise-stays-clean",
-    "chaos-scripted-agreement",
 )
 
 
@@ -64,6 +64,7 @@ def test_supported_case_replays_identically(name):
     assert batch.completed == reference.completed
     assert batch.error == reference.error
     assert batch.fault_counts == reference.fault_counts
+    assert batch.chaos_log == reference.chaos_log
     assert violated_oracles(evaluate(batch)) == violated_oracles(
         evaluate(reference)
     )

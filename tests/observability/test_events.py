@@ -144,6 +144,38 @@ class TestValidation:
         with pytest.raises(TraceFormatError, match="typed"):
             load_run(io.StringIO('{"no_type": 1}\n'))
 
+    def test_round_record_missing_metric_field_rejected(self):
+        # A hand-edited round record without its metric columns must fail
+        # at load time, not as a KeyError inside the report renderer.
+        lines = self.make_text().splitlines()
+        record = json.loads(lines[1])
+        del record["honest_messages"]
+        lines[1] = json.dumps(record)
+        with pytest.raises(TraceFormatError, match="honest_messages"):
+            load_run(io.StringIO("\n".join(lines)))
+
+    def test_footer_missing_totals_rejected(self):
+        lines = self.make_text().splitlines()
+        footer = json.loads(lines[-1])
+        del footer["messages"]
+        lines[-1] = json.dumps(footer)
+        with pytest.raises(TraceFormatError, match="messages"):
+            load_run(io.StringIO("\n".join(lines)))
+
+    def test_footer_malformed_outputs_rejected(self):
+        lines = self.make_text().splitlines()
+        footer = json.loads(lines[-1])
+        footer["honest_outputs"] = [[0, "v1", "extra"]]
+        lines[-1] = json.dumps(footer)
+        with pytest.raises(TraceFormatError, match="honest_outputs"):
+            load_run(io.StringIO("\n".join(lines)))
+
+    def test_header_only_file_rejected(self):
+        # The truncation shape a crashed recorder leaves behind.
+        lines = self.make_text().splitlines()
+        with pytest.raises(TraceFormatError, match="run_footer"):
+            load_run(io.StringIO(lines[0] + "\n"))
+
 
 class TestDiff:
     def test_identical_runs_diff_empty(self):

@@ -10,6 +10,7 @@ import pytest
 from repro.statics import (
     BaselineFormatError,
     Finding,
+    PlaceholderJustificationError,
     apply_baseline,
     lint_contexts,
     lint_paths,
@@ -93,12 +94,27 @@ class TestBaseline:
         assert document["version"] == 1
         assert document["entries"][0]["count"] == 2
         assert document["entries"][0]["justification"] == "TODO: justify"
-        # load_baseline refuses the un-edited TODO? No — TODO is non-empty;
-        # the ratchet trusts review to catch it.  It must parse.
+        # The un-edited writer stamp must NOT parse: a committed baseline
+        # with placeholder justifications defeats the ratchet's contract
+        # that every tolerated finding was consciously signed off.
+        with pytest.raises(PlaceholderJustificationError) as excinfo:
+            load_baseline(str(path))
+        # The error carries the parsed allowance so --allow-todo-justify
+        # can warn and continue without a second parse.
+        fresh, absorbed = apply_baseline(findings, excinfo.value.allowance)
+        assert fresh == []
+        assert absorbed == 2
+
+    def test_real_justification_parses(self, tmp_path):
+        findings = [self.make_finding()]
+        path = tmp_path / "baseline.json"
+        document = json.loads(render_baseline(findings))
+        document["entries"][0]["justification"] = "deliberate: test fixture"
+        path.write_text(json.dumps(document))
         allowance = load_baseline(str(path))
         fresh, absorbed = apply_baseline(findings, allowance)
         assert fresh == []
-        assert absorbed == 2
+        assert absorbed == 1
 
     def test_matching_is_line_independent(self):
         allowance = {("PL002", "src/repro/x.py", "bare assert"): 1}
@@ -198,6 +214,37 @@ class TestCliContract:
         assert baseline.exists()
         code, out, err = run_cli("--rules", "PL002", "--baseline", str(baseline))
         assert code == EXIT_CLEAN
+
+    def _todo_stamped_baseline(self, tmp_path):
+        """A baseline tolerating a fake finding, justification un-edited."""
+        from repro.statics import render_baseline
+
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(
+            render_baseline(
+                [Finding(path="src/repro/x.py", line=1, rule="PL002",
+                         message="bare assert")]
+            )
+        )
+        return baseline
+
+    def test_todo_justification_fails_the_gate(self, tmp_path):
+        baseline = self._todo_stamped_baseline(tmp_path)
+        code, out, err = run_cli(
+            "--rules", "PL002", "--baseline", str(baseline)
+        )
+        assert code == EXIT_USAGE
+        assert "TODO: justify" in err
+        assert "--allow-todo-justify" in err
+
+    def test_allow_todo_justify_downgrades_to_warning(self, tmp_path):
+        baseline = self._todo_stamped_baseline(tmp_path)
+        code, out, err = run_cli(
+            "--rules", "PL002", "--baseline", str(baseline),
+            "--allow-todo-justify",
+        )
+        assert code == EXIT_CLEAN
+        assert "warning" in err and "TODO: justify" in err
 
     def test_help_exits_zero(self):
         code, out, err = run_cli("--help")

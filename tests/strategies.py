@@ -74,14 +74,19 @@ def batch_supported_adversaries(draw, n: int, t: int):
     """An adversary instance the batch backend can replay (or ``None``).
 
     Covers the full supported matrix: fault-free, :class:`NoAdversary`,
-    silent, passive, and partial-broadcast crashes at varying rounds —
-    each over both default and explicit corruption sets.
+    silent, passive, partial-broadcast crashes at varying rounds, seeded
+    chaos streams, and burn schedules — each over both default and
+    explicit corruption sets.
     """
     from repro.adversary.base import NoAdversary, PassiveAdversary
+    from repro.adversary.chaos import ChaosAdversary
+    from repro.adversary.realaa_attacks import BurnScheduleAdversary
     from repro.adversary.strategies import CrashAdversary, SilentAdversary
 
     kind = draw(
-        st.sampled_from(["none", "no-adversary", "silent", "passive", "crash"])
+        st.sampled_from(
+            ["none", "no-adversary", "silent", "passive", "crash", "chaos", "burn"]
+        )
     )
     if kind == "none":
         return None
@@ -92,9 +97,49 @@ def batch_supported_adversaries(draw, n: int, t: int):
         return SilentAdversary(corrupt)
     if kind == "passive":
         return PassiveAdversary(corrupt)
+    if kind == "chaos":
+        seed = draw(st.integers(min_value=0, max_value=2**16))
+        weights = None
+        if draw(st.booleans()):
+            weights = {
+                name: draw(st.floats(min_value=0.1, max_value=4.0))
+                for name in ChaosAdversary.BEHAVIOURS
+            }
+        return ChaosAdversary(seed=seed, weights=weights, corrupt=corrupt)
+    if kind == "burn":
+        schedule = draw(
+            st.lists(st.integers(min_value=0, max_value=3), min_size=1, max_size=4)
+        )
+        direction = draw(st.sampled_from(["up", "down", "alternate"]))
+        reuse = draw(st.booleans())
+        return BurnScheduleAdversary(
+            schedule, direction=direction, reuse_burners=reuse, corrupt=corrupt
+        )
     crash_round = draw(st.integers(min_value=0, max_value=30))
     partial_to = draw(st.integers(min_value=0, max_value=n))
     return CrashAdversary(crash_round, partial_to=partial_to, corrupt=corrupt)
+
+
+@st.composite
+def fault_plans(draw):
+    """``None`` (the common case) or a seeded honest-channel fault plan.
+
+    Faulty plans set ``allow_model_violations=True`` — the same explicit
+    gate the resilience lab requires — with moderate per-message rates so
+    that most runs still complete and exercise the recovery paths rather
+    than degenerating into all-drop noise.
+    """
+    from repro.net.faults import FaultPlan
+
+    if draw(st.booleans()):
+        return None
+    return FaultPlan(
+        drop=draw(st.sampled_from([0.0, 0.1, 0.25])),
+        duplicate=draw(st.sampled_from([0.0, 0.1, 0.2])),
+        corrupt=draw(st.sampled_from([0.0, 0.1, 0.2])),
+        seed=draw(st.integers(min_value=0, max_value=2**16)),
+        allow_model_violations=True,
+    )
 
 
 def backends() -> st.SearchStrategy[str]:

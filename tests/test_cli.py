@@ -138,11 +138,30 @@ class TestCommands:
         assert code == 0
         assert "4 points" in out
 
-    def test_sweep_batch_backend_unsupported_adversary(self, capsys):
-        # The default sweep adversary ("burn") equivocates; the batch
-        # engine's refusal must surface as a CLI error, not a traceback.
+    def test_sweep_batch_backend_equivocating_adversary(self, capsys):
+        # The default sweep adversary ("burn") equivocates; the dense
+        # batch engine replays it, so the sweep completes like any other.
         code = main(
             ["sweep", "--kind", "real-aa", "--backend", "batch", "--no-cache"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "4 points" in out
+
+    def test_sweep_batch_backend_unsupported_adversary(self, capsys):
+        # Asymmetric trust is still outside the batch engine's replay
+        # set; the refusal must surface as a CLI error, not a traceback.
+        code = main(
+            [
+                "sweep",
+                "--kind",
+                "real-aa",
+                "--adversary",
+                "asym",
+                "--backend",
+                "batch",
+                "--no-cache",
+            ]
         )
         assert code == 2
         err = capsys.readouterr().err
@@ -255,6 +274,43 @@ class TestTraceAndReport:
         code = main(["report", str(out)])
         assert code == 2
         assert "999" in capsys.readouterr().err
+
+    def test_report_empty_file_is_a_clean_error(self, tmp_path, capsys):
+        out = tmp_path / "empty.jsonl"
+        out.write_text("")
+        code = main(["report", str(out)])
+        assert code == 2
+        assert "empty" in capsys.readouterr().err
+
+    def test_report_truncated_file_is_a_clean_error(self, tmp_path, capsys):
+        out = tmp_path / "run.jsonl"
+        main(self.WALKTHROUGH + ["--out", str(out)])
+        capsys.readouterr()
+        lines = out.read_text().splitlines()
+        out.write_text("\n".join(lines[:-1]) + "\n")  # lose the footer
+        code = main(["report", str(out)])
+        assert code == 2
+        assert "run_footer" in capsys.readouterr().err
+
+    def test_report_gutted_round_record_is_a_clean_error(self, tmp_path, capsys):
+        out = tmp_path / "run.jsonl"
+        main(self.WALKTHROUGH + ["--out", str(out)])
+        capsys.readouterr()
+        lines = out.read_text().splitlines()
+        record = json.loads(lines[1])
+        del record["honest_messages"]
+        lines[1] = json.dumps(record)
+        out.write_text("\n".join(lines) + "\n")
+        code = main(["report", str(out)])
+        assert code == 2
+        assert "honest_messages" in capsys.readouterr().err
+
+    def test_trace_unwritable_output_is_a_clean_error(self, tmp_path, capsys):
+        code = main(
+            self.WALKTHROUGH + ["--out", str(tmp_path / "no" / "dir.jsonl")]
+        )
+        assert code == 2
+        assert "cannot write" in capsys.readouterr().err
 
 
 class TestAuthenticatedCommand:
