@@ -38,6 +38,7 @@ Quickstart::
     assert outcome.achieved_aa
 """
 
+from .analysis.spec import ScenarioSpec, run_spec
 from .core import (
     KnownPathAAParty,
     PathAAParty,
@@ -74,6 +75,8 @@ __all__ = [
     "run_fault_free",
     "TreeAAOutcome",
     "RealAAOutcome",
+    "ScenarioSpec",
+    "run_spec",
     "MetricsCollector",
     "export_run",
     "load_run",

@@ -61,6 +61,7 @@ def get_runner(name: str) -> PointRunner:
         # The built-in runners are registered as a side effect of
         # importing their defining modules — make sure that happened
         # (worker processes import this module first).
+        importlib.import_module("repro.analysis.spec")
         importlib.import_module("repro.analysis.sweep")
         importlib.import_module("repro.resilience.campaign")
     if name in _RUNNERS:

@@ -1,0 +1,521 @@
+"""ScenarioSpec: one declarative, versioned description of an execution.
+
+Before this module every layer described "a protocol run" in its own
+dialect: the ``run_*`` APIs took Python objects, ``repro sweep`` built
+ad-hoc params dicts, the resilience lab had :class:`repro.resilience
+.scenario.Scenario`, and the CLI had spec *strings* for trees and
+adversaries.  :class:`ScenarioSpec` is the one shared, JSON-serialisable
+form: protocol, tree, ``n``/``t``, adversary, backend, fault plan, trace
+level, and seed — everything that determines an execution, as data.
+
+That single form is what makes "sweep as a service" possible:
+
+* ``spec.run()`` drives the same :func:`repro.core.api.run_tree_aa` /
+  ``run_path_aa`` / ``run_real_aa`` entry points callers use directly;
+* the registered ``spec-point`` runner executes a spec dict as a grid
+  point of :func:`repro.analysis.parallel.run_grid` — specs ride the
+  process pool and the version/backend-keyed result cache for free;
+* :mod:`repro.service` ships specs over HTTP and shards them across
+  workers, deduping against the *same* cache entries a local
+  ``repro sweep --spec`` run produces (:func:`spec_cache_key`);
+* :class:`repro.resilience.scenario.Scenario` converts to and from
+  specs, so campaigns accept them too.
+
+The serialised form carries ``spec_version`` (currently
+:data:`SPEC_VERSION`); :meth:`ScenarioSpec.from_dict` rejects specs
+written by a *newer* major version with :class:`SpecVersionError` and
+ignores unknown keys, so version-1 readers tolerate forward-compatible
+additions.
+"""
+
+from __future__ import annotations
+
+import io
+import random
+from dataclasses import dataclass, replace
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..net.faults import FaultPlan
+from ..net.network import TraceLevel
+from .parallel import SweepCache, register_runner
+
+#: Version of the ScenarioSpec JSON schema.  Bump on any incompatible
+#: change; :meth:`ScenarioSpec.from_dict` rejects newer versions.
+SPEC_VERSION = 1
+
+#: Protocols a spec can describe (the three ``run_*`` entry points).
+SPEC_PROTOCOLS = ("real-aa", "path-aa", "tree-aa")
+
+#: Execution backends a spec can select.
+SPEC_BACKENDS = ("reference", "batch")
+
+#: ``trace_level`` spellings and the simulator levels they map to.
+TRACE_LEVELS = {
+    "full": TraceLevel.FULL,
+    "aggregate": TraceLevel.AGGREGATE,
+}
+
+#: The shared sweep/cache namespace for spec execution.  Every consumer —
+#: ``repro sweep --spec``, the scenario service, ad-hoc ``run_grid``
+#: calls — must use this name (and the :data:`SPEC_RUNNER` runner) so
+#: their cached rows are interchangeable.
+SPEC_SWEEP_NAME = "scenario-spec"
+
+#: The registered runner name executing one spec dict as a grid point.
+SPEC_RUNNER = "spec-point"
+
+#: Adversary kinds :func:`build_adversary` understands (the superset of
+#: the CLI grammar and the resilience lab's synchronous menu).
+ADVERSARY_KINDS = (
+    "none",
+    "silent",
+    "passive",
+    "noise",
+    "crash",
+    "chaos",
+    "burn",
+    "burn-down",
+    "asym",
+)
+
+
+class SpecError(ValueError):
+    """A ScenarioSpec is malformed (as data, before any execution)."""
+
+
+class SpecVersionError(SpecError):
+    """A spec was serialised by an incompatible (newer) schema version."""
+
+    def __init__(self, found: Any) -> None:
+        super().__init__(
+            f"spec_version {found!r} is not supported "
+            f"(this reader understands versions <= {SPEC_VERSION})"
+        )
+        self.found = found
+
+
+def build_adversary(
+    spec: str,
+    *,
+    t: int = 0,
+    corrupt: Optional[Sequence[int]] = None,
+    seed: int = 0,
+    chaos_script: Optional[Sequence[Tuple[int, int, str]]] = None,
+) -> Optional[Any]:
+    """Instantiate a synchronous adversary from its spec string.
+
+    This is the one shared builder behind ``repro.cli.make_adversary``,
+    :func:`repro.resilience.scenario.build_adversary` (sync branch), and
+    :meth:`ScenarioSpec.run`.  Grammar: ``none``, ``silent``, ``passive``,
+    ``noise[:SEED]``, ``crash[:ROUND[:PARTIAL_TO]]``, ``chaos[:SEED]``,
+    ``burn``, ``burn-down``, ``asym``.  ``corrupt`` pins the corrupted
+    set (``None`` lets the strategy choose), ``seed`` is the fallback for
+    seeded kinds without an explicit argument, ``t`` sizes the burn
+    schedules, and ``chaos_script`` replays a recorded chaos log.
+
+    Returns ``None`` for ``"none"`` — a genuinely adversary-free run.
+    """
+    parts = spec.split(":")
+    kind = parts[0]
+    try:
+        args = [int(part) for part in parts[1:]]
+    except ValueError as exc:
+        raise SpecError(f"malformed adversary spec {spec!r}: {exc}") from None
+    if kind == "none":
+        return None
+    from ..adversary import (
+        ChaosAdversary,
+        CrashAdversary,
+        PassiveAdversary,
+        RandomNoiseAdversary,
+        SilentAdversary,
+    )
+    from ..adversary.realaa_attacks import (
+        AsymmetricTrustAdversary,
+        BurnScheduleAdversary,
+    )
+
+    if kind == "silent":
+        return SilentAdversary(corrupt=corrupt)
+    if kind == "passive":
+        return PassiveAdversary(corrupt=corrupt)
+    if kind == "noise":
+        return RandomNoiseAdversary(seed=args[0] if args else seed, corrupt=corrupt)
+    if kind == "crash":
+        crash_round = args[0] if args else 1
+        partial_to = args[1] if len(args) > 1 else 0
+        return CrashAdversary(
+            crash_round=crash_round, partial_to=partial_to, corrupt=corrupt
+        )
+    if kind == "chaos":
+        return ChaosAdversary(
+            seed=args[0] if args else seed,
+            corrupt=corrupt,
+            script=chaos_script,
+        )
+    if kind == "burn":
+        return BurnScheduleAdversary([1] * t if t else [], corrupt=corrupt)
+    if kind == "burn-down":
+        return BurnScheduleAdversary(
+            [1] * t if t else [], corrupt=corrupt, direction="down"
+        )
+    if kind == "asym":
+        return AsymmetricTrustAdversary(corrupt=corrupt)
+    raise SpecError(f"unknown adversary {spec!r}")
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One protocol execution, fully described by JSON-friendly data.
+
+    ``t`` is the *network's* corruption budget (what the adversary may
+    control); ``t_assumed`` optionally runs the honest parties at a
+    smaller tolerance — the resilience lab's degradation knob.  With
+    ``inputs=None`` the inputs are derived deterministically from
+    ``seed`` (the sweep engine's worst-case spread pattern), so a spec
+    stays a few short fields even for large ``n``.
+    """
+
+    #: One of :data:`SPEC_PROTOCOLS`.
+    protocol: str
+    #: Party count.
+    n: int
+    #: The network's corruption budget.
+    t: int
+    #: CLI tree spec (``repro.cli.parse_tree_spec`` grammar); required
+    #: for the tree protocols, ignored by ``real-aa``.
+    tree: Optional[str] = None
+    #: Explicit per-party inputs (labels / floats), or ``None`` to derive
+    #: a worst-case spread deterministically from ``seed``.
+    inputs: Optional[Tuple[Any, ...]] = None
+    #: Adversary spec string (:func:`build_adversary` grammar).
+    adversary: str = "none"
+    #: Explicit corrupted set (empty = the adversary's own choice).
+    corrupt: Tuple[int, ...] = ()
+    #: Execution engine: ``"reference"`` or ``"batch"``.
+    backend: str = "reference"
+    #: Optional :meth:`repro.net.faults.FaultPlan.to_dict` payload.
+    fault_plan: Optional[Dict[str, Any]] = None
+    #: ``"full"`` or ``"aggregate"`` (:data:`TRACE_LEVELS`).
+    trace_level: str = "full"
+    #: Tolerance the honest parties assume (``None`` = ``t``).
+    t_assumed: Optional[int] = None
+    #: Deterministic seed for derived inputs and seeded adversaries.
+    seed: int = 0
+    #: ε for ``real-aa``.
+    epsilon: float = 0.5
+    #: Public input-range bound for ``real-aa`` (``None`` = derived).
+    known_range: Optional[float] = None
+    #: ``path-aa`` only: run the Section-5 projection variant.
+    project: bool = False
+    #: Optional chaos replay script (``(round, pid, behaviour)`` triples).
+    chaos_script: Optional[Tuple[Tuple[int, int, str], ...]] = None
+    #: Record the execution as an embedded JSONL trace (the service's
+    #: report/diff endpoints read it back with ``load_run``).
+    record: bool = False
+
+    def __post_init__(self) -> None:
+        """Validate the spec as *data* (no execution, no tree parsing)."""
+        if self.protocol not in SPEC_PROTOCOLS:
+            raise SpecError(f"unknown protocol {self.protocol!r}")
+        if self.n < 1:
+            raise SpecError(f"need n >= 1, got {self.n}")
+        if self.t < 0:
+            raise SpecError(f"need t >= 0, got {self.t}")
+        if self.backend not in SPEC_BACKENDS:
+            raise SpecError(f"unknown backend {self.backend!r}")
+        if self.trace_level not in TRACE_LEVELS:
+            raise SpecError(f"unknown trace_level {self.trace_level!r}")
+        if self.protocol != "real-aa" and not self.tree:
+            raise SpecError(f"{self.protocol} specs need a tree spec")
+        if self.inputs is not None and len(self.inputs) != self.n:
+            raise SpecError(
+                f"need exactly n={self.n} inputs, got {len(self.inputs)}"
+            )
+        if not all(0 <= pid < self.n for pid in self.corrupt):
+            raise SpecError(f"corrupt ids {self.corrupt} out of range")
+        if len(set(self.corrupt)) != len(self.corrupt):
+            raise SpecError(f"duplicate corrupt ids {self.corrupt}")
+        if self.adversary.split(":")[0] not in ADVERSARY_KINDS:
+            raise SpecError(f"unknown adversary {self.adversary!r}")
+
+    # -- serialisation -------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The canonical JSON form (round-trips through :meth:`from_dict`).
+
+        Every field is always present, so two equal specs serialise to
+        identical dicts — the property the sweep cache keys rely on.
+        """
+        return {
+            "spec_version": SPEC_VERSION,
+            "protocol": self.protocol,
+            "n": self.n,
+            "t": self.t,
+            "tree": self.tree,
+            "inputs": None if self.inputs is None else list(self.inputs),
+            "adversary": self.adversary,
+            "corrupt": list(self.corrupt),
+            "backend": self.backend,
+            "fault_plan": (
+                None if self.fault_plan is None else dict(self.fault_plan)
+            ),
+            "trace_level": self.trace_level,
+            "t_assumed": self.t_assumed,
+            "seed": self.seed,
+            "epsilon": self.epsilon,
+            "known_range": self.known_range,
+            "project": self.project,
+            "chaos_script": (
+                None
+                if self.chaos_script is None
+                else [list(entry) for entry in self.chaos_script]
+            ),
+            "record": self.record,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "ScenarioSpec":
+        """Rebuild a spec from its :meth:`to_dict` form.
+
+        Forward-compatible by construction: unknown keys are ignored, a
+        missing ``spec_version`` means version 1, and only a *newer*
+        version than :data:`SPEC_VERSION` is rejected
+        (:class:`SpecVersionError`) — so adding optional fields in a
+        future minor revision never breaks version-1 readers.
+        """
+        version = payload.get("spec_version", 1)
+        if not isinstance(version, int) or version < 1 or version > SPEC_VERSION:
+            raise SpecVersionError(version)
+        inputs = payload.get("inputs")
+        script = payload.get("chaos_script")
+        return cls(
+            protocol=str(payload["protocol"]),
+            n=int(payload["n"]),
+            t=int(payload["t"]),
+            tree=payload.get("tree"),
+            inputs=None if inputs is None else tuple(inputs),
+            adversary=str(payload.get("adversary", "none")),
+            corrupt=tuple(int(pid) for pid in payload.get("corrupt", ())),
+            backend=str(payload.get("backend", "reference")),
+            fault_plan=payload.get("fault_plan"),
+            trace_level=str(payload.get("trace_level", "full")),
+            t_assumed=payload.get("t_assumed"),
+            seed=int(payload.get("seed", 0)),
+            epsilon=float(payload.get("epsilon", 0.5)),
+            known_range=payload.get("known_range"),
+            project=bool(payload.get("project", False)),
+            chaos_script=(
+                tuple((int(r), int(p), str(b)) for r, p, b in script)
+                if script is not None
+                else None
+            ),
+            record=bool(payload.get("record", False)),
+        )
+
+    def with_seed(self, seed: int) -> "ScenarioSpec":
+        """The same spec under a different deterministic seed."""
+        return replace(self, seed=seed)
+
+    # -- execution -----------------------------------------------------
+
+    def build_tree(self) -> Any:
+        """Parse the spec's tree (``repro.cli.parse_tree_spec`` grammar)."""
+        from ..cli import parse_tree_spec
+
+        if not self.tree:
+            raise SpecError(f"{self.protocol} specs need a tree spec")
+        return parse_tree_spec(self.tree)
+
+    def make_inputs(self, tree: Optional[Any] = None) -> List[Any]:
+        """The concrete input vector: explicit inputs, or the seeded
+        worst-case spread pattern the sweep engine uses."""
+        if self.inputs is not None:
+            return list(self.inputs)
+        rng = random.Random(self.seed)
+        if self.protocol == "real-aa":
+            spread = self.known_range if self.known_range is not None else 8.0
+            values = [0.0 if i % 2 == 0 else float(spread) for i in range(self.n)]
+            rng.shuffle(values)
+            return values
+        if tree is None:
+            tree = self.build_tree()
+        if self.protocol == "path-aa" and not self.project:
+            # Section-4 inputs must lie on the commonly known path.
+            from ..trees.paths import diameter_path
+
+            vertices = diameter_path(tree).canonical().vertices
+            picks: List[Any] = [vertices[0], vertices[-1]][: self.n]
+            while len(picks) < self.n:
+                picks.append(rng.choice(vertices))
+            rng.shuffle(picks)
+            return picks
+        from .sweep import spread_inputs
+
+        return spread_inputs(tree, self.n, rng)
+
+    def make_adversary(self) -> Optional[Any]:
+        """Instantiate the spec's adversary (:func:`build_adversary`)."""
+        return build_adversary(
+            self.adversary,
+            t=self.t,
+            corrupt=self.corrupt or None,
+            seed=self.seed,
+            chaos_script=self.chaos_script,
+        )
+
+    def make_fault_plan(self) -> Optional[FaultPlan]:
+        """Deserialise the spec's fault plan, if any."""
+        if self.fault_plan is None:
+            return None
+        return FaultPlan.from_dict(self.fault_plan)
+
+    def run(self, observer: Optional[Any] = None) -> Any:
+        """Execute the spec through the shared ``run_*`` entry points.
+
+        Returns the protocol's outcome object
+        (:class:`~repro.core.api.TreeAAOutcome` or
+        :class:`~repro.core.api.RealAAOutcome`).  ``observer`` is
+        forwarded verbatim; attaching one forces ``TraceLevel.FULL``
+        semantics exactly as it does for direct API calls.
+        """
+        from ..core.api import run_path_aa, run_real_aa, run_tree_aa
+
+        adversary = self.make_adversary()
+        fault_plan = self.make_fault_plan()
+        trace_level = TRACE_LEVELS[self.trace_level]
+        if self.protocol == "real-aa":
+            return run_real_aa(
+                [float(v) for v in self.make_inputs()],
+                self.t,
+                epsilon=self.epsilon,
+                known_range=self.known_range,
+                adversary=adversary,
+                trace_level=trace_level,
+                observer=observer,
+                fault_plan=fault_plan,
+                t_assumed=self.t_assumed,
+                backend=self.backend,
+            )
+        tree = self.build_tree()
+        inputs = self.make_inputs(tree)
+        if self.protocol == "path-aa":
+            from ..trees.paths import diameter_path
+
+            return run_path_aa(
+                tree,
+                diameter_path(tree),
+                inputs,
+                self.t,
+                adversary=adversary,
+                project=self.project,
+                trace_level=trace_level,
+                observer=observer,
+                fault_plan=fault_plan,
+                t_assumed=self.t_assumed,
+                backend=self.backend,
+            )
+        return run_tree_aa(
+            tree,
+            inputs,
+            self.t,
+            adversary=adversary,
+            trace_level=trace_level,
+            observer=observer,
+            fault_plan=fault_plan,
+            t_assumed=self.t_assumed,
+            backend=self.backend,
+        )
+
+
+def run_spec(spec: ScenarioSpec) -> Any:
+    """Execute a spec (function form of :meth:`ScenarioSpec.run`)."""
+    return spec.run()
+
+
+def spec_cache_key(spec: ScenarioSpec) -> Dict[str, Any]:
+    """The sweep-cache key of one spec execution.
+
+    Identical to the key :func:`repro.analysis.parallel.run_grid` builds
+    for a ``spec-point`` grid point under :data:`SPEC_SWEEP_NAME` — the
+    spec's backend travels *inside* the params, so the key-level backend
+    field stays at its default and local sweeps, the scenario service,
+    and direct ``run_grid`` calls all dedupe against the same entries.
+    """
+    return SweepCache.key(SPEC_SWEEP_NAME, SPEC_RUNNER, spec.to_dict(), spec.seed)
+
+
+def _record_trace(spec: ScenarioSpec, tree: Optional[Any]) -> Any:
+    """The observer used for ``record=True`` executions."""
+    from ..observability import MetricsCollector
+
+    if spec.protocol == "real-aa":
+        return MetricsCollector()
+    return MetricsCollector(tree=tree)
+
+
+def _spec_row(spec: ScenarioSpec, outcome: Any) -> Dict[str, Any]:
+    """The JSON result row of one executed spec (sans trace)."""
+    row: Dict[str, Any] = {
+        "spec": spec.to_dict(),
+        "protocol": spec.protocol,
+        "n": spec.n,
+        "t": spec.t,
+        "backend": spec.backend,
+        "adversary": spec.adversary.split(":")[0],
+        "rounds": outcome.rounds,
+        "ok": outcome.achieved_aa,
+        "verdicts": {
+            "terminated": outcome.terminated,
+            "valid": outcome.valid,
+            "agreement": outcome.agreement,
+        },
+    }
+    if spec.protocol == "real-aa":
+        row["verdicts"]["output_spread"] = outcome.output_spread
+    else:
+        row["verdicts"]["output_diameter"] = outcome.output_diameter
+    return row
+
+
+def execute_spec_point(spec: ScenarioSpec) -> Dict[str, Any]:
+    """Execute one spec and return its JSON result row.
+
+    With ``record=True`` the row additionally embeds the run's JSONL
+    trace under ``"trace_jsonl"`` (written by
+    :func:`repro.observability.export_run`), so cached rows carry
+    everything the service's report/diff endpoints serve.
+    """
+    from ..observability import export_run
+
+    if not spec.record:
+        return _spec_row(spec, spec.run())
+    tree = None if spec.protocol == "real-aa" else spec.build_tree()
+    collector = _record_trace(spec, tree)
+    outcome = spec.run(observer=collector)
+    row = _spec_row(spec, outcome)
+    buffer = io.StringIO()
+    export_run(
+        buffer,
+        collector,
+        outcome.execution,
+        protocol=spec.protocol,
+        params={"spec": spec.to_dict()},
+        tree=tree,
+        inputs=spec.make_inputs(tree),
+        verdicts=row["verdicts"],
+        t=spec.t,
+    )
+    row["trace_jsonl"] = buffer.getvalue()
+    return row
+
+
+@register_runner(SPEC_RUNNER)
+def spec_point_runner(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
+    """One ScenarioSpec grid point: the params dict *is* the spec.
+
+    The engine-derived ``seed`` equals the spec's own ``seed`` field
+    (specs always carry one), so a row replays bit-identically from its
+    JSON alone — the engine's ``base_seed`` never perturbs spec points.
+    """
+    return execute_spec_point(ScenarioSpec.from_dict(params))

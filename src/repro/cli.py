@@ -8,7 +8,13 @@ Commands
 ``real-aa``     run RealAA(ε) on real-valued inputs
 ``sweep``       run an experiment grid through the parallel engine
                 (``--jobs N``, ``--cache-dir DIR``, ``--no-cache``,
-                ``--jsonl FILE`` for machine-readable rows)
+                ``--jsonl FILE`` for machine-readable rows, ``--spec
+                FILE`` to run declarative ScenarioSpecs)
+``serve``       run the long-lived scenario service (HTTP job server
+                over ScenarioSpec grids; see docs/SERVICE.md)
+``submit``      POST a scenario grid to a running service (``--wait``
+                polls it to completion)
+``status``      list a running service's jobs, or one job's points
 ``trace``       record one execution as a JSONL trace (``--out FILE``),
                 with per-round structured metrics
 ``report``      summarise a recorded JSONL trace (rounds, messages,
@@ -30,7 +36,9 @@ Tree specs (``--tree``): ``path:K``, ``star:K``, ``binary:DEPTH``,
 ``@file.json`` (canonical JSON form).
 
 Adversaries (``--adversary``): ``none``, ``silent``, ``passive``,
-``noise[:SEED]``, ``crash[:ROUND]``, ``burn``, ``burn-down``, ``asym``.
+``noise[:SEED]``, ``crash[:ROUND[:PARTIAL]]``, ``chaos[:SEED]``,
+``burn``, ``burn-down``, ``asym`` — the shared
+:func:`repro.analysis.spec.build_adversary` grammar.
 """
 
 from __future__ import annotations
@@ -42,14 +50,7 @@ import random
 import sys
 from typing import List, Optional, Sequence
 
-from .adversary import (
-    CrashAdversary,
-    NoAdversary,
-    PassiveAdversary,
-    RandomNoiseAdversary,
-    SilentAdversary,
-)
-from .adversary.realaa_attacks import AsymmetricTrustAdversary, BurnScheduleAdversary
+from .adversary import NoAdversary
 from .analysis import format_table
 from .core import run_real_aa, run_tree_aa
 from .lowerbound import (
@@ -120,27 +121,24 @@ def parse_tree_spec(spec: str) -> LabeledTree:
 
 
 def make_adversary(spec: str, t: int):
-    """Parse an ``--adversary`` specification."""
-    parts = spec.split(":")
-    kind = parts[0]
-    arg = int(parts[1]) if len(parts) > 1 else None
-    if kind == "none":
+    """Parse an ``--adversary`` specification.
+
+    Delegates to the shared :func:`repro.analysis.spec.build_adversary`
+    grammar, with two CLI-level conventions kept for compatibility:
+    ``none`` returns a :class:`NoAdversary` (an explicit empty corruption
+    set rather than no adversary object), and a bare ``crash`` crashes at
+    round 3 (the spec-layer default is round 1).
+    """
+    from .analysis.spec import SpecError, build_adversary
+
+    if spec == "none":
         return NoAdversary()
-    if kind == "silent":
-        return SilentAdversary()
-    if kind == "passive":
-        return PassiveAdversary()
-    if kind == "noise":
-        return RandomNoiseAdversary(seed=arg or 0)
-    if kind == "crash":
-        return CrashAdversary(crash_round=arg if arg is not None else 3)
-    if kind == "burn":
-        return BurnScheduleAdversary([1] * t if t else [])
-    if kind == "burn-down":
-        return BurnScheduleAdversary([1] * t if t else [], direction="down")
-    if kind == "asym":
-        return AsymmetricTrustAdversary()
-    raise CLIError(f"unknown adversary {spec!r}")
+    if spec == "crash":
+        spec = "crash:3"
+    try:
+        return build_adversary(spec, t=t)
+    except SpecError as exc:
+        raise CLIError(str(exc)) from None
 
 
 def pick_inputs(tree: LabeledTree, spec: str, n: int) -> List:
@@ -251,12 +249,81 @@ def cmd_real_aa(args: argparse.Namespace) -> int:
     return 0 if outcome.achieved_aa else 1
 
 
+def _load_spec_payload(path: str) -> dict:
+    """Read a ``--spec`` file and normalise it to a planner payload.
+
+    Accepts a single spec object, a bare list of specs, or the service's
+    native ``{"points": ...}`` / ``{"base": ..., "grid": ...}`` shapes —
+    the same file works for ``repro sweep --spec`` and ``repro submit``.
+    """
+    try:
+        with open(path) as handle:
+            payload = json.load(handle)
+    except (OSError, ValueError) as exc:
+        raise CLIError(f"cannot read spec file {path!r}: {exc}") from None
+    if isinstance(payload, list):
+        return {"points": payload}
+    if isinstance(payload, dict) and "points" not in payload and "grid" not in payload:
+        return {"points": [payload]}
+    if not isinstance(payload, dict):
+        raise CLIError(f"spec file {path!r} must hold a JSON object or list")
+    return payload
+
+
+def _spec_sweep(args: argparse.Namespace) -> int:
+    """``repro sweep --spec``: run ScenarioSpecs through the grid engine."""
+    from .analysis import format_table, run_grid
+    from .analysis.spec import SPEC_RUNNER, SPEC_SWEEP_NAME
+    from .service import PlanError, plan_points
+
+    payload = _load_spec_payload(args.spec)
+    try:
+        specs = plan_points(payload, base_seed=args.base_seed)
+    except PlanError as exc:
+        raise CLIError(str(exc)) from None
+    # Each spec carries its own backend inside the params, so the grid
+    # runs with the engine's default backend key — the same keying the
+    # scenario service uses, which is what makes their caches shared.
+    report = run_grid(
+        SPEC_SWEEP_NAME,
+        SPEC_RUNNER,
+        [spec.to_dict() for spec in specs],
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        no_cache=args.no_cache,
+        jsonl_path=args.jsonl,
+    )
+    rows = [
+        [
+            row["protocol"],
+            f"n={row['n']},t={row['t']}",
+            row["backend"],
+            row["adversary"],
+            row["rounds"],
+            row["ok"],
+        ]
+        for row in report.rows
+    ]
+    print(
+        format_table(
+            ["protocol", "network", "backend", "adversary", "rounds", "AA ok"],
+            rows,
+            title=f"sweep scenario-spec ({len(rows)} points)",
+        )
+    )
+    print()
+    print(report.summary())
+    return 0 if all(row["ok"] for row in report.rows) else 1
+
+
 def cmd_sweep(args: argparse.Namespace) -> int:
     """Run a TreeAA or RealAA experiment grid through the parallel engine."""
     from .analysis import format_table, run_grid, tree_spec_for
 
     if args.jobs < 0:
         raise CLIError("--jobs must be >= 1, or 0 for all cores")
+    if args.spec:
+        return _spec_sweep(args)
     if args.kind == "tree-aa":
         try:
             grid = [
@@ -607,6 +674,121 @@ def cmd_shrink(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the scenario service in the foreground until stopped.
+
+    Stops on ``POST /shutdown`` or Ctrl-C; either way pending points are
+    marked ``cancelled`` before the process exits (see docs/SERVICE.md).
+    """
+    from .service import ScenarioService, ServiceConfig
+
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        cache_dir=args.cache_dir,
+        data_dir=args.data_dir,
+        pool_jobs=args.jobs,
+        no_cache=args.no_cache,
+        base_seed=args.base_seed,
+    )
+    try:
+        service = ScenarioService(config).start()
+    except OSError as exc:
+        raise CLIError(f"cannot bind {args.host}:{args.port}: {exc}") from None
+    print(f"serving on {service.url}", flush=True)
+    if args.data_dir:
+        print(f"results persist to {args.data_dir}", flush=True)
+    try:
+        # The worker thread lives for the service's whole life; waiting on
+        # it is how the foreground process notices a POST /shutdown.
+        while service.worker.is_alive():
+            service.worker.join(timeout=0.5)
+    except KeyboardInterrupt:
+        print("\nshutting down", flush=True)
+    finally:
+        service.shutdown()
+    return 0
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    """Submit a scenario grid to a running service (and optionally wait)."""
+    from .service import ServiceClient, ServiceClientError
+
+    payload = _load_spec_payload(args.spec)
+    client = ServiceClient(args.url)
+    try:
+        submitted = client.submit(payload)
+    except (ServiceClientError, OSError) as exc:
+        raise CLIError(f"submit to {args.url} failed: {exc}") from None
+    print(f"{submitted['job_id']}: {submitted['points']} points queued")
+    if not args.wait:
+        return 0
+    try:
+        final = client.wait(submitted["job_id"], timeout=args.timeout)
+    except (ServiceClientError, OSError, TimeoutError) as exc:
+        raise CLIError(str(exc)) from None
+    counts = final["counts"]
+    print(
+        f"{final['job_id']}: {final['status']} "
+        f"({counts['cached']} cached, {counts['done']} computed, "
+        f"{counts['failed']} failed, {counts['cancelled']} cancelled)"
+    )
+    return 0 if final["status"] == "done" else 1
+
+
+def cmd_status(args: argparse.Namespace) -> int:
+    """Show a running service's jobs, or one job's per-point status."""
+    from .service import ServiceClient, ServiceClientError
+
+    client = ServiceClient(args.url)
+    try:
+        if not args.job:
+            jobs = client.jobs()
+            rows = [
+                [
+                    job["job_id"],
+                    job["status"],
+                    sum(job["counts"].values()),
+                    job["counts"]["cached"],
+                    job["counts"]["failed"],
+                ]
+                for job in jobs
+            ]
+            print(
+                format_table(
+                    ["job", "status", "points", "cached", "failed"],
+                    rows,
+                    title=f"jobs at {args.url}",
+                )
+            )
+            return 0
+        status = client.job(args.job)
+    except (ServiceClientError, OSError) as exc:
+        raise CLIError(f"status from {args.url} failed: {exc}") from None
+    rows = [
+        [
+            point["index"],
+            point["status"],
+            point["protocol"],
+            f"n={point['n']},t={point['t']}",
+            point["backend"],
+            point["adversary"],
+            point.get("rounds", "-"),
+            point.get("ok", "-"),
+        ]
+        for point in status["points"]
+    ]
+    print(
+        format_table(
+            ["#", "status", "protocol", "network", "backend", "adversary",
+             "rounds", "AA ok"],
+            rows,
+            title=f"{status['job_id']}: {status['status']}",
+        )
+    )
+    return 0
+
+
 def cmd_chain_demo(args: argparse.Namespace) -> int:
     """Execute Fekete's one-round chain-of-views construction."""
     demo = demonstrate_real(trimmed_mean_rule(args.t), args.n, args.t, 0.0, 1.0)
@@ -704,6 +886,14 @@ def build_parser() -> argparse.ArgumentParser:
         default="reference",
         choices=["reference", "batch"],
         help="execution engine (batch = vectorized large-n engine)",
+    )
+    p.add_argument(
+        "--spec",
+        default=None,
+        metavar="FILE",
+        help="run ScenarioSpecs from a JSON file instead of --kind grids "
+        "(one spec, a list, or a base+grid payload; shares the scenario "
+        "service's cache entries)",
     )
     p.set_defaults(func=cmd_sweep)
 
@@ -843,6 +1033,50 @@ def build_parser() -> argparse.ArgumentParser:
         help="execution budget for the shrinker",
     )
     p.set_defaults(func=cmd_shrink)
+
+    p = sub.add_parser(
+        "serve", help="run the scenario service (sweep-as-a-service)"
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument(
+        "--port", type=int, default=8642, help="bind port (0 = pick a free one)"
+    )
+    p.add_argument("--jobs", type=int, default=1, help="worker processes per job")
+    p.add_argument("--cache-dir", default=None, help="result cache directory")
+    p.add_argument(
+        "--no-cache", action="store_true", help="disable the result cache"
+    )
+    p.add_argument(
+        "--data-dir",
+        default=None,
+        help="persist finished jobs as sweep JSONL here (also what "
+        "GET /results queries across restarts)",
+    )
+    p.add_argument("--base-seed", type=int, default=0)
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "submit", help="submit a scenario grid to a running service"
+    )
+    p.add_argument(
+        "spec",
+        help="JSON file: one ScenarioSpec, a list, or a base+grid payload",
+    )
+    p.add_argument("--url", default="http://127.0.0.1:8642")
+    p.add_argument(
+        "--wait", action="store_true", help="poll until the job finishes"
+    )
+    p.add_argument(
+        "--timeout", type=float, default=300.0, help="--wait deadline in seconds"
+    )
+    p.set_defaults(func=cmd_submit)
+
+    p = sub.add_parser(
+        "status", help="show a running service's jobs (or one job's points)"
+    )
+    p.add_argument("job", nargs="?", default=None, help="job id (omit to list)")
+    p.add_argument("--url", default="http://127.0.0.1:8642")
+    p.set_defaults(func=cmd_status)
 
     p = sub.add_parser("chain-demo", help="Fekete's chain of views, executed")
     p.add_argument("--n", type=int, default=7)

@@ -28,6 +28,7 @@ from .events import (
     diff_runs,
     export_run,
     load_run,
+    load_run_text,
 )
 from .report import render_report, summarize_run
 
@@ -41,6 +42,7 @@ __all__ = [
     "SchemaVersionError",
     "export_run",
     "load_run",
+    "load_run_text",
     "diff_runs",
     "render_report",
     "summarize_run",

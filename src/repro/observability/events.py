@@ -25,6 +25,7 @@ recordings.
 
 from __future__ import annotations
 
+import io
 import json
 from dataclasses import asdict, dataclass
 from typing import Any, Dict, IO, Iterable, Iterator, List, Optional, Sequence, Union
@@ -292,6 +293,17 @@ def load_run(source: Union[str, IO[str]]) -> RunTrace:
             "run_footer honest_outputs must be a list of [pid, output] pairs"
         )
     return RunTrace(header=header, rounds=rounds, footer=footer)
+
+
+def load_run_text(text: str) -> RunTrace:
+    """Load a trace from an in-memory JSONL string (same validation as
+    :func:`load_run`).
+
+    This is how consumers that carry traces as *data* — the scenario
+    service's embedded ``trace_jsonl`` rows, test fixtures — reuse the
+    trace loader without touching the filesystem.
+    """
+    return load_run(io.StringIO(text))
 
 
 # ----------------------------------------------------------------------

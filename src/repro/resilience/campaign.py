@@ -316,6 +316,7 @@ def run_campaign(
     cache_dir: Optional[str] = None,
     no_cache: bool = False,
     jsonl_path: Optional[str] = None,
+    specs: Optional[Sequence[Any]] = None,
 ) -> CampaignReport:
     """Generate, execute, and judge a whole campaign.
 
@@ -323,8 +324,17 @@ def run_campaign(
     ``jobs``/``cache_dir``/``no_cache``/``jsonl_path`` behave exactly as
     they do for ``repro sweep`` — including the on-disk memo of finished
     scenarios and the machine-readable JSONL report.
+
+    ``specs`` replaces the seeded generator with an explicit workload:
+    each :class:`~repro.analysis.spec.ScenarioSpec` is converted through
+    :meth:`Scenario.from_spec` and judged by the same oracles — how a
+    scenario-service grid (or any other declarative spec source) gets a
+    resilience verdict without re-describing itself in campaign terms.
     """
-    scenarios = generate_scenarios(config)
+    if specs is not None:
+        scenarios = [Scenario.from_spec(spec) for spec in specs]
+    else:
+        scenarios = generate_scenarios(config)
     grid = [{"scenario": scenario.to_dict()} for scenario in scenarios]
     sweep = run_grid(
         f"resilience-campaign-{config.seed}",

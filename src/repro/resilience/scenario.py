@@ -209,6 +209,90 @@ class Scenario:
                 total += 50
         return total
 
+    # -- ScenarioSpec bridge -------------------------------------------
+
+    def to_spec(self, *, backend: str = "reference") -> Any:
+        """This scenario as a :class:`~repro.analysis.spec.ScenarioSpec`.
+
+        The translation preserves execution semantics: the spec's ``t``
+        is the scenario's :attr:`network_budget` and ``t_assumed`` is the
+        parties' assumed tolerance, tree-aa vertex *indices* resolve to
+        the concrete labels the executor would pick, and ``known_range``
+        is pinned to :attr:`effective_known_range` so the real-valued
+        round budget stays identical.  Asynchronous scenarios have no
+        spec equivalent (:class:`ScenarioError`).
+        """
+        from ..analysis.spec import ScenarioSpec
+
+        if self.protocol.startswith("async"):
+            raise ScenarioError(
+                f"{self.protocol} scenarios have no ScenarioSpec equivalent "
+                "(specs describe the synchronous run_* entry points)"
+            )
+        inputs: Tuple[Any, ...] = self.inputs
+        known_range: Optional[float] = self.known_range
+        if self.protocol == "tree-aa":
+            from ..cli import parse_tree_spec
+
+            vertices = parse_tree_spec(self.tree or "").vertices
+            inputs = tuple(
+                vertices[int(index) % len(vertices)] for index in self.inputs
+            )
+        else:
+            inputs = tuple(float(v) for v in self.inputs)
+            known_range = self.effective_known_range
+        return ScenarioSpec(
+            protocol=self.protocol,
+            n=self.n,
+            t=self.network_budget,
+            tree=self.tree,
+            inputs=inputs,
+            adversary=self.adversary,
+            corrupt=self.corrupt,
+            backend=backend,
+            fault_plan=self.fault_plan,
+            t_assumed=self.assumed_t,
+            seed=self.seed,
+            epsilon=self.epsilon,
+            known_range=known_range,
+            chaos_script=self.chaos_script,
+        )
+
+    @classmethod
+    def from_spec(cls, spec: Any) -> "Scenario":
+        """Build a scenario from a :class:`~repro.analysis.spec
+        .ScenarioSpec` (the campaign-side entry of the bridge).
+
+        The spec's derived inputs are materialised (tree-aa labels map
+        back to vertex indices); ``path-aa`` specs have no resilience
+        equivalent and raise :class:`ScenarioError`.
+        """
+        if spec.protocol not in ("real-aa", "tree-aa"):
+            raise ScenarioError(
+                f"{spec.protocol} specs have no Scenario equivalent"
+            )
+        inputs: Tuple[Any, ...]
+        if spec.protocol == "tree-aa":
+            tree = spec.build_tree()
+            order = {label: index for index, label in enumerate(tree.vertices)}
+            inputs = tuple(order[label] for label in spec.make_inputs(tree))
+        else:
+            inputs = tuple(float(v) for v in spec.make_inputs())
+        return cls(
+            protocol=spec.protocol,
+            n=spec.n,
+            t=spec.t if spec.t_assumed is None else spec.t_assumed,
+            inputs=inputs,
+            adversary=spec.adversary,
+            corrupt=spec.corrupt,
+            tree=spec.tree,
+            epsilon=spec.epsilon,
+            known_range=spec.known_range,
+            fault_plan=spec.fault_plan,
+            chaos_script=spec.chaos_script,
+            seed=spec.seed,
+        )
+
 
 @dataclass
 class ScenarioResult:
@@ -274,35 +358,22 @@ def build_adversary(scenario: Scenario) -> Optional[Any]:
             seed = args[0] if args else scenario.seed
             return AsyncNoiseAdversary(seed=seed, corrupt=corrupt)
         raise ScenarioError(f"unknown async adversary {scenario.adversary!r}")
-    from ..adversary import (
-        ChaosAdversary,
-        CrashAdversary,
-        PassiveAdversary,
-        RandomNoiseAdversary,
-        SilentAdversary,
-    )
+    # The synchronous menu is a subset of the shared spec-layer grammar;
+    # delegating keeps Scenario, ScenarioSpec, and the CLI agreeing on
+    # what every adversary string means (defaults included).
+    from ..analysis.spec import SpecError
+    from ..analysis.spec import build_adversary as build_sync_adversary
 
-    if kind == "none":
-        return None
-    if kind == "passive":
-        return PassiveAdversary(corrupt=corrupt)
-    if kind == "silent":
-        return SilentAdversary(corrupt=corrupt)
-    if kind == "noise":
-        seed = args[0] if args else scenario.seed
-        return RandomNoiseAdversary(seed=seed, corrupt=corrupt)
-    if kind == "crash":
-        crash_round = args[0] if args else 1
-        partial_to = args[1] if len(args) > 1 else 0
-        return CrashAdversary(
-            crash_round=crash_round, partial_to=partial_to, corrupt=corrupt
+    try:
+        return build_sync_adversary(
+            scenario.adversary,
+            t=scenario.network_budget,
+            corrupt=corrupt,
+            seed=scenario.seed,
+            chaos_script=scenario.chaos_script,
         )
-    if kind == "chaos":
-        seed = args[0] if args else scenario.seed
-        return ChaosAdversary(
-            seed=seed, corrupt=corrupt, script=scenario.chaos_script
-        )
-    raise ScenarioError(f"unknown adversary {scenario.adversary!r}")
+    except SpecError as exc:
+        raise ScenarioError(str(exc)) from None
 
 
 def build_scheduler(scenario: Scenario) -> Optional[Any]:

@@ -1,0 +1,45 @@
+"""Sweep-as-a-service: a long-running scenario server over HTTP.
+
+The service turns the batch pipeline (spec → engine → cache → JSONL →
+report) into a persistent process: clients POST grids of
+:class:`~repro.analysis.spec.ScenarioSpec` points, a worker loop shards
+them across the process pool with the sweep engine's deterministic
+seeding, the version/backend-keyed sweep cache dedupes repeat points,
+and the HTTP surface streams per-point progress and serves
+query/diff/report endpoints over the accumulated results — reusing
+``load_run``/``diff_runs``/``render_report`` rather than reimplementing
+them.
+
+Layers (one module each, composable without HTTP):
+
+* :mod:`repro.service.jobs` — job/point state machine + event log;
+* :mod:`repro.service.planner` — payload → seeded ScenarioSpecs;
+* :mod:`repro.service.worker` — the cache-aware execution thread;
+* :mod:`repro.service.http_api` — the stdlib ``http.server`` routes;
+* :mod:`repro.service.session` — configuration and lifecycle;
+* :mod:`repro.service.client` — the ``urllib`` client the CLI uses.
+
+Everything is standard library; see ``docs/SERVICE.md`` for the
+endpoint walkthrough and ``docs/ARCHITECTURE.md`` for how the service
+fits the rest of the codebase.
+"""
+
+from .client import ServiceClient, ServiceClientError
+from .jobs import Job, JobStore, PointState
+from .planner import MAX_POINTS, PlanError, plan_points
+from .session import ScenarioService, ServiceConfig
+from .worker import Worker
+
+__all__ = [
+    "ScenarioService",
+    "ServiceConfig",
+    "ServiceClient",
+    "ServiceClientError",
+    "Job",
+    "JobStore",
+    "PointState",
+    "PlanError",
+    "plan_points",
+    "MAX_POINTS",
+    "Worker",
+]

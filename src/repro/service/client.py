@@ -1,0 +1,137 @@
+"""A stdlib HTTP client for the scenario service.
+
+:class:`ServiceClient` is what ``repro submit`` / ``repro status`` use
+and what tests drive: thin ``urllib`` wrappers over the endpoints in
+:mod:`repro.service.http_api`, plus :meth:`ServiceClient.wait` for
+polling a job to a terminal state.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, List, Optional
+
+
+class ServiceClientError(RuntimeError):
+    """An HTTP error from the service, with its status and message."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+
+
+class ServiceClient:
+    """Talk to one scenario service at *base_url*."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- plumbing ------------------------------------------------------
+
+    def _request(
+        self, method: str, path: str, payload: Optional[Dict[str, Any]] = None
+    ) -> bytes:
+        data = None
+        headers = {}
+        if payload is not None:
+            data = json.dumps(payload).encode()
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            f"{self.base_url}{path}", data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return response.read()
+        except urllib.error.HTTPError as exc:
+            body = exc.read()
+            try:
+                message = json.loads(body).get("error", body.decode())
+            except ValueError:
+                message = body.decode(errors="replace")
+            raise ServiceClientError(exc.code, message) from None
+
+    def _json(
+        self, method: str, path: str, payload: Optional[Dict[str, Any]] = None
+    ) -> Any:
+        return json.loads(self._request(method, path, payload))
+
+    def _ndjson(self, path: str) -> List[Dict[str, Any]]:
+        body = self._request("GET", path).decode()
+        return [json.loads(line) for line in body.splitlines() if line.strip()]
+
+    # -- endpoints -----------------------------------------------------
+
+    def info(self) -> Dict[str, Any]:
+        """``GET /`` — service info."""
+        return self._json("GET", "/")
+
+    def healthy(self) -> bool:
+        """``GET /healthz`` — liveness."""
+        try:
+            return bool(self._json("GET", "/healthz").get("ok"))
+        except (ServiceClientError, OSError):
+            return False
+
+    def submit(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """``POST /jobs`` — submit a grid; returns the 202 body."""
+        return self._json("POST", "/jobs", payload)
+
+    def jobs(self) -> List[Dict[str, Any]]:
+        """``GET /jobs`` — every job's id, status, and counts."""
+        return self._json("GET", "/jobs")["jobs"]
+
+    def job(self, job_id: str) -> Dict[str, Any]:
+        """``GET /jobs/<id>`` — full job status."""
+        return self._json("GET", f"/jobs/{job_id}")
+
+    def events(self, job_id: str, since: int = 0) -> List[Dict[str, Any]]:
+        """``GET /jobs/<id>/events?since=N`` — the NDJSON event tail."""
+        return self._ndjson(f"/jobs/{job_id}/events?since={since}")
+
+    def results(self, job_id: str) -> List[Dict[str, Any]]:
+        """``GET /jobs/<id>/results`` — per-point params/seed/row records."""
+        return self._ndjson(f"/jobs/{job_id}/results")
+
+    def trace(self, job_id: str, index: int) -> str:
+        """``GET /jobs/<id>/points/<i>/trace`` — run-trace JSONL."""
+        return self._request("GET", f"/jobs/{job_id}/points/{index}/trace").decode()
+
+    def report(self, job_id: str, index: int) -> str:
+        """``GET /jobs/<id>/points/<i>/report`` — rendered text report."""
+        return self._request("GET", f"/jobs/{job_id}/points/{index}/report").decode()
+
+    def diff(self, job_id: str, a: int, b: int) -> Dict[str, Any]:
+        """``GET /jobs/<id>/diff?a=I&b=J`` — diff two recorded points."""
+        return self._json("GET", f"/jobs/{job_id}/diff?a={a}&b={b}")
+
+    def query(self, **filters: str) -> List[Dict[str, Any]]:
+        """``GET /results?...`` — accumulated rows matching *filters*."""
+        suffix = "&".join(f"{key}={value}" for key, value in filters.items())
+        return self._ndjson(f"/results?{suffix}" if suffix else "/results")
+
+    def shutdown(self) -> None:
+        """``POST /shutdown`` — ask the service to stop gracefully."""
+        self._json("POST", "/shutdown", {})
+
+    def wait(
+        self, job_id: str, timeout: float = 60.0, interval: float = 0.05
+    ) -> Dict[str, Any]:
+        """Poll ``GET /jobs/<id>`` until the job reaches a terminal state.
+
+        Returns the final status body; raises ``TimeoutError`` if the
+        job is still running after *timeout* seconds.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            status = self.job(job_id)
+            if status["status"] in ("done", "failed", "cancelled"):
+                return status
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"{job_id} still {status['status']!r} after {timeout}s"
+                )
+            time.sleep(interval)

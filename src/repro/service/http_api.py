@@ -1,0 +1,294 @@
+"""The scenario service's HTTP surface (stdlib ``http.server`` only).
+
+Endpoints (all JSON unless noted):
+
+``GET /``
+    Service info: version, endpoint list, job count.
+``GET /healthz``
+    Liveness probe.
+``GET /jobs`` / ``POST /jobs``
+    List jobs / submit a new grid (payload shapes in
+    :mod:`repro.service.planner`).  Submission returns ``202`` with the
+    new ``job_id``.
+``GET /jobs/<id>``
+    Full job status: per-point states, status counts, event count.
+``GET /jobs/<id>/events[?since=N]``
+    The job's event log from sequence number ``N`` on, as NDJSON — the
+    streaming-progress tail pollers resume from.
+``GET /jobs/<id>/results``
+    The finished job's rows as standard sweep JSONL.
+``GET /jobs/<id>/points/<i>/trace``
+    The recorded execution trace of one point (requires the spec to
+    have set ``record``), as run-trace JSONL.
+``GET /jobs/<id>/points/<i>/report``
+    The point's trace rendered through
+    :func:`repro.observability.render_report` (plain text).
+``GET /jobs/<id>/diff?a=I&b=J``
+    :func:`repro.observability.diff_runs` over two recorded points.
+``GET /results?field=value&...``
+    Query accumulated rows across *all* persisted jobs; filters match
+    top-level row fields (``protocol``, ``backend``, ``ok``, ...).
+``POST /shutdown``
+    Graceful stop: responds, then shuts the service down.
+
+Client errors map to ``400`` (bad payloads, bad filters), unknown
+resources to ``404``, wrong methods to ``405``.  The server is a
+:class:`ThreadingHTTPServer`, so slow pollers never block submissions.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
+from urllib.parse import parse_qsl, urlparse
+
+from .. import __version__
+from ..observability import diff_runs, load_run_text, render_report
+from .jobs import Job
+from .planner import PlanError, plan_points
+
+if TYPE_CHECKING:
+    from .session import ScenarioService
+
+#: The routes ``GET /`` advertises (method, path template).
+ENDPOINTS = (
+    ("GET", "/"),
+    ("GET", "/healthz"),
+    ("GET", "/jobs"),
+    ("POST", "/jobs"),
+    ("GET", "/jobs/<id>"),
+    ("GET", "/jobs/<id>/events"),
+    ("GET", "/jobs/<id>/results"),
+    ("GET", "/jobs/<id>/points/<i>/trace"),
+    ("GET", "/jobs/<id>/points/<i>/report"),
+    ("GET", "/jobs/<id>/diff"),
+    ("GET", "/results"),
+    ("POST", "/shutdown"),
+)
+
+
+class ServiceHTTPServer(ThreadingHTTPServer):
+    """A ThreadingHTTPServer that knows which service it fronts."""
+
+    #: Handler threads must die with the server for shutdown to be prompt.
+    daemon_threads = True
+
+    def __init__(self, address: Tuple[str, int], service: "ScenarioService"):
+        super().__init__(address, ScenarioRequestHandler)
+        self.service = service
+
+
+class ScenarioRequestHandler(BaseHTTPRequestHandler):
+    """Route one HTTP request against the owning service's state."""
+
+    #: Quieter than the BaseHTTPRequestHandler default (no per-request
+    #: stderr lines); the service has its own event log.
+    def log_message(self, format: str, *args: Any) -> None:
+        """Suppress the default stderr access log."""
+
+    @property
+    def service(self) -> "ScenarioService":
+        """The service behind this server socket."""
+        server: ServiceHTTPServer = self.server  # type: ignore[assignment]
+        return server.service
+
+    # -- response helpers ---------------------------------------------
+
+    def _send(self, status: int, body: bytes, content_type: str) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _json(self, payload: Any, status: int = 200) -> None:
+        body = (json.dumps(payload, sort_keys=True) + "\n").encode()
+        self._send(status, body, "application/json")
+
+    def _text(self, text: str, status: int = 200) -> None:
+        self._send(status, text.encode(), "text/plain; charset=utf-8")
+
+    def _ndjson(self, records: List[Dict[str, Any]]) -> None:
+        body = "".join(
+            json.dumps(record, sort_keys=True) + "\n" for record in records
+        ).encode()
+        self._send(200, body, "application/x-ndjson")
+
+    def _error(self, status: int, message: str) -> None:
+        self._json({"error": message}, status=status)
+
+    # -- request plumbing ---------------------------------------------
+
+    def _route(self) -> Tuple[List[str], Dict[str, str]]:
+        parsed = urlparse(self.path)
+        parts = [part for part in parsed.path.split("/") if part]
+        query = dict(parse_qsl(parsed.query))
+        return parts, query
+
+    def _read_body(self) -> Any:
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            raise PlanError("request body must be a JSON object")
+        try:
+            return json.loads(raw)
+        except ValueError as exc:
+            raise PlanError(f"request body is not valid JSON: {exc}") from None
+
+    def _job_or_404(self, job_id: str) -> Optional[Job]:
+        job = self.service.store.get(job_id)
+        if job is None:
+            self._error(404, f"no such job {job_id!r}")
+        return job
+
+    def _point_trace(self, job: Job, index_text: str) -> Optional[str]:
+        """The recorded trace of one point, or ``None`` after an error
+        response was already sent."""
+        try:
+            index = int(index_text)
+            point = job.points[index]
+        except (ValueError, IndexError):
+            self._error(404, f"no point {index_text!r} in {job.job_id}")
+            return None
+        if point.row is None:
+            self._error(404, f"point {index} of {job.job_id} has no result yet")
+            return None
+        trace = point.row.get("trace_jsonl")
+        if not trace:
+            self._error(
+                400,
+                f"point {index} was not recorded — submit the spec with "
+                f'"record": true to enable trace/report/diff',
+            )
+            return None
+        return trace
+
+    # -- GET -----------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server's naming
+        """Dispatch one GET request."""
+        parts, query = self._route()
+        if not parts:
+            self._json(
+                {
+                    "service": "repro-scenario-service",
+                    "version": __version__,
+                    "jobs": len(self.service.store.all_jobs()),
+                    "endpoints": [f"{m} {p}" for m, p in ENDPOINTS],
+                }
+            )
+            return
+        if parts == ["healthz"]:
+            self._json({"ok": True})
+            return
+        if parts == ["jobs"]:
+            self._json(
+                {
+                    "jobs": [
+                        {
+                            "job_id": job.job_id,
+                            "status": job.status,
+                            "counts": job.counts(),
+                        }
+                        for job in self.service.store.all_jobs()
+                    ]
+                }
+            )
+            return
+        if parts == ["results"]:
+            try:
+                rows = self.service.query_results(query)
+            except ValueError as exc:
+                self._error(400, str(exc))
+                return
+            self._ndjson(rows)
+            return
+        if parts[0] == "jobs" and len(parts) >= 2:
+            job = self._job_or_404(parts[1])
+            if job is None:
+                return
+            self._get_job(job, parts[2:], query)
+            return
+        self._error(404, f"unknown path {self.path!r}")
+
+    def _get_job(
+        self, job: Job, rest: List[str], query: Dict[str, str]
+    ) -> None:
+        if not rest:
+            self._json(job.summary())
+            return
+        if rest == ["events"]:
+            try:
+                since = int(query.get("since", "0"))
+            except ValueError:
+                self._error(400, f"since must be an integer, got {query['since']!r}")
+                return
+            self._ndjson(self.service.store.events_since(job, since))
+            return
+        if rest == ["results"]:
+            rows = [
+                {"type": "point", "index": p.index, "params": p.spec.to_dict(),
+                 "seed": p.spec.seed, "row": p.row, "status": p.status}
+                for p in job.points
+            ]
+            self._ndjson(rows)
+            return
+        if rest == ["diff"]:
+            if "a" not in query or "b" not in query:
+                self._error(400, "diff needs ?a=<point>&b=<point>")
+                return
+            trace_a = self._point_trace(job, query["a"])
+            if trace_a is None:
+                return
+            trace_b = self._point_trace(job, query["b"])
+            if trace_b is None:
+                return
+            differences = diff_runs(load_run_text(trace_a), load_run_text(trace_b))
+            self._json({"equivalent": not differences, "differences": differences})
+            return
+        if len(rest) == 3 and rest[0] == "points":
+            trace = self._point_trace(job, rest[1])
+            if trace is None:
+                return
+            if rest[2] == "trace":
+                self._send(200, trace.encode(), "application/x-ndjson")
+                return
+            if rest[2] == "report":
+                self._text(render_report(load_run_text(trace)))
+                return
+        self._error(404, f"unknown path {self.path!r}")
+
+    # -- POST ----------------------------------------------------------
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server's naming
+        """Dispatch one POST request."""
+        parts, _ = self._route()
+        if parts == ["shutdown"]:
+            self._json({"stopping": True})
+            # Shut down from another thread: shutdown() blocks until the
+            # serve loop exits, and *this* handler runs inside that loop.
+            threading.Thread(
+                target=self.service.shutdown, name="service-shutdown"
+            ).start()
+            return
+        if parts == ["jobs"]:
+            if self.service.worker.stopping:
+                self._error(503, "service is shutting down")
+                return
+            try:
+                payload = self._read_body()
+                specs = plan_points(payload, base_seed=self.service.base_seed)
+            except PlanError as exc:
+                self._error(400, str(exc))
+                return
+            job = self.service.store.create(specs)
+            self.service.worker.submit(job)
+            self._json(
+                {"job_id": job.job_id, "points": len(job.points),
+                 "status": job.status},
+                status=202,
+            )
+            return
+        self._error(404, f"unknown path {self.path!r}")

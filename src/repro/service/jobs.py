@@ -1,0 +1,167 @@
+"""Job and point bookkeeping for the scenario service.
+
+A *job* is one submitted grid of :class:`~repro.analysis.spec
+.ScenarioSpec` points.  The store tracks per-point status through the
+lifecycle ``pending → running → (cached | done | failed | cancelled)``
+and keeps an append-only, sequence-numbered event log per job — the
+NDJSON tail the HTTP layer streams to pollers.  Everything here is
+thread-safe: the HTTP handler threads read while the worker thread
+writes.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..analysis.spec import ScenarioSpec
+
+#: Point lifecycle states.
+POINT_STATES = ("pending", "running", "cached", "done", "failed", "cancelled")
+
+#: Job lifecycle states.
+JOB_STATES = ("queued", "running", "done", "failed", "cancelled")
+
+#: Point states that count as finished work.
+TERMINAL_POINT_STATES = ("cached", "done", "failed", "cancelled")
+
+
+@dataclass
+class PointState:
+    """One grid point of a job: its spec, status, and result row."""
+
+    index: int
+    spec: ScenarioSpec
+    status: str = "pending"
+    #: The runner's JSON result row (set for ``cached``/``done``).
+    row: Optional[Dict[str, Any]] = None
+    #: One-line failure reason (set for ``failed``).
+    error: Optional[str] = None
+
+    def summary(self) -> Dict[str, Any]:
+        """The JSON shape the status endpoint serves for this point."""
+        info: Dict[str, Any] = {
+            "index": self.index,
+            "status": self.status,
+            "protocol": self.spec.protocol,
+            "n": self.spec.n,
+            "t": self.spec.t,
+            "backend": self.spec.backend,
+            "adversary": self.spec.adversary,
+            "seed": self.spec.seed,
+        }
+        if self.row is not None:
+            info["ok"] = self.row.get("ok")
+            info["rounds"] = self.row.get("rounds")
+        if self.error is not None:
+            info["error"] = self.error
+        return info
+
+
+@dataclass
+class Job:
+    """One submitted scenario grid and its execution state."""
+
+    job_id: str
+    points: List[PointState]
+    status: str = "queued"
+    #: Append-only event log (each entry carries a monotone ``"seq"``).
+    events: List[Dict[str, Any]] = field(default_factory=list)
+    #: Set by the worker when the finished job's rows were persisted.
+    results_path: Optional[str] = None
+
+    def counts(self) -> Dict[str, int]:
+        """Point totals by status (the dedupe ratio falls out of these)."""
+        counts = {state: 0 for state in POINT_STATES}
+        for point in self.points:
+            counts[point.status] += 1
+        return counts
+
+    def finished(self) -> bool:
+        """True once every point reached a terminal state."""
+        return all(p.status in TERMINAL_POINT_STATES for p in self.points)
+
+    def summary(self) -> Dict[str, Any]:
+        """The JSON shape of ``GET /jobs/<id>``."""
+        return {
+            "job_id": self.job_id,
+            "status": self.status,
+            "points": [point.summary() for point in self.points],
+            "counts": self.counts(),
+            "events": len(self.events),
+            "results_path": self.results_path,
+        }
+
+
+class JobStore:
+    """Thread-safe registry of jobs with sequential ids and event logs."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._jobs: Dict[str, Job] = {}
+        self._next_id = 1
+
+    def create(self, specs: List[ScenarioSpec]) -> Job:
+        """Register a new queued job over *specs* (in submission order)."""
+        with self._lock:
+            job_id = f"job-{self._next_id:04d}"
+            self._next_id += 1
+            job = Job(
+                job_id=job_id,
+                points=[
+                    PointState(index=index, spec=spec)
+                    for index, spec in enumerate(specs)
+                ],
+            )
+            self._jobs[job_id] = job
+        self.log_event(job, "job_queued", points=len(job.points))
+        return job
+
+    def get(self, job_id: str) -> Optional[Job]:
+        """The job called *job_id*, or ``None``."""
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def all_jobs(self) -> List[Job]:
+        """Every job, in creation order."""
+        with self._lock:
+            return list(self._jobs.values())
+
+    def log_event(self, job: Job, kind: str, **payload: Any) -> None:
+        """Append one sequence-numbered event to *job*'s log."""
+        with self._lock:
+            job.events.append({"seq": len(job.events), "event": kind, **payload})
+
+    def set_job_status(self, job: Job, status: str) -> None:
+        """Transition *job* and log the transition."""
+        with self._lock:
+            job.status = status
+        self.log_event(job, "job_status", status=status)
+
+    def set_point_status(
+        self,
+        job: Job,
+        index: int,
+        status: str,
+        *,
+        row: Optional[Dict[str, Any]] = None,
+        error: Optional[str] = None,
+    ) -> None:
+        """Transition one point and log the transition."""
+        with self._lock:
+            point = job.points[index]
+            point.status = status
+            if row is not None:
+                point.row = row
+            if error is not None:
+                point.error = error
+        event: Dict[str, Any] = {"index": index, "status": status}
+        if error is not None:
+            event["error"] = error
+        self.log_event(job, "point_status", **event)
+
+    def events_since(self, job: Job, since: int) -> List[Dict[str, Any]]:
+        """Events of *job* with ``seq >= since`` (the NDJSON tail)."""
+        with self._lock:
+            return [event for event in job.events if event["seq"] >= since]

@@ -1,0 +1,219 @@
+"""The scenario service's execution loop.
+
+One background thread drains a FIFO of queued jobs.  For every point it
+first consults the sweep cache (:func:`~repro.analysis.spec
+.spec_cache_key` — the same key a local ``repro sweep --spec`` run
+writes, so work done anywhere dedupes everywhere), then executes the
+misses either inline (``pool_jobs=1``) or through a
+:class:`~concurrent.futures.ProcessPoolExecutor`, exactly the two paths
+:func:`repro.analysis.parallel.run_grid` offers.  Finished jobs are
+persisted to the service's data directory as standard sweep JSONL
+(:func:`~repro.analysis.parallel.write_sweep_jsonl`), which is what the
+query endpoints read back.
+
+Shutdown is cooperative: the stop event is checked between points (and
+between pool completions), so a graceful shutdown finishes nothing
+extra — in-flight points complete, the rest of the job is marked
+``cancelled``.
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+import threading
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Dict, List, Optional
+
+from ..analysis.parallel import (
+    SweepCache,
+    SweepReport,
+    default_cache_dir,
+    write_sweep_jsonl,
+)
+from ..analysis.spec import (
+    SPEC_RUNNER,
+    SPEC_SWEEP_NAME,
+    execute_spec_point,
+    spec_cache_key,
+)
+from .jobs import Job, JobStore
+
+
+class Worker(threading.Thread):
+    """The single job-draining thread behind a scenario service."""
+
+    def __init__(
+        self,
+        store: JobStore,
+        *,
+        cache_dir: Optional[str] = None,
+        data_dir: Optional[str] = None,
+        pool_jobs: int = 1,
+        no_cache: bool = False,
+    ) -> None:
+        super().__init__(name="scenario-worker", daemon=True)
+        self.store = store
+        self.cache: Optional[SweepCache] = (
+            None if no_cache else SweepCache(cache_dir or default_cache_dir())
+        )
+        self.data_dir = data_dir
+        self.pool_jobs = max(1, pool_jobs)
+        self._queue: "queue.Queue[Optional[str]]" = queue.Queue()
+        self._stop_event = threading.Event()
+
+    # -- control -------------------------------------------------------
+
+    def submit(self, job: Job) -> None:
+        """Enqueue *job* for execution."""
+        self._queue.put(job.job_id)
+
+    def stop(self) -> None:
+        """Request a cooperative stop (between points, not mid-point)."""
+        self._stop_event.set()
+        self._queue.put(None)  # wake the loop if it is blocked on get()
+
+    @property
+    def stopping(self) -> bool:
+        """True once a stop was requested."""
+        return self._stop_event.is_set()
+
+    # -- loop ----------------------------------------------------------
+
+    def run(self) -> None:
+        """Drain queued jobs until stopped."""
+        while not self._stop_event.is_set():
+            try:
+                job_id = self._queue.get(timeout=0.1)
+            except queue.Empty:
+                continue
+            if job_id is None:
+                continue
+            job = self.store.get(job_id)
+            if job is not None:
+                self._run_job(job)
+        # Anything still queued at stop time is cancelled, not dropped
+        # silently: pollers see a terminal state either way.
+        while True:
+            try:
+                job_id = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            job = self.store.get(job_id) if job_id else None
+            if job is not None and job.status == "queued":
+                self._cancel_rest(job)
+                self.store.set_job_status(job, "cancelled")
+
+    def _run_job(self, job: Job) -> None:
+        self.store.set_job_status(job, "running")
+        cached = self._serve_cached(job)
+        self.store.log_event(job, "cache_scan", cached=cached)
+        missing = [p.index for p in job.points if p.status == "pending"]
+        if self._stop_event.is_set():
+            self._cancel_rest(job)
+            self.store.set_job_status(job, "cancelled")
+            return
+        if missing:
+            if self.pool_jobs > 1:
+                self._run_pool(job, missing)
+            else:
+                self._run_inline(job, missing)
+        if any(p.status == "cancelled" for p in job.points):
+            self.store.set_job_status(job, "cancelled")
+        elif any(p.status == "failed" for p in job.points):
+            self.store.set_job_status(job, "failed")
+        else:
+            self._persist(job)
+            self.store.set_job_status(job, "done")
+
+    def _serve_cached(self, job: Job) -> int:
+        """Mark every cache hit before any execution; returns the count."""
+        if self.cache is None:
+            return 0
+        hits = 0
+        for point in job.points:
+            row = self.cache.get(spec_cache_key(point.spec))
+            if row is not None:
+                self.store.set_point_status(job, point.index, "cached", row=row)
+                hits += 1
+        return hits
+
+    def _finish_point(self, job: Job, index: int, row: Dict) -> None:
+        self.store.set_point_status(job, index, "done", row=row)
+        if self.cache is not None:
+            self.cache.put(spec_cache_key(job.points[index].spec), row)
+
+    def _run_inline(self, job: Job, missing: List[int]) -> None:
+        for index in missing:
+            if self._stop_event.is_set():
+                self._cancel_rest(job)
+                return
+            point = job.points[index]
+            self.store.set_point_status(job, index, "running")
+            try:
+                row = execute_spec_point(point.spec)
+            except Exception as exc:  # noqa: BLE001 - one point, one verdict
+                self.store.set_point_status(job, index, "failed", error=str(exc))
+            else:
+                self._finish_point(job, index, row)
+
+    def _run_pool(self, job: Job, missing: List[int]) -> None:
+        with ProcessPoolExecutor(max_workers=self.pool_jobs) as pool:
+            futures = {}
+            for index in missing:
+                point = job.points[index]
+                self.store.set_point_status(job, index, "running")
+                future = pool.submit(execute_spec_point, point.spec)
+                futures[future] = index
+            pending = set(futures)
+            while pending:
+                finished, pending = wait(
+                    pending, timeout=0.25, return_when=FIRST_COMPLETED
+                )
+                for future in finished:
+                    index = futures[future]
+                    try:
+                        row = future.result()
+                    except Exception as exc:  # noqa: BLE001
+                        self.store.set_point_status(
+                            job, index, "failed", error=str(exc)
+                        )
+                    else:
+                        self._finish_point(job, index, row)
+                if self._stop_event.is_set() and pending:
+                    for future in pending:
+                        future.cancel()
+                    for future, index in futures.items():
+                        if job.points[index].status == "running":
+                            self.store.set_point_status(job, index, "cancelled")
+                    return
+
+    def _cancel_rest(self, job: Job) -> None:
+        for point in job.points:
+            if point.status in ("pending", "running"):
+                self.store.set_point_status(job, point.index, "cancelled")
+
+    def _persist(self, job: Job) -> None:
+        """Write the finished job's rows as standard sweep JSONL."""
+        if self.data_dir is None:
+            return
+        os.makedirs(self.data_dir, exist_ok=True)
+        rows = [point.row or {} for point in job.points]
+        counts = job.counts()
+        report = SweepReport(
+            name=SPEC_SWEEP_NAME,
+            rows=rows,
+            cache_hits=counts["cached"],
+            cache_misses=counts["done"],
+            jobs=self.pool_jobs,
+        )
+        path = os.path.join(self.data_dir, f"{job.job_id}.jsonl")
+        write_sweep_jsonl(
+            path,
+            report,
+            runner=SPEC_RUNNER,
+            grid=[point.spec.to_dict() for point in job.points],
+            seeds=[point.spec.seed for point in job.points],
+        )
+        job.results_path = path
+        self.store.log_event(job, "results_persisted", path=path)

@@ -147,6 +147,67 @@ def backends() -> st.SearchStrategy[str]:
     return st.sampled_from(BACKENDS)
 
 
+#: Small tree specs (``repro.cli.parse_tree_spec`` grammar) that keep
+#: spec-driven property tests fast.
+SPEC_TREES: Tuple[str, ...] = ("path:4", "path:6", "star:5", "caterpillar:3x2")
+
+#: Adversary spec strings the batch backend can replay.
+BATCH_SPEC_ADVERSARIES: Tuple[str, ...] = (
+    "none",
+    "silent",
+    "passive",
+    "crash",
+    "crash:2:3",
+    "chaos",
+    "chaos:9",
+)
+
+#: Adversary spec strings only the reference backend accepts.
+REFERENCE_ONLY_SPEC_ADVERSARIES: Tuple[str, ...] = ("noise", "noise:7", "asym")
+
+
+@st.composite
+def scenario_specs(draw, runnable: bool = True):
+    """A valid :class:`repro.analysis.spec.ScenarioSpec`.
+
+    With ``runnable=True`` (the default) the draw is restricted so that
+    ``spec.run()`` succeeds on the spec's own backend: adversaries the
+    batch engine cannot replay only appear with ``backend="reference"``,
+    burn schedules require ``t >= 1``, and sizes stay small enough for
+    property-test budgets.
+    """
+    from repro.analysis.spec import ScenarioSpec
+
+    protocol = draw(st.sampled_from(["real-aa", "path-aa", "tree-aa"]))
+    backend = draw(backends())
+    t = draw(st.integers(min_value=0, max_value=1))
+    n = draw(st.integers(min_value=3 * t + 2, max_value=6))
+    adversaries = list(BATCH_SPEC_ADVERSARIES)
+    if backend == "reference" or not runnable:
+        adversaries += list(REFERENCE_ONLY_SPEC_ADVERSARIES)
+    if t >= 1 or not runnable:
+        adversaries += ["burn", "burn-down"]
+    adversary = draw(st.sampled_from(adversaries))
+    corrupt: Tuple[int, ...] = ()
+    if t and draw(st.booleans()):
+        corrupt = (draw(st.integers(min_value=0, max_value=n - 1)),)
+    return ScenarioSpec(
+        protocol=protocol,
+        n=n,
+        t=t,
+        tree=None if protocol == "real-aa" else draw(st.sampled_from(SPEC_TREES)),
+        adversary=adversary,
+        corrupt=corrupt,
+        backend=backend,
+        trace_level=draw(st.sampled_from(["full", "aggregate"])),
+        t_assumed=draw(st.sampled_from([None, t])),
+        seed=draw(st.integers(min_value=0, max_value=2**16)),
+        known_range=8.0 if protocol == "real-aa" else None,
+        project=(protocol == "path-aa" and draw(st.booleans())),
+        record=draw(st.booleans()),
+    )
+
+
 @st.composite
 def real_inputs(draw, n: int, magnitude: float = 16.0) -> List[float]:
     """``n`` finite real inputs bounded by *magnitude* in absolute value."""

@@ -13,7 +13,7 @@ Two checks, both run by CI's ``docs`` job (and runnable locally):
    only drown the docstrings that matter.
 
 2. **Executable documentation** — every fenced ````` ```python ````` block
-   in README.md, docs/OBSERVABILITY.md and docs/STATIC_ANALYSIS.md is
+   in README.md and the docs/ pages listed in ``EXECUTED_DOCS`` is
    executed (with ``src/`` on ``sys.path`` and the sweep cache redirected
    to a throwaway directory), so the documented quickstarts can never
    silently rot.
@@ -34,7 +34,9 @@ SRC = os.path.join(REPO, "src")
 PACKAGE_ROOT = os.path.join(SRC, "repro")
 EXECUTED_DOCS = [
     "README.md",
+    os.path.join("docs", "ARCHITECTURE.md"),
     os.path.join("docs", "OBSERVABILITY.md"),
+    os.path.join("docs", "SERVICE.md"),
     os.path.join("docs", "STATIC_ANALYSIS.md"),
     os.path.join("docs", "RESILIENCE.md"),
 ]
