@@ -111,6 +111,7 @@ class NoAdversary(Adversary):
 
 
 class PuppetDrivingAdversary(Adversary):
+    # statics: batch-unsupported(drives faithful per-party state machines that the batch engine does not model)
     """Shared machinery for strategies that run the faithful state machines.
 
     Keeps every puppet's protocol running (collecting its outbox each round

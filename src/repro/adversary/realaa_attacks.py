@@ -324,6 +324,7 @@ class SplitBroadcastAdversary(PuppetDrivingAdversary):
 
 
 class AsymmetricTrustAdversary(Adversary):
+    # statics: batch-unsupported(grade-memory manipulation needs message-level control beyond the batch kinds)
     """The *asymmetric trust* attack on gradecast-with-memory protocols.
 
     Iteration 0 plays two tricks at once:

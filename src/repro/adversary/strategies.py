@@ -98,6 +98,7 @@ class CrashAdversary(PuppetDrivingAdversary):
 
 
 class ConsistentLiarAdversary(PuppetDrivingAdversary):
+    # statics: batch-unsupported(forged puppet inputs require per-party state replay)
     """Run the protocol honestly but from forged inputs.
 
     The corrupted parties behave indistinguishably from honest parties that
@@ -126,6 +127,7 @@ class ConsistentLiarAdversary(PuppetDrivingAdversary):
 
 
 class RandomNoiseAdversary(Adversary):
+    # statics: batch-unsupported(random malformed payloads have no declarative batch form)
     """Spray structurally random garbage at random recipients.
 
     Payloads include wrong types, malformed tuples, huge and non-finite
@@ -173,6 +175,7 @@ class RandomNoiseAdversary(Adversary):
 
 
 class EchoAdversary(Adversary):
+    # statics: batch-unsupported(echoing depends on per-round inbox contents the batch engine never materialises)
     """Replay to everyone the first honest message observed this round.
 
     A cheap equivocation-free strategy that stays syntactically valid; it
@@ -200,6 +203,7 @@ class EchoAdversary(Adversary):
 
 
 class AdaptiveCrashAdversary(PuppetDrivingAdversary):
+    # statics: batch-unsupported(adaptive corruption schedules are not replayable as a static batch spec)
     """Adaptive corruption: seize parties on a schedule, then silence them.
 
     ``schedule`` maps round → party ids to corrupt at the start of that

@@ -17,6 +17,7 @@ from .signatures import Signer
 
 
 class DSEquivocatorAdversary(PuppetDrivingAdversary):
+    # statics: batch-unsupported(signed equivocation needs per-party signer state)
     """Corrupted origins sign *two* values in round 0 and split delivery.
 
     ``values(pid)`` returns the ``(low_half_value, high_half_value)`` pair
@@ -67,6 +68,7 @@ class DSEquivocatorAdversary(PuppetDrivingAdversary):
 
 
 class SignatureForgeryAdversary(PuppetDrivingAdversary):
+    # statics: batch-unsupported(hand-crafted forged signatures have no batch equivalent)
     """Try to forge an honest party's signature on a planted value.
 
     Structurally doomed — the adversary holds no honest

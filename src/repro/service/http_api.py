@@ -148,14 +148,14 @@ class ScenarioRequestHandler(BaseHTTPRequestHandler):
         response was already sent."""
         try:
             index = int(index_text)
-            point = job.points[index]
+            row = self.service.store.point_row(job, index)
         except (ValueError, IndexError):
             self._error(404, f"no point {index_text!r} in {job.job_id}")
             return None
-        if point.row is None:
+        if row is None:
             self._error(404, f"point {index} of {job.job_id} has no result yet")
             return None
-        trace = point.row.get("trace_jsonl")
+        trace = row.get("trace_jsonl")
         if not trace:
             self._error(
                 400,
@@ -184,18 +184,7 @@ class ScenarioRequestHandler(BaseHTTPRequestHandler):
             self._json({"ok": True})
             return
         if parts == ["jobs"]:
-            self._json(
-                {
-                    "jobs": [
-                        {
-                            "job_id": job.job_id,
-                            "status": job.status,
-                            "counts": job.counts(),
-                        }
-                        for job in self.service.store.all_jobs()
-                    ]
-                }
-            )
+            self._json({"jobs": self.service.store.index()})
             return
         if parts == ["results"]:
             try:
@@ -217,7 +206,7 @@ class ScenarioRequestHandler(BaseHTTPRequestHandler):
         self, job: Job, rest: List[str], query: Dict[str, str]
     ) -> None:
         if not rest:
-            self._json(job.summary())
+            self._json(self.service.store.summary(job))
             return
         if rest == ["events"]:
             try:
@@ -228,12 +217,7 @@ class ScenarioRequestHandler(BaseHTTPRequestHandler):
             self._ndjson(self.service.store.events_since(job, since))
             return
         if rest == ["results"]:
-            rows = [
-                {"type": "point", "index": p.index, "params": p.spec.to_dict(),
-                 "seed": p.spec.seed, "row": p.row, "status": p.status}
-                for p in job.points
-            ]
-            self._ndjson(rows)
+            self._ndjson(self.service.store.point_records(job))
             return
         if rest == ["diff"]:
             if "a" not in query or "b" not in query:
@@ -269,8 +253,13 @@ class ScenarioRequestHandler(BaseHTTPRequestHandler):
             self._json({"stopping": True})
             # Shut down from another thread: shutdown() blocks until the
             # serve loop exits, and *this* handler runs inside that loop.
+            # daemon=True (PL104): nothing joins this thread, and a
+            # non-daemon one would keep a dying interpreter alive if the
+            # process exits while shutdown() is still draining the worker.
             threading.Thread(
-                target=self.service.shutdown, name="service-shutdown"
+                target=self.service.shutdown,
+                name="service-shutdown",
+                daemon=True,
             ).start()
             return
         if parts == ["jobs"]:
@@ -287,7 +276,7 @@ class ScenarioRequestHandler(BaseHTTPRequestHandler):
             self.service.worker.submit(job)
             self._json(
                 {"job_id": job.job_id, "points": len(job.points),
-                 "status": job.status},
+                 "status": self.service.store.job_status(job)},
                 status=202,
             )
             return

@@ -7,13 +7,22 @@ and keeps an append-only, sequence-numbered event log per job — the
 NDJSON tail the HTTP layer streams to pollers.  Everything here is
 thread-safe: the HTTP handler threads read while the worker thread
 writes.
+
+The concurrency contract is explicit and machine-checked (PL101, see
+``docs/STATIC_ANALYSIS.md``): every mutable field shared between the
+worker and handler threads carries a ``# statics: guarded-by(_lock)``
+declaration, all mutation goes through :class:`JobStore` methods that
+take the lock, and the read side gets *snapshot* methods
+(:meth:`JobStore.summary`, :meth:`JobStore.point_records`, ...) so no
+caller ever walks ``job.points`` while the worker is writing to it.
+Methods documented as lock-held are marked ``# statics: holds(_lock)``.
 """
 
 from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..analysis.spec import ScenarioSpec
 
@@ -33,14 +42,16 @@ class PointState:
 
     index: int
     spec: ScenarioSpec
-    status: str = "pending"
+    status: str = "pending"  # statics: guarded-by(_lock)
     #: The runner's JSON result row (set for ``cached``/``done``).
-    row: Optional[Dict[str, Any]] = None
+    row: Optional[Dict[str, Any]] = None  # statics: guarded-by(_lock)
     #: One-line failure reason (set for ``failed``).
-    error: Optional[str] = None
+    error: Optional[str] = None  # statics: guarded-by(_lock)
 
-    def summary(self) -> Dict[str, Any]:
-        """The JSON shape the status endpoint serves for this point."""
+    def summary(self) -> Dict[str, Any]:  # statics: holds(_lock)
+        """The JSON shape the status endpoint serves for this point.
+
+        Caller must hold the owning :class:`JobStore` lock."""
         info: Dict[str, Any] = {
             "index": self.index,
             "status": self.status,
@@ -65,25 +76,32 @@ class Job:
 
     job_id: str
     points: List[PointState]
-    status: str = "queued"
+    status: str = "queued"  # statics: guarded-by(_lock)
     #: Append-only event log (each entry carries a monotone ``"seq"``).
-    events: List[Dict[str, Any]] = field(default_factory=list)
+    events: List[Dict[str, Any]] = field(default_factory=list)  # statics: guarded-by(_lock)
     #: Set by the worker when the finished job's rows were persisted.
-    results_path: Optional[str] = None
+    results_path: Optional[str] = None  # statics: guarded-by(_lock)
 
-    def counts(self) -> Dict[str, int]:
-        """Point totals by status (the dedupe ratio falls out of these)."""
+    def counts(self) -> Dict[str, int]:  # statics: holds(_lock)
+        """Point totals by status (the dedupe ratio falls out of these).
+
+        Caller must hold the owning :class:`JobStore` lock."""
         counts = {state: 0 for state in POINT_STATES}
         for point in self.points:
             counts[point.status] += 1
         return counts
 
-    def finished(self) -> bool:
-        """True once every point reached a terminal state."""
+    def finished(self) -> bool:  # statics: holds(_lock)
+        """True once every point reached a terminal state.
+
+        Caller must hold the owning :class:`JobStore` lock."""
         return all(p.status in TERMINAL_POINT_STATES for p in self.points)
 
-    def summary(self) -> Dict[str, Any]:
-        """The JSON shape of ``GET /jobs/<id>``."""
+    def summary(self) -> Dict[str, Any]:  # statics: holds(_lock)
+        """The JSON shape of ``GET /jobs/<id>``.
+
+        Caller must hold the owning :class:`JobStore` lock (the HTTP
+        layer goes through :meth:`JobStore.summary`)."""
         return {
             "job_id": self.job_id,
             "status": self.status,
@@ -99,8 +117,8 @@ class JobStore:
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
-        self._jobs: Dict[str, Job] = {}
-        self._next_id = 1
+        self._jobs: Dict[str, Job] = {}  # statics: guarded-by(_lock)
+        self._next_id = 1  # statics: guarded-by(_lock)
 
     def create(self, specs: List[ScenarioSpec]) -> Job:
         """Register a new queued job over *specs* (in submission order)."""
@@ -165,3 +183,101 @@ class JobStore:
         """Events of *job* with ``seq >= since`` (the NDJSON tail)."""
         with self._lock:
             return [event for event in job.events if event["seq"] >= since]
+
+    # -- snapshots ------------------------------------------------------
+    #
+    # The read side of the store: every method takes the lock once and
+    # returns plain data, so HTTP handler threads never iterate
+    # ``job.points`` while the worker thread mutates it.
+
+    def summary(self, job: Job) -> Dict[str, Any]:
+        """A consistent ``GET /jobs/<id>`` snapshot of *job*."""
+        with self._lock:
+            return job.summary()
+
+    def index(self) -> List[Dict[str, Any]]:
+        """The ``GET /jobs`` listing: id, status, counts per job."""
+        with self._lock:
+            return [
+                {
+                    "job_id": job.job_id,
+                    "status": job.status,
+                    "counts": job.counts(),
+                }
+                for job in self._jobs.values()
+            ]
+
+    def counts(self, job: Job) -> Dict[str, int]:
+        """A consistent point-status count snapshot of *job*."""
+        with self._lock:
+            return job.counts()
+
+    def job_status(self, job: Job) -> str:
+        """The current lifecycle state of *job*."""
+        with self._lock:
+            return job.status
+
+    def pending_indices(self, job: Job) -> List[int]:
+        """Indices of *job*'s points still ``pending``, in order."""
+        with self._lock:
+            return [p.index for p in job.points if p.status == "pending"]
+
+    def any_point_in(self, job: Job, statuses: Sequence[str]) -> bool:
+        """Whether any point of *job* is in one of *statuses*."""
+        with self._lock:
+            return any(p.status in statuses for p in job.points)
+
+    def point_row(self, job: Job, index: int) -> Optional[Dict[str, Any]]:
+        """The result row of one point (``IndexError`` on a bad index)."""
+        with self._lock:
+            return job.points[index].row
+
+    def result_rows(self, job: Job) -> List[Dict[str, Any]]:
+        """Every point's row in point order (``{}`` for missing rows)."""
+        with self._lock:
+            return [point.row or {} for point in job.points]
+
+    def row_snapshots(self, job: Job) -> List[Tuple[int, Dict[str, Any]]]:
+        """``(index, row)`` for every point of *job* that has a row."""
+        with self._lock:
+            return [
+                (point.index, point.row)
+                for point in job.points
+                if point.row is not None
+            ]
+
+    def point_records(self, job: Job) -> List[Dict[str, Any]]:
+        """The ``GET /jobs/<id>/results`` NDJSON records, in point order."""
+        with self._lock:
+            return [
+                {
+                    "type": "point",
+                    "index": p.index,
+                    "params": p.spec.to_dict(),
+                    "seed": p.spec.seed,
+                    "row": p.row,
+                    "status": p.status,
+                }
+                for p in job.points
+            ]
+
+    def cancel_active(self, job: Job) -> List[int]:
+        """Cancel every ``pending``/``running`` point of *job*.
+
+        Collects the indices under the lock, then transitions them via
+        :meth:`set_point_status` *outside* it — the lock is not
+        reentrant and each transition logs an event.  Returns the
+        cancelled indices.
+        """
+        with self._lock:
+            active = [
+                p.index for p in job.points if p.status in ("pending", "running")
+            ]
+        for index in active:
+            self.set_point_status(job, index, "cancelled")
+        return active
+
+    def set_results_path(self, job: Job, path: str) -> None:
+        """Record where *job*'s finished rows were persisted."""
+        with self._lock:
+            job.results_path = path

@@ -152,11 +152,8 @@ class ScenarioService:
         seen_jobs = set()
         for job in self.store.all_jobs():
             seen_jobs.add(f"{job.job_id}.jsonl")
-            for point in job.points:
-                if point.row is not None:
-                    rows.append(
-                        {"job_id": job.job_id, "index": point.index, **point.row}
-                    )
+            for index, row in self.store.row_snapshots(job):
+                rows.append({"job_id": job.job_id, "index": index, **row})
         rows.extend(self._persisted_rows(skip=seen_jobs))
         return [row for row in rows if _matches(row, filters)]
 

@@ -100,7 +100,7 @@ class Worker(threading.Thread):
             except queue.Empty:
                 break
             job = self.store.get(job_id) if job_id else None
-            if job is not None and job.status == "queued":
+            if job is not None and self.store.job_status(job) == "queued":
                 self._cancel_rest(job)
                 self.store.set_job_status(job, "cancelled")
 
@@ -108,7 +108,7 @@ class Worker(threading.Thread):
         self.store.set_job_status(job, "running")
         cached = self._serve_cached(job)
         self.store.log_event(job, "cache_scan", cached=cached)
-        missing = [p.index for p in job.points if p.status == "pending"]
+        missing = self.store.pending_indices(job)
         if self._stop_event.is_set():
             self._cancel_rest(job)
             self.store.set_job_status(job, "cancelled")
@@ -118,9 +118,9 @@ class Worker(threading.Thread):
                 self._run_pool(job, missing)
             else:
                 self._run_inline(job, missing)
-        if any(p.status == "cancelled" for p in job.points):
+        if self.store.any_point_in(job, ("cancelled",)):
             self.store.set_job_status(job, "cancelled")
-        elif any(p.status == "failed" for p in job.points):
+        elif self.store.any_point_in(job, ("failed",)):
             self.store.set_job_status(job, "failed")
         else:
             self._persist(job)
@@ -183,23 +183,22 @@ class Worker(threading.Thread):
                 if self._stop_event.is_set() and pending:
                     for future in pending:
                         future.cancel()
-                    for future, index in futures.items():
-                        if job.points[index].status == "running":
-                            self.store.set_point_status(job, index, "cancelled")
+                    # Futures that completed between the wait() and the
+                    # cancel left their points terminal; everything still
+                    # pending/running is cancelled in one store pass.
+                    self.store.cancel_active(job)
                     return
 
     def _cancel_rest(self, job: Job) -> None:
-        for point in job.points:
-            if point.status in ("pending", "running"):
-                self.store.set_point_status(job, point.index, "cancelled")
+        self.store.cancel_active(job)
 
     def _persist(self, job: Job) -> None:
         """Write the finished job's rows as standard sweep JSONL."""
         if self.data_dir is None:
             return
         os.makedirs(self.data_dir, exist_ok=True)
-        rows = [point.row or {} for point in job.points]
-        counts = job.counts()
+        rows = self.store.result_rows(job)
+        counts = self.store.counts(job)
         report = SweepReport(
             name=SPEC_SWEEP_NAME,
             rows=rows,
@@ -215,5 +214,5 @@ class Worker(threading.Thread):
             grid=[point.spec.to_dict() for point in job.points],
             seeds=[point.spec.seed for point in job.points],
         )
-        job.results_path = path
+        self.store.set_results_path(job, path)
         self.store.log_event(job, "results_persisted", path=path)

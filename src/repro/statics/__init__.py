@@ -3,7 +3,14 @@
 A small, dependency-free lint engine that parses ``src/repro`` with
 :mod:`ast` and checks the invariants the paper's correctness arguments
 lean on: protocol-layer determinism (PL001), guard discipline (PL002),
-message-handler exhaustiveness (PL003), and observer purity (PL004).
+message-handler exhaustiveness (PL003), observer purity (PL004),
+concurrency discipline for the threaded service (PL101–PL104, driven by
+``# statics:`` annotations — see :mod:`repro.statics.annotations`), and
+backend parity for the adversary hierarchy (PL201–PL202).
+
+Per-module rules see one AST at a time; cross-module rules get a
+:class:`~repro.statics.model.ProgramModel` (class hierarchy, imports,
+annotations over the whole linted set) through their ``begin`` hook.
 
 Two front ends share this engine: ``tools/protolint.py`` (standalone,
 used by CI) and the ``repro lint`` subcommand.  See
@@ -11,6 +18,7 @@ used by CI) and the ``repro lint`` subcommand.  See
 the baseline-ratchet workflow.
 """
 
+from .annotations import Annotation, scan_annotations
 from .engine import (
     LintConfig,
     LintResult,
@@ -31,21 +39,27 @@ from .findings import (
     load_baseline,
     render_baseline,
 )
-from .rules import RULES, Rule, make_rules
+from .model import ClassInfo, ProgramModel, guarded_state_inventory
+from .rules import RULES, Rule, expand_rule_selectors, make_rules
 
 __all__ = [
     "PLACEHOLDER_JUSTIFICATION",
     "SCHEMA_VERSION",
+    "Annotation",
     "BaselineFormatError",
+    "ClassInfo",
     "Finding",
     "LintConfig",
     "LintResult",
     "ModuleContext",
     "PlaceholderJustificationError",
+    "ProgramModel",
     "RULES",
     "Rule",
     "apply_baseline",
+    "expand_rule_selectors",
     "finding_tuples",
+    "guarded_state_inventory",
     "lint_contexts",
     "lint_paths",
     "lint_source",
@@ -53,4 +67,5 @@ __all__ = [
     "make_rules",
     "parse_module",
     "render_baseline",
+    "scan_annotations",
 ]

@@ -1,0 +1,109 @@
+"""Parsing of ``# statics: ...`` source annotations.
+
+The concurrency-discipline (PL1xx) and backend-parity (PL2xx) rules are
+driven by *declarations in the source itself*, so the code and its
+concurrency/parity contract live on the same line and drift together or
+not at all.  The grammar is one comment per line, holding one or more
+``directive(argument)`` terms::
+
+    self._jobs = {}          # statics: guarded-by(_lock)
+    def counts(self):        # statics: holds(_lock)
+    class EchoAdversary(Adversary):
+        # statics: batch-unsupported(echo traffic has no declarative form)
+
+Recognised directives:
+
+``guarded-by(<lock attr>)``
+    On an attribute assignment (``self.x = ...`` in a method, or a
+    dataclass field line): every read/write of that attribute must
+    happen under ``with <lock>:`` or inside a ``holds`` method (PL101).
+``holds(<lock attr>)``
+    On a ``def`` line: the method's contract is that callers hold the
+    named lock, so guarded accesses inside it are legal (PL101) and
+    locks acquired inside it order after the held one (PL102).
+``batch-unsupported(<reason>)``
+    On a ``class`` header: this concrete Adversary deliberately has no
+    batch replay; the inherited ``batch_spec()`` raise is intentional
+    (PL201) and the docs support matrix must list it as unsupported
+    (PL202).
+
+A ``# statics:`` marker that parses to no recognised directive is a
+finding (PL101) — a silently ignored contract is worse than none.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+#: The directives the rules understand.
+KNOWN_DIRECTIVES = ("guarded-by", "holds", "batch-unsupported")
+
+_MARKER = re.compile(r"#\s*statics:\s*(.*)$")
+_DIRECTIVE = re.compile(r"([a-z][a-z-]*)\s*\(([^()]*)\)")
+
+
+@dataclass(frozen=True)
+class Annotation:
+    """One parsed ``directive(argument)`` term and where it was written."""
+
+    directive: str  #: e.g. ``"guarded-by"``
+    argument: str  #: the text between the parentheses, stripped
+    line: int  #: 1-based source line
+
+
+def _comment_tokens(lines: Sequence[str]) -> Iterator[Tuple[int, str]]:
+    """``(1-based line, comment text)`` for every real comment token.
+
+    Tokenizing (rather than regex-scanning raw lines) keeps ``# statics:``
+    mentions inside docstrings and string literals from parsing as
+    annotations.  Falls back to a line scan if tokenization fails — the
+    sources we lint have already parsed, so that is a corner case.
+    """
+    source = "\n".join(lines) + "\n"
+    try:
+        for token in tokenize.generate_tokens(io.StringIO(source).readline):
+            if token.type == tokenize.COMMENT:
+                yield token.start[0], token.string
+    except (tokenize.TokenizeError, IndentationError, SyntaxError):
+        for index, text in enumerate(lines, start=1):
+            if "#" in text:
+                yield index, text[text.index("#") :]
+
+
+def scan_annotations(lines: Sequence[str]) -> Dict[int, List[Annotation]]:
+    """Parse every ``# statics:`` comment in *lines*.
+
+    Returns ``{1-based line: [Annotation, ...]}``.  A marker whose tail
+    contains an unknown directive (or none at all) yields an annotation
+    with directive ``"malformed"`` so PL101 can report it with a line.
+    """
+    found: Dict[int, List[Annotation]] = {}
+    for index, text in _comment_tokens(lines):
+        marker = _MARKER.search(text)
+        if marker is None:
+            continue
+        terms: List[Annotation] = []
+        for match in _DIRECTIVE.finditer(marker.group(1)):
+            name, argument = match.group(1), match.group(2).strip()
+            if name in KNOWN_DIRECTIVES:
+                terms.append(Annotation(name, argument, index))
+            else:
+                terms.append(Annotation("malformed", name, index))
+        if not terms:
+            terms.append(Annotation("malformed", marker.group(1).strip(), index))
+        found[index] = terms
+    return found
+
+
+def annotations_in_range(
+    table: Dict[int, List[Annotation]], start: int, stop: int
+) -> List[Annotation]:
+    """Annotations on lines ``start <= line < stop`` (header regions)."""
+    collected: List[Annotation] = []
+    for line in range(start, stop):
+        collected.extend(table.get(line, ()))
+    return collected

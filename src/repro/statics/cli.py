@@ -17,6 +17,7 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import subprocess
 import sys
 from typing import List, Optional, Sequence, TextIO
 
@@ -50,8 +51,8 @@ def build_parser(prog: str = "protolint") -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog=prog,
         description=(
-            "Protocol-invariant linter for src/repro (rules PL001-PL004; "
-            "see docs/STATIC_ANALYSIS.md)"
+            "Protocol-invariant linter for src/repro (rules PL001-PL004, "
+            "PL101-PL104, PL201-PL202; see docs/STATIC_ANALYSIS.md)"
         ),
     )
     parser.add_argument(
@@ -68,7 +69,24 @@ def build_parser(prog: str = "protolint") -> argparse.ArgumentParser:
         "--rules",
         default=None,
         metavar="IDS",
-        help="comma-separated rule ids to run (default: all)",
+        help=(
+            "comma-separated rule ids or families to run, e.g. "
+            "'PL101,PL2xx' (default: all)"
+        ),
+    )
+    parser.add_argument(
+        "--changed",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="BASE",
+        help=(
+            "lint only Python files changed since the git merge-base with "
+            "BASE (default: origin/main, falling back to main); includes "
+            "uncommitted and untracked files.  Cross-module absence checks "
+            "(e.g. PL202 missing-row findings) are skipped on such partial "
+            "runs — CI's full run still enforces them"
+        ),
     )
     parser.add_argument(
         "--baseline",
@@ -102,6 +120,52 @@ def build_parser(prog: str = "protolint") -> argparse.ArgumentParser:
     return parser
 
 
+def changed_files(base: Optional[str], src_root: str) -> List[str]:
+    """Python files under *src_root* differing from the git merge-base.
+
+    The diff base is ``merge-base HEAD <base>`` (default: ``origin/main``,
+    falling back to ``main``); uncommitted modifications and untracked
+    files are included, deletions are not (the file no longer exists).
+    Raises :class:`RuntimeError` when git or the base ref is unavailable.
+    """
+    repo_root = os.path.dirname(src_root)
+
+    def git(*args: str) -> str:
+        proc = subprocess.run(
+            ["git", *args],
+            cwd=repo_root,
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        return proc.stdout
+
+    merge_base = None
+    errors: List[str] = []
+    for ref in [base] if base else ["origin/main", "main"]:
+        try:
+            merge_base = git("merge-base", "HEAD", ref).strip()
+            break
+        except (OSError, subprocess.CalledProcessError) as exc:
+            detail = getattr(exc, "stderr", "") or str(exc)
+            errors.append(f"{ref}: {detail.strip()}")
+    if merge_base is None:
+        raise RuntimeError(
+            "cannot resolve a merge base for --changed "
+            f"({'; '.join(errors)})"
+        )
+    names = set(git("diff", "--name-only", merge_base).splitlines())
+    names.update(git("ls-files", "--others", "--exclude-standard").splitlines())
+    selected = []
+    for name in sorted(names):
+        if not name.endswith(".py"):
+            continue
+        path = os.path.join(repo_root, name.replace("/", os.sep))
+        if os.path.exists(path) and path.startswith(src_root + os.sep):
+            selected.append(path)
+    return selected
+
+
 def run(
     argv: Optional[Sequence[str]] = None,
     prog: str = "protolint",
@@ -125,8 +189,39 @@ def run(
             print(f"{prog}: --rules given but no rule ids parsed", file=err)
             return EXIT_USAGE
 
+    paths = args.paths or None
+    if args.changed is not None:
+        if paths:
+            print(
+                f"{prog}: --changed and explicit paths are mutually exclusive",
+                file=err,
+            )
+            return EXIT_USAGE
+        try:
+            paths = changed_files(args.changed or None, source_root())
+        except RuntimeError as exc:
+            print(f"{prog}: {exc}", file=err)
+            return EXIT_USAGE
+        if not paths:
+            if args.json:
+                document = {
+                    "version": SCHEMA_VERSION,
+                    "checked_files": 0,
+                    "suppressed": 0,
+                    "baselined": 0,
+                    "rules": [],
+                    "findings": [],
+                }
+                print(json.dumps(document, indent=2), file=out)
+            else:
+                print(
+                    f"{prog}: no changed files under src/, nothing to lint",
+                    file=out,
+                )
+            return EXIT_CLEAN
+
     try:
-        result = lint_paths(paths=args.paths or None, rule_ids=rule_ids)
+        result = lint_paths(paths=paths, rule_ids=rule_ids)
     except KeyError as exc:
         print(f"{prog}: {exc.args[0]}", file=err)
         return EXIT_USAGE
@@ -172,6 +267,7 @@ def run(
             "checked_files": result.checked_files,
             "suppressed": result.suppressed,
             "baselined": absorbed,
+            "rules": result.rules,
             "findings": [finding.to_dict() for finding in findings],
         }
         print(json.dumps(document, indent=2), file=out)

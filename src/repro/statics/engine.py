@@ -26,6 +26,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from .discovery import iter_source_files, module_name, source_root
 from .findings import Finding
+from .model import ProgramModel
 
 _SUPPRESS = re.compile(r"#\s*protolint:\s*disable=([A-Za-z0-9_,\s]+)")
 
@@ -57,10 +58,16 @@ class LintConfig:
     ``declared_tags`` / ``handler_exempt_tags`` feed PL003; when ``None``
     the engine extracts them from ``repro/net/messages.py`` (see
     :func:`repro.statics.rules.handlers.extract_message_types`).
+    ``api_doc_path`` points PL202 at the support-matrix document, and
+    ``full_tree`` records whether the run covers the whole package —
+    cross-module rules only report *absence* findings (a class missing
+    from a doc table, say) when they saw the complete picture.
     """
 
     declared_tags: Optional[Dict[str, str]] = None
     handler_exempt_tags: Optional[Set[str]] = None
+    api_doc_path: Optional[str] = None
+    full_tree: bool = False
 
 
 @dataclass
@@ -70,6 +77,7 @@ class LintResult:
     findings: List[Finding]
     checked_files: int
     suppressed: int
+    rules: List[str] = field(default_factory=list)  #: executed rule ids
 
 
 def parse_module(
@@ -127,6 +135,9 @@ def lint_contexts(
     rules = _build_rules(rule_ids, config)
     raw: List[Finding] = []
     contexts = list(contexts)
+    model = ProgramModel(contexts, config)
+    for rule in rules:
+        rule.begin(model)
     for ctx in contexts:
         for rule in rules:
             raw.extend(rule.check(ctx))
@@ -144,7 +155,10 @@ def lint_contexts(
                 continue
         kept.append(finding)
     return LintResult(
-        findings=kept, checked_files=len(contexts), suppressed=suppressed
+        findings=kept,
+        checked_files=len(contexts),
+        suppressed=suppressed,
+        rules=[rule.rule_id for rule in rules],
     )
 
 
@@ -161,6 +175,7 @@ def lint_paths(
     """
     src = os.path.abspath(src_root) if src_root else source_root()
     repo = os.path.dirname(src)
+    full_tree = not paths
     if not paths:
         paths = [os.path.join(src, "repro")]
     files: List[str] = []
@@ -171,6 +186,11 @@ def lint_paths(
         else:
             files.append(path)
     config = _resolve_config(config, src)
+    config.full_tree = full_tree
+    if config.api_doc_path is None:
+        candidate = os.path.join(repo, "docs", "API.md")
+        if os.path.exists(candidate):
+            config.api_doc_path = candidate
     contexts: List[ModuleContext] = []
     syntax_findings: List[Finding] = []
     for path in files:

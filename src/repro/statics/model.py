@@ -1,0 +1,303 @@
+"""The cross-module program model behind the PL1xx/PL2xx rules.
+
+Until these rule families, every rule in :mod:`repro.statics` analysed
+one module at a time (``check``) with at most an aggregate pass at the
+end (``finalize``).  Concurrency discipline and backend parity cannot
+work that way: the lock that guards ``Job.status`` is declared in
+``repro.service.jobs`` but the accesses live in ``worker``/``http_api``/
+``session``, and the ``Adversary`` hierarchy that PL201 walks spans
+``repro.adversary`` *and* ``repro.authenticated``.
+
+:class:`ProgramModel` is the engine's answer: it is built once per lint
+run from every parsed module and handed to each rule's ``begin`` hook
+before the per-module passes start.  It indexes
+
+* every top-level class with its (import-resolved) base classes, so a
+  rule can walk inheritance across modules;
+* every ``# statics:`` annotation (:mod:`repro.statics.annotations`);
+* helper queries: subclass enumeration, method resolution along the
+  hierarchy, and the guarded-state inventory the architecture docs are
+  generated from.
+
+Resolution is deliberately lexical — no imports are executed.  Relative
+imports (``from .base import Adversary``) and re-export chains through
+``__init__`` modules are followed; anything that leaves the linted
+module set (``abc.ABC``, stdlib bases) resolves to ``None`` and is
+ignored by hierarchy walks.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Tuple
+
+from .annotations import Annotation, annotations_in_range, scan_annotations
+
+if TYPE_CHECKING:  # circular at runtime (engine imports model)
+    from .engine import LintConfig, ModuleContext
+
+#: Maximum re-export hops followed when resolving a symbol.
+_MAX_RESOLVE_DEPTH = 16
+
+
+@dataclass
+class ClassInfo:
+    """One top-level class definition and its cross-module identity."""
+
+    module: str  #: dotted module, e.g. ``"repro.adversary.base"``
+    name: str  #: the class name
+    node: ast.ClassDef  #: the definition
+    ctx: "ModuleContext"  #: the module it was parsed from
+    base_names: List[str] = field(default_factory=list)  #: raw dotted bases
+    methods: Dict[str, ast.FunctionDef] = field(default_factory=dict)  #: own defs
+
+    @property
+    def qualname(self) -> str:
+        """``module.ClassName`` — the index key."""
+        return f"{self.module}.{self.name}"
+
+    def header_annotations(self, model: "ProgramModel") -> List[Annotation]:
+        """Annotations in the class header region.
+
+        The region runs from the ``class`` line to the first body
+        statement, so both styles parse::
+
+            class X(Y):  # statics: batch-unsupported(reason)
+
+            class X(Y):
+                # statics: batch-unsupported(reason)
+                \"\"\"Docstring.\"\"\"
+        """
+        table = model.annotations(self.module)
+        stop = self.node.body[0].lineno if self.node.body else self.node.lineno + 1
+        return annotations_in_range(table, self.node.lineno, stop)
+
+
+def _dotted_name(node: ast.expr) -> Optional[str]:
+    """``a.b.C`` for a Name/Attribute chain, else ``None``."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _is_abstract_def(node: ast.FunctionDef) -> bool:
+    for decorator in node.decorator_list:
+        name = _dotted_name(decorator)
+        if name is not None and name.rsplit(".", 1)[-1].startswith("abstract"):
+            return True
+    return False
+
+
+class ProgramModel:
+    """Cross-module class hierarchy, imports, and annotation index."""
+
+    def __init__(
+        self,
+        contexts: List["ModuleContext"],
+        config: Optional["LintConfig"] = None,
+    ) -> None:
+        self.config = config
+        self.contexts = list(contexts)
+        self.by_module: Dict[str, "ModuleContext"] = {
+            ctx.module: ctx for ctx in self.contexts
+        }
+        self._annotations: Dict[str, Dict[int, List[Annotation]]] = {}
+        self._imports: Dict[str, Dict[str, str]] = {}
+        self.classes: Dict[str, ClassInfo] = {}
+        for ctx in self.contexts:
+            self._imports[ctx.module] = self._collect_imports(ctx)
+            for node in ctx.tree.body:
+                if isinstance(node, ast.ClassDef):
+                    self._index_class(ctx, node)
+
+    # -- construction --------------------------------------------------
+
+    def _collect_imports(self, ctx: "ModuleContext") -> Dict[str, str]:
+        is_package = ctx.path.endswith("__init__.py") or ctx.path == "<memory>"
+        table: Dict[str, str] = {}
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    table[local] = alias.name if alias.asname else local
+            elif isinstance(node, ast.ImportFrom):
+                base = self._from_base(ctx.module, node, is_package)
+                if base is None:
+                    continue
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    table[local] = f"{base}.{alias.name}" if base else alias.name
+        return table
+
+    @staticmethod
+    def _from_base(
+        module: str, node: ast.ImportFrom, is_package: bool
+    ) -> Optional[str]:
+        """The absolute module an ``ImportFrom`` pulls names out of."""
+        if node.level == 0:
+            return node.module
+        parts = module.split(".")
+        # A package's own module path is its base; a plain module drops
+        # its final component first.
+        trim = node.level - 1 if is_package else node.level
+        if trim > len(parts):
+            return None
+        base_parts = parts[: len(parts) - trim]
+        if node.module:
+            base_parts.append(node.module)
+        return ".".join(base_parts)
+
+    def _index_class(self, ctx: "ModuleContext", node: ast.ClassDef) -> None:
+        info = ClassInfo(module=ctx.module, name=node.name, node=node, ctx=ctx)
+        for base in node.bases:
+            dotted = _dotted_name(base)
+            if dotted is not None:
+                info.base_names.append(dotted)
+        for child in node.body:
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                info.methods.setdefault(child.name, child)  # type: ignore[arg-type]
+        self.classes[info.qualname] = info
+
+    # -- queries -------------------------------------------------------
+
+    def annotations(self, module: str) -> Dict[int, List[Annotation]]:
+        """The parsed ``# statics:`` table of one module (cached)."""
+        if module not in self._annotations:
+            ctx = self.by_module.get(module)
+            self._annotations[module] = (
+                scan_annotations(ctx.lines) if ctx is not None else {}
+            )
+        return self._annotations[module]
+
+    def resolve_symbol(
+        self, module: str, dotted: str, _depth: int = 0
+    ) -> Optional[str]:
+        """Resolve *dotted* as used in *module* to a known class qualname.
+
+        Follows import aliases and re-export chains (``from .base import
+        Adversary`` inside ``__init__`` modules); returns ``None`` for
+        anything outside the linted module set.
+        """
+        if _depth > _MAX_RESOLVE_DEPTH:
+            return None
+        head, _, rest = dotted.partition(".")
+        imported = self._imports.get(module, {}).get(head)
+        if imported is not None:
+            full = f"{imported}.{rest}" if rest else imported
+        elif f"{module}.{dotted}" in self.classes:
+            return f"{module}.{dotted}"
+        else:
+            full = dotted
+        if full in self.classes:
+            return full
+        # ``full`` may pass through another module's namespace (a
+        # re-export); split at the longest known module prefix and keep
+        # resolving from there.
+        prefix = full
+        while "." in prefix:
+            prefix = prefix.rsplit(".", 1)[0]
+            if prefix in self.by_module:
+                remainder = full[len(prefix) + 1 :]
+                if remainder and (prefix, remainder) != (module, dotted):
+                    return self.resolve_symbol(prefix, remainder, _depth + 1)
+                break
+        return None
+
+    def resolved_bases(self, info: ClassInfo) -> List[ClassInfo]:
+        """The base classes of *info* that resolve inside the model."""
+        bases: List[ClassInfo] = []
+        for name in info.base_names:
+            qualname = self.resolve_symbol(info.module, name)
+            if qualname is not None and qualname != info.qualname:
+                bases.append(self.classes[qualname])
+        return bases
+
+    def is_subclass_of(self, info: ClassInfo, root_qualname: str) -> bool:
+        """Transitive subclass test against a class *qualname*."""
+        seen = set()
+        stack = [info]
+        while stack:
+            current = stack.pop()
+            if current.qualname in seen:
+                continue
+            seen.add(current.qualname)
+            for base in self.resolved_bases(current):
+                if base.qualname == root_qualname:
+                    return True
+                stack.append(base)
+        return False
+
+    def subclasses_of(self, root_qualname: str) -> Iterator[ClassInfo]:
+        """Every indexed class transitively below *root_qualname* (sorted)."""
+        for qualname in sorted(self.classes):
+            info = self.classes[qualname]
+            if qualname != root_qualname and self.is_subclass_of(
+                info, root_qualname
+            ):
+                yield info
+
+    def find_method(
+        self, info: ClassInfo, name: str
+    ) -> Optional[Tuple[ClassInfo, ast.FunctionDef]]:
+        """The definition of *name* along the hierarchy (own class first)."""
+        seen = set()
+        stack = [info]
+        while stack:
+            current = stack.pop(0)
+            if current.qualname in seen:
+                continue
+            seen.add(current.qualname)
+            if name in current.methods:
+                return current, current.methods[name]
+            stack.extend(self.resolved_bases(current))
+        return None
+
+    def is_concrete(self, info: ClassInfo, required_method: str) -> bool:
+        """Whether *info* is instantiable with *required_method* implemented.
+
+        "Concrete" here is lexical: the class declares no own
+        ``@abstractmethod`` and *required_method* resolves to a
+        non-abstract definition somewhere in the hierarchy.
+        """
+        if any(_is_abstract_def(fn) for fn in info.methods.values()):
+            return False
+        resolved = self.find_method(info, required_method)
+        return resolved is not None and not _is_abstract_def(resolved[1])
+
+
+def guarded_state_inventory(
+    src_root: Optional[str] = None,
+) -> Dict[Tuple[str, str], str]:
+    """``(class qualname, attribute) -> lock`` from PL101 annotations.
+
+    This is what the concurrency-model section of
+    ``docs/ARCHITECTURE.md`` is generated from (and asserts against in
+    its executable block): the documented lock table and the annotations
+    the linter enforces are the same data by construction.
+    """
+    import os
+
+    from .discovery import iter_source_files, module_name, source_root
+    from .engine import parse_module
+    from .rules.concurrency import guarded_declarations, in_concurrency_scope
+
+    src = os.path.abspath(src_root) if src_root else source_root()
+    repo = os.path.dirname(src)
+    contexts = []
+    for path in iter_source_files(os.path.join(src, "repro")):
+        module = module_name(path, src)
+        if not in_concurrency_scope(module):
+            continue
+        rel = os.path.relpath(path, repo).replace(os.sep, "/")
+        contexts.append(parse_module(path, rel, module))
+    model = ProgramModel(contexts)
+    inventory: Dict[Tuple[str, str], str] = {}
+    for declaration in guarded_declarations(model):
+        inventory[(declaration.owner, declaration.attribute)] = declaration.lock
+    return inventory

@@ -18,29 +18,58 @@ PL003     handler exhaustiveness — payload tags must be declared in
           module sends it must also handle
 PL004     observer purity — ``on_round`` observers read simulator state,
           never mutate it
+PL101     guarded-state discipline — shared service state is declared
+          ``# statics: guarded-by(<lock>)`` and only touched under that
+          lock (or in a ``# statics: holds(<lock>)`` method)
+PL102     lock ordering — the cross-module may-acquire graph is acyclic
+PL103     no blocking under lock — joins, waits, sockets, subprocesses
+          and pool submits stay outside ``with lock:`` bodies
+PL104     thread lifecycle — threads are ``daemon=True`` or joined on a
+          shutdown path
+PL201     adversary batch parity — concrete ``Adversary`` subclasses
+          override ``batch_spec()`` or declare
+          ``# statics: batch-unsupported(<reason>)``
+PL202     docs parity — the ``docs/API.md`` support matrix agrees with
+          the PL201 declarations
 ========  ==============================================================
+
+Rule ids group into families by their hundreds digit; the CLI accepts
+family selectors (``PL1xx``) wherever it accepts ids (see
+:func:`expand_rule_selectors`).
 """
 
 from __future__ import annotations
 
 import abc
 import ast
+import re
 from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Sequence, Type
 
 from ..findings import Finding
 
 if TYPE_CHECKING:  # circular at runtime (engine imports rules)
     from ..engine import LintConfig, ModuleContext
+    from ..model import ProgramModel
+
+_FAMILY_SELECTOR = re.compile(r"^(PL\d)xx$", re.IGNORECASE)
 
 
 class Rule(abc.ABC):
-    """One lint rule: a per-module pass plus an optional cross-module pass."""
+    """One lint rule: per-module and (optionally) cross-module passes.
+
+    The engine drives three hooks per run: :meth:`begin` once with the
+    cross-module :class:`~repro.statics.model.ProgramModel`, then
+    :meth:`check` per module, then :meth:`finalize` once.
+    """
 
     rule_id: str = "PL000"
     title: str = ""
 
     def __init__(self, config: "LintConfig") -> None:
         self.config = config
+
+    def begin(self, model: "ProgramModel") -> None:
+        """Receive the cross-module model before the per-module passes."""
 
     @abc.abstractmethod
     def check(self, ctx: "ModuleContext") -> Iterator[Finding]:
@@ -86,11 +115,42 @@ def in_packages(module: str, packages: Sequence[str]) -> bool:
     return False
 
 
+def expand_rule_selectors(selectors: Sequence[str]) -> List[str]:
+    """Expand family selectors (``PL1xx``) into concrete rule ids.
+
+    Plain ids pass through untouched (including unknown ones, so
+    :func:`make_rules` still produces its "unknown rule id" error); a
+    family selector that matches nothing raises :class:`KeyError`.
+    """
+    expanded: List[str] = []
+    for selector in selectors:
+        match = _FAMILY_SELECTOR.match(selector.strip())
+        if match is None:
+            expanded.append(selector.strip())
+            continue
+        prefix = match.group(1).upper()
+        members = sorted(
+            rule_id for rule_id in RULES if rule_id.startswith(prefix)
+        )
+        if not members:
+            raise KeyError(
+                f"rule family {selector!r} matches no rules "
+                f"(available: {', '.join(sorted(RULES))})"
+            )
+        expanded.extend(members)
+    return expanded
+
+
 def make_rules(
     rule_ids: Optional[Sequence[str]], config: "LintConfig"
 ) -> List[Rule]:
-    """Instantiate the selected rules (all of them when *rule_ids* is None)."""
+    """Instantiate the selected rules (all of them when *rule_ids* is None).
+
+    *rule_ids* may mix concrete ids with family selectors (``PL1xx``).
+    """
     selected: List[Rule] = []
+    if rule_ids is not None:
+        rule_ids = expand_rule_selectors(rule_ids)
     unknown = set(rule_ids or ()) - set(RULES)
     if unknown:
         raise KeyError(
@@ -103,10 +163,17 @@ def make_rules(
     return selected
 
 
+from .concurrency import (  # noqa: E402
+    GuardedStateRule,
+    LockOrderingRule,
+    NoBlockingUnderLockRule,
+    ThreadLifecycleRule,
+)
 from .determinism import DeterminismRule  # noqa: E402
 from .guards import GuardDisciplineRule  # noqa: E402
 from .handlers import HandlerExhaustivenessRule  # noqa: E402
 from .observers import ObserverPurityRule  # noqa: E402
+from .parity import BatchParityRule, DocsParityRule  # noqa: E402
 
 #: The shipped rule catalog, keyed by rule id.
 RULES: Dict[str, Type[Rule]] = {
@@ -114,4 +181,10 @@ RULES: Dict[str, Type[Rule]] = {
     GuardDisciplineRule.rule_id: GuardDisciplineRule,
     HandlerExhaustivenessRule.rule_id: HandlerExhaustivenessRule,
     ObserverPurityRule.rule_id: ObserverPurityRule,
+    GuardedStateRule.rule_id: GuardedStateRule,
+    LockOrderingRule.rule_id: LockOrderingRule,
+    NoBlockingUnderLockRule.rule_id: NoBlockingUnderLockRule,
+    ThreadLifecycleRule.rule_id: ThreadLifecycleRule,
+    BatchParityRule.rule_id: BatchParityRule,
+    DocsParityRule.rule_id: DocsParityRule,
 }

@@ -1,0 +1,804 @@
+"""PL101–PL104 — concurrency discipline for the threaded service.
+
+``repro.service`` is a long-running multi-threaded system: HTTP handler
+threads (``ThreadingHTTPServer``) read job state while the worker thread
+writes it, with one ``JobStore`` lock in between.  A forgotten lock is
+invisible to the test suite (CPython's GIL hides most races until the
+worst moment), so the discipline is enforced statically, driven by
+``# statics:`` annotations (:mod:`repro.statics.annotations`):
+
+========  ==============================================================
+PL101     guarded-state discipline — mutable state shared across threads
+          must be declared ``# statics: guarded-by(<lock>)``, and every
+          read/write of a declared attribute must sit inside a
+          ``with <lock>:`` block or a method marked
+          ``# statics: holds(<lock>)``
+PL102     lock ordering — the may-acquire graph (built across modules,
+          ``holds`` edges included) must be acyclic
+PL103     no blocking under lock — ``join()``/``wait()``/socket/HTTP/
+          subprocess/pool-submit calls are banned inside ``with lock:``
+          bodies
+PL104     thread lifecycle — every ``threading.Thread(...)`` constructed
+          must be ``daemon=True`` or joined on a shutdown path
+          (``close``/``shutdown``/``stop``/``__exit__``)
+========  ==============================================================
+
+Scope: :data:`CONCURRENCY_PACKAGES` (``repro.service``) plus
+:data:`CONCURRENCY_MODULES` (``repro.analysis.parallel``).  The analysis
+is lexical and name-based (attribute *names*, not objects): precise
+enough for one service codebase with a handful of locks, cheap enough to
+run on every commit, and honest about its limits — a ``holds`` method's
+*callers* are trusted, not checked.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Set,
+    Tuple,
+)
+
+from ..annotations import Annotation, annotations_in_range
+from ..findings import Finding
+from ..model import ProgramModel
+from . import Rule, in_packages, root_name
+
+if TYPE_CHECKING:  # circular at runtime (engine imports rules)
+    from ..engine import ModuleContext
+
+#: ``repro.<pkg>`` packages under concurrency discipline.
+CONCURRENCY_PACKAGES: Tuple[str, ...] = ("service",)
+
+#: Individual modules under concurrency discipline.
+CONCURRENCY_MODULES: Tuple[str, ...] = ("repro.analysis.parallel",)
+
+#: Constructor names that make an attribute a lock.
+LOCK_CONSTRUCTORS = {"Lock", "RLock", "Condition", "Semaphore", "BoundedSemaphore"}
+
+#: Method names that count as a shutdown path for PL104.
+SHUTDOWN_METHODS = {"close", "shutdown", "stop", "join", "__exit__", "__del__"}
+
+#: Call names that block the calling thread (PL103).
+BLOCKING_NAMES = {
+    "wait",
+    "acquire",
+    "urlopen",
+    "recv",
+    "accept",
+    "connect",
+    "sendall",
+    "submit",
+    "result",
+    "sleep",
+    "check_call",
+    "check_output",
+    "Popen",
+}
+
+#: Methods whose bodies run before the object is shared between threads.
+CONSTRUCTION_METHODS = {"__init__", "__post_init__"}
+
+
+def in_concurrency_scope(module: str) -> bool:
+    """Whether *module* is linted by the PL1xx family."""
+    if in_packages(module, CONCURRENCY_PACKAGES):
+        return True
+    return module in CONCURRENCY_MODULES or any(
+        module.startswith(prefix + ".") for prefix in CONCURRENCY_MODULES
+    )
+
+
+def _terminal_name(node: ast.expr) -> Optional[str]:
+    """The last component of a Name/Attribute/Call chain."""
+    if isinstance(node, ast.Call):
+        node = node.func
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+class GuardedDeclaration:
+    """One ``guarded-by`` declaration: which attribute, which lock, where."""
+
+    def __init__(
+        self, owner: str, attribute: str, lock: str, module: str, line: int
+    ) -> None:
+        self.owner = owner  #: declaring class qualname
+        self.attribute = attribute
+        self.lock = lock
+        self.module = module
+        self.line = line
+
+
+def _assigned_attributes(node: ast.stmt) -> List[str]:
+    """Attribute names assigned by one statement (fields and ``self.x``)."""
+    targets: List[ast.expr] = []
+    if isinstance(node, ast.Assign):
+        targets = list(node.targets)
+    elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+        targets = [node.target]
+    names: List[str] = []
+    for target in targets:
+        if isinstance(target, ast.Name):
+            names.append(target.id)
+        elif isinstance(target, ast.Attribute):
+            names.append(target.attr)
+        elif isinstance(target, ast.Tuple):
+            for element in target.elts:
+                if isinstance(element, ast.Attribute):
+                    names.append(element.attr)
+                elif isinstance(element, ast.Name):
+                    names.append(element.id)
+    return names
+
+
+def guarded_declarations(model: ProgramModel) -> List[GuardedDeclaration]:
+    """Every ``guarded-by`` declaration in the concurrency scope."""
+    declarations: List[GuardedDeclaration] = []
+    for qualname in sorted(model.classes):
+        info = model.classes[qualname]
+        if not in_concurrency_scope(info.module):
+            continue
+        table = model.annotations(info.module)
+        for stmt in ast.walk(info.node):
+            if not isinstance(stmt, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                continue
+            for annotation in table.get(stmt.lineno, ()):
+                if annotation.directive != "guarded-by" or not annotation.argument:
+                    continue
+                for attr in _assigned_attributes(stmt):
+                    declarations.append(
+                        GuardedDeclaration(
+                            owner=qualname,
+                            attribute=attr,
+                            lock=annotation.argument,
+                            module=info.module,
+                            line=stmt.lineno,
+                        )
+                    )
+    return declarations
+
+
+def _declared_locks(model: ProgramModel) -> Set[str]:
+    """Every lock name referenced by ``guarded-by``/``holds`` annotations."""
+    locks: Set[str] = set()
+    for ctx in model.contexts:
+        if not in_concurrency_scope(ctx.module):
+            continue
+        for annotations in model.annotations(ctx.module).values():
+            for annotation in annotations:
+                if annotation.directive in ("guarded-by", "holds"):
+                    if annotation.argument:
+                        locks.add(annotation.argument)
+    return locks
+
+
+def _lock_attributes(model: ProgramModel) -> Set[str]:
+    """Attribute names assigned a ``threading.Lock()``-style constructor."""
+    names: Set[str] = set()
+    for ctx in model.contexts:
+        if not in_concurrency_scope(ctx.module):
+            continue
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+                ctor = _terminal_name(node.value)
+                if ctor in LOCK_CONSTRUCTORS:
+                    names.update(_assigned_attributes(node))
+    return names
+
+
+def make_lock_predicate(model: ProgramModel) -> Callable[[str], bool]:
+    """``is_lock(name)`` for with-statement acquisition detection."""
+    known = _declared_locks(model) | _lock_attributes(model)
+
+    def is_lock(name: str) -> bool:
+        return name in known or "lock" in name.lower()
+
+    return is_lock
+
+
+class _LockAwareVisitor(ast.NodeVisitor):
+    """Shared traversal that tracks which locks are lexically held.
+
+    ``with <lock>:`` items and ``# statics: holds(<lock>)`` method
+    headers push onto :attr:`held`; subclasses hook :meth:`on_acquire`
+    and the standard ``visit_*`` methods.
+    """
+
+    def __init__(
+        self,
+        ann_table: Dict[int, List[Annotation]],
+        is_lock: Callable[[str], bool],
+    ) -> None:
+        self.ann_table = ann_table
+        self.is_lock = is_lock
+        self.held: List[str] = []
+
+    def _header_annotations(self, node: ast.AST) -> List[Annotation]:
+        body = getattr(node, "body", None)
+        stop = body[0].lineno if body else node.lineno + 1  # type: ignore[attr-defined]
+        return annotations_in_range(self.ann_table, node.lineno, stop)  # type: ignore[attr-defined]
+
+    def on_acquire(self, lock: str, node: ast.expr) -> None:
+        """Called when a ``with <lock>:`` acquisition is entered."""
+
+    def enter_function(self, node: ast.AST) -> None:
+        """Called before a function body is traversed."""
+
+    def exit_function(self, node: ast.AST) -> None:
+        """Called after a function body was traversed."""
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        """Track ``holds`` headers around the function body."""
+        holds = [
+            annotation.argument
+            for annotation in self._header_annotations(node)
+            if annotation.directive == "holds" and annotation.argument
+        ]
+        before = len(self.held)
+        self.held.extend(holds)
+        self.enter_function(node)
+        self.generic_visit(node)
+        self.exit_function(node)
+        del self.held[before:]
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        """Async functions track ``holds`` exactly like plain ones."""
+        self.visit_FunctionDef(node)  # type: ignore[arg-type]
+
+    def _visit_with(self, node: ast.With) -> None:
+        acquired: List[str] = []
+        for item in node.items:
+            self.visit(item.context_expr)
+            if item.optional_vars is not None:
+                self.visit(item.optional_vars)
+            name = _terminal_name(item.context_expr)
+            if name is not None and self.is_lock(name):
+                self.on_acquire(name, item.context_expr)
+                acquired.append(name)
+        self.held.extend(acquired)
+        for stmt in node.body:
+            self.visit(stmt)
+        if acquired:
+            del self.held[-len(acquired) :]
+
+    visit_With = _visit_with
+    visit_AsyncWith = _visit_with
+
+
+class _GuardedAccessVisitor(_LockAwareVisitor):
+    """PL101 component: guarded attributes accessed only under their lock."""
+
+    def __init__(
+        self,
+        rule: "GuardedStateRule",
+        ctx: "ModuleContext",
+        guarded: Dict[str, Set[str]],
+        ann_table: Dict[int, List[Annotation]],
+        is_lock: Callable[[str], bool],
+        imported_roots: Set[str],
+    ) -> None:
+        super().__init__(ann_table, is_lock)
+        self.rule = rule
+        self.ctx = ctx
+        self.guarded = guarded
+        self.imported_roots = imported_roots
+        self.findings: List[Finding] = []
+        self._construction_depth = 0
+
+    def enter_function(self, node: ast.AST) -> None:
+        if getattr(node, "name", "") in CONSTRUCTION_METHODS:
+            self._construction_depth += 1
+
+    def exit_function(self, node: ast.AST) -> None:
+        if getattr(node, "name", "") in CONSTRUCTION_METHODS:
+            self._construction_depth -= 1
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        """Check one attribute access against the guarded table."""
+        locks = self.guarded.get(node.attr)
+        if (
+            locks is not None
+            and self._construction_depth == 0
+            and not any(lock in self.held for lock in locks)
+            and not self._is_declaration_line(node.lineno)
+            # A chain rooted at an imported name (``urllib.error``) is a
+            # module/class attribute, not shared instance state.
+            and root_name(node) not in self.imported_roots
+        ):
+            wanted = "/".join(sorted(locks))
+            self.findings.append(
+                self.rule.finding(
+                    self.ctx,
+                    node,
+                    f"access to guarded attribute `{node.attr}` outside "
+                    f"`with <{wanted}>:`; hold the lock or mark the method "
+                    f"`# statics: holds({wanted})`",
+                )
+            )
+        self.generic_visit(node)
+
+    def _is_declaration_line(self, line: int) -> bool:
+        return any(
+            annotation.directive == "guarded-by"
+            for annotation in self.ann_table.get(line, ())
+        )
+
+
+class GuardedStateRule(Rule):
+    """PL101: shared mutable state is declared and accessed under its lock."""
+
+    rule_id = "PL101"
+    title = "guarded-state discipline"
+
+    def __init__(self, config: "LintConfig") -> None:  # noqa: F821
+        super().__init__(config)
+        self._guarded: Dict[str, Set[str]] = {}
+        self._is_lock: Callable[[str], bool] = lambda name: "lock" in name.lower()
+        self._model: Optional[ProgramModel] = None
+
+    def begin(self, model: ProgramModel) -> None:
+        """Build the cross-module guarded table before per-module checks."""
+        self._model = model
+        self._guarded = {}
+        for declaration in guarded_declarations(model):
+            self._guarded.setdefault(declaration.attribute, set()).add(
+                declaration.lock
+            )
+        self._is_lock = make_lock_predicate(model)
+
+    def check(self, ctx: "ModuleContext") -> Iterator[Finding]:  # noqa: F821
+        if ctx.module.startswith("repro"):
+            yield from self._check_malformed(ctx)
+        if not in_concurrency_scope(ctx.module):
+            return
+        yield from self._check_undeclared_writes(ctx)
+        visitor = _GuardedAccessVisitor(
+            self,
+            ctx,
+            self._guarded,
+            self._annotations(ctx),
+            self._is_lock,
+            _imported_roots(ctx.tree),
+        )
+        visitor.visit(ctx.tree)
+        yield from visitor.findings
+
+    # -- malformed annotations -----------------------------------------
+
+    def _annotations(self, ctx: "ModuleContext") -> Dict[int, List[Annotation]]:  # noqa: F821
+        if self._model is not None and ctx.module in self._model.by_module:
+            return self._model.annotations(ctx.module)
+        from ..annotations import scan_annotations
+
+        return scan_annotations(ctx.lines)
+
+    def _check_malformed(self, ctx: "ModuleContext") -> Iterator[Finding]:  # noqa: F821
+        for line, annotations in sorted(self._annotations(ctx).items()):
+            for annotation in annotations:
+                if annotation.directive == "malformed":
+                    yield Finding(
+                        path=ctx.rel_path,
+                        line=line,
+                        rule=self.rule_id,
+                        message=(
+                            f"malformed `# statics:` annotation "
+                            f"({annotation.argument!r}); expected "
+                            "guarded-by(<lock>), holds(<lock>) or "
+                            "batch-unsupported(<reason>)"
+                        ),
+                    )
+
+    # -- undeclared shared writes ----------------------------------------
+
+    def _check_undeclared_writes(
+        self, ctx: "ModuleContext"  # noqa: F821
+    ) -> Iterator[Finding]:
+        table = self._annotations(ctx)
+        for classdef in ctx.tree.body:
+            if not isinstance(classdef, ast.ClassDef):
+                continue
+            if not self._is_concurrent_class(classdef):
+                continue
+            for method in classdef.body:
+                if not isinstance(
+                    method, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ):
+                    continue
+                if method.name in CONSTRUCTION_METHODS:
+                    continue
+                yield from self._scan_method_writes(ctx, classdef, method, table)
+
+    def _scan_method_writes(
+        self,
+        ctx: "ModuleContext",  # noqa: F821
+        classdef: ast.ClassDef,
+        method: ast.AST,
+        table: Dict[int, List[Annotation]],
+    ) -> Iterator[Finding]:
+        for stmt in ast.walk(method):
+            if not isinstance(stmt, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                continue
+            if any(
+                annotation.directive == "guarded-by"
+                for annotation in table.get(stmt.lineno, ())
+            ):
+                continue
+            for target in _self_attribute_targets(stmt):
+                if target in self._guarded or self._is_lock(target):
+                    continue
+                yield self.finding(
+                    ctx,
+                    stmt,
+                    f"`self.{target}` is written outside __init__ in "
+                    f"concurrent class `{classdef.name}` without a "
+                    "`# statics: guarded-by(<lock>)` declaration",
+                )
+
+    def _is_concurrent_class(self, classdef: ast.ClassDef) -> bool:
+        for base in classdef.bases:
+            name = _terminal_name(base) or ""
+            if "Thread" in name or name.endswith(("RequestHandler", "Server")):
+                return True
+        for node in ast.walk(classdef):
+            if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+                if _terminal_name(node.value) in LOCK_CONSTRUCTORS:
+                    return True
+        return False
+
+
+def _imported_roots(tree: ast.Module) -> Set[str]:
+    """Local names bound by imports anywhere in *tree*."""
+    roots: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                roots.add(alias.asname or alias.name.split(".")[0])
+        elif isinstance(node, ast.ImportFrom):
+            for alias in node.names:
+                roots.add(alias.asname or alias.name)
+    return roots
+
+
+def _self_attribute_targets(stmt: ast.stmt) -> List[str]:
+    targets: List[ast.expr] = []
+    if isinstance(stmt, ast.Assign):
+        targets = list(stmt.targets)
+    elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+        targets = [stmt.target]
+    names: List[str] = []
+    for target in targets:
+        if (
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "self"
+        ):
+            names.append(target.attr)
+    return names
+
+
+class _AcquisitionVisitor(_LockAwareVisitor):
+    """PL102 helper: record may-acquire edges while traversing."""
+
+    def __init__(
+        self,
+        ctx: "ModuleContext",  # noqa: F821
+        ann_table: Dict[int, List[Annotation]],
+        is_lock: Callable[[str], bool],
+        edges: Dict[Tuple[str, str], Tuple[str, int]],
+    ) -> None:
+        super().__init__(ann_table, is_lock)
+        self.ctx = ctx
+        self.edges = edges
+
+    def on_acquire(self, lock: str, node: ast.expr) -> None:
+        for outer in self.held:
+            if outer != lock:
+                self.edges.setdefault(
+                    (outer, lock), (self.ctx.rel_path, node.lineno)
+                )
+
+
+class LockOrderingRule(Rule):
+    """PL102: the cross-module may-acquire graph has no cycles."""
+
+    rule_id = "PL102"
+    title = "lock ordering"
+
+    def __init__(self, config: "LintConfig") -> None:  # noqa: F821
+        super().__init__(config)
+        self._edges: Dict[Tuple[str, str], Tuple[str, int]] = {}
+        self._model: Optional[ProgramModel] = None
+
+    def begin(self, model: ProgramModel) -> None:
+        """Collect acquisition edges from every in-scope module."""
+        self._model = model
+        self._edges = {}
+        is_lock = make_lock_predicate(model)
+        for ctx in model.contexts:
+            if not in_concurrency_scope(ctx.module):
+                continue
+            visitor = _AcquisitionVisitor(
+                ctx, model.annotations(ctx.module), is_lock, self._edges
+            )
+            visitor.visit(ctx.tree)
+
+    def check(self, ctx: "ModuleContext") -> Iterator[Finding]:  # noqa: F821
+        return iter(())
+
+    def finalize(self) -> Iterator[Finding]:
+        """Report one finding per distinct acquisition cycle."""
+        adjacency: Dict[str, List[str]] = {}
+        for outer, inner in self._edges:
+            adjacency.setdefault(outer, []).append(inner)
+        reported: Set[frozenset] = set()
+        for start in sorted(adjacency):
+            cycle = self._find_cycle(start, adjacency)
+            if cycle is None or frozenset(cycle) in reported:
+                continue
+            reported.add(frozenset(cycle))
+            path, line = self._edges[(cycle[0], cycle[1])]
+            chain = " -> ".join(cycle + [cycle[0]])
+            yield Finding(
+                path=path,
+                line=line,
+                rule=self.rule_id,
+                message=(
+                    f"lock-ordering cycle {chain}: two threads taking these "
+                    "locks in opposite orders can deadlock; pick one global "
+                    "order"
+                ),
+            )
+
+    @staticmethod
+    def _find_cycle(
+        start: str, adjacency: Dict[str, List[str]]
+    ) -> Optional[List[str]]:
+        stack: List[str] = []
+        on_stack: Set[str] = set()
+        visited: Set[str] = set()
+
+        def walk(node: str) -> Optional[List[str]]:
+            stack.append(node)
+            on_stack.add(node)
+            for succ in sorted(adjacency.get(node, ())):
+                if succ in on_stack:
+                    return stack[stack.index(succ) :]
+                if succ not in visited:
+                    found = walk(succ)
+                    if found is not None:
+                        return found
+            on_stack.discard(node)
+            visited.add(node)
+            stack.pop()
+            return None
+
+        return walk(start)
+
+
+class _BlockingCallVisitor(_LockAwareVisitor):
+    """PL103 helper: flag blocking calls while any lock is held."""
+
+    def __init__(
+        self,
+        rule: "NoBlockingUnderLockRule",
+        ctx: "ModuleContext",  # noqa: F821
+        ann_table: Dict[int, List[Annotation]],
+        is_lock: Callable[[str], bool],
+    ) -> None:
+        super().__init__(ann_table, is_lock)
+        self.rule = rule
+        self.ctx = ctx
+        self.findings: List[Finding] = []
+
+    def visit_Call(self, node: ast.Call) -> None:
+        """Flag blocking calls made while a lock is lexically held."""
+        if self.held:
+            reason = _blocking_call_name(node)
+            if reason is not None:
+                held = "/".join(sorted(set(self.held)))
+                self.findings.append(
+                    self.rule.finding(
+                        self.ctx,
+                        node,
+                        f"blocking call `{reason}` while holding `{held}`; "
+                        "move the blocking work outside the `with` block "
+                        "(snapshot under the lock, block without it)",
+                    )
+                )
+        self.generic_visit(node)
+
+
+def _blocking_call_name(node: ast.Call) -> Optional[str]:
+    name = _terminal_name(node.func)
+    if name is None:
+        return None
+    if name == "join" and not node.args:
+        # join() with a positional argument is almost always
+        # str.join/os.path.join; the thread/process form takes at most a
+        # timeout keyword.
+        return "join()"
+    if name in BLOCKING_NAMES:
+        return f"{name}()"
+    if root_name(node.func) == "subprocess":
+        return f"subprocess.{name}()"
+    return None
+
+
+class NoBlockingUnderLockRule(Rule):
+    """PL103: nothing that blocks the thread runs inside a lock body."""
+
+    rule_id = "PL103"
+    title = "no blocking under lock"
+
+    def __init__(self, config: "LintConfig") -> None:  # noqa: F821
+        super().__init__(config)
+        self._model: Optional[ProgramModel] = None
+        self._is_lock: Callable[[str], bool] = lambda name: "lock" in name.lower()
+
+    def begin(self, model: ProgramModel) -> None:
+        """Remember the model's lock predicate for the per-module pass."""
+        self._model = model
+        self._is_lock = make_lock_predicate(model)
+
+    def check(self, ctx: "ModuleContext") -> Iterator[Finding]:  # noqa: F821
+        if not in_concurrency_scope(ctx.module):
+            return
+        if self._model is not None and ctx.module in self._model.by_module:
+            table = self._model.annotations(ctx.module)
+        else:
+            from ..annotations import scan_annotations
+
+            table = scan_annotations(ctx.lines)
+        visitor = _BlockingCallVisitor(self, ctx, table, self._is_lock)
+        visitor.visit(ctx.tree)
+        yield from visitor.findings
+
+
+class ThreadLifecycleRule(Rule):
+    """PL104: every constructed thread is daemonic or joined on shutdown."""
+
+    rule_id = "PL104"
+    title = "thread lifecycle"
+
+    def check(self, ctx: "ModuleContext") -> Iterator[Finding]:  # noqa: F821
+        if not in_concurrency_scope(ctx.module):
+            return
+        for scope in self._thread_scopes(ctx.tree):
+            yield from self._check_scope(ctx, scope)
+
+    @staticmethod
+    def _thread_scopes(tree: ast.Module) -> Iterator[ast.AST]:
+        """Each class body, plus the module for top-level threads."""
+        for node in tree.body:
+            if isinstance(node, ast.ClassDef):
+                yield node
+        yield tree
+
+    def _check_scope(
+        self, ctx: "ModuleContext", scope: ast.AST  # noqa: F821
+    ) -> Iterator[Finding]:
+        in_class = isinstance(scope, ast.ClassDef)
+        body = scope.body if in_class else [
+            stmt for stmt in scope.body if not isinstance(stmt, ast.ClassDef)  # type: ignore[attr-defined]
+        ]
+        joined_attrs = self._joined_attributes(scope) if in_class else set()
+        joined_names = self._joined_names(body)
+        handled: Set[int] = set()
+        for stmt in body:
+            for node in ast.walk(stmt):
+                if isinstance(node, ast.Assign) and _is_thread_ctor(node.value):
+                    handled.add(id(node.value))
+                    if _has_daemon_true(node.value):
+                        continue
+                    yield from self._check_assigned(
+                        ctx, node, joined_attrs, joined_names
+                    )
+        for stmt in body:
+            for node in ast.walk(stmt):
+                if (
+                    isinstance(node, ast.Call)
+                    and _is_thread_ctor(node)
+                    and id(node) not in handled
+                    and not _has_daemon_true(node)
+                ):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "thread constructed without lifecycle handling: pass "
+                        "daemon=True, or keep a reference and join() it on a "
+                        "shutdown path (close/shutdown/stop/__exit__)",
+                    )
+
+    def _check_assigned(
+        self,
+        ctx: "ModuleContext",  # noqa: F821
+        node: ast.Assign,
+        joined_attrs: Set[str],
+        joined_names: Set[str],
+    ) -> Iterator[Finding]:
+        for target in node.targets:
+            if (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                if target.attr not in joined_attrs:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"non-daemon thread stored in `self.{target.attr}` is "
+                        "never joined on a shutdown path "
+                        "(close/shutdown/stop/__exit__); join it or pass "
+                        "daemon=True",
+                    )
+            elif isinstance(target, ast.Name) and target.id not in joined_names:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"non-daemon thread `{target.id}` has no shutdown-path "
+                    "join; pass daemon=True or join it before returning",
+                )
+
+    @staticmethod
+    def _joined_names(body: List[ast.stmt]) -> Set[str]:
+        """Local names that some ``<name>.join(...)`` call waits on."""
+        joined: Set[str] = set()
+        for stmt in body:
+            for node in ast.walk(stmt):
+                if (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "join"
+                    and isinstance(node.func.value, ast.Name)
+                ):
+                    joined.add(node.func.value.id)
+        return joined
+
+    @staticmethod
+    def _joined_attributes(classdef: ast.AST) -> Set[str]:
+        joined: Set[str] = set()
+        for method in classdef.body:  # type: ignore[attr-defined]
+            if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if method.name not in SHUTDOWN_METHODS:
+                continue
+            for node in ast.walk(method):
+                if (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "join"
+                ):
+                    receiver = _terminal_name(node.func.value)
+                    if receiver is not None:
+                        joined.add(receiver)
+        return joined
+
+
+def _is_thread_ctor(node: ast.expr) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    name = _terminal_name(node.func)
+    if name != "Thread":
+        return False
+    root = root_name(node.func)
+    return root in ("threading", "Thread", None) or root == name
+
+
+def _has_daemon_true(node: ast.Call) -> bool:
+    for keyword in node.keywords:
+        if keyword.arg == "daemon":
+            return (
+                isinstance(keyword.value, ast.Constant)
+                and keyword.value.value is True
+            )
+    return False

@@ -1,0 +1,321 @@
+"""PL201–PL202 — backend parity between adversaries and the batch engine.
+
+The differential conformance suite is the project's core oracle: every
+scenario must either run identically on the reference and batch backends
+or refuse loudly with ``UnsupportedBackendError``.  The refusal side of
+that contract is pure convention — a concrete ``Adversary`` subclass
+that forgets ``batch_spec()`` silently inherits the base raise, and the
+docs support matrix drifts with nobody noticing.  These rules make both
+declarations checkable:
+
+========  ==============================================================
+PL201     every concrete ``Adversary`` subclass either overrides
+          ``batch_spec()`` with a real spec, or carries a
+          ``# statics: batch-unsupported(<reason>)`` class annotation
+          that matches an actual ``UnsupportedBackendError`` raise
+PL202     the adversary support matrix in ``docs/API.md`` (between the
+          ``<!-- statics: adversary-batch-matrix -->`` marker and the
+          end of its table) agrees with the declared support set
+========  ==============================================================
+
+Both rules hang off the cross-module :class:`~repro.statics.model.ProgramModel`:
+the hierarchy below ``repro.adversary.base.Adversary`` spans
+``repro.adversary`` *and* ``repro.authenticated``, so per-module
+analysis cannot see it.  PL202's absence checks (missing or stale rows)
+only fire on full-tree runs — a subtree lint cannot tell "class not in
+the model" from "class not linted".
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Tuple
+
+from ..annotations import Annotation
+from ..findings import Finding
+from ..model import ClassInfo, ProgramModel
+from . import Rule
+
+if TYPE_CHECKING:  # circular at runtime (engine imports rules)
+    from ..engine import ModuleContext
+
+#: The hierarchy root every PL2xx check walks from.
+ADVERSARY_ROOT = "repro.adversary.base.Adversary"
+
+#: The method a concrete adversary must implement to be instantiable.
+REQUIRED_METHOD = "byzantine_messages"
+
+#: The marker preceding the support matrix in ``docs/API.md``.
+MATRIX_MARKER = "<!-- statics: adversary-batch-matrix -->"
+
+_MATRIX_ROW = re.compile(r"^\|\s*`(\w+)`\s*\|\s*(✅|❌)\s*([^|]*)\|")
+
+
+def _unsupported_annotation(
+    info: ClassInfo, model: ProgramModel
+) -> Optional[Annotation]:
+    """The class's own ``batch-unsupported`` header annotation, if any."""
+    for annotation in info.header_annotations(model):
+        if annotation.directive == "batch-unsupported":
+            return annotation
+    return None
+
+
+def _is_super_delegation(node: ast.expr) -> bool:
+    """``super().batch_spec(...)`` — the exact-type-guard escape hatch."""
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr == "batch_spec"
+        and isinstance(node.func.value, ast.Call)
+        and isinstance(node.func.value.func, ast.Name)
+        and node.func.value.func.id == "super"
+    )
+
+
+def _returns_spec(fn: ast.FunctionDef) -> bool:
+    """Whether *fn* has a return that produces an actual batch spec.
+
+    ``return super().batch_spec()`` (the guard path of the exact-type
+    idiom) and bare/None returns do not count.
+    """
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Return) and node.value is not None:
+            if _is_super_delegation(node.value):
+                continue
+            if isinstance(node.value, ast.Constant) and node.value.value is None:
+                continue
+            return True
+    return False
+
+
+def _raises_unsupported(fn: ast.FunctionDef) -> bool:
+    """Whether *fn* raises ``UnsupportedBackendError`` or delegates to super."""
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Raise) and node.exc is not None:
+            exc = node.exc
+            if isinstance(exc, ast.Call):
+                exc = exc.func
+            name = exc.attr if isinstance(exc, ast.Attribute) else (
+                exc.id if isinstance(exc, ast.Name) else None
+            )
+            if name == "UnsupportedBackendError":
+                return True
+        if isinstance(node, ast.expr) and _is_super_delegation(node):
+            return True
+    return False
+
+
+def _is_supported(info: ClassInfo) -> bool:
+    """A class supports the batch backend iff its *own* ``batch_spec``
+    returns a spec — inherited definitions use the exact-type guard and
+    raise for subclasses."""
+    own = info.methods.get("batch_spec")
+    return own is not None and _returns_spec(own)
+
+
+def support_matrix(
+    model: ProgramModel,
+) -> Dict[str, Tuple[bool, Optional[str]]]:
+    """``{class name: (supported, unsupported-reason)}`` for every
+    concrete adversary in the model.
+
+    This is the declared support set: PL201 checks the declarations are
+    coherent, PL202 checks ``docs/API.md`` agrees with this table, and
+    the docs example blocks assert against it.
+    """
+    matrix: Dict[str, Tuple[bool, Optional[str]]] = {}
+    if ADVERSARY_ROOT not in model.classes:
+        return matrix
+    for info in model.subclasses_of(ADVERSARY_ROOT):
+        if not model.is_concrete(info, REQUIRED_METHOD):
+            continue
+        annotation = _unsupported_annotation(info, model)
+        reason = annotation.argument if annotation is not None else None
+        matrix[info.name] = (_is_supported(info), reason)
+    return matrix
+
+
+class BatchParityRule(Rule):
+    """PL201: adversary batch support is declared, one way or the other."""
+
+    rule_id = "PL201"
+    title = "adversary batch parity"
+
+    def __init__(self, config: "LintConfig") -> None:  # noqa: F821
+        super().__init__(config)
+        self._model: Optional[ProgramModel] = None
+
+    def begin(self, model: ProgramModel) -> None:
+        """Keep the model; checks run per-module so suppressions apply."""
+        self._model = model if ADVERSARY_ROOT in model.classes else None
+
+    def check(self, ctx: "ModuleContext") -> Iterator[Finding]:  # noqa: F821
+        model = self._model
+        if model is None:
+            return
+        for info in model.subclasses_of(ADVERSARY_ROOT):
+            if info.module != ctx.module:
+                continue
+            if not model.is_concrete(info, REQUIRED_METHOD):
+                continue
+            yield from self._check_class(ctx, info, model)
+
+    def _check_class(
+        self, ctx: "ModuleContext", info: ClassInfo, model: ProgramModel  # noqa: F821
+    ) -> Iterator[Finding]:
+        annotation = _unsupported_annotation(info, model)
+        supported = _is_supported(info)
+        if supported:
+            if annotation is not None:
+                yield self.finding(
+                    ctx,
+                    info.node,
+                    f"`{info.name}` is declared batch-unsupported but its "
+                    "batch_spec() returns a spec; drop the annotation or the "
+                    "override",
+                )
+            return
+        if annotation is None:
+            yield self.finding(
+                ctx,
+                info.node,
+                f"concrete adversary `{info.name}` neither overrides "
+                "batch_spec() nor declares "
+                "`# statics: batch-unsupported(<reason>)`; the batch backend "
+                "would raise with a generic message nobody signed off on",
+            )
+            return
+        if not annotation.argument:
+            yield self.finding(
+                ctx,
+                info.node,
+                f"`{info.name}` declares batch-unsupported without a reason; "
+                "say why the batch engine cannot replay it",
+            )
+        resolved = model.find_method(info, "batch_spec")
+        if resolved is None or not _raises_unsupported(resolved[1]):
+            yield self.finding(
+                ctx,
+                info.node,
+                f"`{info.name}` is declared batch-unsupported but its "
+                "effective batch_spec() never raises UnsupportedBackendError; "
+                "the declaration does not match the code",
+            )
+
+
+def parse_support_table(
+    lines: List[str],
+) -> Tuple[Optional[int], Dict[str, Tuple[bool, int]]]:
+    """Parse the marker + table out of ``docs/API.md`` lines.
+
+    Returns ``(marker line or None, {class name: (supported, row line)})``
+    with 1-based lines.
+    """
+    marker_line: Optional[int] = None
+    rows: Dict[str, Tuple[bool, int]] = {}
+    in_table = False
+    for index, text in enumerate(lines, start=1):
+        if MATRIX_MARKER in text:
+            marker_line = index
+            in_table = True
+            continue
+        if not in_table:
+            continue
+        match = _MATRIX_ROW.match(text.strip())
+        if match is not None:
+            rows[match.group(1)] = (match.group(2) == "✅", index)
+        elif rows and not text.strip().startswith("|"):
+            break
+    return marker_line, rows
+
+
+class DocsParityRule(Rule):
+    """PL202: the ``docs/API.md`` support matrix matches the declarations."""
+
+    rule_id = "PL202"
+    title = "docs support-matrix parity"
+
+    def __init__(self, config: "LintConfig") -> None:  # noqa: F821
+        super().__init__(config)
+        self._model: Optional[ProgramModel] = None
+
+    def begin(self, model: ProgramModel) -> None:
+        """Keep the model for the finalize pass."""
+        self._model = model if ADVERSARY_ROOT in model.classes else None
+
+    def check(self, ctx: "ModuleContext") -> Iterator[Finding]:  # noqa: F821
+        return iter(())
+
+    def finalize(self) -> Iterator[Finding]:
+        """Diff the declared support set against the documented matrix."""
+        model = self._model
+        doc_path = getattr(self.config, "api_doc_path", None)
+        if model is None or not doc_path or not os.path.exists(doc_path):
+            return
+        declared = support_matrix(model)
+        with open(doc_path, encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+        marker_line, rows = parse_support_table(lines)
+        rel = _doc_rel_path(doc_path)
+        full_tree = bool(getattr(self.config, "full_tree", False))
+        if marker_line is None:
+            if full_tree and declared:
+                yield Finding(
+                    path=rel,
+                    line=1,
+                    rule=self.rule_id,
+                    message=(
+                        f"no `{MATRIX_MARKER}` support matrix found; document "
+                        "the adversary batch support set"
+                    ),
+                )
+            return
+        for name in sorted(declared):
+            supported, _reason = declared[name]
+            if name not in rows:
+                if full_tree:
+                    yield Finding(
+                        path=rel,
+                        line=marker_line,
+                        rule=self.rule_id,
+                        message=(
+                            f"adversary `{name}` is missing from the batch "
+                            "support matrix"
+                        ),
+                    )
+                continue
+            documented, row_line = rows[name]
+            if documented != supported:
+                actual = "supported" if supported else "unsupported"
+                yield Finding(
+                    path=rel,
+                    line=row_line,
+                    rule=self.rule_id,
+                    message=(
+                        f"support matrix says `{name}` is "
+                        f"{'supported' if documented else 'unsupported'} but "
+                        f"the declarations say {actual}"
+                    ),
+                )
+        if full_tree:
+            for name in sorted(set(rows) - set(declared)):
+                yield Finding(
+                    path=rel,
+                    line=rows[name][1],
+                    rule=self.rule_id,
+                    message=(
+                        f"support matrix row `{name}` matches no concrete "
+                        "adversary class; remove or rename the row"
+                    ),
+                )
+
+
+def _doc_rel_path(path: str) -> str:
+    """A stable repo-relative path for findings in a docs file."""
+    parts = os.path.abspath(path).replace(os.sep, "/").split("/")
+    if "docs" in parts:
+        return "/".join(parts[parts.index("docs") :])
+    return parts[-1]

@@ -1,0 +1,133 @@
+"""JobStore snapshot methods — the lock-once read side of the service.
+
+These methods exist so HTTP handler threads never walk live ``Job``
+objects while the worker writes them (the PL101-checked contract in
+``repro.service.jobs``).  The tests pin their shapes and the
+collect-then-transition behaviour of ``cancel_active``.
+"""
+
+import threading
+
+import pytest
+
+from repro.analysis.spec import ScenarioSpec
+from repro.service.jobs import JobStore
+
+
+def make_specs(count=3):
+    return [
+        ScenarioSpec(
+            protocol="real-aa",
+            n=4,
+            t=1,
+            known_range=8.0,
+            adversary="silent",
+            seed=seed,
+        )
+        for seed in range(count)
+    ]
+
+
+@pytest.fixture
+def store():
+    return JobStore()
+
+
+@pytest.fixture
+def job(store):
+    return store.create(make_specs())
+
+
+class TestSnapshots:
+    def test_summary_is_plain_data(self, store, job):
+        summary = store.summary(job)
+        assert summary["job_id"] == job.job_id
+        assert summary["status"] == "queued"
+        assert [p["status"] for p in summary["points"]] == ["pending"] * 3
+        assert summary["counts"]["pending"] == 3
+
+    def test_index_lists_every_job(self, store, job):
+        other = store.create(make_specs(1))
+        listing = store.index()
+        assert [entry["job_id"] for entry in listing] == [
+            job.job_id,
+            other.job_id,
+        ]
+        assert all("counts" in entry for entry in listing)
+
+    def test_job_status_and_counts_track_transitions(self, store, job):
+        store.set_job_status(job, "running")
+        store.set_point_status(job, 0, "done", row={"ok": True})
+        assert store.job_status(job) == "running"
+        counts = store.counts(job)
+        assert counts["done"] == 1 and counts["pending"] == 2
+
+    def test_pending_indices_shrink_in_order(self, store, job):
+        assert store.pending_indices(job) == [0, 1, 2]
+        store.set_point_status(job, 1, "running")
+        assert store.pending_indices(job) == [0, 2]
+
+    def test_any_point_in(self, store, job):
+        assert not store.any_point_in(job, ("failed", "cancelled"))
+        store.set_point_status(job, 2, "failed", error="boom")
+        assert store.any_point_in(job, ("failed",))
+
+    def test_row_accessors_agree(self, store, job):
+        store.set_point_status(job, 1, "done", row={"ok": True, "rounds": 7})
+        assert store.point_row(job, 1) == {"ok": True, "rounds": 7}
+        assert store.point_row(job, 0) is None
+        assert store.result_rows(job) == [{}, {"ok": True, "rounds": 7}, {}]
+        assert store.row_snapshots(job) == [(1, {"ok": True, "rounds": 7})]
+
+    def test_point_records_cover_every_point(self, store, job):
+        store.set_point_status(job, 0, "done", row={"ok": True})
+        records = store.point_records(job)
+        assert [r["index"] for r in records] == [0, 1, 2]
+        assert records[0]["type"] == "point"
+        assert records[0]["row"] == {"ok": True}
+        assert records[1]["row"] is None
+        assert records[0]["params"]["protocol"] == "real-aa"
+
+    def test_set_results_path_is_visible_in_summary(self, store, job):
+        store.set_results_path(job, "/tmp/results.ndjson")
+        assert store.summary(job)["results_path"] == "/tmp/results.ndjson"
+
+
+class TestCancelActive:
+    def test_cancels_pending_and_running_only(self, store, job):
+        store.set_point_status(job, 0, "done", row={"ok": True})
+        store.set_point_status(job, 1, "running")
+        cancelled = store.cancel_active(job)
+        assert cancelled == [1, 2]
+        counts = store.counts(job)
+        assert counts["done"] == 1 and counts["cancelled"] == 2
+
+    def test_cancellation_logs_point_events(self, store, job):
+        before = len(store.events_since(job, 0))
+        store.cancel_active(job)
+        events = store.events_since(job, before)
+        assert [e["event"] for e in events] == ["point_status"] * 3
+        assert all(e["status"] == "cancelled" for e in events)
+
+    def test_runs_while_lock_is_contended(self, store, job):
+        # cancel_active transitions outside the (non-reentrant) store
+        # lock; a reader hammering snapshot methods concurrently must
+        # neither deadlock nor observe a half-written point list.
+        stop = threading.Event()
+        seen = []
+
+        def reader():
+            while not stop.is_set():
+                summary = store.summary(job)
+                seen.append(len(summary["points"]))
+
+        thread = threading.Thread(target=reader, daemon=True)
+        thread.start()
+        try:
+            store.cancel_active(job)
+        finally:
+            stop.set()
+            thread.join(timeout=5)
+        assert not thread.is_alive()
+        assert set(seen) <= {3}
+        assert store.counts(job)["cancelled"] == 3

@@ -1,0 +1,392 @@
+"""PL201–PL202: adversary batch parity and the docs support matrix."""
+
+import textwrap
+
+from repro.statics import (
+    LintConfig,
+    ProgramModel,
+    lint_contexts,
+    lint_paths,
+    parse_module,
+)
+from repro.statics.rules.parity import parse_support_table, support_matrix
+
+BASE = """
+    from abc import ABC, abstractmethod
+
+    class UnsupportedBackendError(RuntimeError):
+        pass
+
+    class Adversary(ABC):
+        @abstractmethod
+        def byzantine_messages(self, rnd):
+            ...
+
+        def batch_spec(self):
+            raise UnsupportedBackendError(type(self).__name__)
+    """
+
+
+def contexts_for(attack_source, base_source=BASE):
+    """Parse the fixture base module plus one attack module."""
+    specs = [
+        ("repro.adversary.base", base_source),
+        ("repro.adversary.attack", attack_source),
+    ]
+    return [
+        parse_module(
+            "<memory>",
+            module.rsplit(".", 1)[1] + ".py",
+            module,
+            source=textwrap.dedent(body),
+        )
+        for module, body in specs
+    ]
+
+
+def parity_lint(attack_source, base_source=BASE, rule_ids=("PL201",)):
+    return lint_contexts(
+        contexts_for(attack_source, base_source), rule_ids=list(rule_ids)
+    ).findings
+
+
+class TestBatchParity:
+    def test_undeclared_concrete_adversary_is_flagged(self):
+        findings = parity_lint(
+            """
+            from repro.adversary.base import Adversary
+
+            class NovelAttack(Adversary):
+                def byzantine_messages(self, rnd):
+                    return []
+            """
+        )
+        assert len(findings) == 1
+        assert findings[0].rule == "PL201"
+        assert "`NovelAttack`" in findings[0].message
+        assert "neither overrides" in findings[0].message
+
+    def test_annotated_unsupported_adversary_is_clean(self):
+        findings = parity_lint(
+            """
+            from repro.adversary.base import Adversary
+
+            class NovelAttack(Adversary):
+                # statics: batch-unsupported(needs per-party replay)
+                def byzantine_messages(self, rnd):
+                    return []
+            """
+        )
+        assert findings == []
+
+    def test_supported_adversary_is_clean(self):
+        findings = parity_lint(
+            """
+            from repro.adversary.base import Adversary
+
+            class SimpleAttack(Adversary):
+                def byzantine_messages(self, rnd):
+                    return []
+
+                def batch_spec(self):
+                    return ("silent",)
+            """
+        )
+        assert findings == []
+
+    def test_contradictory_declaration_is_flagged(self):
+        findings = parity_lint(
+            """
+            from repro.adversary.base import Adversary
+
+            class SimpleAttack(Adversary):
+                # statics: batch-unsupported(left over from a refactor)
+                def byzantine_messages(self, rnd):
+                    return []
+
+                def batch_spec(self):
+                    return ("silent",)
+            """
+        )
+        assert len(findings) == 1
+        assert "declared batch-unsupported but its batch_spec() returns" in (
+            findings[0].message
+        )
+
+    def test_empty_reason_is_flagged(self):
+        findings = parity_lint(
+            """
+            from repro.adversary.base import Adversary
+
+            class NovelAttack(Adversary):
+                # statics: batch-unsupported()
+                def byzantine_messages(self, rnd):
+                    return []
+            """
+        )
+        assert any("without a reason" in f.message for f in findings)
+
+    def test_declaration_without_a_raise_is_flagged(self):
+        base = """
+            from abc import ABC, abstractmethod
+
+            class Adversary(ABC):
+                @abstractmethod
+                def byzantine_messages(self, rnd):
+                    ...
+
+                def batch_spec(self):
+                    return None
+            """
+        findings = parity_lint(
+            """
+            from repro.adversary.base import Adversary
+
+            class NovelAttack(Adversary):
+                # statics: batch-unsupported(no batch form)
+                def byzantine_messages(self, rnd):
+                    return []
+            """,
+            base_source=base,
+        )
+        assert len(findings) == 1
+        assert "never raises UnsupportedBackendError" in findings[0].message
+
+    def test_super_delegating_guard_counts_as_raising(self):
+        findings = parity_lint(
+            """
+            from repro.adversary.base import Adversary
+
+            class GuardedAttack(Adversary):
+                # statics: batch-unsupported(subclass side of the guard)
+                def byzantine_messages(self, rnd):
+                    return []
+
+                def batch_spec(self):
+                    return super().batch_spec()
+            """
+        )
+        assert findings == []
+
+    def test_abstract_intermediates_are_skipped(self):
+        findings = parity_lint(
+            """
+            from abc import abstractmethod
+            from repro.adversary.base import Adversary
+
+            class Skeleton(Adversary):
+                @abstractmethod
+                def byzantine_messages(self, rnd):
+                    ...
+            """
+        )
+        assert findings == []
+
+    def test_suppression_comment_silences_pl201(self):
+        result = lint_contexts(
+            contexts_for(
+                """
+                from repro.adversary.base import Adversary
+
+                class NovelAttack(Adversary):  # protolint: disable=PL201
+                    def byzantine_messages(self, rnd):
+                        return []
+                """
+            ),
+            rule_ids=["PL201"],
+        )
+        assert result.findings == []
+        assert result.suppressed == 1
+
+
+class TestSupportMatrix:
+    def test_fixture_matrix_reports_both_sides(self):
+        model = ProgramModel(
+            contexts_for(
+                """
+                from repro.adversary.base import Adversary
+
+                class SimpleAttack(Adversary):
+                    def byzantine_messages(self, rnd):
+                        return []
+
+                    def batch_spec(self):
+                        return ("silent",)
+
+                class NovelAttack(Adversary):
+                    # statics: batch-unsupported(needs per-party replay)
+                    def byzantine_messages(self, rnd):
+                        return []
+                """
+            )
+        )
+        matrix = support_matrix(model)
+        assert matrix["SimpleAttack"] == (True, None)
+        assert matrix["NovelAttack"] == (False, "needs per-party replay")
+
+    def test_real_tree_declarations(self):
+        # Pin the declared support set the batch engine actually honours:
+        # the matrix is the contract docs/API.md and PL202 enforce.
+        from repro.statics.discovery import (
+            iter_source_files,
+            module_name,
+            source_root,
+        )
+
+        src = source_root()
+        contexts = [
+            parse_module(path, path, module_name(path, src))
+            for path in iter_source_files(src)
+        ]
+        matrix = support_matrix(ProgramModel(contexts))
+        assert matrix["NoAdversary"][0] is True
+        assert matrix["ChaosAdversary"][0] is True
+        assert matrix["PuppetDrivingAdversary"][0] is False
+        assert matrix["PuppetDrivingAdversary"][1]  # carries a reason
+        assert matrix["DSEquivocatorAdversary"][0] is False
+        supported = {name for name, (ok, _) in matrix.items() if ok}
+        assert supported == {
+            "NoAdversary",
+            "SilentAdversary",
+            "PassiveAdversary",
+            "CrashAdversary",
+            "ChaosAdversary",
+            "BurnScheduleAdversary",
+            "SplitBroadcastAdversary",
+        }
+
+
+class TestParseSupportTable:
+    DOC = [
+        "# API",
+        "",
+        "<!-- statics: adversary-batch-matrix -->",
+        "",
+        "| Adversary | Batch backend |",
+        "|---|---|",
+        "| `NoAdversary` | ✅ class-collapse |",
+        "| `EchoAdversary` | ❌ echoing needs inboxes |",
+        "",
+        "More prose.",
+    ]
+
+    def test_rows_and_marker_are_parsed(self):
+        marker, rows = parse_support_table(self.DOC)
+        assert marker == 3
+        assert rows == {"NoAdversary": (True, 7), "EchoAdversary": (False, 8)}
+
+    def test_table_ends_at_first_non_row(self):
+        doc = self.DOC + ["| `LateRow` | ✅ after the break |"]
+        _, rows = parse_support_table(doc)
+        assert "LateRow" not in rows
+
+    def test_no_marker_means_no_rows(self):
+        marker, rows = parse_support_table(["# API", "| `X` | ✅ |"])
+        assert marker is None
+        assert rows == {}
+
+
+class TestDocsParity:
+    ATTACKS = """
+        from repro.adversary.base import Adversary
+
+        class SimpleAttack(Adversary):
+            def byzantine_messages(self, rnd):
+                return []
+
+            def batch_spec(self):
+                return ("silent",)
+
+        class NovelAttack(Adversary):
+            # statics: batch-unsupported(needs per-party replay)
+            def byzantine_messages(self, rnd):
+                return []
+        """
+
+    def run_pl202(self, tmp_path, doc_lines, full_tree=False):
+        doc = tmp_path / "API.md"
+        doc.write_text("\n".join(doc_lines) + "\n", encoding="utf-8")
+        config = LintConfig(
+            declared_tags={},
+            handler_exempt_tags=set(),
+            api_doc_path=str(doc),
+            full_tree=full_tree,
+        )
+        return lint_contexts(
+            contexts_for(self.ATTACKS), rule_ids=["PL202"], config=config
+        ).findings
+
+    def test_verdict_mismatch_is_always_flagged(self, tmp_path):
+        findings = self.run_pl202(
+            tmp_path,
+            [
+                "<!-- statics: adversary-batch-matrix -->",
+                "| `SimpleAttack` | ❌ wrong verdict |",
+                "| `NovelAttack` | ❌ needs per-party replay |",
+            ],
+        )
+        assert len(findings) == 1
+        assert findings[0].rule == "PL202"
+        assert "`SimpleAttack`" in findings[0].message
+        assert "declarations say supported" in findings[0].message
+
+    def test_matching_matrix_is_clean(self, tmp_path):
+        findings = self.run_pl202(
+            tmp_path,
+            [
+                "<!-- statics: adversary-batch-matrix -->",
+                "| `SimpleAttack` | ✅ silent batch kind |",
+                "| `NovelAttack` | ❌ needs per-party replay |",
+            ],
+            full_tree=True,
+        )
+        assert findings == []
+
+    def test_missing_row_only_fires_on_full_tree(self, tmp_path):
+        doc = [
+            "<!-- statics: adversary-batch-matrix -->",
+            "| `SimpleAttack` | ✅ silent batch kind |",
+        ]
+        assert self.run_pl202(tmp_path, doc, full_tree=False) == []
+        findings = self.run_pl202(tmp_path, doc, full_tree=True)
+        assert len(findings) == 1
+        assert "`NovelAttack` is missing" in findings[0].message
+
+    def test_stale_row_only_fires_on_full_tree(self, tmp_path):
+        doc = [
+            "<!-- statics: adversary-batch-matrix -->",
+            "| `SimpleAttack` | ✅ silent batch kind |",
+            "| `NovelAttack` | ❌ needs per-party replay |",
+            "| `DeletedAttack` | ✅ removed last release |",
+        ]
+        assert self.run_pl202(tmp_path, doc, full_tree=False) == []
+        findings = self.run_pl202(tmp_path, doc, full_tree=True)
+        assert len(findings) == 1
+        assert "matches no concrete adversary" in findings[0].message
+
+    def test_missing_marker_only_fires_on_full_tree(self, tmp_path):
+        doc = ["# API", "no matrix here"]
+        assert self.run_pl202(tmp_path, doc, full_tree=False) == []
+        findings = self.run_pl202(tmp_path, doc, full_tree=True)
+        assert len(findings) == 1
+        assert "no `<!-- statics: adversary-batch-matrix -->`" in (
+            findings[0].message
+        )
+
+    def test_absent_doc_means_no_findings(self, tmp_path):
+        config = LintConfig(
+            declared_tags={},
+            handler_exempt_tags=set(),
+            api_doc_path=str(tmp_path / "missing.md"),
+            full_tree=True,
+        )
+        findings = lint_contexts(
+            contexts_for(self.ATTACKS), rule_ids=["PL202"], config=config
+        ).findings
+        assert findings == []
+
+    def test_repo_matrix_matches_the_tree(self):
+        # The committed docs/API.md matrix must agree with the declared
+        # support set — the full-tree lint run enforces exactly this.
+        result = lint_paths(rule_ids=["PL201", "PL202"])
+        assert result.findings == []

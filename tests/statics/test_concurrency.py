@@ -1,0 +1,456 @@
+"""PL101–PL104: the concurrency-discipline rule family."""
+
+import os
+import textwrap
+
+from repro.statics import (
+    expand_rule_selectors,
+    guarded_state_inventory,
+    lint_contexts,
+    lint_paths,
+    lint_source,
+    parse_module,
+)
+from repro.statics.discovery import source_root
+from repro.statics.rules.concurrency import in_concurrency_scope
+
+
+def service_lint(source, rule_ids, module="repro.service.fixture"):
+    return lint_source(
+        textwrap.dedent(source), module=module, rule_ids=rule_ids
+    )
+
+
+class TestScope:
+    def test_service_and_parallel_are_in_scope(self):
+        assert in_concurrency_scope("repro.service.jobs")
+        assert in_concurrency_scope("repro.service")
+        assert in_concurrency_scope("repro.analysis.parallel")
+
+    def test_protocol_layers_are_not(self):
+        assert not in_concurrency_scope("repro.core.treeaa")
+        assert not in_concurrency_scope("repro.analysis.sweep")
+
+    def test_out_of_scope_module_gets_no_pl1_findings(self):
+        findings = lint_source(
+            textwrap.dedent(
+                """
+                import threading
+
+                def fire():
+                    threading.Thread(target=print).start()
+                """
+            ),
+            module="repro.core.snippet",
+            rule_ids=["PL104"],
+        )
+        assert findings == []
+
+
+class TestGuardedState:
+    RACY = """
+        import threading
+
+        class Store:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self.jobs = {}  # statics: guarded-by(_lock)
+
+            def get(self, job_id):
+                return self.jobs.get(job_id)
+        """
+
+    def test_unguarded_access_is_flagged(self):
+        findings = service_lint(self.RACY, ["PL101"])
+        assert len(findings) == 1
+        assert findings[0].rule == "PL101"
+        assert "guarded attribute `jobs`" in findings[0].message
+
+    def test_access_under_lock_is_clean(self):
+        fixed = self.RACY.replace(
+            "return self.jobs.get(job_id)",
+            "with self._lock:\n"
+            "                    return self.jobs.get(job_id)",
+        )
+        assert service_lint(fixed, ["PL101"]) == []
+
+    def test_holds_annotation_discharges_the_check(self):
+        fixed = self.RACY.replace(
+            "    def get(self, job_id):",
+            "    def get(self, job_id):  # statics: holds(_lock)",
+        )
+        assert service_lint(fixed, ["PL101"]) == []
+
+    def test_init_body_is_construction_exempt(self):
+        source = """
+            import threading
+
+            class Store:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.jobs = {}  # statics: guarded-by(_lock)
+                    self.jobs["seed"] = None
+            """
+        assert service_lint(source, ["PL101"]) == []
+
+    def test_undeclared_shared_write_is_flagged(self):
+        source = """
+            import threading
+
+            class Store:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def poke(self):
+                    self.counter = 1
+            """
+        findings = service_lint(source, ["PL101"])
+        assert len(findings) == 1
+        assert "`self.counter`" in findings[0].message
+        assert "guarded-by" in findings[0].message
+
+    def test_declared_write_in_concurrent_class_is_clean(self):
+        source = """
+            import threading
+
+            class Store:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def poke(self):
+                    with self._lock:
+                        self.counter = 1  # statics: guarded-by(_lock)
+            """
+        assert service_lint(source, ["PL101"]) == []
+
+    def test_non_concurrent_class_writes_freely(self):
+        source = """
+            class Plain:
+                def poke(self):
+                    self.counter = 1
+            """
+        assert service_lint(source, ["PL101"]) == []
+
+    def test_malformed_annotation_is_flagged(self):
+        source = """
+            class Store:
+                x = 1  # statics: guarded_by(_lock)
+            """
+        findings = service_lint(source, ["PL101"])
+        assert len(findings) == 1
+        assert "malformed" in findings[0].message
+
+    def test_docstrings_mentioning_statics_are_not_annotations(self):
+        source = '''
+            def explain():
+                """Document the `# statics: guarded-by(<lock>)` marker."""
+                return None
+            '''
+        assert service_lint(source, ["PL101"]) == []
+
+    def test_imported_module_attributes_are_exempt(self):
+        # `urllib.error` is a module attribute that happens to collide
+        # with a guarded attribute name; chains rooted at imports pass.
+        sources = {
+            "repro.service.jobs2": """
+                import threading
+
+                class Store:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        self.error = None  # statics: guarded-by(_lock)
+                """,
+            "repro.service.client2": """
+                import urllib.error
+
+                def classify(exc):
+                    return isinstance(exc, urllib.error.HTTPError)
+                """,
+        }
+        contexts = [
+            parse_module(
+                "<memory>",
+                module.rsplit(".", 1)[1] + ".py",
+                module,
+                source=textwrap.dedent(body),
+            )
+            for module, body in sources.items()
+        ]
+        result = lint_contexts(contexts, rule_ids=["PL101"])
+        assert result.findings == []
+
+    def test_suppression_comment_silences_pl101(self):
+        source = self.RACY.replace(
+            "return self.jobs.get(job_id)",
+            "return self.jobs.get(job_id)  # protolint: disable=PL101",
+        )
+        ctx = parse_module(
+            "<memory>",
+            "fixture.py",
+            "repro.service.fixture",
+            source=textwrap.dedent(source),
+        )
+        result = lint_contexts([ctx], rule_ids=["PL101"])
+        assert result.findings == []
+        assert result.suppressed == 1
+
+
+class TestLockOrdering:
+    def test_opposite_order_acquisition_is_a_cycle(self):
+        source = """
+            import threading
+
+            job_lock = threading.Lock()
+            log_lock = threading.Lock()
+
+            def record():
+                with job_lock:
+                    with log_lock:
+                        pass
+
+            def report():
+                with log_lock:
+                    with job_lock:
+                        pass
+            """
+        findings = service_lint(source, ["PL102"])
+        assert len(findings) == 1
+        assert "lock-ordering cycle" in findings[0].message
+        assert "deadlock" in findings[0].message
+
+    def test_consistent_order_is_clean(self):
+        source = """
+            import threading
+
+            job_lock = threading.Lock()
+            log_lock = threading.Lock()
+
+            def record():
+                with job_lock:
+                    with log_lock:
+                        pass
+
+            def report():
+                with job_lock:
+                    with log_lock:
+                        pass
+            """
+        assert service_lint(source, ["PL102"]) == []
+
+    def test_cycle_is_found_across_modules(self):
+        # The two halves of the deadlock live in different files; only
+        # the cross-module may-acquire graph can see it.
+        sources = {
+            "repro.service.writer": """
+                import threading
+
+                job_lock = threading.Lock()
+                log_lock = threading.Lock()
+
+                def record():
+                    with job_lock:
+                        with log_lock:
+                            pass
+                """,
+            "repro.service.reader": """
+                from repro.service.writer import job_lock, log_lock
+
+                def report():
+                    with log_lock:
+                        with job_lock:
+                            pass
+                """,
+        }
+        contexts = [
+            parse_module(
+                "<memory>",
+                module.rsplit(".", 1)[1] + ".py",
+                module,
+                source=textwrap.dedent(body),
+            )
+            for module, body in sources.items()
+        ]
+        result = lint_contexts(contexts, rule_ids=["PL102"])
+        assert len(result.findings) == 1
+        assert "lock-ordering cycle" in result.findings[0].message
+
+    def test_holds_annotation_contributes_an_edge(self):
+        source = """
+            import threading
+
+            job_lock = threading.Lock()
+            log_lock = threading.Lock()
+
+            def record():  # statics: holds(job_lock)
+                with log_lock:
+                    pass
+
+            def report():
+                with log_lock:
+                    with job_lock:
+                        pass
+            """
+        findings = service_lint(source, ["PL102"])
+        assert len(findings) == 1
+
+
+class TestNoBlockingUnderLock:
+    def test_thread_join_under_lock_is_flagged(self):
+        source = """
+            import threading
+
+            lock = threading.Lock()
+
+            def stop(worker):
+                with lock:
+                    worker.join()
+            """
+        findings = service_lint(source, ["PL103"])
+        assert len(findings) == 1
+        assert "blocking call `join()`" in findings[0].message
+
+    def test_str_join_under_lock_is_not_blocking(self):
+        source = """
+            import threading
+
+            lock = threading.Lock()
+
+            def render(parts):
+                with lock:
+                    return ", ".join(parts)
+            """
+        assert service_lint(source, ["PL103"]) == []
+
+    def test_blocking_outside_lock_is_fine(self):
+        source = """
+            def stop(worker):
+                worker.join()
+            """
+        assert service_lint(source, ["PL103"]) == []
+
+    def test_subprocess_under_lock_is_flagged(self):
+        source = """
+            import subprocess
+            import threading
+
+            lock = threading.Lock()
+
+            def rebuild():
+                with lock:
+                    subprocess.run(["make"])
+            """
+        findings = service_lint(source, ["PL103"])
+        assert len(findings) == 1
+        assert "subprocess.run()" in findings[0].message
+
+    def test_holds_method_counts_as_under_lock(self):
+        source = """
+            def drain(queue):  # statics: holds(_lock)
+                queue.wait()
+            """
+        findings = service_lint(source, ["PL103"])
+        assert len(findings) == 1
+        assert "wait()" in findings[0].message
+
+
+class TestThreadLifecycle:
+    def test_fire_and_forget_thread_is_flagged(self):
+        source = """
+            import threading
+
+            def launch(fn):
+                threading.Thread(target=fn).start()
+            """
+        findings = service_lint(source, ["PL104"])
+        assert len(findings) == 1
+        assert "lifecycle" in findings[0].message
+
+    def test_daemon_true_is_clean(self):
+        source = """
+            import threading
+
+            def launch(fn):
+                threading.Thread(target=fn, daemon=True).start()
+            """
+        assert service_lint(source, ["PL104"]) == []
+
+    def test_stored_thread_without_shutdown_join_is_flagged(self):
+        source = """
+            import threading
+
+            class Service:
+                def start(self):
+                    self._worker = threading.Thread(target=self.run)
+                    self._worker.start()
+            """
+        findings = service_lint(source, ["PL104"])
+        assert len(findings) == 1
+        assert "`self._worker`" in findings[0].message
+
+    def test_stored_thread_joined_on_shutdown_is_clean(self):
+        source = """
+            import threading
+
+            class Service:
+                def start(self):
+                    self._worker = threading.Thread(target=self.run)
+                    self._worker.start()
+
+                def shutdown(self):
+                    self._worker.join()
+            """
+        assert service_lint(source, ["PL104"]) == []
+
+    def test_local_thread_joined_in_scope_is_clean(self):
+        source = """
+            import threading
+
+            def run_once(fn):
+                worker = threading.Thread(target=fn)
+                worker.start()
+                worker.join()
+            """
+        assert service_lint(source, ["PL104"]) == []
+
+    def test_shutdown_endpoint_regression(self):
+        # The exact pattern PL104 caught in http_api.py: a non-daemon
+        # self-shutdown thread that nothing ever joins would keep a
+        # dying interpreter alive.
+        source = """
+            import threading
+
+            class Handler:
+                def do_POST(self):
+                    threading.Thread(target=self.service.shutdown).start()
+            """
+        findings = service_lint(source, ["PL104"])
+        assert len(findings) == 1
+        fixed = source.replace(
+            "target=self.service.shutdown",
+            "target=self.service.shutdown, daemon=True",
+        )
+        assert service_lint(fixed, ["PL104"]) == []
+
+
+class TestRealTree:
+    def test_service_package_is_pl1xx_clean(self):
+        service_dir = os.path.join(source_root(), "repro", "service")
+        result = lint_paths(
+            paths=[service_dir], rule_ids=expand_rule_selectors(["PL1xx"])
+        )
+        assert result.findings == []
+
+    def test_parallel_module_is_pl1xx_clean(self):
+        parallel = os.path.join(source_root(), "repro", "analysis", "parallel.py")
+        result = lint_paths(
+            paths=[parallel], rule_ids=expand_rule_selectors(["PL1xx"])
+        )
+        assert result.findings == []
+
+    def test_guarded_inventory_matches_the_service_contract(self):
+        inventory = guarded_state_inventory()
+        assert inventory[("repro.service.jobs.Job", "status")] == "_lock"
+        assert inventory[("repro.service.jobs.Job", "results_path")] == "_lock"
+        assert inventory[("repro.service.jobs.PointState", "row")] == "_lock"
+        assert inventory[("repro.service.jobs.JobStore", "_jobs")] == "_lock"
+        assert set(inventory.values()) == {"_lock"}

@@ -3,7 +3,6 @@
 import io
 import json
 import os
-import textwrap
 
 import pytest
 
@@ -279,3 +278,137 @@ class TestReproLintSubcommand:
         with pytest.raises(SystemExit):
             main(["--help"])
         assert "lint" in capsys.readouterr().out
+
+
+class TestFamilySelectors:
+    def test_families_expand_to_their_rules(self):
+        from repro.statics import expand_rule_selectors
+
+        assert expand_rule_selectors(["PL1xx"]) == [
+            "PL101", "PL102", "PL103", "PL104",
+        ]
+        assert expand_rule_selectors(["PL2xx"]) == ["PL201", "PL202"]
+
+    def test_plain_ids_pass_through_and_mix(self):
+        from repro.statics import expand_rule_selectors
+
+        assert expand_rule_selectors(["PL002", "PL2xx"]) == [
+            "PL002", "PL201", "PL202",
+        ]
+
+    def test_empty_family_raises(self):
+        from repro.statics import expand_rule_selectors
+
+        with pytest.raises(KeyError):
+            expand_rule_selectors(["PL9xx"])
+
+    def test_cli_family_selector_runs_clean(self):
+        code, out, err = run_cli("--rules", "PL1xx,PL2xx", "--json")
+        assert code == EXIT_CLEAN
+        document = json.loads(out)
+        assert document["rules"] == [
+            "PL101", "PL102", "PL103", "PL104", "PL201", "PL202",
+        ]
+        assert document["findings"] == []
+
+    def test_cli_unknown_family_is_usage_error(self):
+        code, out, err = run_cli("--rules", "PL9xx")
+        assert code == EXIT_USAGE
+        assert "PL9xx" in err
+
+    def test_json_rules_key_reports_the_run(self):
+        code, out, err = run_cli("--rules", "PL101", "--json")
+        assert code == EXIT_CLEAN
+        assert json.loads(out)["rules"] == ["PL101"]
+
+
+class TestChangedFlag:
+    def make_repo(self, tmp_path):
+        import subprocess
+
+        repo = tmp_path / "repo"
+        src = repo / "src" / "repro"
+        src.mkdir(parents=True)
+        env = dict(
+            os.environ,
+            GIT_AUTHOR_NAME="t", GIT_AUTHOR_EMAIL="t@t",
+            GIT_COMMITTER_NAME="t", GIT_COMMITTER_EMAIL="t@t",
+        )
+
+        def git(*args):
+            subprocess.run(
+                ["git", *args], cwd=repo, env=env, check=True,
+                capture_output=True,
+            )
+
+        (src / "old.py").write_text("x = 1\n")
+        git("init", "-q", "-b", "main")
+        git("add", "-A")
+        git("commit", "-q", "-m", "seed")
+        return repo, src, git
+
+    def test_changed_files_sees_modified_and_untracked(self, tmp_path):
+        from repro.statics.cli import changed_files
+
+        repo, src, git = self.make_repo(tmp_path)
+        (src / "old.py").write_text("x = 2\n")
+        (src / "new.py").write_text("y = 1\n")
+        (repo / "README.md").write_text("outside src\n")
+        found = changed_files("HEAD", str(repo / "src"))
+        assert [os.path.basename(f) for f in found] == ["new.py", "old.py"]
+
+    def test_changed_files_excludes_deletions(self, tmp_path):
+        from repro.statics.cli import changed_files
+
+        repo, src, git = self.make_repo(tmp_path)
+        (src / "old.py").unlink()
+        assert changed_files("HEAD", str(repo / "src")) == []
+
+    def test_changed_files_bad_base_raises(self, tmp_path):
+        from repro.statics.cli import changed_files
+
+        repo, src, git = self.make_repo(tmp_path)
+        with pytest.raises(RuntimeError):
+            changed_files("no-such-ref", str(repo / "src"))
+
+    def test_cli_changed_conflicts_with_paths(self):
+        code, out, err = run_cli("--changed", "HEAD", "some/path.py")
+        assert code == EXIT_USAGE
+        assert "mutually exclusive" in err
+
+    def test_cli_changed_runs_against_this_repo(self):
+        # Whatever the working tree currently looks like, --changed must
+        # terminate cleanly: either "nothing to lint" or a normal run.
+        code, out, err = run_cli("--changed", "HEAD", "--json")
+        assert code in (EXIT_CLEAN, EXIT_FINDINGS)
+        document = json.loads(out)
+        assert "findings" in document and "rules" in document
+
+
+class TestRatchetRejectsUnjustifiedFamilies:
+    def baseline_with(self, tmp_path, rule):
+        entry = {
+            "rule": rule,
+            "path": "src/repro/service/jobs.py",
+            "message": "placeholder finding",
+            "count": 1,
+            "justification": "TODO: justify",
+        }
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"version": 1, "entries": [entry]}))
+        return path
+
+    @pytest.mark.parametrize("rule", ["PL101", "PL104", "PL201", "PL202"])
+    def test_todo_justified_new_family_entries_are_rejected(
+        self, tmp_path, rule
+    ):
+        # The ratchet must not let anyone absorb a concurrency or parity
+        # finding into the baseline without a human-written justification.
+        baseline = self.baseline_with(tmp_path, rule)
+        with pytest.raises(PlaceholderJustificationError):
+            load_baseline(str(baseline))
+        code, out, err = run_cli(
+            "--rules", rule, "--baseline", str(baseline)
+        )
+        assert code == EXIT_USAGE
+        assert "TODO: justify" in err
