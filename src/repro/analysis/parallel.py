@@ -235,6 +235,35 @@ def write_sweep_jsonl(
     return len(records)
 
 
+def read_sweep_points(path: str) -> List[Dict[str, Any]]:
+    """The ``point`` records of a sweep JSONL file, torn-tail tolerant.
+
+    The inverse of :func:`write_sweep_jsonl` for consumers that only
+    need rows back — the scenario service's query layer and its crash
+    recovery both read with this.  Lines that fail to parse (a file cut
+    short by a crash) are skipped, not raised: readers of
+    crash-survivor files must accept exactly what a crash leaves
+    behind.
+    """
+    points: List[Dict[str, Any]] = []
+    try:
+        handle = open(path)
+    except OSError:
+        return points
+    with handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue
+            if isinstance(record, dict) and record.get("type") == "point":
+                points.append(record)
+    return points
+
+
 @dataclass
 class SweepReport:
     """Rows plus provenance of one engine invocation."""

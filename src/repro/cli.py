@@ -13,8 +13,12 @@ Commands
 ``serve``       run the long-lived scenario service (HTTP job server
                 over ScenarioSpec grids; see docs/SERVICE.md)
 ``submit``      POST a scenario grid to a running service (``--wait``
-                polls it to completion)
+                polls it to completion, ``--retries`` retransmits
+                through connection errors and 429s)
 ``status``      list a running service's jobs, or one job's points
+``cancel``      request cancellation of a running service job
+``service-chaos`` chaos-test a service's fault tolerance (seeded
+                fault-injection campaign over the service itself)
 ``trace``       record one execution as a JSONL trace (``--out FILE``),
                 with per-round structured metrics
 ``report``      summarise a recorded JSONL trace (rounds, messages,
@@ -690,6 +694,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
         pool_jobs=args.jobs,
         no_cache=args.no_cache,
         base_seed=args.base_seed,
+        max_queue_depth=args.queue_depth,
+        retry_max_attempts=args.retry_attempts,
+        executor=args.executor,
     )
     try:
         service = ScenarioService(config).start()
@@ -698,6 +705,12 @@ def cmd_serve(args: argparse.Namespace) -> int:
     print(f"serving on {service.url}", flush=True)
     if args.data_dir:
         print(f"results persist to {args.data_dir}", flush=True)
+    if service.recovered_jobs:
+        print(
+            f"recovered {len(service.recovered_jobs)} unfinished job(s) "
+            f"from the journal: {', '.join(service.recovered_jobs)}",
+            flush=True,
+        )
     try:
         # The worker thread lives for the service's whole life; waiting on
         # it is how the foreground process notices a POST /shutdown.
@@ -715,7 +728,7 @@ def cmd_submit(args: argparse.Namespace) -> int:
     from .service import ServiceClient, ServiceClientError
 
     payload = _load_spec_payload(args.spec)
-    client = ServiceClient(args.url)
+    client = ServiceClient(args.url, retries=args.retries)
     try:
         submitted = client.submit(payload)
     except (ServiceClientError, OSError) as exc:
@@ -733,7 +746,45 @@ def cmd_submit(args: argparse.Namespace) -> int:
         f"({counts['cached']} cached, {counts['done']} computed, "
         f"{counts['failed']} failed, {counts['cancelled']} cancelled)"
     )
+    # done_with_errors still exits non-zero: completed rows are served,
+    # but a quarantined point is a failure the caller must notice.
     return 0 if final["status"] == "done" else 1
+
+
+def cmd_cancel(args: argparse.Namespace) -> int:
+    """Request cancellation of a job on a running service."""
+    from .service import ServiceClient, ServiceClientError
+
+    client = ServiceClient(args.url)
+    try:
+        outcome = client.cancel(args.job)
+    except ServiceClientError as exc:
+        # 409 is a meaningful answer, not a failure: the job already
+        # reached a terminal state, so there is nothing left to cancel.
+        if exc.code == 409:
+            print(f"{args.job}: already terminal")
+            return 1
+        raise CLIError(f"cancel at {args.url} failed: {exc}") from None
+    except OSError as exc:
+        raise CLIError(f"cancel at {args.url} failed: {exc}") from None
+    print(f"{outcome['job_id']}: cancellation requested")
+    return 0
+
+
+def cmd_service_chaos(args: argparse.Namespace) -> int:
+    """Run the service chaos campaign (fault injection + invariants)."""
+    from .service.chaos import ChaosConfig, run_chaos_campaign
+
+    report = run_chaos_campaign(
+        ChaosConfig(scenarios=args.scenarios, seed=args.seed)
+    )
+    print(report.summary())
+    for scenario, violation in report.violations:
+        print(
+            f"  scenario {scenario.index} ({scenario.kind}, "
+            f"seed {scenario.seed}): {violation.oracle}: {violation.detail}"
+        )
+    return 0 if report.ok else 1
 
 
 def cmd_status(args: argparse.Namespace) -> int:
@@ -1053,6 +1104,25 @@ def build_parser() -> argparse.ArgumentParser:
         "GET /results queries across restarts)",
     )
     p.add_argument("--base-seed", type=int, default=0)
+    p.add_argument(
+        "--queue-depth",
+        type=int,
+        default=64,
+        help="jobs allowed to queue before POST /jobs sheds load with "
+        "429 (0 = unlimited)",
+    )
+    p.add_argument(
+        "--retry-attempts",
+        type=int,
+        default=3,
+        help="attempts per point before it is quarantined as failed",
+    )
+    p.add_argument(
+        "--executor",
+        default=None,
+        help="point executor as module:function (default: the real one; "
+        "the chaos harness injects faults here)",
+    )
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(
@@ -1069,6 +1139,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--timeout", type=float, default=300.0, help="--wait deadline in seconds"
     )
+    p.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        help="retransmit through connection errors/5xx/429 this many "
+        "times (deterministic seeds make resubmission cache-safe)",
+    )
     p.set_defaults(func=cmd_submit)
 
     p = sub.add_parser(
@@ -1077,6 +1154,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("job", nargs="?", default=None, help="job id (omit to list)")
     p.add_argument("--url", default="http://127.0.0.1:8642")
     p.set_defaults(func=cmd_status)
+
+    p = sub.add_parser(
+        "cancel", help="request cancellation of a running service job"
+    )
+    p.add_argument("job", help="job id to cancel")
+    p.add_argument("--url", default="http://127.0.0.1:8642")
+    p.set_defaults(func=cmd_cancel)
+
+    p = sub.add_parser(
+        "service-chaos",
+        help="chaos-test the scenario service (fault injection + invariants)",
+    )
+    p.add_argument(
+        "--scenarios", type=int, default=50, help="seeded scenario count"
+    )
+    p.add_argument("--seed", type=int, default=0, help="campaign master seed")
+    p.set_defaults(func=cmd_service_chaos)
 
     p = sub.add_parser("chain-demo", help="Fekete's chain of views, executed")
     p.add_argument("--n", type=int, default=7)

@@ -10,36 +10,66 @@ query/diff/report endpoints over the accumulated results — reusing
 ``load_run``/``diff_runs``/``render_report`` rather than reimplementing
 them.
 
+The service is built to be killed: submissions and terminal transitions
+are journaled (:mod:`repro.service.journal`), restarts resume
+unfinished jobs with cache-deduped points, a crashing point is
+quarantined with bounded retry instead of wedging the drain thread
+(``done_with_errors``), overload sheds load with 429 + ``Retry-After``
+while ``/healthz`` stays green, and ``POST /jobs/<id>/cancel`` stops a
+running grid between points.  :mod:`repro.service.chaos` is the harness
+that proves all of this under injected faults.
+
 Layers (one module each, composable without HTTP):
 
 * :mod:`repro.service.jobs` — job/point state machine + event log;
+* :mod:`repro.service.journal` — crash-safe write-ahead job journal;
 * :mod:`repro.service.planner` — payload → seeded ScenarioSpecs;
-* :mod:`repro.service.worker` — the cache-aware execution thread;
+* :mod:`repro.service.worker` — the cache-aware execution thread
+  (retry/backoff, pool self-healing, cancellation);
 * :mod:`repro.service.http_api` — the stdlib ``http.server`` routes;
-* :mod:`repro.service.session` — configuration and lifecycle;
-* :mod:`repro.service.client` — the ``urllib`` client the CLI uses.
+* :mod:`repro.service.session` — configuration, lifecycle, recovery;
+* :mod:`repro.service.client` — the ``urllib`` client the CLI uses;
+* :mod:`repro.service.chaos` — fault injection + invariant suite.
 
 Everything is standard library; see ``docs/SERVICE.md`` for the
-endpoint walkthrough and ``docs/ARCHITECTURE.md`` for how the service
-fits the rest of the codebase.
+endpoint walkthrough and failure-mode runbook, and
+``docs/ARCHITECTURE.md`` for how the service fits the rest of the
+codebase.
 """
 
-from .client import ServiceClient, ServiceClientError
-from .jobs import Job, JobStore, PointState
-from .planner import MAX_POINTS, PlanError, plan_points
+from .client import TERMINAL_STATES, ServiceClient, ServiceClientError
+from .jobs import (
+    TERMINAL_JOB_STATES,
+    TERMINAL_POINT_STATES,
+    Job,
+    JobStore,
+    PointState,
+)
+from .journal import JobJournal, JournaledJob, recoverable_jobs, replay_journal
+from .planner import MAX_POINTS, PlanError, plan_points, specs_from_dicts
 from .session import ScenarioService, ServiceConfig
-from .worker import Worker
+from .worker import RetryPolicy, ServiceOverloadedError, Worker
 
 __all__ = [
     "ScenarioService",
     "ServiceConfig",
     "ServiceClient",
     "ServiceClientError",
+    "ServiceOverloadedError",
+    "TERMINAL_STATES",
+    "TERMINAL_JOB_STATES",
+    "TERMINAL_POINT_STATES",
     "Job",
     "JobStore",
+    "JobJournal",
+    "JournaledJob",
     "PointState",
     "PlanError",
     "plan_points",
+    "specs_from_dicts",
+    "recoverable_jobs",
+    "replay_journal",
     "MAX_POINTS",
+    "RetryPolicy",
     "Worker",
 ]

@@ -1,0 +1,711 @@
+"""Chaos harness for the scenario service: inject faults, check invariants.
+
+The resilience lab (:mod:`repro.resilience`) points fault injection at
+*protocols*; this module points the same discipline at the service
+*infrastructure*.  A chaos campaign generates seeded scenarios — one
+:class:`random.Random` master seed drives every choice, exactly like
+:class:`repro.resilience.campaign.CampaignConfig` — and each scenario
+boots a real :class:`~repro.service.session.ScenarioService` over
+throwaway directories, injects one failure mode, and judges the outcome
+with the service's invariant suite, reporting breaches as the lab's
+:class:`~repro.resilience.oracles.Violation` vocabulary.
+
+Failure modes (``SCENARIO_KINDS``, round-robined so every campaign
+covers all of them):
+
+``transient``   one point raises once → retried → job ``done``
+``poison``      one point raises every attempt → quarantined →
+                ``done_with_errors`` with every other point completed
+``kill-worker`` a pool process ``os._exit``\\ s under one point →
+                ``BrokenProcessPool`` → pool rebuilt → job ``done``
+``cancel``      slow points + ``cancel`` mid-grid → ``cancelled`` with
+                consistent partial results
+``restart``     service "crashes" mid-job (journal abandoned, no clean
+                shutdown) → a second service over the same data dir
+                recovers the job and finishes it, cache-deduped
+``overload``    queue depth 1 + slow points → admission control sheds
+                the third job while the first two still finish
+``malformed``   an invalid payload is rejected without wedging the
+                service (the next good job completes)
+
+Invariants (:func:`check_service_invariants`): no submitted job is
+lost, every job reaches a terminal state, no result row is lost for a
+completed job, and no point index is double-counted in any persisted
+JSONL file.
+
+Fault injection rides the worker's executor indirection: the service is
+started with ``executor="repro.service.chaos:chaos_execute"``, and
+:func:`chaos_execute` consults a fault table in the
+:data:`CHAOS_ENV` environment variable — environment, not arguments,
+because the executor must cross a ``ProcessPoolExecutor`` boundary by
+dotted name.  ``once`` faults arm through a sentinel file created with
+``O_EXCL``, so exactly one attempt fires the fault even across process
+kills and service restarts — which is precisely what lets the retry (or
+the recovered service) succeed deterministically afterwards.
+
+Run it directly (the CI ``service-chaos`` job does)::
+
+    python -m repro.service.chaos --scenarios 14 --seed 7
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import random
+import tempfile
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from ..analysis.parallel import read_sweep_points
+from ..analysis.spec import execute_spec_point
+from ..resilience.oracles import Violation
+from .journal import JOURNAL_NAME
+from .jobs import TERMINAL_JOB_STATES, Job
+from .planner import PlanError
+from .session import ScenarioService, ServiceConfig
+from .worker import ServiceOverloadedError
+
+#: Environment variable carrying the JSON fault table.
+CHAOS_ENV = "REPRO_SERVICE_CHAOS"
+
+#: The dotted path services under test run as their executor.
+CHAOS_EXECUTOR = "repro.service.chaos:chaos_execute"
+
+#: Every failure mode, in round-robin order.
+SCENARIO_KINDS = (
+    "transient",
+    "poison",
+    "kill-worker",
+    "cancel",
+    "restart",
+    "overload",
+    "malformed",
+)
+
+#: Sleep injected into points that must be interruptible (cancel,
+#: overload): long enough that the control action races nothing.
+SLOW_DELAY = 0.25
+
+#: Sleep injected into the point a "crashing" service abandons: long
+#: enough that the abandoned worker thread stays parked until the whole
+#: campaign process exits (daemon threads die with it).
+HANG_DELAY = 600.0
+
+
+class ChaosFault(RuntimeError):
+    """The injected failure raised by ``raise``-kind faults."""
+
+
+# -- the injected executor ---------------------------------------------
+
+
+def chaos_execute(spec: Any) -> Dict[str, Any]:
+    """Execute one point, first applying any armed fault for its seed.
+
+    A drop-in for :func:`repro.analysis.spec.execute_spec_point`
+    (module-level, picklable by dotted name) that reads the fault table
+    from :data:`CHAOS_ENV`.  With no table armed it is a pass-through.
+    """
+    raw = os.environ.get(CHAOS_ENV)
+    if raw:
+        table = json.loads(raw)
+        fault = table.get("faults", {}).get(str(spec.seed))
+        if fault is not None and _claim_fault(table, fault, spec.seed):
+            kind = fault.get("kind")
+            if kind == "slow":
+                time.sleep(float(fault.get("delay", SLOW_DELAY)))
+            elif kind == "raise":
+                raise ChaosFault(f"injected fault for seed {spec.seed}")
+            elif kind == "kill":
+                # A worker-process death: in pool mode this breaks the
+                # ProcessPoolExecutor; in inline mode it is the service
+                # crash the journal exists for.
+                os._exit(17)
+    return execute_spec_point(spec)
+
+
+def _claim_fault(
+    table: Dict[str, Any], fault: Dict[str, Any], seed: int
+) -> bool:
+    """Whether this attempt fires the fault (``once`` uses a sentinel).
+
+    The sentinel is created with ``O_EXCL`` *before* the fault fires,
+    so at most one attempt — across retries, pool rebuilds, and service
+    restarts — ever sees it, and every later attempt runs clean.
+    """
+    if not fault.get("once", True):
+        return True
+    sentinel_dir = table.get("sentinel_dir")
+    if not sentinel_dir:
+        return True
+    os.makedirs(sentinel_dir, exist_ok=True)
+    sentinel = os.path.join(sentinel_dir, f"fault-{seed}")
+    try:
+        handle = os.open(sentinel, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+    except FileExistsError:
+        return False
+    os.close(handle)
+    return True
+
+
+@contextmanager
+def armed_faults(
+    faults: Dict[int, Dict[str, Any]], sentinel_dir: str
+) -> Iterator[None]:
+    """Arm a fault table (keyed by point seed) for the enclosed block."""
+    table = {
+        "sentinel_dir": sentinel_dir,
+        "faults": {str(seed): fault for seed, fault in faults.items()},
+    }
+    previous = os.environ.get(CHAOS_ENV)
+    os.environ[CHAOS_ENV] = json.dumps(table, sort_keys=True)
+    try:
+        yield
+    finally:
+        if previous is None:
+            os.environ.pop(CHAOS_ENV, None)
+        else:
+            os.environ[CHAOS_ENV] = previous
+
+
+# -- scenario generation -----------------------------------------------
+
+
+@dataclass(frozen=True)
+class ChaosScenario:
+    """One seeded chaos scenario: which failure mode, over which grid."""
+
+    index: int
+    kind: str
+    seed: int
+    #: Grid size (faults pick a victim point among these).
+    n_points: int
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON form for campaign reports."""
+        return {
+            "index": self.index,
+            "kind": self.kind,
+            "seed": self.seed,
+            "n_points": self.n_points,
+        }
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """A chaos campaign: how many scenarios from which master seed."""
+
+    scenarios: int = 50
+    seed: int = 0
+    kinds: Tuple[str, ...] = SCENARIO_KINDS
+
+    def generate(self) -> List[ChaosScenario]:
+        """The campaign's scenarios — one master RNG, fully derived.
+
+        Kinds round-robin (every campaign of ``>= len(kinds)`` scenarios
+        covers every failure mode); sizes and per-scenario seeds come
+        from the master RNG, so two campaigns with the same config are
+        bit-identical — the resilience lab's reproducibility discipline.
+        """
+        rng = random.Random(self.seed)
+        return [
+            ChaosScenario(
+                index=index,
+                kind=self.kinds[index % len(self.kinds)],
+                seed=rng.randrange(2**31),
+                n_points=rng.randint(3, 5),
+            )
+            for index in range(self.scenarios)
+        ]
+
+
+@dataclass
+class ChaosReport:
+    """Campaign outcome: scenarios run and the violations they found."""
+
+    scenarios: int = 0
+    violations: List[Tuple[ChaosScenario, Violation]] = field(
+        default_factory=list
+    )
+
+    @property
+    def ok(self) -> bool:
+        """True when every scenario upheld every invariant."""
+        return not self.violations
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON form (the ``--json`` CLI output)."""
+        return {
+            "scenarios": self.scenarios,
+            "ok": self.ok,
+            "violations": [
+                {"scenario": scenario.to_dict(), **violation.to_dict()}
+                for scenario, violation in self.violations
+            ],
+        }
+
+    def summary(self) -> str:
+        """One status line for logs."""
+        verdict = "ok" if self.ok else f"{len(self.violations)} violation(s)"
+        return f"chaos campaign: {self.scenarios} scenarios, {verdict}"
+
+
+# -- invariants --------------------------------------------------------
+
+
+def check_service_invariants(
+    service: ScenarioService, job_ids: List[str]
+) -> List[Violation]:
+    """The service-level invariant suite over *job_ids*.
+
+    * ``job-lost`` — a submitted job id the store no longer knows;
+    * ``non-terminal`` — a job that never reached a terminal state;
+    * ``row-lost`` — a completed (non-failed, non-cancelled) point of a
+      terminal job without its result row in the persisted JSONL;
+    * ``row-duplicated`` — a point index appearing twice in one
+      persisted JSONL file (double-counted work).
+    """
+    violations: List[Violation] = []
+    for job_id in job_ids:
+        job = service.store.get(job_id)
+        if job is None:
+            violations.append(
+                Violation("job-lost", f"{job_id} vanished from the store")
+            )
+            continue
+        state = service.store.job_status(job)
+        if state not in TERMINAL_JOB_STATES:
+            violations.append(
+                Violation(
+                    "non-terminal", f"{job_id} ended the scenario {state!r}"
+                )
+            )
+        violations.extend(_check_rows(service, job, state))
+    violations.extend(_check_duplicates(service))
+    return violations
+
+
+def _check_rows(
+    service: ScenarioService, job: Job, state: str
+) -> List[Violation]:
+    """Completed points of a finished job must have persisted rows."""
+    if state not in ("done", "done_with_errors"):
+        return []
+    data_dir = service.config.data_dir
+    if data_dir is None:
+        return []
+    path = os.path.join(data_dir, f"{job.job_id}.jsonl")
+    persisted = {
+        record.get("index"): record.get("row")
+        for record in read_sweep_points(path)
+    }
+    violations: List[Violation] = []
+    for record in service.store.point_records(job):
+        if record["status"] not in ("done", "cached"):
+            continue
+        if not persisted.get(record["index"]):
+            violations.append(
+                Violation(
+                    "row-lost",
+                    f"{job.job_id} point {record['index']} is "
+                    f"{record['status']} but has no persisted row",
+                )
+            )
+    return violations
+
+
+def _check_duplicates(service: ScenarioService) -> List[Violation]:
+    """No persisted JSONL file may count the same point index twice."""
+    data_dir = service.config.data_dir
+    if data_dir is None or not os.path.isdir(data_dir):
+        return []
+    violations: List[Violation] = []
+    for name in sorted(os.listdir(data_dir)):
+        if not name.endswith(".jsonl") or name == JOURNAL_NAME:
+            continue
+        seen: Dict[Any, int] = {}
+        for record in read_sweep_points(os.path.join(data_dir, name)):
+            index = record.get("index")
+            seen[index] = seen.get(index, 0) + 1
+        for index, count in sorted(seen.items()):
+            if count > 1:
+                violations.append(
+                    Violation(
+                        "row-duplicated",
+                        f"{name} counts point {index} {count} times",
+                    )
+                )
+    return violations
+
+
+# -- scenario execution ------------------------------------------------
+
+
+def _point(seed: int) -> Dict[str, Any]:
+    """One small, fast spec dict; the seed keys the fault table."""
+    return {
+        "protocol": "real-aa",
+        "n": 3,
+        "t": 0,
+        "known_range": 8.0,
+        "adversary": "none",
+        "seed": seed,
+    }
+
+
+def _payload(scenario: ChaosScenario) -> Dict[str, Any]:
+    """The scenario's grid: ``n_points`` specs with derived seeds."""
+    return {
+        "points": [
+            _point(scenario.seed * 1000 + offset)
+            for offset in range(scenario.n_points)
+        ]
+    }
+
+
+def _config(workdir: str, **overrides: Any) -> ServiceConfig:
+    """A service config over throwaway directories under *workdir*."""
+    settings: Dict[str, Any] = dict(
+        port=0,
+        cache_dir=os.path.join(workdir, "cache"),
+        data_dir=os.path.join(workdir, "data"),
+        executor=CHAOS_EXECUTOR,
+        retry_base_delay=0.01,
+    )
+    settings.update(overrides)
+    return ServiceConfig(**settings)
+
+
+def _wait_terminal(
+    service: ScenarioService, job_id: str, timeout: float = 30.0
+) -> str:
+    """Poll the store until *job_id* is terminal; returns the state."""
+    deadline = time.monotonic() + timeout
+    while True:
+        job = service.store.get(job_id)
+        state = service.store.job_status(job) if job is not None else "lost"
+        if state in TERMINAL_JOB_STATES or state == "lost":
+            return state
+        if time.monotonic() >= deadline:
+            return state
+        time.sleep(0.02)
+
+
+def _wait_dequeued(
+    service: ScenarioService, job_id: str, timeout: float = 10.0
+) -> None:
+    """Wait until the worker picked *job_id* up (it left the queue)."""
+    deadline = time.monotonic() + timeout
+    job = service.store.get(job_id)
+    while (
+        job is not None
+        and service.store.job_status(job) == "queued"
+        and time.monotonic() < deadline
+    ):
+        time.sleep(0.01)
+
+
+def _event_kinds(service: ScenarioService, job_id: str) -> List[str]:
+    """The job's event names, in order (empty for unknown jobs)."""
+    job = service.store.get(job_id)
+    if job is None:
+        return []
+    return [entry["event"] for entry in service.store.events_since(job, 0)]
+
+
+def _expect(condition: bool, detail: str) -> List[Violation]:
+    """A scenario-specific expectation, as zero or one violation."""
+    if condition:
+        return []
+    return [Violation("expectation", detail)]
+
+
+def run_chaos_scenario(
+    scenario: ChaosScenario, workdir: str
+) -> List[Violation]:
+    """Run one scenario in isolated directories; returns its violations."""
+    runner = _RUNNERS[scenario.kind]
+    return runner(scenario, workdir)
+
+
+def _run_transient(scenario: ChaosScenario, workdir: str) -> List[Violation]:
+    """One point fails once; the retry must absorb it silently."""
+    payload = _payload(scenario)
+    rng = random.Random(scenario.seed)
+    victim = payload["points"][rng.randrange(scenario.n_points)]["seed"]
+    faults = {victim: {"kind": "raise", "once": True}}
+    with armed_faults(faults, os.path.join(workdir, "sentinels")):
+        with ScenarioService(_config(workdir)) as service:
+            job_id = service.submit(payload)
+            state = _wait_terminal(service, job_id)
+            violations = _expect(
+                state == "done",
+                f"transient fault must retry to done, got {state!r}",
+            )
+            violations += _expect(
+                "point_retry" in _event_kinds(service, job_id),
+                "no point_retry event after a transient fault",
+            )
+            return violations + check_service_invariants(service, [job_id])
+
+
+def _run_poison(scenario: ChaosScenario, workdir: str) -> List[Violation]:
+    """One point fails every attempt; the job must finish around it."""
+    payload = _payload(scenario)
+    rng = random.Random(scenario.seed)
+    victim = payload["points"][rng.randrange(scenario.n_points)]["seed"]
+    faults = {victim: {"kind": "raise", "once": False}}
+    with armed_faults(faults, os.path.join(workdir, "sentinels")):
+        with ScenarioService(_config(workdir)) as service:
+            job_id = service.submit(payload)
+            state = _wait_terminal(service, job_id)
+            violations = _expect(
+                state == "done_with_errors",
+                f"poisoned point must yield done_with_errors, got {state!r}",
+            )
+            violations += _expect(
+                "point_failed" in _event_kinds(service, job_id),
+                "no point_failed event for a quarantined point",
+            )
+            job = service.store.get(job_id)
+            if job is not None:
+                counts = service.store.counts(job)
+                violations += _expect(
+                    counts["failed"] == 1
+                    and counts["done"] + counts["cached"]
+                    == scenario.n_points - 1,
+                    f"exactly one quarantined point expected, got {counts}",
+                )
+            return violations + check_service_invariants(service, [job_id])
+
+
+def _run_kill_worker(scenario: ChaosScenario, workdir: str) -> List[Violation]:
+    """A pool process dies mid-point; the pool must rebuild and finish."""
+    payload = _payload(scenario)
+    rng = random.Random(scenario.seed)
+    victim = payload["points"][rng.randrange(scenario.n_points)]["seed"]
+    faults = {victim: {"kind": "kill", "once": True}}
+    with armed_faults(faults, os.path.join(workdir, "sentinels")):
+        with ScenarioService(_config(workdir, pool_jobs=2)) as service:
+            job_id = service.submit(payload)
+            state = _wait_terminal(service, job_id, timeout=60.0)
+            violations = _expect(
+                state == "done",
+                f"killed pool process must heal to done, got {state!r}",
+            )
+            violations += _expect(
+                "pool_rebuilt" in _event_kinds(service, job_id),
+                "no pool_rebuilt event after a worker-process kill",
+            )
+            return violations + check_service_invariants(service, [job_id])
+
+
+def _run_cancel(scenario: ChaosScenario, workdir: str) -> List[Violation]:
+    """Cancel mid-grid: the job stops between points, consistently."""
+    payload = _payload(scenario)
+    faults = {
+        point["seed"]: {"kind": "slow", "once": False, "delay": SLOW_DELAY}
+        for point in payload["points"]
+    }
+    with armed_faults(faults, os.path.join(workdir, "sentinels")):
+        with ScenarioService(_config(workdir)) as service:
+            job_id = service.submit(payload)
+            _wait_dequeued(service, job_id)
+            cancelled = service.cancel_job(job_id)
+            state = _wait_terminal(service, job_id)
+            violations = _expect(
+                cancelled is not False,
+                "cancel_job refused a job that was not terminal",
+            )
+            violations += _expect(
+                state in ("cancelled", "done"),
+                f"cancelled job ended {state!r}",
+            )
+            return violations + check_service_invariants(service, [job_id])
+
+
+def _run_restart(scenario: ChaosScenario, workdir: str) -> List[Violation]:
+    """Crash mid-job; a second service over the data dir must recover."""
+    payload = _payload(scenario)
+    hang_seed = payload["points"][-1]["seed"]
+    faults = {hang_seed: {"kind": "slow", "once": True, "delay": HANG_DELAY}}
+    with armed_faults(faults, os.path.join(workdir, "sentinels")):
+        first = ScenarioService(_config(workdir)).start()
+        job_id = first.submit(payload)
+        deadline = time.monotonic() + 15.0
+        job = first.store.get(job_id)
+        while time.monotonic() < deadline:
+            counts = first.store.counts(job) if job is not None else {}
+            if counts.get("done", 0) + counts.get("cached", 0) >= (
+                scenario.n_points - 1
+            ):
+                break
+            time.sleep(0.02)
+        simulate_crash(first)
+        second = ScenarioService(_config(workdir))
+        with second:
+            violations = _expect(
+                job_id in second.recovered_jobs,
+                f"{job_id} was not recovered from the journal "
+                f"(recovered: {second.recovered_jobs})",
+            )
+            state = _wait_terminal(second, job_id)
+            violations += _expect(
+                state == "done",
+                f"recovered job must finish done, got {state!r}",
+            )
+            violations += _expect(
+                "job_recovered" in _event_kinds(second, job_id),
+                "no job_recovered event on the restarted service",
+            )
+            recovered = second.store.get(job_id)
+            if recovered is not None:
+                counts = second.store.counts(recovered)
+                violations += _expect(
+                    counts.get("cached", 0) >= scenario.n_points - 1,
+                    f"recovery must dedupe finished points through the "
+                    f"cache, got {counts}",
+                )
+            return violations + check_service_invariants(second, [job_id])
+
+
+def simulate_crash(service: ScenarioService) -> None:
+    """Leave *service* the way ``kill -9`` would.
+
+    No cancel transitions, no terminal journal records, no graceful
+    drain: the journal handle is closed (further appends are dropped,
+    like a dead process's would be) and the listening socket goes cold.
+    The worker thread is deliberately *not* stopped — it is a daemon
+    parked inside an injected hang, and a real crash would not have
+    unwound it either.
+    """
+    if service._journal is not None:
+        service._journal.close()
+    if service._server is not None:
+        service._server.shutdown()
+        service._server.server_close()
+
+
+def _run_overload(scenario: ChaosScenario, workdir: str) -> List[Violation]:
+    """Admission control: the queue sheds load, accepted work finishes."""
+    payload = _payload(scenario)
+    faults = {
+        point["seed"]: {"kind": "slow", "once": True, "delay": SLOW_DELAY}
+        for point in payload["points"]
+    }
+    with armed_faults(faults, os.path.join(workdir, "sentinels")):
+        config = _config(workdir, max_queue_depth=1)
+        with ScenarioService(config) as service:
+            first = service.submit(payload)
+            _wait_dequeued(service, first)
+            second = service.submit(payload)
+            shed = False
+            try:
+                service.submit(payload)
+            except ServiceOverloadedError as exc:
+                shed = exc.retry_after >= 1
+            violations = _expect(
+                shed, "third submission was not shed with a retry hint"
+            )
+            states = [
+                _wait_terminal(service, job_id) for job_id in (first, second)
+            ]
+            violations += _expect(
+                all(state == "done" for state in states),
+                f"accepted jobs must finish despite shedding, got {states}",
+            )
+            return violations + check_service_invariants(
+                service, [first, second]
+            )
+
+
+def _run_malformed(scenario: ChaosScenario, workdir: str) -> List[Violation]:
+    """A bad payload is rejected cleanly; the next good job runs."""
+    with armed_faults({}, os.path.join(workdir, "sentinels")):
+        with ScenarioService(_config(workdir)) as service:
+            rejected = False
+            try:
+                service.submit(
+                    {"points": [{"protocol": "no-such-protocol", "n": 3, "t": 0}]}
+                )
+            except PlanError:
+                rejected = True
+            violations = _expect(
+                rejected, "malformed payload was accepted by the planner"
+            )
+            violations += _expect(
+                not service.store.all_jobs(),
+                "a malformed payload must not register a job",
+            )
+            job_id = service.submit(_payload(scenario))
+            state = _wait_terminal(service, job_id)
+            violations += _expect(
+                state == "done",
+                f"good job after a malformed one ended {state!r}",
+            )
+            return violations + check_service_invariants(service, [job_id])
+
+
+_RUNNERS = {
+    "transient": _run_transient,
+    "poison": _run_poison,
+    "kill-worker": _run_kill_worker,
+    "cancel": _run_cancel,
+    "restart": _run_restart,
+    "overload": _run_overload,
+    "malformed": _run_malformed,
+}
+
+
+def run_chaos_campaign(
+    config: ChaosConfig, workdir: Optional[str] = None
+) -> ChaosReport:
+    """Run the campaign's scenarios sequentially; collect violations."""
+    report = ChaosReport()
+    base = workdir or tempfile.mkdtemp(prefix="repro-chaos-")
+    for scenario in config.generate():
+        scenario_dir = os.path.join(
+            base, f"scenario-{scenario.index:03d}-{scenario.kind}"
+        )
+        os.makedirs(scenario_dir, exist_ok=True)
+        for violation in run_chaos_scenario(scenario, scenario_dir):
+            report.violations.append((scenario, violation))
+        report.scenarios += 1
+    return report
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point (``python -m repro.service.chaos``)."""
+    parser = argparse.ArgumentParser(
+        description="chaos-test the scenario service's fault tolerance"
+    )
+    parser.add_argument(
+        "--scenarios", type=int, default=50, help="scenario count"
+    )
+    parser.add_argument("--seed", type=int, default=0, help="master seed")
+    parser.add_argument(
+        "--json", action="store_true", help="emit the report as JSON"
+    )
+    args = parser.parse_args(argv)
+    report = run_chaos_campaign(
+        ChaosConfig(scenarios=args.scenarios, seed=args.seed)
+    )
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.summary())
+        for scenario, violation in report.violations:
+            print(
+                f"  scenario {scenario.index} ({scenario.kind}, "
+                f"seed {scenario.seed}): {violation.oracle}: "
+                f"{violation.detail}"
+            )
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -4,35 +4,74 @@
 and what tests drive: thin ``urllib`` wrappers over the endpoints in
 :mod:`repro.service.http_api`, plus :meth:`ServiceClient.wait` for
 polling a job to a terminal state.
+
+Robustness is opt-in: constructed with ``retries > 0``, the client
+retransmits requests that failed with a connection error, a 5xx, or a
+429 — with jittered exponential backoff, honouring a ``Retry-After``
+header when the service sent one.  Retransmission is safe for every
+endpoint here: the GETs are read-only, ``POST /jobs/<id>/cancel`` and
+``POST /shutdown`` are idempotent, and a duplicated ``POST /jobs``
+creates a job whose points carry the same deterministic seeds — the
+sweep cache serves the repeats, so a retry costs a job id, not
+recomputation.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import time
 import urllib.error
+import urllib.parse
 import urllib.request
 from typing import Any, Dict, List, Optional
+
+#: Job states after which :meth:`ServiceClient.wait` stops polling.
+TERMINAL_STATES = ("done", "done_with_errors", "failed", "cancelled")
 
 
 class ServiceClientError(RuntimeError):
     """An HTTP error from the service, with its status and message."""
 
-    def __init__(self, status: int, message: str) -> None:
+    def __init__(
+        self, status: int, message: str, retry_after: Optional[float] = None
+    ) -> None:
         super().__init__(f"HTTP {status}: {message}")
         self.status = status
+        #: Alias of :attr:`status` (named like ``HTTPError.code``);
+        #: in-package code reads this one — ``status`` is a
+        #: lock-guarded attribute name under the PL101 discipline, and
+        #: exception objects are thread-local.
+        self.code = status
+        #: Parsed ``Retry-After`` header (seconds), when the service
+        #: sent one (429 responses do).
+        self.retry_after = retry_after
 
 
 class ServiceClient:
-    """Talk to one scenario service at *base_url*."""
+    """Talk to one scenario service at *base_url*.
 
-    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+    *retries* enables retransmission of failed requests (``0`` — the
+    default — preserves fail-fast behaviour); *backoff* is the base
+    delay, doubled per attempt with deterministic jitter.
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 30.0,
+        *,
+        retries: int = 0,
+        backoff: float = 0.1,
+    ) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.retries = max(0, retries)
+        self.backoff = backoff
 
     # -- plumbing ------------------------------------------------------
 
-    def _request(
+    def _request_once(
         self, method: str, path: str, payload: Optional[Dict[str, Any]] = None
     ) -> bytes:
         data = None
@@ -52,7 +91,38 @@ class ServiceClient:
                 message = json.loads(body).get("error", body.decode())
             except ValueError:
                 message = body.decode(errors="replace")
-            raise ServiceClientError(exc.code, message) from None
+            raise ServiceClientError(
+                exc.code, message, retry_after=_retry_after(exc)
+            ) from None
+
+    def _request(
+        self, method: str, path: str, payload: Optional[Dict[str, Any]] = None
+    ) -> bytes:
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                return self._request_once(method, path, payload)
+            except ServiceClientError as exc:
+                # 4xx other than 429 is the caller's bug; retrying
+                # cannot fix it and would only hide it.
+                if exc.code != 429 and exc.code < 500:
+                    raise
+                if attempt > self.retries:
+                    raise
+                delay = exc.retry_after
+            except (urllib.error.URLError, OSError, ConnectionError):
+                if attempt > self.retries:
+                    raise
+                delay = None
+            time.sleep(delay if delay is not None else self._delay(path, attempt))
+
+    def _delay(self, path: str, attempt: int) -> float:
+        """Jittered exponential backoff, deterministic per (path, attempt)."""
+        base = min(5.0, self.backoff * (2 ** (attempt - 1)))
+        digest = hashlib.sha256(f"{path}:{attempt}".encode()).digest()
+        unit = int.from_bytes(digest[:8], "big") / float(2**64)
+        return base * (1.0 + 0.5 * unit)
 
     def _json(
         self, method: str, path: str, payload: Optional[Dict[str, Any]] = None
@@ -88,6 +158,14 @@ class ServiceClient:
         """``GET /jobs/<id>`` — full job status."""
         return self._json("GET", f"/jobs/{job_id}")
 
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        """``POST /jobs/<id>/cancel`` — request cancellation.
+
+        Returns the 202 body; raises :class:`ServiceClientError` with
+        status 409 when the job is already terminal.
+        """
+        return self._json("POST", f"/jobs/{job_id}/cancel", {})
+
     def events(self, job_id: str, since: int = 0) -> List[Dict[str, Any]]:
         """``GET /jobs/<id>/events?since=N`` — the NDJSON event tail."""
         return self._ndjson(f"/jobs/{job_id}/events?since={since}")
@@ -106,11 +184,16 @@ class ServiceClient:
 
     def diff(self, job_id: str, a: int, b: int) -> Dict[str, Any]:
         """``GET /jobs/<id>/diff?a=I&b=J`` — diff two recorded points."""
-        return self._json("GET", f"/jobs/{job_id}/diff?a={a}&b={b}")
+        query = urllib.parse.urlencode({"a": a, "b": b})
+        return self._json("GET", f"/jobs/{job_id}/diff?{query}")
 
     def query(self, **filters: str) -> List[Dict[str, Any]]:
-        """``GET /results?...`` — accumulated rows matching *filters*."""
-        suffix = "&".join(f"{key}={value}" for key, value in filters.items())
+        """``GET /results?...`` — accumulated rows matching *filters*.
+
+        Filter values are URL-encoded, so values containing ``&``,
+        ``=``, spaces, or non-ASCII text arrive at the service intact.
+        """
+        suffix = urllib.parse.urlencode(filters)
         return self._ndjson(f"/results?{suffix}" if suffix else "/results")
 
     def shutdown(self) -> None:
@@ -122,16 +205,40 @@ class ServiceClient:
     ) -> Dict[str, Any]:
         """Poll ``GET /jobs/<id>`` until the job reaches a terminal state.
 
-        Returns the final status body; raises ``TimeoutError`` if the
-        job is still running after *timeout* seconds.
+        Returns the final status body; raises ``TimeoutError`` (carrying
+        the last observed status) once *timeout* elapsed.  The deadline
+        is checked *before* sleeping, so an already-expired budget never
+        buys one more sleep+poll round; a 429 from the poll itself backs
+        off by its ``Retry-After`` (capped by the remaining budget).
         """
         deadline = time.monotonic() + timeout
+        last_status = "unknown"
         while True:
-            status = self.job(job_id)
-            if status["status"] in ("done", "failed", "cancelled"):
-                return status
-            if time.monotonic() >= deadline:
+            try:
+                status = self.job(job_id)
+            except ServiceClientError as exc:
+                if exc.code != 429:
+                    raise
+                pause: float = exc.retry_after or interval
+            else:
+                last_status = status["status"]
+                if last_status in TERMINAL_STATES:
+                    return status
+                pause = interval
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
                 raise TimeoutError(
-                    f"{job_id} still {status['status']!r} after {timeout}s"
+                    f"{job_id} still {last_status!r} after {timeout}s"
                 )
-            time.sleep(interval)
+            time.sleep(min(pause, remaining))
+
+
+def _retry_after(exc: urllib.error.HTTPError) -> Optional[float]:
+    """The ``Retry-After`` header of an error response, in seconds."""
+    value = exc.headers.get("Retry-After") if exc.headers else None
+    if value is None:
+        return None
+    try:
+        return max(0.0, float(value))
+    except ValueError:
+        return None

@@ -25,6 +25,10 @@ Endpoints (all JSON unless noted):
     :func:`repro.observability.render_report` (plain text).
 ``GET /jobs/<id>/diff?a=I&b=J``
     :func:`repro.observability.diff_runs` over two recorded points.
+``POST /jobs/<id>/cancel``
+    Request cancellation: sets the job's cancel flag (``202``); the
+    worker turns it into ``cancelled`` transitions between points.
+    ``409`` once the job is already terminal.
 ``GET /results?field=value&...``
     Query accumulated rows across *all* persisted jobs; filters match
     top-level row fields (``protocol``, ``backend``, ``ok``, ...).
@@ -32,8 +36,14 @@ Endpoints (all JSON unless noted):
     Graceful stop: responds, then shuts the service down.
 
 Client errors map to ``400`` (bad payloads, bad filters), unknown
-resources to ``404``, wrong methods to ``405``.  The server is a
-:class:`ThreadingHTTPServer`, so slow pollers never block submissions.
+resources to ``404``, wrong methods to ``405``.  ``POST /jobs`` sheds
+load with ``429`` + ``Retry-After`` once the worker's queue is at
+``max_queue_depth`` (``/healthz`` stays 200 throughout — overloaded is
+busy, not dead).  Handler sockets carry a per-request deadline
+(:attr:`~repro.service.session.ServiceConfig.request_timeout`), so a
+stalled client times out instead of pinning a handler thread.  The
+server is a :class:`ThreadingHTTPServer`, so slow pollers never block
+submissions.
 """
 
 from __future__ import annotations
@@ -48,8 +58,11 @@ from .. import __version__
 from ..observability import diff_runs, load_run_text, render_report
 from .jobs import Job
 from .planner import PlanError, plan_points
+from .worker import ServiceOverloadedError
 
 if TYPE_CHECKING:
+    import socket
+
     from .session import ScenarioService
 
 #: The routes ``GET /`` advertises (method, path template).
@@ -64,6 +77,7 @@ ENDPOINTS = (
     ("GET", "/jobs/<id>/points/<i>/trace"),
     ("GET", "/jobs/<id>/points/<i>/report"),
     ("GET", "/jobs/<id>/diff"),
+    ("POST", "/jobs/<id>/cancel"),
     ("GET", "/results"),
     ("POST", "/shutdown"),
 )
@@ -78,6 +92,20 @@ class ServiceHTTPServer(ThreadingHTTPServer):
     def __init__(self, address: Tuple[str, int], service: "ScenarioService"):
         super().__init__(address, ScenarioRequestHandler)
         self.service = service
+
+    def get_request(self) -> Tuple["socket.socket", Any]:
+        """Accept a connection with the per-request deadline armed.
+
+        The socket timeout bounds every read/write a handler does, so a
+        stalled client (slow-loris upload, dead TCP peer) times out —
+        ``BaseHTTPRequestHandler`` turns that into closing the
+        connection — instead of pinning a handler thread forever.
+        """
+        request, client_address = super().get_request()
+        timeout = self.service.config.request_timeout
+        if timeout > 0:
+            request.settimeout(timeout)
+        return request, client_address
 
 
 class ScenarioRequestHandler(BaseHTTPRequestHandler):
@@ -96,16 +124,29 @@ class ScenarioRequestHandler(BaseHTTPRequestHandler):
 
     # -- response helpers ---------------------------------------------
 
-    def _send(self, status: int, body: bytes, content_type: str) -> None:
+    def _send(
+        self,
+        status: int,
+        body: bytes,
+        content_type: str,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> None:
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
-    def _json(self, payload: Any, status: int = 200) -> None:
+    def _json(
+        self,
+        payload: Any,
+        status: int = 200,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> None:
         body = (json.dumps(payload, sort_keys=True) + "\n").encode()
-        self._send(status, body, "application/json")
+        self._send(status, body, "application/json", headers)
 
     def _text(self, text: str, status: int = 200) -> None:
         self._send(status, text.encode(), "text/plain; charset=utf-8")
@@ -267,6 +308,21 @@ class ScenarioRequestHandler(BaseHTTPRequestHandler):
                 self._error(503, "service is shutting down")
                 return
             try:
+                # Admission control before the body is even parsed:
+                # shedding load must cost less than accepting it.
+                self.service.check_capacity()
+            except ServiceOverloadedError as exc:
+                self._json(
+                    {
+                        "error": str(exc),
+                        "backlog": exc.backlog,
+                        "retry_after": exc.retry_after,
+                    },
+                    status=429,
+                    headers={"Retry-After": str(exc.retry_after)},
+                )
+                return
+            try:
                 payload = self._read_body()
                 specs = plan_points(payload, base_seed=self.service.base_seed)
             except PlanError as exc:
@@ -278,6 +334,23 @@ class ScenarioRequestHandler(BaseHTTPRequestHandler):
                 {"job_id": job.job_id, "points": len(job.points),
                  "status": self.service.store.job_status(job)},
                 status=202,
+            )
+            return
+        if len(parts) == 3 and parts[0] == "jobs" and parts[2] == "cancel":
+            job = self._job_or_404(parts[1])
+            if job is None:
+                return
+            accepted = self.service.store.request_cancel(job)
+            # The flag is all that changes here; the worker thread is
+            # the single writer of point state and performs the actual
+            # `cancelled` transitions between points.
+            self._json(
+                {
+                    "job_id": job.job_id,
+                    "cancel_requested": accepted,
+                    "status": self.service.store.job_status(job),
+                },
+                status=202 if accepted else 409,
             )
             return
         self._error(404, f"unknown path {self.path!r}")

@@ -25,15 +25,29 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..analysis.spec import ScenarioSpec
+from .journal import JobJournal
 
 #: Point lifecycle states.
 POINT_STATES = ("pending", "running", "cached", "done", "failed", "cancelled")
 
-#: Job lifecycle states.
-JOB_STATES = ("queued", "running", "done", "failed", "cancelled")
+#: Job lifecycle states (``done_with_errors``: every point terminal, at
+#: least one ``failed``, the rest completed — the job *finished*, with
+#: quarantined casualties).
+JOB_STATES = (
+    "queued",
+    "running",
+    "done",
+    "done_with_errors",
+    "failed",
+    "cancelled",
+)
 
 #: Point states that count as finished work.
 TERMINAL_POINT_STATES = ("cached", "done", "failed", "cancelled")
+
+#: Job states no further transition may leave (what pollers wait for and
+#: what the journal treats as "this job needs no recovery").
+TERMINAL_JOB_STATES = ("done", "done_with_errors", "failed", "cancelled")
 
 
 @dataclass
@@ -81,6 +95,9 @@ class Job:
     events: List[Dict[str, Any]] = field(default_factory=list)  # statics: guarded-by(_lock)
     #: Set by the worker when the finished job's rows were persisted.
     results_path: Optional[str] = None  # statics: guarded-by(_lock)
+    #: Set by ``POST /jobs/<id>/cancel``; the worker polls it between
+    #: points and turns it into ``cancelled`` point/job transitions.
+    cancel_requested: bool = False  # statics: guarded-by(_lock)
 
     def counts(self) -> Dict[str, int]:  # statics: holds(_lock)
         """Point totals by status (the dedupe ratio falls out of these).
@@ -109,14 +126,24 @@ class Job:
             "counts": self.counts(),
             "events": len(self.events),
             "results_path": self.results_path,
+            "cancel_requested": self.cancel_requested,
         }
 
 
 class JobStore:
-    """Thread-safe registry of jobs with sequential ids and event logs."""
+    """Thread-safe registry of jobs with sequential ids and event logs.
 
-    def __init__(self) -> None:
+    When constructed with a :class:`~repro.service.journal.JobJournal`,
+    submissions and terminal transitions are journaled as a side effect
+    of the normal transition methods — callers never talk to the journal
+    directly, so no state change can forget its journal record.  Journal
+    appends happen *outside* ``_lock`` (the journal has its own lock and
+    the two are never nested, so there is no ordering question).
+    """
+
+    def __init__(self, journal: Optional[JobJournal] = None) -> None:
         self._lock = threading.Lock()
+        self._journal = journal
         self._jobs: Dict[str, Job] = {}  # statics: guarded-by(_lock)
         self._next_id = 1  # statics: guarded-by(_lock)
 
@@ -133,7 +160,45 @@ class JobStore:
                 ],
             )
             self._jobs[job_id] = job
+        if self._journal is not None:
+            self._journal.record_submitted(
+                job_id, [spec.to_dict() for spec in specs]
+            )
         self.log_event(job, "job_queued", points=len(job.points))
+        return job
+
+    def restore(
+        self,
+        job_id: str,
+        specs: List[ScenarioSpec],
+        point_states: Dict[int, Tuple[str, Optional[str]]],
+    ) -> Job:
+        """Re-register a journaled job under its original id.
+
+        Journaled ``failed``/``cancelled`` points are restored as-is
+        (their work is spent either way); journaled ``done``/``cached``
+        points come back as ``pending`` — the worker's cache scan
+        re-serves them without recomputation when the sweep cache still
+        holds their rows.  Nothing is re-journaled: the journal already
+        carries these records (compaction preserves non-terminal jobs).
+        """
+        points = []
+        for index, spec in enumerate(specs):
+            state = point_states.get(index)
+            if state is not None and state[0] in ("failed", "cancelled"):
+                point = PointState(
+                    index=index, spec=spec, status=state[0], error=state[1]
+                )
+            else:
+                point = PointState(index=index, spec=spec)
+            points.append(point)
+        job = Job(job_id=job_id, points=points)
+        with self._lock:
+            self._jobs[job_id] = job
+            suffix = job_id.rsplit("-", 1)[-1]
+            if suffix.isdigit():
+                self._next_id = max(self._next_id, int(suffix) + 1)
+        self.log_event(job, "job_recovered", points=len(points))
         return job
 
     def get(self, job_id: str) -> Optional[Job]:
@@ -152,9 +217,11 @@ class JobStore:
             job.events.append({"seq": len(job.events), "event": kind, **payload})
 
     def set_job_status(self, job: Job, status: str) -> None:
-        """Transition *job* and log the transition."""
+        """Transition *job*, log the transition, journal it if terminal."""
         with self._lock:
             job.status = status
+        if self._journal is not None and status in TERMINAL_JOB_STATES:
+            self._journal.record_job(job.job_id, status)
         self.log_event(job, "job_status", status=status)
 
     def set_point_status(
@@ -166,7 +233,7 @@ class JobStore:
         row: Optional[Dict[str, Any]] = None,
         error: Optional[str] = None,
     ) -> None:
-        """Transition one point and log the transition."""
+        """Transition one point, log it, and journal terminal states."""
         with self._lock:
             point = job.points[index]
             point.status = status
@@ -174,10 +241,32 @@ class JobStore:
                 point.row = row
             if error is not None:
                 point.error = error
+        if self._journal is not None and status in TERMINAL_POINT_STATES:
+            self._journal.record_point(job.job_id, index, status, error)
         event: Dict[str, Any] = {"index": index, "status": status}
         if error is not None:
             event["error"] = error
         self.log_event(job, "point_status", **event)
+
+    def request_cancel(self, job: Job) -> bool:
+        """Ask for *job* to be cancelled; returns False once terminal.
+
+        Setting the flag is all that happens here: the worker thread
+        polls it between points (and on dequeue) and performs the actual
+        ``cancelled`` transitions, so there is exactly one writer of
+        point state.
+        """
+        with self._lock:
+            if job.status in TERMINAL_JOB_STATES:
+                return False
+            job.cancel_requested = True
+        self.log_event(job, "cancel_requested")
+        return True
+
+    def is_cancel_requested(self, job: Job) -> bool:
+        """Whether a cancel was requested for *job* (snapshot)."""
+        with self._lock:
+            return job.cancel_requested
 
     def events_since(self, job: Job, since: int) -> List[Dict[str, Any]]:
         """Events of *job* with ``seq >= since`` (the NDJSON tail)."""

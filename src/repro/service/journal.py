@@ -1,0 +1,238 @@
+"""Crash-safe job journal: the service's write-ahead log.
+
+A service with a data directory appends every job submission and every
+*terminal* state transition (per point and per job) to one append-only
+JSONL file, ``journal.jsonl``.  On startup the next service process
+replays that file: jobs that never reached a terminal state are
+re-registered and re-queued (:meth:`repro.service.session.ScenarioService
+.start`), with already-finished points deduped through the sweep cache
+and journaled ``failed``/``cancelled`` points restored as-is.  A crash —
+``kill -9``, OOM, power loss — therefore loses at most the points that
+were mid-flight, never a whole job.
+
+Record shapes (one JSON object per line)::
+
+    {"type": "journal_header", "schema_version": 1}
+    {"type": "job_submitted", "job_id": "job-0001", "specs": [ ... ]}
+    {"type": "point_terminal", "job_id": "job-0001", "index": 3,
+     "status": "done"}                       # + "error" for failures
+    {"type": "job_terminal", "job_id": "job-0001", "status": "done"}
+
+The reader is tolerant by construction: a line torn by a crash (the
+append was mid-write) fails to parse and is skipped, which loses one
+transition, not the journal.  :func:`compact_journal` rewrites the file
+atomically on recovery, dropping every record that belongs to a job
+already in a terminal state, so the journal's size is bounded by the
+live work, not the service's history.
+
+Nothing here imports from the rest of the service package — the journal
+is a leaf the :class:`~repro.service.jobs.JobStore` and the session
+layer both sit on.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+#: File name of the journal inside the service's data directory.
+JOURNAL_NAME = "journal.jsonl"
+
+#: Schema version of the journal records.
+JOURNAL_SCHEMA_VERSION = 1
+
+
+def journal_path(data_dir: str) -> str:
+    """Where the journal of a service over *data_dir* lives."""
+    return os.path.join(data_dir, JOURNAL_NAME)
+
+
+def iter_jsonl_tolerant(path: str) -> Iterator[Dict[str, Any]]:
+    """Yield every parseable JSON-object line of *path*.
+
+    Unreadable files yield nothing; lines that fail to parse (a torn
+    tail after a crash, stray garbage) are skipped rather than raised —
+    recovery must work on exactly the files a crash leaves behind.
+    """
+    try:
+        handle = open(path)
+    except OSError:
+        return
+    with handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue
+            if isinstance(record, dict):
+                yield record
+
+
+class JobJournal:
+    """Append-only writer for the service's job journal.
+
+    Thread-safe: the worker thread journals point/job transitions while
+    HTTP handler threads journal submissions.  Appends are flushed per
+    record (a killed *process* loses nothing flushed; pass
+    ``fsync=True`` to survive a killed *machine* at the cost of one
+    ``fsync`` per record).
+    """
+
+    def __init__(self, path: str, *, fsync: bool = False) -> None:
+        self.path = path
+        self.fsync = fsync
+        self._journal_lock = threading.Lock()
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        fresh = not os.path.exists(path)
+        self._handle: Optional[Any] = open(  # statics: guarded-by(_journal_lock)
+            path, "a", encoding="utf-8"
+        )
+        if fresh:
+            self._append(
+                {
+                    "type": "journal_header",
+                    "schema_version": JOURNAL_SCHEMA_VERSION,
+                }
+            )
+
+    def _append(self, record: Dict[str, Any]) -> None:
+        line = json.dumps(record, sort_keys=True) + "\n"
+        with self._journal_lock:
+            if self._handle is None:
+                return
+            self._handle.write(line)
+            self._handle.flush()
+            if self.fsync:
+                os.fsync(self._handle.fileno())
+
+    def record_submitted(
+        self, job_id: str, specs: List[Dict[str, Any]]
+    ) -> None:
+        """Journal a new job before it is queued for execution."""
+        self._append(
+            {"type": "job_submitted", "job_id": job_id, "specs": specs}
+        )
+
+    def record_point(
+        self, job_id: str, index: int, status: str, error: Optional[str] = None
+    ) -> None:
+        """Journal one point reaching a terminal state."""
+        record: Dict[str, Any] = {
+            "type": "point_terminal",
+            "job_id": job_id,
+            "index": index,
+            "status": status,
+        }
+        if error is not None:
+            record["error"] = error
+        self._append(record)
+
+    def record_job(self, job_id: str, status: str) -> None:
+        """Journal a job reaching a terminal state."""
+        self._append(
+            {"type": "job_terminal", "job_id": job_id, "status": status}
+        )
+
+    def close(self) -> None:
+        """Flush and close the journal file (idempotent)."""
+        with self._journal_lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+
+
+@dataclass
+class JournaledJob:
+    """One job reconstructed from the journal."""
+
+    job_id: str
+    #: The submitted specs, as their JSON dicts (validated on recovery).
+    specs: List[Dict[str, Any]] = field(default_factory=list)
+    #: ``index -> (status, error)`` for journaled terminal points (the
+    #: *last* journaled record per index wins, so a recovered-and-re-run
+    #: point's fresh outcome supersedes the pre-crash one).
+    point_states: Dict[int, Tuple[str, Optional[str]]] = field(
+        default_factory=dict
+    )
+    #: The job's journaled terminal status, or ``None`` if it never
+    #: reached one — i.e. the job a restart must resume.
+    terminal_status: Optional[str] = None
+
+
+def replay_journal(path: str) -> "Dict[str, JournaledJob]":
+    """Fold the journal at *path* into per-job state, submission order.
+
+    Records for jobs whose submission line was lost (torn tail) are
+    dropped: a job the journal cannot re-plan cannot be recovered.
+    """
+    jobs: Dict[str, JournaledJob] = {}
+    for record in iter_jsonl_tolerant(path):
+        kind = record.get("type")
+        job_id = record.get("job_id")
+        if kind == "job_submitted" and isinstance(job_id, str):
+            specs = record.get("specs")
+            if isinstance(specs, list):
+                jobs[job_id] = JournaledJob(job_id=job_id, specs=specs)
+        elif kind == "point_terminal" and job_id in jobs:
+            index = record.get("index")
+            state = record.get("status")
+            if isinstance(index, int) and isinstance(state, str):
+                jobs[job_id].point_states[index] = (
+                    state,
+                    record.get("error"),
+                )
+        elif kind == "job_terminal" and job_id in jobs:
+            state = record.get("status")
+            if isinstance(state, str):
+                jobs[job_id].terminal_status = state
+    return jobs
+
+
+def recoverable_jobs(path: str) -> List[JournaledJob]:
+    """The journaled jobs a restarted service must resume, in order."""
+    return [
+        job
+        for job in replay_journal(path).values()
+        if job.terminal_status is None
+    ]
+
+
+def compact_journal(path: str) -> int:
+    """Atomically drop every record of already-terminal jobs.
+
+    Returns the number of jobs whose records were dropped.  Called on
+    recovery, before the journal is reopened for appending, so the file
+    grows with the amount of *live* work, not with service history.
+    """
+    if not os.path.exists(path):
+        return 0  # nothing journaled yet; JobJournal creates the file
+    jobs = replay_journal(path)
+    keep = {
+        job_id
+        for job_id, job in jobs.items()
+        if job.terminal_status is None
+    }
+    dropped = len(jobs) - len(keep)
+    if dropped == 0:
+        return 0
+    records: List[Dict[str, Any]] = [
+        {"type": "journal_header", "schema_version": JOURNAL_SCHEMA_VERSION}
+    ]
+    for record in iter_jsonl_tolerant(path):
+        if record.get("type") == "journal_header":
+            continue
+        if record.get("job_id") in keep:
+            records.append(record)
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+    os.replace(tmp, path)
+    return dropped

@@ -72,12 +72,28 @@ def plan_points(
         raise PlanError(
             f"grid plans {len(raw)} points; the per-job limit is {MAX_POINTS}"
         )
-    specs: List[ScenarioSpec] = []
+    seeded: List[Dict[str, Any]] = []
     for point in raw:
         if "seed" not in point or point["seed"] is None:
             point = dict(point)
             point.pop("seed", None)
             point["seed"] = point_seed(SPEC_SWEEP_NAME, point, base_seed)
+        seeded.append(point)
+    return specs_from_dicts(seeded)
+
+
+def specs_from_dicts(raw: List[Dict[str, Any]]) -> List[ScenarioSpec]:
+    """Validate already-seeded spec dicts into ScenarioSpecs.
+
+    The tail of :func:`plan_points`, exposed on its own because journal
+    recovery replays exactly this shape: the spec dicts a previous
+    process journaled are already seeded, and revalidating them guards
+    recovery against schema drift between service versions (a journal
+    written by an older spec schema fails here as :class:`PlanError`
+    instead of resurrecting an undefined job).
+    """
+    specs: List[ScenarioSpec] = []
+    for point in raw:
         try:
             specs.append(ScenarioSpec.from_dict(point))
         except (SpecError, KeyError, TypeError, ValueError) as exc:

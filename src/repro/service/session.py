@@ -17,10 +17,25 @@ import threading
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
+from ..analysis.parallel import read_sweep_points
 from .http_api import ServiceHTTPServer
 from .jobs import JobStore
-from .planner import plan_points
-from .worker import Worker
+from .journal import (
+    JOURNAL_NAME,
+    JobJournal,
+    compact_journal,
+    journal_path,
+    recoverable_jobs,
+)
+from .planner import PlanError, plan_points, specs_from_dicts
+from .worker import RetryPolicy, ServiceOverloadedError, Worker
+
+__all__ = [
+    "QUERYABLE_FIELDS",
+    "ScenarioService",
+    "ServiceConfig",
+    "ServiceOverloadedError",
+]
 
 #: Row fields ``GET /results`` accepts as query filters.
 QUERYABLE_FIELDS = ("protocol", "backend", "adversary", "n", "t", "ok", "rounds")
@@ -48,6 +63,25 @@ class ServiceConfig:
     no_cache: bool = False
     #: Folded into derived seeds of points submitted without one.
     base_seed: int = 0
+    #: Admission limit: jobs allowed to wait in the worker's queue
+    #: before submissions are shed with 429 (``0`` disables the check).
+    max_queue_depth: int = 64
+    #: Total attempts per point before it is quarantined as ``failed``.
+    retry_max_attempts: int = 3
+    #: Backoff before a point's second attempt (doubles per attempt,
+    #: plus deterministic jitter — :class:`~repro.service.worker
+    #: .RetryPolicy`).
+    retry_base_delay: float = 0.05
+    #: Point executor as a dotted ``module:function`` path (``None`` =
+    #: the real one; the chaos harness swaps in a fault injector here).
+    executor: Optional[str] = None
+    #: Per-request socket deadline for HTTP handlers, in seconds — a
+    #: stalled client (slow-loris, dead TCP peer) times out instead of
+    #: pinning a handler thread forever.
+    request_timeout: float = 30.0
+    #: ``fsync`` the journal per record (survive machine crashes, not
+    #: just process crashes, at a heavy per-append cost).
+    journal_fsync: bool = False
 
 
 class ScenarioService:
@@ -56,14 +90,30 @@ class ScenarioService:
     def __init__(self, config: Optional[ServiceConfig] = None) -> None:
         self.config = config or ServiceConfig()
         self.base_seed = self.config.base_seed
-        self.store = JobStore()
+        self._journal: Optional[JobJournal] = None
+        if self.config.data_dir is not None:
+            path = journal_path(self.config.data_dir)
+            # Compact *before* reopening for append: terminal jobs'
+            # records are dropped, non-terminal jobs' records survive,
+            # so restore() below never needs to re-journal anything.
+            compact_journal(path)
+            self._journal = JobJournal(path, fsync=self.config.journal_fsync)
+        self.store = JobStore(self._journal)
         self.worker = Worker(
             self.store,
             cache_dir=self.config.cache_dir,
             data_dir=self.config.data_dir,
             pool_jobs=self.config.pool_jobs,
             no_cache=self.config.no_cache,
+            retry=RetryPolicy(
+                max_attempts=self.config.retry_max_attempts,
+                base_delay=self.config.retry_base_delay,
+            ),
+            executor=self.config.executor,
         )
+        #: Job ids resumed from the journal by :meth:`start`, in
+        #: submission order (``repro serve`` prints these).
+        self.recovered_jobs: List[str] = []
         self._server: Optional[ServiceHTTPServer] = None
         self._serve_thread: Optional[threading.Thread] = None
         self._stopped = threading.Event()
@@ -71,7 +121,15 @@ class ScenarioService:
     # -- lifecycle -----------------------------------------------------
 
     def start(self) -> "ScenarioService":
-        """Bind the socket and start the worker and serve threads."""
+        """Bind the socket and start the worker and serve threads.
+
+        Recovery happens here, before the socket accepts submissions:
+        every journaled job that never reached a terminal state is
+        re-registered under its original id and re-queued.  Completed
+        points dedupe through the sweep cache on re-run; journaled
+        ``failed``/``cancelled`` points keep their verdicts.
+        """
+        self.recovered_jobs = self._recover()
         self._server = ServiceHTTPServer(
             (self.config.host, self.config.port), self
         )
@@ -83,6 +141,27 @@ class ScenarioService:
         )
         self._serve_thread.start()
         return self
+
+    def _recover(self) -> List[str]:
+        """Restore + re-queue journaled non-terminal jobs; their ids."""
+        if self.config.data_dir is None or self._journal is None:
+            return []
+        recovered = []
+        for entry in recoverable_jobs(self._journal.path):
+            try:
+                specs = specs_from_dicts(entry.specs)
+            except PlanError:
+                # Schema drift: a journal from an incompatible spec
+                # version cannot be replanned.  Journal the job as
+                # failed so the next restart stops retrying it.
+                self._journal.record_job(entry.job_id, "failed")
+                continue
+            job = self.store.restore(
+                entry.job_id, specs, entry.point_states
+            )
+            self.worker.submit(job)
+            recovered.append(job.job_id)
+        return recovered
 
     def shutdown(self) -> None:
         """Graceful stop: finish nothing new, cancel the rest, unbind.
@@ -101,6 +180,8 @@ class ScenarioService:
             self._server.server_close()
         if self._serve_thread is not None:
             self._serve_thread.join(timeout=10)
+        if self._journal is not None:
+            self._journal.close()
 
     def __enter__(self) -> "ScenarioService":
         return self.start()
@@ -123,13 +204,44 @@ class ScenarioService:
         host, port = self.address
         return f"http://{host}:{port}"
 
+    def check_capacity(self) -> None:
+        """Raise :class:`ServiceOverloadedError` if the queue is full.
+
+        Admission control happens before any planning: shedding load
+        must be cheaper than accepting it, or overload makes itself
+        worse.
+        """
+        limit = self.config.max_queue_depth
+        if limit <= 0:
+            return
+        backlog = self.worker.backlog()
+        if backlog >= limit:
+            raise ServiceOverloadedError(backlog, limit)
+
     def submit(self, payload: Dict[str, Any]) -> str:
         """Plan and enqueue a job in-process (the HTTP-free path the
-        executable docs use); returns the new job id."""
+        executable docs use); returns the new job id.
+
+        Raises :class:`ServiceOverloadedError` when the queue is at
+        capacity — the same admission control ``POST /jobs`` applies.
+        """
+        self.check_capacity()
         specs = plan_points(payload, base_seed=self.base_seed)
         job = self.store.create(specs)
         self.worker.submit(job)
         return job.job_id
+
+    def cancel_job(self, job_id: str) -> Optional[bool]:
+        """Request cancellation of a job by id.
+
+        Returns ``None`` for an unknown job, ``False`` if the job was
+        already terminal, ``True`` when the cancel flag was set (the
+        worker performs the actual transitions between points).
+        """
+        job = self.store.get(job_id)
+        if job is None:
+            return None
+        return self.store.request_cancel(job)
 
     # -- result queries ------------------------------------------------
 
@@ -164,22 +276,21 @@ class ScenarioService:
             return []
         rows = []
         for name in sorted(os.listdir(data_dir)):
-            if not name.endswith(".jsonl") or name in skip:
+            if (
+                not name.endswith(".jsonl")
+                or name in skip
+                or name == JOURNAL_NAME
+            ):
                 continue
-            with open(os.path.join(data_dir, name)) as handle:
-                for line in handle:
-                    try:
-                        record = json.loads(line)
-                    except ValueError:
-                        continue
-                    if record.get("type") == "point" and record.get("row"):
-                        rows.append(
-                            {
-                                "job_id": name[: -len(".jsonl")],
-                                "index": record.get("index"),
-                                **record["row"],
-                            }
-                        )
+            for record in read_sweep_points(os.path.join(data_dir, name)):
+                if record.get("row"):
+                    rows.append(
+                        {
+                            "job_id": name[: -len(".jsonl")],
+                            "index": record.get("index"),
+                            **record["row"],
+                        }
+                    )
         return rows
 
 

@@ -1,0 +1,100 @@
+"""The service chaos harness itself: generation, injection, campaigns.
+
+The CI ``service-chaos`` job runs the harness for real; these tests pin
+the properties that make those runs trustworthy — deterministic seeded
+generation, full failure-mode coverage, fire-exactly-once fault
+sentinels — and run one miniature campaign end to end.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.analysis.spec import ScenarioSpec
+from repro.service.chaos import (
+    CHAOS_ENV,
+    SCENARIO_KINDS,
+    ChaosConfig,
+    ChaosFault,
+    _claim_fault,
+    armed_faults,
+    chaos_execute,
+    run_chaos_campaign,
+)
+
+
+class TestGeneration:
+    def test_same_config_generates_identical_campaigns(self):
+        first = ChaosConfig(scenarios=12, seed=5).generate()
+        second = ChaosConfig(scenarios=12, seed=5).generate()
+        assert first == second
+        assert ChaosConfig(scenarios=12, seed=6).generate() != first
+
+    def test_round_robin_covers_every_failure_mode(self):
+        kinds = [s.kind for s in ChaosConfig(scenarios=9, seed=0).generate()]
+        assert kinds[: len(SCENARIO_KINDS)] == list(SCENARIO_KINDS)
+        assert kinds[len(SCENARIO_KINDS)] == SCENARIO_KINDS[0]
+
+    def test_grid_sizes_stay_small_and_fast(self):
+        for scenario in ChaosConfig(scenarios=25, seed=3).generate():
+            assert 3 <= scenario.n_points <= 5
+
+
+class TestInjection:
+    def spec(self, seed):
+        return ScenarioSpec(
+            protocol="real-aa", n=3, t=0, known_range=8.0, seed=seed
+        )
+
+    def test_no_table_is_a_pass_through(self, monkeypatch):
+        monkeypatch.delenv(CHAOS_ENV, raising=False)
+        row = chaos_execute(self.spec(61000))
+        assert row["ok"] is True
+
+    def test_raise_fault_fires_exactly_once(self, tmp_path):
+        faults = {61001: {"kind": "raise", "once": True}}
+        with armed_faults(faults, str(tmp_path / "sentinels")):
+            with pytest.raises(ChaosFault):
+                chaos_execute(self.spec(61001))
+            # The sentinel was claimed: the retry runs clean, which is
+            # what makes transient-fault scenarios deterministic.
+            row = chaos_execute(self.spec(61001))
+            assert row["ok"] is True
+
+    def test_persistent_fault_fires_every_time(self, tmp_path):
+        faults = {61002: {"kind": "raise", "once": False}}
+        with armed_faults(faults, str(tmp_path / "sentinels")):
+            for _ in range(3):
+                with pytest.raises(ChaosFault):
+                    chaos_execute(self.spec(61002))
+
+    def test_unfaulted_seeds_run_clean(self, tmp_path):
+        faults = {61003: {"kind": "raise", "once": False}}
+        with armed_faults(faults, str(tmp_path / "sentinels")):
+            assert chaos_execute(self.spec(61004))["ok"] is True
+
+    def test_claim_fault_sentinel_is_exclusive(self, tmp_path):
+        table = {"sentinel_dir": str(tmp_path)}
+        fault = {"kind": "raise", "once": True}
+        assert _claim_fault(table, fault, 7) is True
+        assert _claim_fault(table, fault, 7) is False
+        assert _claim_fault(table, fault, 8) is True
+
+    def test_armed_faults_restores_the_environment(self, tmp_path):
+        os.environ.pop(CHAOS_ENV, None)
+        with armed_faults({1: {"kind": "raise"}}, str(tmp_path)):
+            table = json.loads(os.environ[CHAOS_ENV])
+            assert table["faults"] == {"1": {"kind": "raise"}}
+        assert CHAOS_ENV not in os.environ
+
+
+class TestCampaign:
+    def test_one_scenario_per_kind_upholds_every_invariant(self, tmp_path):
+        config = ChaosConfig(scenarios=len(SCENARIO_KINDS), seed=11)
+        report = run_chaos_campaign(config, workdir=str(tmp_path))
+        assert report.scenarios == len(SCENARIO_KINDS)
+        assert report.ok, json.dumps(report.to_dict(), indent=2)
+        payload = report.to_dict()
+        assert payload["ok"] is True and payload["violations"] == []
+        assert "7 scenarios, ok" in report.summary()

@@ -451,6 +451,13 @@ class TestRealTree:
         inventory = guarded_state_inventory()
         assert inventory[("repro.service.jobs.Job", "status")] == "_lock"
         assert inventory[("repro.service.jobs.Job", "results_path")] == "_lock"
+        assert (
+            inventory[("repro.service.jobs.Job", "cancel_requested")] == "_lock"
+        )
         assert inventory[("repro.service.jobs.PointState", "row")] == "_lock"
         assert inventory[("repro.service.jobs.JobStore", "_jobs")] == "_lock"
-        assert set(inventory.values()) == {"_lock"}
+        assert (
+            inventory[("repro.service.journal.JobJournal", "_handle")]
+            == "_journal_lock"
+        )
+        assert set(inventory.values()) == {"_lock", "_journal_lock"}
