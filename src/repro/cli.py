@@ -52,7 +52,7 @@ import json
 import os
 import random
 import sys
-from typing import List, Optional, Sequence
+from typing import Any, List, Optional, Sequence
 
 from .adversary import NoAdversary
 from .analysis import format_table
@@ -678,6 +678,140 @@ def cmd_shrink(args: argparse.Namespace) -> int:
     return 0
 
 
+def _flywheel_config(args: argparse.Namespace) -> Any:
+    """Build a :class:`~repro.flywheel.FlywheelConfig` from CLI flags."""
+    from .flywheel import FlywheelConfig
+    from .flywheel.selftest import PERTURBATIONS
+
+    perturb = getattr(args, "inject_divergence", None)
+    if perturb:
+        perturb = PERTURBATIONS.get(perturb, perturb)
+    return FlywheelConfig(
+        seed=args.seed,
+        count=args.count,
+        ledger_path=args.ledger,
+        shard_size=args.shard_size,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        no_cache=args.no_cache or perturb is not None,
+        corpus_dir=args.corpus_dir,
+        max_shrink_checks=args.max_shrink_checks,
+        perturb=perturb or None,
+    )
+
+
+def _flywheel_finish(report: Any) -> int:
+    """Print a campaign report; exit 1 when any oracle diverged."""
+    import json as json_module
+
+    print(report.summary())
+    for record in report.divergences:
+        line = {
+            "index": record.get("index"),
+            "oracles": record.get("oracles"),
+            "case": record.get("case"),
+            "shrunk": record.get("shrunk"),
+        }
+        print(json_module.dumps(line, sort_keys=True))
+    return 0 if report.ok else 1
+
+
+def cmd_flywheel_run(args: argparse.Namespace) -> int:
+    """Start a fresh differential campaign (see docs/FLYWHEEL.md)."""
+    from .flywheel import LedgerError, run_flywheel
+
+    try:
+        report = run_flywheel(_flywheel_config(args))
+    except (LedgerError, ValueError) as exc:
+        raise CLIError(str(exc)) from None
+    return _flywheel_finish(report)
+
+
+def cmd_flywheel_resume(args: argparse.Namespace) -> int:
+    """Continue a killed campaign from its ledger (exactly-once)."""
+    from .flywheel import LedgerError, run_flywheel
+
+    try:
+        report = run_flywheel(_flywheel_config(args), resume=True)
+    except (LedgerError, ValueError) as exc:
+        raise CLIError(str(exc)) from None
+    return _flywheel_finish(report)
+
+
+def cmd_flywheel_status(args: argparse.Namespace) -> int:
+    """Summarise a campaign ledger: progress, divergences, completion."""
+    from .flywheel import LedgerError, load_state
+
+    try:
+        state = load_state(args.ledger)
+    except LedgerError as exc:
+        raise CLIError(str(exc)) from None
+    if state.header is None:
+        raise CLIError(f"{args.ledger!r} holds no campaign header")
+    header = state.header
+    remaining = len(state.remaining())
+    print(
+        f"flywheel seed={header['seed']}: "
+        f"{len(state.executed)}/{header['count']} points executed, "
+        f"{remaining} remaining, {len(state.divergences)} divergences, "
+        f"{'complete' if state.done else 'interrupted'}"
+    )
+    for record in state.divergences:
+        filed = record.get("case") or "ledger-only"
+        print(f"  point {record['index']}: {record['oracles']} -> {filed}")
+    return 0 if not state.divergences else 1
+
+
+def cmd_flywheel_selftest(args: argparse.Namespace) -> int:
+    """Inject a batch-engine bug and assert detect -> shrink -> file."""
+    import tempfile
+
+    from .flywheel import SelfTestError, run_selftest
+
+    workdir = args.workdir or tempfile.mkdtemp(prefix="flywheel-selftest-")
+    try:
+        report = run_selftest(
+            os.path.join(workdir, "ledger.jsonl"),
+            os.path.join(workdir, "corpus"),
+            seed=args.seed,
+            count=args.count,
+            jobs=args.jobs,
+            perturbation=args.perturbation,
+        )
+    except SelfTestError as exc:
+        raise CLIError(str(exc)) from None
+    caught = [
+        d for d in report.divergences if d.get("case") or d.get("filed")
+    ]
+    print(
+        f"selftest OK: {len(report.divergences)} injected divergences "
+        f"caught, {len(caught)} filed as corpus cases under {workdir}"
+    )
+    return 0
+
+
+def cmd_flywheel_soak(args: argparse.Namespace) -> int:
+    """Drive the seeded stream through a running service, comparing engines."""
+    from .flywheel import run_soak
+    from .service import ServiceClient, ServiceClientError
+
+    client = ServiceClient(args.url)
+    try:
+        report = run_soak(
+            client,
+            seed=args.seed,
+            count=args.count,
+            batch=args.batch,
+            timeout=args.timeout,
+        )
+    except ServiceClientError as exc:
+        raise CLIError(f"service error: {exc}") from None
+    print(report.summary())
+    for record in report.divergences:
+        print(f"  point {record['index']}: {record['detail']}")
+    return 0 if report.ok else 1
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     """Run the scenario service in the foreground until stopped.
 
@@ -1171,6 +1305,102 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--seed", type=int, default=0, help="campaign master seed")
     p.set_defaults(func=cmd_service_chaos)
+
+    p = sub.add_parser(
+        "flywheel",
+        help="resumable differential mega-campaigns (docs/FLYWHEEL.md)",
+    )
+    fsub = p.add_subparsers(dest="flywheel_command", required=True)
+
+    def _campaign_flags(fp: argparse.ArgumentParser) -> None:
+        fp.add_argument("--seed", type=int, default=0, help="stream seed")
+        fp.add_argument(
+            "--count", type=int, default=5000, help="points in the campaign"
+        )
+        fp.add_argument(
+            "--ledger",
+            default="flywheel-ledger.jsonl",
+            help="campaign ledger JSONL (the resume checkpoint)",
+        )
+        fp.add_argument(
+            "--shard-size",
+            type=int,
+            default=250,
+            help="points per checkpointed shard",
+        )
+        fp.add_argument(
+            "--jobs", type=int, default=1, help="worker processes (0 = cpus)"
+        )
+        fp.add_argument("--cache-dir", default=None, help="sweep cache dir")
+        fp.add_argument(
+            "--no-cache", action="store_true", help="bypass the sweep cache"
+        )
+        fp.add_argument(
+            "--corpus-dir",
+            default=None,
+            help="file shrunk divergences here (e.g. tests/corpus)",
+        )
+        fp.add_argument(
+            "--max-shrink-checks",
+            type=int,
+            default=200,
+            help="execution budget per divergence shrink",
+        )
+        fp.add_argument(
+            "--inject-divergence",
+            default=None,
+            metavar="NAME",
+            help=(
+                "perturb batch rows via a named seam (rounds, verdicts) or "
+                "module:function — oracle self-testing only; implies "
+                "--no-cache"
+            ),
+        )
+
+    fp = fsub.add_parser("run", help="start a fresh campaign")
+    _campaign_flags(fp)
+    fp.set_defaults(func=cmd_flywheel_run)
+
+    fp = fsub.add_parser(
+        "resume", help="continue a killed campaign from its ledger"
+    )
+    _campaign_flags(fp)
+    fp.set_defaults(func=cmd_flywheel_resume)
+
+    fp = fsub.add_parser("status", help="summarise a campaign ledger")
+    fp.add_argument("ledger", help="campaign ledger JSONL")
+    fp.set_defaults(func=cmd_flywheel_status)
+
+    fp = fsub.add_parser(
+        "selftest",
+        help="inject a batch bug; assert it is detected, shrunk, and filed",
+    )
+    fp.add_argument("--seed", type=int, default=2025)
+    fp.add_argument("--count", type=int, default=24)
+    fp.add_argument("--jobs", type=int, default=1)
+    fp.add_argument(
+        "--perturbation",
+        default="rounds",
+        help="named seam (rounds, verdicts) or module:function",
+    )
+    fp.add_argument(
+        "--workdir",
+        default=None,
+        help="where the throwaway ledger/corpus land (default: a tempdir)",
+    )
+    fp.set_defaults(func=cmd_flywheel_selftest)
+
+    fp = fsub.add_parser(
+        "soak", help="stream the campaign through a running service"
+    )
+    fp.add_argument("--url", required=True, help="service base URL")
+    fp.add_argument("--seed", type=int, default=0)
+    fp.add_argument("--count", type=int, default=500)
+    fp.add_argument("--batch", type=int, default=50, help="points per job")
+    fp.add_argument(
+        "--timeout", type=float, default=300.0, help="per-job wait budget"
+    )
+    fp.set_defaults(func=cmd_flywheel_soak)
 
     p = sub.add_parser("chain-demo", help="Fekete's chain of views, executed")
     p.add_argument("--n", type=int, default=7)

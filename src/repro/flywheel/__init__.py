@@ -1,0 +1,66 @@
+"""Scenario-diversity flywheel: resumable differential mega-campaigns.
+
+The flywheel closes the loop the previous PRs opened: seeded generators
+(:mod:`repro.analysis.strategies`) describe the scenario space, the
+parallel sweep engine executes it at scale, differential oracles
+(:mod:`~repro.flywheel.oracles`) judge every point from five angles, and
+anything that diverges is delta-debugged to a minimum and filed as a
+replayable corpus case — so every campaign either raises confidence in
+the reproduction or permanently grows its regression suite.  Campaigns
+checkpoint to a JSONL ledger (:mod:`~repro.flywheel.ledger`) and resume
+after a kill with exactly-once accounting; ``repro flywheel`` is the
+CLI, docs/FLYWHEEL.md the manual.
+"""
+
+from .engine import (
+    DEFAULT_SHARD_SIZE,
+    FlywheelConfig,
+    FlywheelReport,
+    flywheel_point_runner,
+    replay_flywheel_case,
+    run_flywheel,
+)
+from .ledger import (
+    LEDGER_SCHEMA_VERSION,
+    LedgerError,
+    LedgerState,
+    LedgerWriter,
+    check_compatible,
+    load_state,
+    read_ledger,
+)
+from .oracles import (
+    FLYWHEEL_ORACLES,
+    batch_replayable,
+    diverging_oracles,
+    evaluate_point,
+    resolve_perturb,
+)
+from .selftest import PERTURBATIONS, SelfTestError, run_selftest
+from .soak import SoakReport, run_soak
+
+__all__ = [
+    "DEFAULT_SHARD_SIZE",
+    "FLYWHEEL_ORACLES",
+    "FlywheelConfig",
+    "FlywheelReport",
+    "LEDGER_SCHEMA_VERSION",
+    "LedgerError",
+    "LedgerState",
+    "LedgerWriter",
+    "PERTURBATIONS",
+    "SelfTestError",
+    "SoakReport",
+    "batch_replayable",
+    "check_compatible",
+    "diverging_oracles",
+    "evaluate_point",
+    "flywheel_point_runner",
+    "load_state",
+    "read_ledger",
+    "replay_flywheel_case",
+    "resolve_perturb",
+    "run_flywheel",
+    "run_selftest",
+    "run_soak",
+]

@@ -1,0 +1,313 @@
+"""The flywheel engine: sharded, resumable, differential mega-campaigns.
+
+:func:`run_flywheel` turns a ``(seed, count)`` pair into a campaign:
+
+1. **Generate** — the seeded point stream
+   (:func:`~repro.analysis.strategies.spec_stream`) is materialised once;
+   point ``i`` is the same :class:`~repro.analysis.spec.ScenarioSpec` in
+   every process, which is what makes the whole design resumable.
+2. **Execute** — points run in shards through the parallel sweep engine
+   (:func:`~repro.analysis.parallel.run_grid`) under the registered
+   ``flywheel-point`` runner, which applies the full differential oracle
+   matrix (:mod:`repro.flywheel.oracles`) to each point.  The sweep
+   cache memoises rows, so re-running a killed shard is nearly free.
+3. **Checkpoint** — after each shard the ledger
+   (:mod:`repro.flywheel.ledger`) gains one ``point`` record per index.
+   A killed campaign resumes from the parsed ledger and executes every
+   remaining point exactly once.
+4. **Shrink and file** — each diverging point is minimised with the
+   resilience lab's delta-debugging shrinker (driven by the
+   *differential* oracles via :func:`shrink`'s pluggable check) and
+   filed under ``tests/corpus/`` as a replayable
+   :class:`~repro.resilience.corpus.ReproCase` whose ``flywheel`` extra
+   records the stream position, the minimal spec, and the oracle
+   verdict.  Protocols outside the Scenario bridge (``path-aa``) are
+   filed unshrunk, ledger-only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Dict, List, Optional, Tuple
+
+import repro
+
+from ..analysis.parallel import register_runner, run_grid
+from ..analysis.spec import ScenarioSpec
+from ..analysis.strategies import spec_stream, stream_digest
+from ..resilience.corpus import ReproCase, save_case
+from ..resilience.scenario import Scenario
+from ..resilience.shrink import shrink, shrink_report
+from .ledger import LedgerWriter, check_compatible, load_state
+from .oracles import batch_replayable, diverging_oracles, evaluate_point
+
+#: Default shard size: large enough to amortise pool start-up, small
+#: enough that a kill loses at most a few seconds of work.
+DEFAULT_SHARD_SIZE = 250
+
+
+@register_runner("flywheel-point")
+def flywheel_point_runner(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
+    """Grid adapter: one flywheel point, judged by every oracle.
+
+    The grid seed is ignored — a flywheel point's randomness lives
+    inside its spec (``spec["seed"]``), so the row is a pure function of
+    the params and the sweep cache can serve it to any campaign that
+    generates the same spec.
+    """
+    spec = ScenarioSpec.from_dict(params["spec"])
+    return evaluate_point(spec, params.get("perturb"))
+
+
+@dataclass(frozen=True)
+class FlywheelConfig:
+    """Everything one campaign needs (CLI flags map 1:1 onto fields)."""
+
+    seed: int
+    count: int
+    ledger_path: str
+    shard_size: int = DEFAULT_SHARD_SIZE
+    jobs: int = 1
+    cache_dir: Optional[str] = None
+    no_cache: bool = False
+    #: Where diverging cases are filed (``None`` disables filing).
+    corpus_dir: Optional[str] = None
+    max_shrink_checks: int = 200
+    #: ``module:function`` batch-row perturbation (the self-test seam).
+    perturb: Optional[str] = None
+
+
+@dataclass
+class FlywheelReport:
+    """The outcome of one ``run``/``resume`` invocation."""
+
+    config: FlywheelConfig
+    executed: int
+    skipped: int
+    divergences: List[Dict[str, Any]]
+    filed_cases: List[str]
+
+    @property
+    def ok(self) -> bool:
+        """Whether the campaign finished with zero divergences on file."""
+        return not self.divergences
+
+    def summary(self) -> str:
+        parts = [
+            f"flywheel seed={self.config.seed}",
+            f"{self.executed} executed",
+            f"{self.skipped} resumed from ledger",
+            f"{len(self.divergences)} divergences",
+        ]
+        if self.filed_cases:
+            parts.append(f"filed: {', '.join(self.filed_cases)}")
+        return ", ".join(parts)
+
+
+def _shards(indices: List[int], size: int) -> List[List[int]]:
+    """Contiguous chunks of the remaining indices, in stream order."""
+    return [indices[i : i + size] for i in range(0, len(indices), size)]
+
+
+def _divergence_check(
+    template: ScenarioSpec, perturb: Optional[str]
+) -> Any:
+    """A :data:`~repro.resilience.shrink.ViolationCheck` over the oracles.
+
+    Candidates inherit the template's ``record``/``trace_level`` (the
+    Scenario bridge does not carry them) so a metrics-parity divergence
+    stays reproducible while the structural fields shrink.
+    """
+
+    def check(candidate: Scenario) -> Tuple[str, ...]:
+        spec = candidate.to_spec()
+        spec = replace(
+            spec,
+            record=template.record,
+            trace_level=template.trace_level,
+        )
+        return diverging_oracles(evaluate_point(spec, perturb))
+
+    return check
+
+
+def _file_divergence(
+    config: FlywheelConfig, index: int, spec: ScenarioSpec, row: Dict[str, Any]
+) -> Dict[str, Any]:
+    """Shrink one diverging point and file it as a corpus case.
+
+    Returns the ledger ``divergence`` payload: oracle names, shrink
+    stats, and — when the protocol crosses the Scenario bridge — the
+    corpus case name and the minimal spec.  ``path-aa`` (and any future
+    bridge gap) files ledger-only, with the original spec as the
+    reproduction.
+    """
+    oracle_names = diverging_oracles(row)
+    record: Dict[str, Any] = {
+        "oracles": list(oracle_names),
+        "spec": spec.to_dict(),
+        "filed": False,
+        "shrunk": False,
+    }
+    try:
+        scenario = Scenario.from_spec(spec)
+    except Exception as exc:  # noqa: BLE001 - bridge gaps still file ledger-only
+        record["unshrinkable"] = f"{type(exc).__name__}: {exc}"
+        return record
+
+    minimal_spec = spec
+    check = _divergence_check(spec, config.perturb)
+    try:
+        result = shrink(
+            scenario, max_checks=config.max_shrink_checks, check=check
+        )
+    except Exception as exc:  # noqa: BLE001 - an unshrinkable case still files
+        record["unshrinkable"] = f"{type(exc).__name__}: {exc}"
+    else:
+        record["shrunk"] = result.reduced
+        record["shrink_checks"] = result.checks
+        record["shrink_steps"] = result.steps
+        record["shrink_report"] = shrink_report(result)
+        minimal_spec = replace(
+            result.minimal.to_spec(),
+            record=spec.record,
+            trace_level=spec.trace_level,
+        )
+        record["minimal_spec"] = minimal_spec.to_dict()
+        scenario = result.minimal
+
+    if config.corpus_dir is not None:
+        name = f"flywheel-{config.seed}-{index:05d}"
+        case = ReproCase(
+            name=name,
+            description=(
+                "flywheel divergence on oracles "
+                f"{', '.join(oracle_names)} (stream seed {config.seed}, "
+                f"point {index}); replay with `repro flywheel replay`"
+            ),
+            scenario=scenario,
+            # The *resilience* verdict of the minimal scenario, so the
+            # tier-1 corpus replay (which runs the invariant oracles,
+            # not the differential ones) stays self-consistent.
+            expected_violations=_resilience_verdict(scenario),
+            extras={
+                "flywheel": {
+                    "stream_seed": config.seed,
+                    "index": index,
+                    "oracles": list(oracle_names),
+                    "spec": minimal_spec.to_dict(),
+                    "perturb": config.perturb,
+                    "batch_supported": batch_replayable(minimal_spec),
+                }
+            },
+        )
+        record["case"] = name
+        record["path"] = save_case(case, config.corpus_dir)
+        record["filed"] = True
+    return record
+
+
+def _resilience_verdict(scenario: Scenario) -> Tuple[str, ...]:
+    """The invariant-oracle verdict the corpus replay will reproduce."""
+    from ..resilience.shrink import check_violations
+
+    try:
+        return check_violations(scenario)
+    except Exception:  # noqa: BLE001 - crash counts as the crash oracle
+        return ("no-crash",)
+
+
+def replay_flywheel_case(case: ReproCase) -> Dict[str, Any]:
+    """Re-judge a flywheel-filed corpus case with the differential oracles.
+
+    Reads the minimal spec out of the case's ``flywheel`` extra
+    (deliberately *without* the perturbation seam: a filed case must
+    reproduce its divergence from the genuine engines, unless it was
+    filed by the self-test, in which case the caller replays the seam
+    explicitly).
+    """
+    flywheel = case.extras.get("flywheel")
+    if not isinstance(flywheel, dict) or "spec" not in flywheel:
+        raise ValueError(f"{case.name} is not a flywheel-filed case")
+    spec = ScenarioSpec.from_dict(flywheel["spec"])
+    return evaluate_point(spec, flywheel.get("perturb"))
+
+
+def run_flywheel(config: FlywheelConfig, *, resume: bool = False) -> FlywheelReport:
+    """Execute (or resume) one campaign; returns the run's report.
+
+    ``resume=False`` on a ledger with prior progress raises — an
+    explicit ``resume`` is how the caller acknowledges partial state.
+    Either way the stream digest must match the ledger header, so a
+    generator change can never silently mix two different streams under
+    one exactly-once accounting.
+    """
+    digest = stream_digest(config.seed, config.count)
+    state = load_state(config.ledger_path)
+    check_compatible(
+        state, seed=config.seed, count=config.count, digest=digest
+    )
+    if state.executed and not resume:
+        raise ValueError(
+            f"{config.ledger_path} already records "
+            f"{len(state.executed)}/{config.count} points; "
+            "use resume to continue it"
+        )
+
+    specs = list(spec_stream(config.seed, config.count))
+    remaining = [i for i in range(config.count) if i not in state.executed]
+    divergences: List[Dict[str, Any]] = list(state.divergences)
+    filed: List[str] = [
+        d["case"] for d in state.divergences if d.get("case")
+    ]
+    executed = 0
+
+    with LedgerWriter(config.ledger_path) as ledger:
+        if state.header is None:
+            ledger.header(
+                seed=config.seed,
+                count=config.count,
+                shard_size=config.shard_size,
+                digest=digest,
+                version=repro.__version__,
+                perturb=config.perturb,
+            )
+        for shard in _shards(remaining, config.shard_size):
+            grid = []
+            for index in shard:
+                params: Dict[str, Any] = {"spec": specs[index].to_dict()}
+                if config.perturb is not None:
+                    params["perturb"] = config.perturb
+                grid.append(params)
+            report = run_grid(
+                f"flywheel-{config.seed}",
+                "flywheel-point",
+                grid,
+                jobs=config.jobs,
+                cache_dir=config.cache_dir,
+                no_cache=config.no_cache,
+            )
+            for index, row in zip(shard, report.rows):
+                ledger.point(index, row)
+                executed += 1
+                if not row.get("ok", False):
+                    record = _file_divergence(
+                        config, index, specs[index], row
+                    )
+                    ledger.divergence(index, record)
+                    divergences.append({"index": index, **record})
+                    if record.get("case"):
+                        filed.append(record["case"])
+        if not state.done and len(state.executed) + executed == config.count:
+            ledger.done(
+                executed=len(state.executed) + executed,
+                divergences=len(divergences),
+            )
+
+    return FlywheelReport(
+        config=config,
+        executed=executed,
+        skipped=len(state.executed),
+        divergences=divergences,
+        filed_cases=filed,
+    )

@@ -1,0 +1,228 @@
+"""The campaign ledger: an append-only JSONL log that makes runs resumable.
+
+A flywheel campaign executes many thousands of points; the ledger is the
+single source of truth for which of them are *finished*.  Every record is
+one JSON object on one line, appended and flushed as soon as the fact it
+records is true:
+
+``{"type": "header", ...}``
+    Campaign identity: stream seed, point count, shard size, the stream
+    digest (:func:`~repro.analysis.strategies.stream_digest` over the
+    whole campaign), and the repro version.  Written once per ``run``
+    invocation; a resume *verifies* its parameters against the first
+    header and refuses to mix streams in one ledger.
+``{"type": "point", "index": i, ...}``
+    Point ``i`` was executed and judged; carries the full oracle row.
+    A point record is the exactly-once unit: resume skips every index
+    that has one.
+``{"type": "divergence", "index": i, ...}``
+    Point ``i`` diverged; carries the oracle names, the shrink outcome,
+    and the corpus case filed (if any).
+``{"type": "done", ...}``
+    The campaign reached its configured count.  Its absence is what
+    tells ``resume``/``status`` the run was interrupted.
+
+The reader tolerates a torn final line (the SIGKILL case — same contract
+as :func:`repro.analysis.parallel.read_sweep_points`): a half-written
+point record is simply not a point record, so the point re-runs on
+resume and appears exactly once in the *parsed* ledger.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set
+
+#: Ledger format version (bump on incompatible record-shape changes).
+LEDGER_SCHEMA_VERSION = 1
+
+
+class LedgerError(ValueError):
+    """The ledger on disk is incompatible with the requested campaign."""
+
+
+def read_ledger(path: str) -> List[Dict[str, Any]]:
+    """Every parseable record, in file order; a torn tail is skipped.
+
+    Only a trailing unparsable line is forgiven (the append-crash case);
+    garbage in the middle of the file means the ledger was edited or
+    corrupted, and raises :class:`LedgerError` rather than silently
+    dropping executed points.
+    """
+    if not os.path.exists(path):
+        return []
+    records: List[Dict[str, Any]] = []
+    with open(path) as handle:
+        lines = handle.read().splitlines()
+    for lineno, line in enumerate(lines):
+        if not line.strip():
+            continue
+        try:
+            parsed = json.loads(line)
+        except ValueError:
+            if lineno == len(lines) - 1:
+                break  # torn tail: the crash interrupted this append
+            raise LedgerError(
+                f"{path}:{lineno + 1}: unparsable non-final record"
+            ) from None
+        if isinstance(parsed, dict):
+            records.append(parsed)
+    return records
+
+
+@dataclass
+class LedgerState:
+    """What a ledger says about a campaign (the resume/status view)."""
+
+    header: Optional[Dict[str, Any]] = None
+    #: Indices with a point record (executed exactly once).
+    executed: Set[int] = field(default_factory=set)
+    #: Divergence records, in filing order.
+    divergences: List[Dict[str, Any]] = field(default_factory=list)
+    done: bool = False
+
+    @property
+    def count(self) -> int:
+        """The campaign's configured point count (0 if no header yet)."""
+        return int(self.header["count"]) if self.header else 0
+
+    def remaining(self) -> List[int]:
+        """Indices still to execute, in stream order."""
+        return [i for i in range(self.count) if i not in self.executed]
+
+
+def load_state(path: str) -> LedgerState:
+    """Fold a ledger file into its :class:`LedgerState`."""
+    state = LedgerState()
+    for record in read_ledger(path):
+        kind = record.get("type")
+        if kind == "header":
+            if state.header is None:
+                state.header = record
+        elif kind == "point":
+            state.executed.add(int(record["index"]))
+        elif kind == "divergence":
+            state.divergences.append(record)
+        elif kind == "done":
+            state.done = True
+    return state
+
+
+def _repair_torn_tail(path: str) -> None:
+    """Truncate a half-written final record before appending new ones.
+
+    A record is only *committed* once its newline hits the disk; a kill
+    mid-append leaves a tail with no terminator, which the reader
+    already ignores.  Repairing it at writer-open (WAL style) keeps the
+    invariant that an unparsable line can only ever be the final one —
+    without this, a resume would append flush records *onto* the torn
+    fragment and corrupt the ledger mid-file.
+    """
+    if not os.path.exists(path):
+        return
+    with open(path, "rb+") as handle:
+        handle.seek(0, os.SEEK_END)
+        size = handle.tell()
+        if size == 0:
+            return
+        handle.seek(-1, os.SEEK_END)
+        if handle.read(1) == b"\n":
+            return
+        handle.seek(0)
+        data = handle.read()
+        keep = data.rfind(b"\n") + 1  # 0 when no newline exists at all
+        handle.truncate(keep)
+
+
+class LedgerWriter:
+    """Append-and-flush writer for one campaign ledger."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        parent = os.path.dirname(os.path.abspath(path))
+        os.makedirs(parent, exist_ok=True)
+        _repair_torn_tail(path)
+        self._handle = open(path, "a")
+
+    def append(self, record: Dict[str, Any]) -> None:
+        """Write one record and force it to disk (crash-safe append)."""
+        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def header(
+        self,
+        *,
+        seed: int,
+        count: int,
+        shard_size: int,
+        digest: str,
+        version: str,
+        perturb: Optional[str] = None,
+    ) -> None:
+        record: Dict[str, Any] = {
+            "type": "header",
+            "schema_version": LEDGER_SCHEMA_VERSION,
+            "seed": seed,
+            "count": count,
+            "shard_size": shard_size,
+            "stream_digest": digest,
+            "version": version,
+            "written_at": time.time(),
+        }
+        if perturb is not None:
+            record["perturb"] = perturb
+        self.append(record)
+
+    def point(self, index: int, row: Dict[str, Any]) -> None:
+        self.append({"type": "point", "index": index, "row": row})
+
+    def divergence(self, index: int, record: Dict[str, Any]) -> None:
+        self.append({"type": "divergence", "index": index, **record})
+
+    def done(self, *, executed: int, divergences: int) -> None:
+        self.append(
+            {
+                "type": "done",
+                "executed": executed,
+                "divergences": divergences,
+                "written_at": time.time(),
+            }
+        )
+
+    def close(self) -> None:
+        self._handle.close()
+
+    def __enter__(self) -> "LedgerWriter":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+def check_compatible(
+    state: LedgerState, *, seed: int, count: int, digest: str
+) -> None:
+    """Refuse to resume a ledger written for a different stream.
+
+    The digest comparison subsumes the seed/count ones, but the explicit
+    checks give the error message a human cause.
+    """
+    header = state.header
+    if header is None:
+        return
+    if int(header["seed"]) != seed:
+        raise LedgerError(
+            f"ledger was written for stream seed {header['seed']}, not {seed}"
+        )
+    if int(header["count"]) != count:
+        raise LedgerError(
+            f"ledger was written for {header['count']} points, not {count}"
+        )
+    if str(header["stream_digest"]) != digest:
+        raise LedgerError(
+            "ledger stream digest does not match this generator version"
+        )

@@ -1,0 +1,87 @@
+"""Oracle self-test: prove the flywheel can actually catch a divergence.
+
+A differential campaign that never fires is indistinguishable from one
+that cannot fire.  This module provides deliberate batch-row
+perturbations (used via the ``perturb="module:function"`` seam of
+:func:`~repro.flywheel.oracles.evaluate_point`) and a one-call self-test
+that runs a small campaign with a perturbation injected, asserting the
+full detect → shrink → file pipeline end to end.  The CI smoke job runs
+it on every push; ``repro flywheel selftest`` runs it locally.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from .engine import FlywheelConfig, FlywheelReport, run_flywheel
+
+#: The perturbation seams this module ships, by CLI-friendly name.
+PERTURBATIONS = {
+    "rounds": "repro.flywheel.selftest:perturb_batch_rounds",
+    "verdicts": "repro.flywheel.selftest:perturb_batch_verdicts",
+}
+
+
+def perturb_batch_rounds(row: Dict[str, Any]) -> Dict[str, Any]:
+    """Pretend the batch engine ran one extra round (a parity bug)."""
+    row = dict(row)
+    row["rounds"] = int(row.get("rounds", 0)) + 1
+    return row
+
+
+def perturb_batch_verdicts(row: Dict[str, Any]) -> Dict[str, Any]:
+    """Pretend the batch engine lost agreement (a verdict bug)."""
+    row = dict(row)
+    verdicts = dict(row.get("verdicts", {}))
+    verdicts["agreement"] = False
+    row["verdicts"] = verdicts
+    return row
+
+
+class SelfTestError(AssertionError):
+    """The injected divergence did not surface the way it must."""
+
+
+def run_selftest(
+    ledger_path: str,
+    corpus_dir: str,
+    *,
+    seed: int = 2025,
+    count: int = 24,
+    jobs: int = 1,
+    perturbation: str = "rounds",
+) -> FlywheelReport:
+    """Run a small campaign with an injected batch bug; assert it is caught.
+
+    The campaign must (a) flag at least one backend-parity divergence,
+    and (b) file at least one shrunk-or-filed corpus case for it.  Use a
+    throwaway ``corpus_dir`` — the filed cases describe an *injected*
+    bug, not a real one, and must never land in ``tests/corpus/``.
+    """
+    perturb = PERTURBATIONS.get(perturbation, perturbation)
+    report = run_flywheel(
+        FlywheelConfig(
+            seed=seed,
+            count=count,
+            ledger_path=ledger_path,
+            jobs=jobs,
+            no_cache=True,  # perturbed rows must never enter the shared cache
+            corpus_dir=corpus_dir,
+            perturb=perturb,
+        )
+    )
+    parity = [
+        d for d in report.divergences if "backend-parity" in d.get("oracles", ())
+    ]
+    if not parity:
+        raise SelfTestError(
+            f"injected perturbation {perturbation!r} produced no "
+            f"backend-parity divergence in {count} points — the "
+            "differential oracles are not looking at the batch rows"
+        )
+    if not any(d.get("filed") for d in parity):
+        raise SelfTestError(
+            "divergences were detected but none was filed as a corpus "
+            "case — the shrink-and-file pipeline is broken"
+        )
+    return report

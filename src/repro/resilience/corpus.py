@@ -14,14 +14,22 @@ from __future__ import annotations
 
 import json
 import os
-from dataclasses import dataclass
-from typing import Iterable, List, Tuple
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Mapping, Tuple
 
 from .oracles import evaluate, violated_oracles
 from .scenario import Scenario, ScenarioResult, execute_scenario
 
 #: Corpus file schema version (bump on incompatible format changes).
 CORPUS_SCHEMA_VERSION = 1
+
+#: Top-level corpus-file keys this reader interprets itself.  Everything
+#: else is a forward-compatible *extra* (e.g. the flywheel's oracle
+#: metadata) — preserved verbatim through a load/save round trip so an
+#: older reader never strips what a newer writer recorded.
+_KNOWN_KEYS = frozenset(
+    {"schema_version", "name", "description", "scenario", "expected_violations"}
+)
 
 
 @dataclass(frozen=True)
@@ -35,20 +43,33 @@ class ReproCase:
     scenario: Scenario
     #: Sorted oracle names the replay must produce (empty = must be clean).
     expected_violations: Tuple[str, ...] = ()
+    #: Unrecognised top-level keys of the on-disk file (forward compat):
+    #: carried as data, ignored by replay, round-tripped by :meth:`to_dict`.
+    extras: Mapping[str, Any] = field(default_factory=dict)
 
     def to_dict(self) -> dict:
-        """The JSON form stored on disk."""
-        return {
-            "schema_version": CORPUS_SCHEMA_VERSION,
-            "name": self.name,
-            "description": self.description,
-            "scenario": self.scenario.to_dict(),
-            "expected_violations": list(self.expected_violations),
-        }
+        """The JSON form stored on disk (extras included, known keys win)."""
+        payload: Dict[str, Any] = dict(self.extras)
+        payload.update(
+            {
+                "schema_version": CORPUS_SCHEMA_VERSION,
+                "name": self.name,
+                "description": self.description,
+                "scenario": self.scenario.to_dict(),
+                "expected_violations": list(self.expected_violations),
+            }
+        )
+        return payload
 
     @classmethod
     def from_dict(cls, payload: dict) -> "ReproCase":
-        """Rebuild a case from its :meth:`to_dict` form."""
+        """Rebuild a case from its :meth:`to_dict` form.
+
+        Forward-compatible: unknown top-level keys (a newer writer's
+        metadata, e.g. ``"flywheel"``) land in :attr:`extras` instead of
+        being dropped or rejected, so flywheel-filed cases replay on
+        readers that predate the flywheel.
+        """
         return cls(
             name=str(payload["name"]),
             description=str(payload.get("description", "")),
@@ -56,6 +77,11 @@ class ReproCase:
             expected_violations=tuple(
                 sorted(payload.get("expected_violations", ()))
             ),
+            extras={
+                key: value
+                for key, value in payload.items()
+                if key not in _KNOWN_KEYS
+            },
         )
 
 

@@ -19,10 +19,19 @@ free-running RNG stream and becomes a line-by-line minimal reproduction.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Iterator, Optional, Tuple
+from typing import Callable, Iterator, Optional, Tuple
 
 from .oracles import evaluate, violated_oracles
 from .scenario import Scenario, execute_scenario
+
+#: A failure predicate for :func:`shrink`: execute a scenario however the
+#: caller defines execution and return the *sorted* names of whatever it
+#: violates (empty = healthy).  The default is :func:`check_violations`
+#: (the resilience lab's invariant oracles); the flywheel plugs in its
+#: differential oracles here, which is how backend-parity and
+#: cross-protocol divergences ride the same ddmin passes as invariant
+#: violations.
+ViolationCheck = Callable[[Scenario], Tuple[str, ...]]
 
 
 @dataclass
@@ -186,25 +195,39 @@ def _capture_chaos_script(scenario: Scenario) -> Optional[Scenario]:
     return scripted
 
 
-def shrink(scenario: Scenario, max_checks: int = 400) -> ShrinkResult:
+def shrink(
+    scenario: Scenario,
+    max_checks: int = 400,
+    check: ViolationCheck = check_violations,
+) -> ShrinkResult:
     """Minimise a violating scenario while preserving its failure.
 
     Raises :class:`NotViolatingError` if the input scenario passes every
     oracle (there is nothing to shrink).  The preserved property is a
     non-empty intersection with the original's violated oracle set — the
     minimal scenario fails *in the same way*, not merely somehow.
+
+    ``check`` swaps the failure definition (see :data:`ViolationCheck`):
+    anything that maps a scenario to violation names can drive the same
+    reduction passes.  The chaos-script capture trick stays specific to
+    the default check — a custom oracle already defines its own notion of
+    reproduction, and scripting under it could change what is being
+    preserved.
     """
     checks = 0
 
     def violating(candidate: Scenario, against: Tuple[str, ...]) -> Optional[Tuple[str, ...]]:
         nonlocal checks
         checks += 1
-        found = check_violations(candidate)
+        try:
+            found = check(candidate)
+        except Exception:  # noqa: BLE001 - a crashing candidate is a dead end
+            return None
         if set(found) & set(against):
             return found
         return None
 
-    original_violations = check_violations(scenario)
+    original_violations = check(scenario)
     checks += 1
     if not original_violations:
         raise NotViolatingError(
@@ -215,7 +238,9 @@ def shrink(scenario: Scenario, max_checks: int = 400) -> ShrinkResult:
     current_violations = original_violations
     steps = 0
 
-    scripted = _capture_chaos_script(current)
+    scripted = (
+        _capture_chaos_script(current) if check is check_violations else None
+    )
     if scripted is not None:
         found = violating(scripted, original_violations)
         if found is not None:

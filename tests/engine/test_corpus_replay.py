@@ -6,9 +6,14 @@ reproduce the reference execution — outputs, rounds, and oracle verdict
 — exactly) or *expected-unsupported* (its scenario uses a feature the
 batch engine deliberately refuses, and the refusal must be the typed
 :class:`~repro.engine.UnsupportedBackendError`, not a silent wrong
-answer).  A new corpus case lands in neither set and fails
+answer).  A new hand-written corpus case lands in neither set and fails
 ``test_every_case_is_classified`` until someone decides which behaviour
 it gets.
+
+Flywheel-filed cases (``repro flywheel`` divergences) classify
+*themselves*: their ``flywheel`` extra records whether the minimal
+spec's adversary is batch-replayable (``batch_supported``), so the
+campaign can keep growing the corpus without editing this file.
 """
 
 from __future__ import annotations
@@ -46,13 +51,44 @@ EXPECTED_UNSUPPORTED = (
 )
 
 
+def _flywheel_classification(case):
+    """``True``/``False`` from a flywheel-filed case's own metadata."""
+    flywheel = case.extras.get("flywheel")
+    if isinstance(flywheel, dict) and "batch_supported" in flywheel:
+        return bool(flywheel["batch_supported"])
+    return None
+
+
+FLYWHEEL_SUPPORTED = tuple(
+    sorted(
+        name
+        for name, case in CORPUS_CASES.items()
+        if _flywheel_classification(case) is True
+    )
+)
+FLYWHEEL_UNSUPPORTED = tuple(
+    sorted(
+        name
+        for name, case in CORPUS_CASES.items()
+        if _flywheel_classification(case) is False
+    )
+)
+
+ALL_SUPPORTED = BATCH_SUPPORTED + FLYWHEEL_SUPPORTED
+
+
 def test_every_case_is_classified():
-    classified = set(BATCH_SUPPORTED) | set(EXPECTED_UNSUPPORTED)
+    classified = (
+        set(BATCH_SUPPORTED)
+        | set(EXPECTED_UNSUPPORTED)
+        | set(FLYWHEEL_SUPPORTED)
+        | set(FLYWHEEL_UNSUPPORTED)
+    )
     assert set(CORPUS_CASES) == classified
-    assert not set(BATCH_SUPPORTED) & set(EXPECTED_UNSUPPORTED)
+    assert not set(ALL_SUPPORTED) & set(EXPECTED_UNSUPPORTED)
 
 
-@pytest.mark.parametrize("name", BATCH_SUPPORTED)
+@pytest.mark.parametrize("name", ALL_SUPPORTED)
 def test_supported_case_replays_identically(name):
     case = CORPUS_CASES[name]
     reference = execute_scenario(case.scenario)
@@ -70,7 +106,7 @@ def test_supported_case_replays_identically(name):
     )
 
 
-@pytest.mark.parametrize("name", BATCH_SUPPORTED)
+@pytest.mark.parametrize("name", ALL_SUPPORTED)
 def test_supported_case_verdict_matches_recording(name):
     case = CORPUS_CASES[name]
     result = execute_scenario(case.scenario, backend="batch")
@@ -79,7 +115,9 @@ def test_supported_case_verdict_matches_recording(name):
     )
 
 
-@pytest.mark.parametrize("name", EXPECTED_UNSUPPORTED)
+@pytest.mark.parametrize(
+    "name", EXPECTED_UNSUPPORTED + FLYWHEEL_UNSUPPORTED
+)
 def test_unsupported_case_refuses_loudly(name):
     case = CORPUS_CASES[name]
     with pytest.raises(UnsupportedBackendError):

@@ -1,0 +1,144 @@
+"""The campaign engine: shard, checkpoint, shrink-and-file, self-test.
+
+The oracle self-test satellite lives here: a deliberately perturbed
+batch row must be *detected* (backend-parity divergence), *shrunk* (the
+delta-debugging passes run under the differential check), and *filed*
+(a replayable corpus case with the flywheel's metadata attached).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.analysis.spec import ScenarioSpec
+from repro.flywheel import (
+    FlywheelConfig,
+    SelfTestError,
+    load_state,
+    replay_flywheel_case,
+    run_flywheel,
+    run_selftest,
+)
+from repro.resilience import iter_corpus
+
+pytest.importorskip("numpy")
+
+SEED = 7
+COUNT = 30
+
+
+def config(tmp_path, **overrides):
+    fields = dict(
+        seed=SEED,
+        count=COUNT,
+        ledger_path=str(tmp_path / "ledger.jsonl"),
+        shard_size=10,
+        jobs=1,
+        no_cache=True,
+        corpus_dir=str(tmp_path / "corpus"),
+        max_shrink_checks=120,
+    )
+    fields.update(overrides)
+    return FlywheelConfig(**fields)
+
+
+class TestCleanCampaign:
+    def test_campaign_is_green_and_complete(self, tmp_path):
+        report = run_flywheel(config(tmp_path))
+        assert report.ok
+        assert report.executed == COUNT
+        state = load_state(str(tmp_path / "ledger.jsonl"))
+        assert state.done
+        assert state.executed == set(range(COUNT))
+        assert state.remaining() == []
+
+    def test_rerun_without_resume_refuses(self, tmp_path):
+        run_flywheel(config(tmp_path))
+        with pytest.raises(ValueError, match="resume"):
+            run_flywheel(config(tmp_path))
+
+    def test_resume_of_a_complete_campaign_is_a_no_op(self, tmp_path):
+        run_flywheel(config(tmp_path))
+        report = run_flywheel(config(tmp_path), resume=True)
+        assert report.executed == 0
+        assert report.skipped == COUNT
+
+    def test_mismatched_stream_refuses(self, tmp_path):
+        run_flywheel(config(tmp_path))
+        from repro.flywheel import LedgerError
+
+        with pytest.raises(LedgerError):
+            run_flywheel(config(tmp_path, seed=SEED + 1), resume=True)
+
+
+class TestInjectedDivergence:
+    """The self-test satellite: perturb -> detect -> shrink -> file."""
+
+    @pytest.fixture(scope="class")
+    def report(self, tmp_path_factory):
+        tmp_path = tmp_path_factory.mktemp("selftest")
+        return (
+            tmp_path,
+            run_selftest(
+                str(tmp_path / "ledger.jsonl"),
+                str(tmp_path / "corpus"),
+                seed=SEED,
+                count=24,
+            ),
+        )
+
+    def test_perturbation_is_detected(self, report):
+        _, rep = report
+        assert any(
+            "backend-parity" in d["oracles"] for d in rep.divergences
+        )
+
+    def test_divergences_are_shrunk(self, report):
+        _, rep = report
+        assert any(d.get("shrunk") for d in rep.divergences)
+
+    def test_cases_are_filed_and_replayable(self, report):
+        tmp_path, rep = report
+        cases = iter_corpus(str(tmp_path / "corpus"))
+        assert cases
+        for case in cases:
+            flywheel = case.extras["flywheel"]
+            assert flywheel["oracles"]
+            assert flywheel["stream_seed"] == SEED
+            # The filed spec must re-fire the same divergence when the
+            # recorded seam is re-applied.
+            row = replay_flywheel_case(case)
+            assert set(flywheel["oracles"]) & set(
+                name
+                for name, cell in row["oracles"].items()
+                if cell["status"] == "divergence"
+            )
+
+    def test_filed_files_round_trip_as_plain_json(self, report):
+        tmp_path, _ = report
+        corpus = str(tmp_path / "corpus")
+        for filename in os.listdir(corpus):
+            payload = json.loads(open(os.path.join(corpus, filename)).read())
+            assert "flywheel" in payload
+            ScenarioSpec.from_dict(payload["flywheel"]["spec"])
+
+    def test_ledger_records_the_divergences(self, report):
+        tmp_path, rep = report
+        state = load_state(str(tmp_path / "ledger.jsonl"))
+        assert len(state.divergences) == len(rep.divergences)
+
+    def test_a_blind_selftest_fails_loudly(self, tmp_path):
+        """Sanity-check the checker: an identity perturbation (a seam
+        that changes nothing — ``builtins:dict`` just copies the row)
+        must make the self-test refuse to report success."""
+        with pytest.raises(SelfTestError):
+            run_selftest(
+                str(tmp_path / "ledger.jsonl"),
+                str(tmp_path / "corpus"),
+                seed=SEED,
+                count=6,
+                perturbation="builtins:dict",
+            )

@@ -1,0 +1,100 @@
+"""The differential oracle matrix, point by point."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.spec import ScenarioSpec
+from repro.flywheel.oracles import (
+    FLYWHEEL_ORACLES,
+    batch_replayable,
+    diverging_oracles,
+    evaluate_point,
+    resolve_perturb,
+)
+
+pytest.importorskip("numpy")
+
+
+def tree_spec(**overrides):
+    fields = dict(
+        protocol="tree-aa", n=5, t=1, tree="path:6", adversary="silent", seed=11
+    )
+    fields.update(overrides)
+    return ScenarioSpec(**fields)
+
+
+class TestHealthyPoints:
+    def test_clean_tree_point_is_green_on_every_oracle(self):
+        row = evaluate_point(tree_spec())
+        assert row["ok"]
+        assert set(row["oracles"]) == set(FLYWHEEL_ORACLES)
+        statuses = {
+            name: cell["status"] for name, cell in row["oracles"].items()
+        }
+        assert statuses["execution"] == "ok"
+        assert statuses["backend-parity"] == "ok"
+        assert statuses["cross-protocol"] == "ok"
+        assert statuses["round-bound"] == "ok"
+        # record=False: nothing for the metrics oracle to compare.
+        assert statuses["metrics-parity"] == "skipped"
+        assert diverging_oracles(row) == ()
+
+    def test_recorded_point_gets_a_metrics_verdict(self):
+        row = evaluate_point(tree_spec(record=True))
+        assert row["oracles"]["metrics-parity"]["status"] == "ok"
+
+    def test_real_point_skips_the_tree_only_oracles(self):
+        spec = ScenarioSpec(
+            protocol="real-aa", n=4, t=0, adversary="none",
+            known_range=8.0, seed=3,
+        )
+        row = evaluate_point(spec)
+        assert row["ok"]
+        assert row["oracles"]["cross-protocol"]["status"] == "skipped"
+        assert row["oracles"]["round-bound"]["status"] == "ok"
+
+    def test_reference_only_adversary_skips_the_differential_pair(self):
+        spec = tree_spec(adversary="noise:3")
+        assert not batch_replayable(spec)
+        row = evaluate_point(spec)
+        assert row["oracles"]["backend-parity"]["status"] == "skipped"
+        assert row["oracles"]["metrics-parity"]["status"] == "skipped"
+        # The reference-side oracles still ran.
+        assert row["oracles"]["execution"]["status"] == "ok"
+
+    def test_row_carries_the_reference_outcome(self):
+        row = evaluate_point(tree_spec())
+        assert row["rounds"] >= 1
+        assert row["verdicts"]["terminated"]
+
+
+class TestPerturbedPoints:
+    def test_round_perturbation_fires_backend_parity(self):
+        row = evaluate_point(
+            tree_spec(), "repro.flywheel.selftest:perturb_batch_rounds"
+        )
+        assert not row["ok"]
+        assert diverging_oracles(row) == ("backend-parity",)
+        assert "rounds" in row["oracles"]["backend-parity"]["detail"]
+
+    def test_verdict_perturbation_fires_backend_parity(self):
+        row = evaluate_point(
+            tree_spec(), "repro.flywheel.selftest:perturb_batch_verdicts"
+        )
+        assert "backend-parity" in diverging_oracles(row)
+
+    def test_perturbation_is_recorded_in_the_row(self):
+        seam = "repro.flywheel.selftest:perturb_batch_rounds"
+        row = evaluate_point(tree_spec(), seam)
+        assert row["perturb"] == seam
+
+    def test_unresolvable_seam_is_loud(self):
+        with pytest.raises((ImportError, ValueError)):
+            resolve_perturb("repro.flywheel.selftest:no_such_function")
+
+
+class TestDeterminism:
+    def test_rows_are_reproducible(self):
+        spec = tree_spec(adversary="chaos:99", record=True)
+        assert evaluate_point(spec) == evaluate_point(spec)

@@ -1,0 +1,167 @@
+"""Kill-and-resume: a SIGKILLed campaign loses no point and repeats none.
+
+The exactly-once contract, end to end: a real ``repro flywheel run``
+subprocess is SIGKILLed mid-campaign, then ``repro flywheel resume``
+finishes the ledger — and the *parsed* ledger must hold every stream
+index exactly once.  (A point whose record the kill tore in half is not
+in the parsed ledger, so the resume re-runs it; both halves of that
+sentence are load-bearing and both are asserted.)
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from collections import Counter
+
+import pytest
+
+from repro.flywheel.ledger import load_state, read_ledger
+
+pytest.importorskip("numpy")
+
+SEED = 13
+COUNT = 150
+SHARD = 5
+
+
+def flywheel_argv(command, ledger, cache_dir):
+    return [
+        sys.executable,
+        "-m",
+        "repro",
+        "flywheel",
+        command,
+        "--seed",
+        str(SEED),
+        "--count",
+        str(COUNT),
+        "--shard-size",
+        str(SHARD),
+        "--ledger",
+        ledger,
+        "--cache-dir",
+        cache_dir,
+    ]
+
+
+def subprocess_env():
+    src = os.path.join(
+        os.path.dirname(__file__), os.pardir, os.pardir, "src"
+    )
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (os.path.abspath(src), env.get("PYTHONPATH")) if p
+    )
+    return env
+
+
+def wait_for(predicate, timeout=60.0, interval=0.05):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return predicate()
+
+
+def test_sigkilled_run_resumes_exactly_once(tmp_path):
+    ledger = str(tmp_path / "ledger.jsonl")
+    cache_dir = str(tmp_path / "cache")
+
+    proc = subprocess.Popen(
+        flywheel_argv("run", ledger, cache_dir),
+        env=subprocess_env(),
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    try:
+        # Let the campaign checkpoint a few shards, then kill it cold
+        # mid-flight — no signal handler, no flush, no goodbye.
+        assert wait_for(
+            lambda: len(load_state(ledger).executed) >= 3 * SHARD
+        ), "campaign never reached three checkpointed shards"
+        proc.send_signal(signal.SIGKILL)
+        proc.wait(timeout=20)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=20)
+
+    interrupted = load_state(ledger)
+    executed_before_kill = set(interrupted.executed)
+    assert not interrupted.done, "the kill landed after completion"
+    assert executed_before_kill, "no progress survived the kill"
+    assert len(executed_before_kill) < COUNT, (
+        "campaign finished before the kill; lower the wait threshold"
+    )
+
+    resumed = subprocess.run(
+        flywheel_argv("resume", ledger, cache_dir),
+        env=subprocess_env(),
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert resumed.returncode == 0, resumed.stdout + resumed.stderr
+
+    # Exactly-once, from the ledger itself: every index present, none
+    # duplicated, and the campaign marked complete.
+    state = load_state(ledger)
+    assert state.done
+    assert state.executed == set(range(COUNT))
+    counts = Counter(
+        record["index"]
+        for record in read_ledger(ledger)
+        if record.get("type") == "point"
+    )
+    assert set(counts) == set(range(COUNT))
+    duplicated = {index: n for index, n in counts.items() if n != 1}
+    assert not duplicated, f"points recorded more than once: {duplicated}"
+
+    # The resume continued the kill's progress rather than restarting.
+    assert executed_before_kill <= state.executed
+    summary = resumed.stdout.splitlines()[0]
+    assert f"{len(executed_before_kill)} resumed from ledger" in summary
+
+
+def test_torn_tail_point_reruns_and_lands_once(tmp_path):
+    """Unit-level twin of the subprocess test: tear the last record in
+    half (byte-exactly what SIGKILL-during-append leaves) and resume."""
+    from repro.flywheel import FlywheelConfig, run_flywheel
+
+    ledger = str(tmp_path / "ledger.jsonl")
+    cfg = FlywheelConfig(
+        seed=SEED,
+        count=12,
+        ledger_path=ledger,
+        shard_size=4,
+        no_cache=True,
+    )
+    run_flywheel(cfg)
+    lines = open(ledger).read().splitlines(keepends=True)
+    # Drop the done record, tear the final point record mid-JSON.
+    body = [line for line in lines if '"type": "done"' not in line]
+    with open(ledger, "w") as handle:
+        handle.writelines(body[:-1])
+        handle.write(body[-1][: len(body[-1]) // 2])
+
+    torn = load_state(ledger)
+    assert len(torn.executed) == 11
+
+    report = run_flywheel(cfg, resume=True)
+    assert report.executed == 1
+    state = load_state(ledger)
+    assert state.done
+    counts = Counter(
+        record["index"]
+        for record in read_ledger(ledger)
+        if record.get("type") == "point"
+    )
+    assert counts == {index: 1 for index in range(12)}
+    assert json.loads(open(ledger).read().splitlines()[-1])["type"] == "done"

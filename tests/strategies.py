@@ -1,226 +1,27 @@
-"""Shared Hypothesis strategies for the whole test suite.
+"""Shared Hypothesis strategies for the whole test suite (shim).
 
-Promoted out of ``conftest.py`` so that every test package (``trees``,
-``authenticated``, ``engine``, …) draws trees, corruption sets, adversary
-choices, and backend choices from one place instead of rolling its own.
+The strategies were promoted to :mod:`repro.analysis.strategies` so the
+flywheel engine (:mod:`repro.flywheel`) can draw the same scenario space
+without importing test code; this module re-exports every public name so
+historical ``from ..strategies import …`` test imports keep working.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Set, Tuple
-
-from hypothesis import strategies as st
-
-from repro.trees import LabeledTree, tree_from_pruefer
-
-#: The execution backends every differential property test compares.
-BACKENDS: Tuple[str, ...] = ("reference", "batch")
-
-
-@st.composite
-def small_trees(draw, min_vertices: int = 1, max_vertices: int = 12):
-    """Uniform-ish random labeled trees via Prüfer sequences."""
-    n = draw(st.integers(min_value=min_vertices, max_value=max_vertices))
-    if n == 1:
-        return LabeledTree(vertices=["v00"])
-    if n == 2:
-        return LabeledTree(edges=[("v00", "v01")])
-    sequence = draw(
-        st.lists(
-            st.integers(min_value=0, max_value=n - 1),
-            min_size=n - 2,
-            max_size=n - 2,
-        )
-    )
-    return tree_from_pruefer(sequence)
-
-
-@st.composite
-def trees_with_vertex_choices(draw, n_choices: int, min_vertices: int = 2):
-    """A random tree plus *n_choices* (not necessarily distinct) vertices."""
-    tree = draw(small_trees(min_vertices=min_vertices))
-    indices = draw(
-        st.lists(
-            st.integers(min_value=0, max_value=tree.n_vertices - 1),
-            min_size=n_choices,
-            max_size=n_choices,
-        )
-    )
-    return tree, [tree.vertices[i] for i in indices]
-
-
-@st.composite
-def corruption_sets(
-    draw, n: int, max_size: Optional[int] = None
-) -> Optional[Set[int]]:
-    """``None`` (the adversary's default choice) or an explicit corrupt set.
-
-    Explicit sets are drawn from ``0..n-1`` with at most *max_size*
-    members (default ``n``); the empty set is a legal, meaningful draw
-    (an adversary holding no parties at all).
-    """
-    if draw(st.booleans()):
-        return None
-    bound = n if max_size is None else min(max_size, n)
-    return draw(
-        st.sets(st.integers(min_value=0, max_value=max(0, n - 1)), max_size=bound)
-        if n
-        else st.just(set())
-    )
-
-
-@st.composite
-def batch_supported_adversaries(draw, n: int, t: int):
-    """An adversary instance the batch backend can replay (or ``None``).
-
-    Covers the full supported matrix: fault-free, :class:`NoAdversary`,
-    silent, passive, partial-broadcast crashes at varying rounds, seeded
-    chaos streams, and burn schedules — each over both default and
-    explicit corruption sets.
-    """
-    from repro.adversary.base import NoAdversary, PassiveAdversary
-    from repro.adversary.chaos import ChaosAdversary
-    from repro.adversary.realaa_attacks import BurnScheduleAdversary
-    from repro.adversary.strategies import CrashAdversary, SilentAdversary
-
-    kind = draw(
-        st.sampled_from(
-            ["none", "no-adversary", "silent", "passive", "crash", "chaos", "burn"]
-        )
-    )
-    if kind == "none":
-        return None
-    corrupt = draw(corruption_sets(n, max_size=max(t, 1)))
-    if kind == "no-adversary":
-        return NoAdversary(corrupt)
-    if kind == "silent":
-        return SilentAdversary(corrupt)
-    if kind == "passive":
-        return PassiveAdversary(corrupt)
-    if kind == "chaos":
-        seed = draw(st.integers(min_value=0, max_value=2**16))
-        weights = None
-        if draw(st.booleans()):
-            weights = {
-                name: draw(st.floats(min_value=0.1, max_value=4.0))
-                for name in ChaosAdversary.BEHAVIOURS
-            }
-        return ChaosAdversary(seed=seed, weights=weights, corrupt=corrupt)
-    if kind == "burn":
-        schedule = draw(
-            st.lists(st.integers(min_value=0, max_value=3), min_size=1, max_size=4)
-        )
-        direction = draw(st.sampled_from(["up", "down", "alternate"]))
-        reuse = draw(st.booleans())
-        return BurnScheduleAdversary(
-            schedule, direction=direction, reuse_burners=reuse, corrupt=corrupt
-        )
-    crash_round = draw(st.integers(min_value=0, max_value=30))
-    partial_to = draw(st.integers(min_value=0, max_value=n))
-    return CrashAdversary(crash_round, partial_to=partial_to, corrupt=corrupt)
-
-
-@st.composite
-def fault_plans(draw):
-    """``None`` (the common case) or a seeded honest-channel fault plan.
-
-    Faulty plans set ``allow_model_violations=True`` — the same explicit
-    gate the resilience lab requires — with moderate per-message rates so
-    that most runs still complete and exercise the recovery paths rather
-    than degenerating into all-drop noise.
-    """
-    from repro.net.faults import FaultPlan
-
-    if draw(st.booleans()):
-        return None
-    return FaultPlan(
-        drop=draw(st.sampled_from([0.0, 0.1, 0.25])),
-        duplicate=draw(st.sampled_from([0.0, 0.1, 0.2])),
-        corrupt=draw(st.sampled_from([0.0, 0.1, 0.2])),
-        seed=draw(st.integers(min_value=0, max_value=2**16)),
-        allow_model_violations=True,
-    )
-
-
-def backends() -> st.SearchStrategy[str]:
-    """One of the two execution backends (:data:`BACKENDS`)."""
-    return st.sampled_from(BACKENDS)
-
-
-#: Small tree specs (``repro.cli.parse_tree_spec`` grammar) that keep
-#: spec-driven property tests fast.
-SPEC_TREES: Tuple[str, ...] = ("path:4", "path:6", "star:5", "caterpillar:3x2")
-
-#: Adversary spec strings the batch backend can replay.
-BATCH_SPEC_ADVERSARIES: Tuple[str, ...] = (
-    "none",
-    "silent",
-    "passive",
-    "crash",
-    "crash:2:3",
-    "chaos",
-    "chaos:9",
+from repro.analysis.strategies import (  # noqa: F401
+    BACKENDS,
+    BATCH_SPEC_ADVERSARIES,
+    REFERENCE_ONLY_SPEC_ADVERSARIES,
+    SPEC_TREES,
+    backends,
+    batch_supported_adversaries,
+    corruption_sets,
+    draw_flywheel_spec,
+    fault_plans,
+    real_inputs,
+    scenario_specs,
+    small_trees,
+    spec_stream,
+    stream_digest,
+    trees_with_vertex_choices,
 )
-
-#: Adversary spec strings only the reference backend accepts.
-REFERENCE_ONLY_SPEC_ADVERSARIES: Tuple[str, ...] = ("noise", "noise:7", "asym")
-
-
-@st.composite
-def scenario_specs(draw, runnable: bool = True):
-    """A valid :class:`repro.analysis.spec.ScenarioSpec`.
-
-    With ``runnable=True`` (the default) the draw is restricted so that
-    ``spec.run()`` succeeds on the spec's own backend: adversaries the
-    batch engine cannot replay only appear with ``backend="reference"``,
-    burn schedules require ``t >= 1``, and sizes stay small enough for
-    property-test budgets.
-    """
-    from repro.analysis.spec import ScenarioSpec
-
-    protocol = draw(st.sampled_from(["real-aa", "path-aa", "tree-aa"]))
-    backend = draw(backends())
-    t = draw(st.integers(min_value=0, max_value=1))
-    n = draw(st.integers(min_value=3 * t + 2, max_value=6))
-    adversaries = list(BATCH_SPEC_ADVERSARIES)
-    if backend == "reference" or not runnable:
-        adversaries += list(REFERENCE_ONLY_SPEC_ADVERSARIES)
-    if t >= 1 or not runnable:
-        adversaries += ["burn", "burn-down"]
-    adversary = draw(st.sampled_from(adversaries))
-    corrupt: Tuple[int, ...] = ()
-    if t and draw(st.booleans()):
-        corrupt = (draw(st.integers(min_value=0, max_value=n - 1)),)
-    return ScenarioSpec(
-        protocol=protocol,
-        n=n,
-        t=t,
-        tree=None if protocol == "real-aa" else draw(st.sampled_from(SPEC_TREES)),
-        adversary=adversary,
-        corrupt=corrupt,
-        backend=backend,
-        trace_level=draw(st.sampled_from(["full", "aggregate"])),
-        t_assumed=draw(st.sampled_from([None, t])),
-        seed=draw(st.integers(min_value=0, max_value=2**16)),
-        known_range=8.0 if protocol == "real-aa" else None,
-        project=(protocol == "path-aa" and draw(st.booleans())),
-        record=draw(st.booleans()),
-    )
-
-
-@st.composite
-def real_inputs(draw, n: int, magnitude: float = 16.0) -> List[float]:
-    """``n`` finite real inputs bounded by *magnitude* in absolute value."""
-    return draw(
-        st.lists(
-            st.floats(
-                min_value=-magnitude,
-                max_value=magnitude,
-                allow_nan=False,
-                allow_infinity=False,
-                width=32,
-            ),
-            min_size=n,
-            max_size=n,
-        )
-    )

@@ -39,6 +39,7 @@ EXECUTED_DOCS = [
     os.path.join("docs", "SERVICE.md"),
     os.path.join("docs", "STATIC_ANALYSIS.md"),
     os.path.join("docs", "RESILIENCE.md"),
+    os.path.join("docs", "FLYWHEEL.md"),
 ]
 
 sys.path.insert(0, SRC)
